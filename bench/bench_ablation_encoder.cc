@@ -1,0 +1,117 @@
+// Ablation microbenchmarks for the semantic encoder: token/sentence encoding
+// throughput across embedding dimensions (cold vs memoized), UMAP and
+// HDBSCAN substrate costs at CTS-relevant scales.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/hdbscan.h"
+#include "common/rng.h"
+#include "datagen/concept_bank.h"
+#include "dimred/umap.h"
+#include "embed/encoder.h"
+
+namespace {
+
+using namespace mira;
+
+const datagen::ConceptBank& Bank() {
+  static const datagen::ConceptBank* bank = [] {
+    datagen::ConceptBankOptions options;
+    options.num_topics = 16;
+    return new datagen::ConceptBank(datagen::ConceptBank::Generate(options));
+  }();
+  return *bank;
+}
+
+std::string RandomSentence(Rng* rng, size_t words) {
+  std::string text;
+  for (size_t i = 0; i < words; ++i) {
+    if (!text.empty()) text.push_back(' ');
+    if (rng->NextBernoulli(0.4)) {
+      int32_t aspect = static_cast<int32_t>(rng->NextBounded(Bank().num_aspects()));
+      const auto& pool = Bank().TableSurfaces(aspect);
+      text += pool[rng->NextBounded(pool.size())];
+    } else {
+      text += Bank().SampleFiller(rng);
+    }
+  }
+  return text;
+}
+
+// Sentence encoding with a cold cache: dominated by n-gram hashing.
+void BM_EncodeColdCache(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    embed::EncoderOptions options;
+    options.dim = dim;
+    embed::SemanticEncoder encoder(options, Bank().lexicon());
+    std::string text = RandomSentence(&rng, 8);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(encoder.EncodeText(text));
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+}
+BENCHMARK(BM_EncodeColdCache)->Arg(128)->Arg(256)->Arg(768)
+    ->Unit(benchmark::kMicrosecond);
+
+// Sentence encoding with a warm cache: the steady-state corpus/query path.
+void BM_EncodeWarmCache(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  embed::EncoderOptions options;
+  options.dim = dim;
+  embed::SemanticEncoder encoder(options, Bank().lexicon());
+  Rng rng(6);
+  // Warm the token cache.
+  for (int i = 0; i < 2000; ++i) encoder.EncodeText(RandomSentence(&rng, 8));
+  Rng replay(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeText(RandomSentence(&replay, 8)));
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+}
+BENCHMARK(BM_EncodeWarmCache)->Arg(128)->Arg(256)->Arg(768)
+    ->Unit(benchmark::kMicrosecond);
+
+// UMAP end-to-end at CTS-relevant sizes.
+void BM_UmapFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  embed::EncoderOptions options;
+  options.dim = 128;
+  embed::SemanticEncoder encoder(options, Bank().lexicon());
+  Rng rng(7);
+  vecmath::Matrix data(n, 128);
+  for (size_t i = 0; i < n; ++i) {
+    data.SetRow(i, encoder.EncodeText(RandomSentence(&rng, 3)));
+  }
+  for (auto _ : state) {
+    dimred::UmapOptions umap;
+    umap.target_dim = 5;
+    umap.n_epochs = 100;
+    benchmark::DoNotOptimize(dimred::FitUmap(data, umap).MoveValue());
+  }
+}
+BENCHMARK(BM_UmapFit)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// HDBSCAN on reduced vectors (the CTS clustering step).
+void BM_Hdbscan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  vecmath::Matrix data(n, 5);
+  for (auto& x : data.data()) x = static_cast<float>(rng.NextGaussian() * 4.0);
+  for (auto _ : state) {
+    cluster::HdbscanOptions options;
+    options.min_cluster_size = 8;
+    benchmark::DoNotOptimize(cluster::Hdbscan(data, options).MoveValue());
+  }
+}
+BENCHMARK(BM_Hdbscan)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// The paper's second evaluation corpus: the European Data Portal flavor
+// (~55% numeric cells, description-only context, smaller tables; §5
+// [Datasets]). Runs the quality grid of Tables 1-3 on an EDP-like workload,
+// demonstrating the methods' robustness across corpus characters.
+
+#include "harness.h"
+
+int main() {
+  mira::bench::HarnessConfig config = mira::bench::HarnessConfig::FromEnv();
+  config.edp_flavor = true;
+  mira::bench::Harness harness(config);
+  harness.PrintQualityTable(
+      "EDP-flavored corpus: quality of short query results",
+      mira::datagen::QueryClass::kShort);
+  harness.PrintQualityTable(
+      "EDP-flavored corpus: quality of long query results",
+      mira::datagen::QueryClass::kLong);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 3 (§5.4): mean query time of every method across the
+// LD/MD/SD partitions and the three query-length classes. The paper's
+// narrative numbers on the full dataset with long queries are ExS 1650 ms >
+// TCS 1400 > TML 1200 > AdH 1000 > WS 900 > MDR 800 >> ANNS/CTS <= 150; the
+// reproduction target is the split between index-backed methods (ANNS, CTS)
+// and linear scans, and CTS < ANNS.
+
+#include "harness.h"
+
+int main() {
+  mira::bench::Harness harness;
+  harness.PrintPerformanceFigure();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 1: quality of long query results (MAP, MRR, NDCG@k for
+// all eight methods over the LD/MD/SD partitions).
+
+#include "harness.h"
+
+int main() {
+  mira::bench::Harness harness;
+  harness.PrintQualityTable("Table 1: Quality of long query results",
+                            mira::datagen::QueryClass::kLong);
+  return 0;
+}

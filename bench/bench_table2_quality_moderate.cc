@@ -1,0 +1,10 @@
+// Reproduces Table 2: quality of moderate query results.
+
+#include "harness.h"
+
+int main() {
+  mira::bench::Harness harness;
+  harness.PrintQualityTable("Table 2: Quality of moderate query results",
+                            mira::datagen::QueryClass::kModerate);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table 3: quality of short query results.
+
+#include "harness.h"
+
+int main() {
+  mira::bench::Harness harness;
+  harness.PrintQualityTable("Table 3: Quality of short query results",
+                            mira::datagen::QueryClass::kShort);
+  return 0;
+}

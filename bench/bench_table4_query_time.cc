@@ -1,0 +1,10 @@
+// Reproduces Table 4: query time (milliseconds) for CTS vs. ANNS across the
+// three partitions and three query-length classes.
+
+#include "harness.h"
+
+int main() {
+  mira::bench::Harness harness;
+  harness.PrintQueryTimeTable();
+  return 0;
+}

@@ -1,0 +1,284 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mira::bench {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+HarnessConfig HarnessConfig::FromEnv() {
+  HarnessConfig config;
+  config.ld_tables = EnvSize("MIRA_BENCH_TABLES", config.ld_tables);
+  config.encoder_dim = EnvSize("MIRA_BENCH_DIM", config.encoder_dim);
+  config.queries_per_class =
+      EnvSize("MIRA_BENCH_QUERIES", config.queries_per_class);
+  const char* edp = std::getenv("MIRA_BENCH_EDP");
+  if (edp != nullptr && edp[0] == '1') config.edp_flavor = true;
+  return config;
+}
+
+const std::vector<std::string>& MethodStack::MethodNames() {
+  static const std::vector<std::string> kNames = {"CTS", "ANNS", "ExS", "MDR",
+                                                  "WS",  "TCS",  "AdH", "TML"};
+  return kNames;
+}
+
+std::unique_ptr<MethodStack> MethodStack::Build(
+    const datagen::Workload& workload, const datagen::Workload::View& view,
+    const HarnessConfig& config) {
+  auto stack = std::make_unique<MethodStack>();
+
+  // Proposed methods: mpnet-grade encoder, faithful ExS.
+  discovery::EngineOptions engine_options;
+  engine_options.encoder.dim = config.encoder_dim;
+  engine_options.cts.umap.n_epochs = 120;
+  stack->engine_ = discovery::DiscoveryEngine::Build(
+                       view.federation, workload.bank.lexicon(), engine_options)
+                       .MoveValue();
+
+  // Baselines: shared field statistics and a weaker semantic model (the
+  // comparison systems use vanilla BERT / word-embedding-era encoders).
+  stack->stats_ = baselines::CorpusFieldStats::Build(view.federation);
+  embed::EncoderOptions baseline_encoder_options = engine_options.encoder;
+  baseline_encoder_options.concept_blend = config.baseline_concept_blend;
+  stack->baseline_encoder_ = std::make_shared<embed::SemanticEncoder>(
+      baseline_encoder_options, workload.bank.lexicon());
+  {
+    auto frequencies = std::make_shared<embed::TokenFrequencies>();
+    for (const auto& relation : view.federation.relations()) {
+      frequencies->AddText(relation.ConsolidatedText());
+    }
+    stack->baseline_encoder_->SetTokenFrequencies(std::move(frequencies));
+  }
+
+  // Training pairs for WS/TCS from the training split of the queries: all
+  // positive judgments plus a spread of explicit negatives.
+  size_t train_per_class = static_cast<size_t>(
+      config.train_fraction * static_cast<double>(config.queries_per_class));
+  std::map<int, size_t> seen_per_class;
+  std::vector<baselines::TrainingPair> training;
+  for (const auto& query : workload.queries) {
+    if (seen_per_class[static_cast<int>(query.cls)]++ >= train_per_class) {
+      continue;
+    }
+    for (table::RelationId t = 0; t < view.federation.size(); ++t) {
+      int grade = view.qrels.Grade(query.id, t);
+      if (grade > 0 || t % 29 == 0) {
+        training.push_back({query.text, t, grade});
+      }
+    }
+  }
+
+  stack->mdr_ = std::make_unique<baselines::MdrSearcher>(stack->stats_);
+  stack->ws_ = baselines::WsSearcher::Build(stack->stats_, training).MoveValue();
+  stack->tcs_ = baselines::TcsSearcher::Build(stack->stats_,
+                                              stack->baseline_encoder_,
+                                              view.federation, training)
+                    .MoveValue();
+  stack->adh_ = std::make_unique<baselines::AdhSearcher>(
+      view.federation, stack->stats_, stack->baseline_encoder_);
+  stack->tml_ = std::make_unique<baselines::TmlSearcher>(
+      view.federation, stack->stats_, stack->baseline_encoder_);
+  return stack;
+}
+
+const discovery::Searcher* MethodStack::Get(const std::string& method) const {
+  if (method == "ExS") return engine_->searcher(discovery::Method::kExhaustive);
+  if (method == "ANNS") return engine_->searcher(discovery::Method::kAnns);
+  if (method == "CTS") return engine_->searcher(discovery::Method::kCts);
+  if (method == "MDR") return mdr_.get();
+  if (method == "WS") return ws_.get();
+  if (method == "TCS") return tcs_.get();
+  if (method == "AdH") return adh_.get();
+  if (method == "TML") return tml_.get();
+  return nullptr;
+}
+
+Harness::Harness(HarnessConfig config)
+    : config_(config),
+      workload_(datagen::Workload::Generate([&] {
+        datagen::WorkloadOptions options =
+            config.edp_flavor ? datagen::EdpWorkload(config.ld_tables)
+                              : datagen::WikiTablesWorkload(config.ld_tables);
+        options.queries.per_class = config.queries_per_class;
+        return options;
+      }())) {}
+
+const datagen::Workload::View& Harness::ViewFor(const Partition& partition) {
+  auto it = views_.find(partition.name);
+  if (it == views_.end()) {
+    it = views_
+             .emplace(partition.name,
+                      workload_.MakeView(partition.fraction, config_.seed))
+             .first;
+  }
+  return it->second;
+}
+
+MethodStack* Harness::StackFor(const Partition& partition) {
+  auto it = stacks_.find(partition.name);
+  if (it == stacks_.end()) {
+    std::fprintf(stderr, "[harness] building %s partition (%zu tables)...\n",
+                 partition.name.c_str(),
+                 ViewFor(partition).federation.size());
+    WallTimer timer;
+    auto stack = MethodStack::Build(workload_, ViewFor(partition), config_);
+    std::fprintf(stderr, "[harness] %s ready in %.1fs\n",
+                 partition.name.c_str(), timer.ElapsedSeconds());
+    it = stacks_.emplace(partition.name, std::move(stack)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<datagen::GeneratedQuery> Harness::EvalQueries(
+    datagen::QueryClass cls) const {
+  size_t train_per_class = static_cast<size_t>(
+      config_.train_fraction * static_cast<double>(config_.queries_per_class));
+  std::vector<datagen::GeneratedQuery> out;
+  size_t seen = 0;
+  for (const auto& query : workload_.queries) {
+    if (query.cls != cls) continue;
+    if (seen++ < train_per_class) continue;
+    out.push_back(query);
+  }
+  return out;
+}
+
+std::vector<MethodRun> Harness::RunClass(const Partition& partition,
+                                         datagen::QueryClass cls) {
+  MethodStack* stack = StackFor(partition);
+  const datagen::Workload::View& view = ViewFor(partition);
+  std::vector<datagen::GeneratedQuery> queries = EvalQueries(cls);
+
+  // Sub-qrels over the evaluation queries only (positives suffice; unjudged
+  // documents count as irrelevant).
+  ir::Qrels qrels;
+  for (const auto& query : queries) {
+    for (table::RelationId t = 0; t < view.federation.size(); ++t) {
+      int grade = view.qrels.Grade(query.id, t);
+      if (grade > 0) qrels.Add(query.id, t, grade);
+    }
+  }
+
+  discovery::DiscoveryOptions options;
+  options.top_k = config_.eval_depth;
+
+  std::vector<MethodRun> runs;
+  for (const std::string& method : MethodStack::MethodNames()) {
+    const discovery::Searcher* searcher = stack->Get(method);
+    std::unordered_map<ir::QueryId, std::vector<ir::DocId>> run;
+    LatencyRecorder latency;
+    // Warm-up query (cache fills, first-touch effects).
+    searcher->Search(queries.front().text, options).MoveValue();
+    for (const auto& query : queries) {
+      WallTimer timer;
+      auto ranking = searcher->Search(query.text, options).MoveValue();
+      latency.Record(timer.ElapsedMillis());
+      std::vector<ir::DocId> docs;
+      docs.reserve(ranking.size());
+      for (const auto& hit : ranking) docs.push_back(hit.relation);
+      run[query.id] = std::move(docs);
+    }
+    MethodRun result;
+    result.method = method;
+    result.quality = ir::Evaluate(qrels, run);
+    result.mean_query_ms = latency.mean_millis();
+    runs.push_back(std::move(result));
+  }
+  return runs;
+}
+
+void Harness::PrintQualityTable(const std::string& title,
+                                datagen::QueryClass cls) {
+  std::printf("%s\n", title.c_str());
+  std::printf("(corpus: %zu tables LD; dim %zu; %zu eval queries/class)\n\n",
+              config_.ld_tables, config_.encoder_dim, EvalQueries(cls).size());
+  std::printf("%-8s %-6s %7s %7s %8s %8s %8s %8s\n", "Dataset", "Method",
+              "MAP", "MRR", "NDCG@5", "NDCG@10", "NDCG@15", "NDCG@20");
+  for (const Partition& partition : Partitions()) {
+    std::vector<MethodRun> runs = RunClass(partition, cls);
+    std::sort(runs.begin(), runs.end(),
+              [](const MethodRun& a, const MethodRun& b) {
+                return a.quality.map > b.quality.map;
+              });
+    for (const MethodRun& run : runs) {
+      std::printf("%-8s %-6s %7.3f %7.3f %8.3f %8.3f %8.3f %8.3f\n",
+                  partition.name.c_str(), run.method.c_str(), run.quality.map,
+                  run.quality.mrr, run.quality.ndcg.at(5),
+                  run.quality.ndcg.at(10), run.quality.ndcg.at(15),
+                  run.quality.ndcg.at(20));
+    }
+    std::printf("\n");
+  }
+}
+
+void Harness::PrintQueryTimeTable() {
+  std::printf("Table 4: Query Time (milliseconds) for CTS vs. ANNS\n");
+  std::printf("(corpus: %zu tables LD; dim %zu)\n\n", config_.ld_tables,
+              config_.encoder_dim);
+  std::printf("%-8s %-10s %10s %10s\n", "Dataset", "Query", "CTS", "ANNS");
+  struct ClassRow {
+    datagen::QueryClass cls;
+    const char* label;
+  };
+  const ClassRow rows[] = {{datagen::QueryClass::kLong, "Long"},
+                           {datagen::QueryClass::kModerate, "Moderate"},
+                           {datagen::QueryClass::kShort, "Short"}};
+  for (const Partition& partition : Partitions()) {
+    for (const ClassRow& row : rows) {
+      std::vector<MethodRun> runs = RunClass(partition, row.cls);
+      double cts = 0, anns = 0;
+      for (const MethodRun& run : runs) {
+        if (run.method == "CTS") cts = run.mean_query_ms;
+        if (run.method == "ANNS") anns = run.mean_query_ms;
+      }
+      std::printf("%-8s %-10s %10.2f %10.2f\n", partition.name.c_str(),
+                  row.label, cts, anns);
+    }
+  }
+  std::printf("\n");
+}
+
+void Harness::PrintPerformanceFigure() {
+  std::printf("Figure 3: Mean query time (ms) of all methods\n");
+  std::printf("(corpus: %zu tables LD; dim %zu)\n\n", config_.ld_tables,
+              config_.encoder_dim);
+  struct ClassRow {
+    datagen::QueryClass cls;
+    const char* label;
+  };
+  const ClassRow rows[] = {{datagen::QueryClass::kLong, "long"},
+                           {datagen::QueryClass::kModerate, "moderate"},
+                           {datagen::QueryClass::kShort, "short"}};
+  std::printf("%-8s %-10s", "Dataset", "Query");
+  for (const auto& name : MethodStack::MethodNames()) {
+    std::printf(" %9s", name.c_str());
+  }
+  std::printf("\n");
+  for (const Partition& partition : Partitions()) {
+    for (const ClassRow& row : rows) {
+      std::vector<MethodRun> runs = RunClass(partition, row.cls);
+      std::printf("%-8s %-10s", partition.name.c_str(), row.label);
+      for (const auto& name : MethodStack::MethodNames()) {
+        for (const MethodRun& run : runs) {
+          if (run.method == name) std::printf(" %9.2f", run.mean_query_ms);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace mira::bench

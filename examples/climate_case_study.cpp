@@ -1,0 +1,153 @@
+// The §5.3 case study as a walkthrough: for "Climate Change Effects Europe
+// 2020", compare how ExS, ANNS and CTS handle a federation containing
+// Europe-2020-specific tables, a broad global-climate almanac, a wrong-year
+// Europe table, and plenty of unrelated distractors.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/concept_bank.h"
+#include "discovery/engine.h"
+
+using namespace mira;
+
+namespace {
+
+struct Corpus {
+  table::Federation federation;
+  std::shared_ptr<embed::Lexicon> lexicon;
+  std::vector<std::string> names;
+  std::vector<std::string> notes;
+};
+
+Corpus MakeCorpus() {
+  Corpus cs;
+  cs.lexicon = std::make_shared<embed::Lexicon>();
+  int32_t climate = cs.lexicon->AddTopic("climate");
+  int32_t europe = cs.lexicon->AddAspect(climate, "europe_effects");
+  int32_t global = cs.lexicon->AddAspect(climate, "global_trends");
+  int32_t policy = cs.lexicon->AddAspect(climate, "policy");
+  auto add_concept = [&](int32_t aspect, const char* name,
+                         std::initializer_list<const char*> surfaces) {
+    int32_t id = cs.lexicon->AddConcept(cs.lexicon->TopicOfAspect(aspect),
+                                        name, aspect);
+    for (const char* s : surfaces) cs.lexicon->AddSurface(id, s);
+  };
+  add_concept(europe, "climate_change", {"climate", "warming", "climate-change"});
+  add_concept(europe, "europe", {"europe", "european", "eu"});
+  add_concept(europe, "heatwave", {"heatwave", "heat-wave", "canicule"});
+  add_concept(europe, "drought", {"drought", "aridity"});
+  add_concept(global, "global", {"global", "worldwide", "planetary"});
+  add_concept(global, "emissions", {"emissions", "co2", "greenhouse"});
+  add_concept(global, "sea_level", {"sea-level", "ocean-rise"});
+  add_concept(policy, "agreement", {"agreement", "accord", "treaty"});
+  add_concept(policy, "target", {"target", "pledge", "commitment"});
+
+  auto add = [&](const char* name, const char* note,
+                 std::vector<std::string> schema,
+                 std::vector<std::vector<std::string>> rows) {
+    table::Relation r;
+    r.name = name;
+    r.schema = std::move(schema);
+    for (auto& row : rows) r.AddRow(std::move(row)).Abort("climate example");
+    cs.federation.AddRelation(std::move(r));
+    cs.names.emplace_back(name);
+    cs.notes.emplace_back(note);
+  };
+
+  add("EuropeEffects2020", "what Sarah wants",
+      {"Region", "Year", "Event", "Impact"},
+      {{"europe", "2020", "heatwave", "severe"},
+       {"european", "2020", "drought", "moderate"},
+       {"eu", "2020", "warming", "high"}});
+  add("EuropeDamage2020", "what Sarah wants",
+      {"Country", "Year", "Effect", "Cost"},
+      {{"european", "2020", "heatwave", "4.1"},
+       {"europe", "2020", "aridity", "2.7"}});
+  add("GlobalClimateAlmanac", "broad global data (the ExS trap)",
+      {"Theme", "Note"},
+      {{"global", "warming"},
+       {"planetary", "emissions"},
+       {"worldwide", "co2"},
+       {"greenhouse", "sea-level"},
+       {"climate", "ocean-rise"}});
+  add("EuropeEffects1995", "right region, wrong years",
+      {"Region", "Year", "Event"},
+      {{"europe", "1995", "heatwave"}, {"european", "1996", "drought"}});
+  add("ClimatePolicy2020", "right year, policy not effects",
+      {"Year", "Instrument"},
+      {{"2020", "accord"}, {"2020", "pledge"}, {"2021", "treaty"}});
+
+  // Bulk distractors from unrelated topics.
+  int32_t sports = cs.lexicon->AddTopic("sports");
+  int32_t leagues = cs.lexicon->AddAspect(sports, "leagues");
+  add_concept(leagues, "club", {"club", "team", "squad"});
+  int32_t economy = cs.lexicon->AddTopic("economy");
+  int32_t markets = cs.lexicon->AddAspect(economy, "markets");
+  add_concept(markets, "stock", {"stock", "equity", "share"});
+
+  Rng rng(777);
+  const std::vector<std::string> pools[2] = {{"club", "team", "squad"},
+                                             {"stock", "equity", "share"}};
+  for (int t = 0; t < 50; ++t) {
+    table::Relation r;
+    r.name = "distractor_" + std::to_string(t);
+    r.schema = {datagen::MakePseudoWord(&rng, 2),
+                datagen::MakePseudoWord(&rng, 2),
+                datagen::MakePseudoWord(&rng, 2)};
+    const auto& pool = pools[t % 2];
+    for (int row = 0; row < 5; ++row) {
+      r.AddRow({pool[rng.NextBounded(pool.size())],
+                datagen::MakePseudoWord(&rng, 3),
+                std::to_string(1900 + rng.NextBounded(130))})
+          .Abort("climate example");
+    }
+    cs.names.push_back(r.name);
+    cs.notes.emplace_back("unrelated");
+    cs.federation.AddRelation(std::move(r));
+  }
+  return cs;
+}
+
+}  // namespace
+
+int main() {
+  Corpus cs = MakeCorpus();
+
+  discovery::EngineOptions options;
+  options.encoder.dim = 256;
+  options.anns.cell_candidates = 48;
+  options.cts.cell_candidates = 48;
+  options.cts.cluster_candidates = 4;
+  auto engine =
+      discovery::DiscoveryEngine::Build(cs.federation, cs.lexicon, options)
+          .MoveValue();
+
+  const std::string query = "climate-change effects europe 2020";
+  std::printf("Query: \"%s\"\n", query.c_str());
+  std::printf("Corpus: %zu tables (%zu cells)\n\n", cs.federation.size(),
+              cs.federation.TotalCells());
+
+  for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
+                      discovery::Method::kCts}) {
+    discovery::DiscoveryOptions search;
+    search.top_k = 4;
+    auto ranking = engine->Search(method, query, search).MoveValue();
+    std::printf("%s top-4:\n",
+                std::string(discovery::MethodToString(method)).c_str());
+    for (size_t i = 0; i < ranking.size(); ++i) {
+      std::printf("  %zu. %-22s %.3f  (%s)\n", i + 1,
+                  cs.names[ranking[i].relation].c_str(), ranking[i].score,
+                  cs.notes[ranking[i].relation].c_str());
+    }
+  }
+  std::printf(
+      "\nTakeaway (paper §5.3): ExS averages similarity over *all* cells, so\n"
+      "broad or wrong-year climate tables can outrank the specific answer;\n"
+      "ANNS narrows but still blends context; CTS first selects the cluster\n"
+      "of Europe-2020 content via its medoid and searches only there.\n");
+  return 0;
+}

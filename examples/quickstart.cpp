@@ -1,0 +1,85 @@
+// Quickstart: build a federation from CSV, teach the encoder a few synonyms,
+// and ask all three search methods for datasets related to a keyword query.
+//
+//   $ ./examples/quickstart
+//
+// This is the 60-second tour of the public API:
+//   table::ParseCsv / Federation  -> the data model
+//   embed::Lexicon                -> domain synonyms (optional but powerful)
+//   discovery::DiscoveryEngine    -> one-call pipeline (Figure 2)
+
+#include <cstdio>
+#include <memory>
+
+#include "discovery/engine.h"
+#include "table/csv_reader.h"
+
+using namespace mira;
+
+int main() {
+  // 1. Load datasets. Any CSV source works; here they are inline.
+  table::Federation federation;
+  federation.AddRelation(
+      table::ParseCsv("country,product,revenue\n"
+                      "germany,laptops,120\n"
+                      "france,phones,95\n"
+                      "spain,tablets,60\n",
+                      "eu_sales")
+          .MoveValue());
+  federation.AddRelation(
+      table::ParseCsv("city,reading,unit\n"
+                      "oslo,-3,celsius\n"
+                      "cairo,31,celsius\n",
+                      "weather_log")
+          .MoveValue());
+  federation.AddRelation(
+      table::ParseCsv("region,item,units\n"
+                      "bavaria,notebooks,40\n"
+                      "saxony,handsets,25\n",
+                      "de_shipments")
+          .MoveValue());
+
+  // 2. (Optional) teach the encoder that some words mean the same thing.
+  //    Without a lexicon MIRA still works on lexical similarity; with one it
+  //    bridges vocabulary gaps like laptops ~ notebooks.
+  auto lexicon = std::make_shared<embed::Lexicon>();
+  int32_t electronics = lexicon->AddTopic("consumer_electronics");
+  int32_t devices = lexicon->AddAspect(electronics, "devices");
+  int32_t laptop = lexicon->AddConcept(electronics, "laptop", devices);
+  lexicon->AddSurface(laptop, "laptops");
+  lexicon->AddSurface(laptop, "notebooks");
+  int32_t phone = lexicon->AddConcept(electronics, "phone", devices);
+  lexicon->AddSurface(phone, "phones");
+  lexicon->AddSurface(phone, "handsets");
+
+  // 3. Build the engine: embeds every cell, builds the ANNS vector database
+  //    (PQ + HNSW) and the CTS cluster structures.
+  discovery::EngineOptions options;
+  options.encoder.dim = 256;
+  auto engine =
+      discovery::DiscoveryEngine::Build(federation, lexicon, options)
+          .MoveValue();
+
+  // 4. Search. "notebook sales" matches eu_sales and de_shipments even
+  //    though neither contains the word "notebook" + "sales" verbatim.
+  const char* query = "notebook sales by region";
+  std::printf("query: \"%s\"\n\n", query);
+  for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
+                      discovery::Method::kCts}) {
+    discovery::DiscoveryOptions search;
+    search.top_k = 3;
+    auto ranking = engine->Search(method, query, search).MoveValue();
+    std::printf("%-4s:", std::string(discovery::MethodToString(method)).c_str());
+    for (const auto& hit : ranking) {
+      std::printf("  %s (%.3f)",
+                  engine->federation().relation(hit.relation).name.c_str(),
+                  hit.score);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe two sales tables rank above the weather log for every method:\n"
+      "the lexicon made laptops/notebooks and phones/handsets neighbors in\n"
+      "embedding space, so the match is semantic, not string-based.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef MIRA_BASELINES_ADH_H_
+#define MIRA_BASELINES_ADH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+
+namespace mira::baselines {
+
+struct AdhOptions {
+  /// BERT-style input cap: only the first `input_token_budget` tokens of the
+  /// serialized table (caption, schema, then cells row-major) are visible to
+  /// the model. Cells beyond the cap are truncated away — the limitation the
+  /// paper repeatedly attributes AdH's losses to. (BERT's 512 scaled to this
+  /// corpus's table sizes.)
+  size_t input_token_budget = 16;
+  /// Query tokens beyond this are dropped too.
+  size_t query_token_budget = 64;
+  /// Score blend: a BERT cross-encoder pools the whole (truncated) input, so
+  /// the sequence-level representation dominates; fine-grained token
+  /// interactions contribute the remainder.
+  float pooled_weight = 0.6f;
+};
+
+/// Ad-Hoc Table Retrieval (Chen et al. [7]): BERT-based table ranking via
+/// content selectors. Modeled as a cross-encoder-style token matcher: the
+/// score is the mean over query tokens of their best similarity to any
+/// visible table token. Contextual (token embeddings bridge synonyms via the
+/// encoder) but input-truncated, and evaluated per query-table pair at query
+/// time — hence both its quality ceiling and its latency in the paper.
+class AdhSearcher final : public discovery::Searcher {
+ public:
+  AdhSearcher(const table::Federation& federation,
+              std::shared_ptr<const CorpusFieldStats> stats,
+              std::shared_ptr<const embed::SemanticEncoder> encoder,
+              AdhOptions options = {});
+
+  Result<discovery::Ranking> Search(
+      const std::string& query,
+      const discovery::DiscoveryOptions& options) const override;
+  std::string name() const override { return "AdH"; }
+
+ private:
+  std::shared_ptr<const CorpusFieldStats> stats_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  AdhOptions options_;
+  /// Per-table visible-token embedding matrices (truncated), flattened.
+  std::vector<std::vector<float>> table_token_vectors_;
+  /// Pooled embedding of each table's visible tokens.
+  std::vector<vecmath::Vec> table_pooled_;
+};
+
+/// Soft token matching: mean over rows of A of the max dot product against
+/// rows of B (both row-major, unit-normalized, dim `dim`).
+float MeanMaxTokenSimilarity(const float* a, size_t a_rows, const float* b,
+                             size_t b_rows, size_t dim);
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_ADH_H_

@@ -1,0 +1,76 @@
+#include "baselines/baseline_common.h"
+
+namespace mira::baselines {
+
+text::Tokenizer BaselineTokenizer() {
+  text::TokenizerOptions options;
+  options.lowercase = true;
+  options.keep_numbers = true;
+  return text::Tokenizer(options);
+}
+
+std::shared_ptr<const CorpusFieldStats> CorpusFieldStats::Build(
+    const table::Federation& federation) {
+  auto stats = std::make_shared<CorpusFieldStats>();
+  text::Tokenizer tokenizer = BaselineTokenizer();
+  stats->tables.reserve(federation.size());
+
+  for (const auto& relation : federation.relations()) {
+    TableFieldData data;
+    data.num_rows = relation.num_rows();
+    data.num_cols = relation.num_columns();
+    data.numeric_fraction = relation.NumericCellFraction();
+
+    std::vector<std::string> title_tokens = tokenizer.Tokenize(relation.page_title);
+    std::vector<std::string> section_tokens =
+        tokenizer.Tokenize(relation.section_title);
+    std::vector<std::string> caption_tokens = tokenizer.Tokenize(relation.caption);
+    // EDP-style corpora use descriptions; fold them into the caption field.
+    if (!relation.description.empty()) {
+      for (auto& token : tokenizer.Tokenize(relation.description)) {
+        caption_tokens.push_back(std::move(token));
+      }
+    }
+    std::vector<std::string> schema_tokens;
+    for (const auto& column : relation.schema) {
+      for (auto& token : tokenizer.Tokenize(column)) {
+        schema_tokens.push_back(std::move(token));
+      }
+    }
+    std::vector<std::string> body_tokens;
+    for (const auto& row : relation.rows) {
+      for (const auto& cell : row) {
+        for (auto& token : tokenizer.Tokenize(cell)) {
+          body_tokens.push_back(std::move(token));
+        }
+      }
+    }
+
+    // Serialization for the token-budget baselines.
+    data.serialized_tokens.reserve(caption_tokens.size() +
+                                   schema_tokens.size() + body_tokens.size());
+    for (const auto& t : caption_tokens) data.serialized_tokens.push_back(t);
+    for (const auto& t : schema_tokens) data.serialized_tokens.push_back(t);
+    for (const auto& t : body_tokens) data.serialized_tokens.push_back(t);
+
+    data.title = stats->title_stats.AddDocument(title_tokens);
+    data.section = stats->section_stats.AddDocument(section_tokens);
+    data.caption = stats->caption_stats.AddDocument(caption_tokens);
+    data.schema = stats->schema_stats.AddDocument(schema_tokens);
+    data.body = stats->body_stats.AddDocument(body_tokens);
+    stats->tables.push_back(std::move(data));
+  }
+  return stats;
+}
+
+std::vector<int32_t> CorpusFieldStats::QueryIds(
+    const text::CorpusStats& stats, const std::vector<std::string>& tokens) {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    ids.push_back(stats.vocab().GetId(token));
+  }
+  return ids;
+}
+
+}  // namespace mira::baselines

@@ -1,0 +1,62 @@
+#ifndef MIRA_BASELINES_BASELINE_COMMON_H_
+#define MIRA_BASELINES_BASELINE_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/relation.h"
+#include "text/corpus_stats.h"
+#include "text/tokenizer.h"
+
+namespace mira::baselines {
+
+/// A labeled (query, table, grade) example used to train the learning-to-
+/// rank baselines (the paper splits its 3,117 judged pairs into 1,918
+/// training and 1,199 evaluation pairs).
+struct TrainingPair {
+  std::string query;
+  table::RelationId relation = 0;
+  int grade = 0;
+};
+
+/// Per-table tokenized field data shared by every baseline.
+struct TableFieldData {
+  text::TermBag title;
+  text::TermBag section;
+  text::TermBag caption;
+  text::TermBag schema;
+  text::TermBag body;
+  /// Serialization order used by the token-budget baselines (AdH/TML):
+  /// caption, schema, then cells row-major — truncation drops late cells.
+  std::vector<std::string> serialized_tokens;
+  size_t num_rows = 0;
+  size_t num_cols = 0;
+  double numeric_fraction = 0.0;
+};
+
+/// Field-wise corpus statistics: one CorpusStats (vocabulary + collection
+/// model) per field plus per-table term bags. Built once per federation and
+/// shared (read-only) by MDR, WS and TCS.
+struct CorpusFieldStats {
+  text::CorpusStats title_stats;
+  text::CorpusStats section_stats;
+  text::CorpusStats caption_stats;
+  text::CorpusStats schema_stats;
+  text::CorpusStats body_stats;
+  std::vector<TableFieldData> tables;
+
+  static std::shared_ptr<const CorpusFieldStats> Build(
+      const table::Federation& federation);
+
+  /// Tokenizes a query into ids of a field's vocabulary (-1 for OOV).
+  static std::vector<int32_t> QueryIds(const text::CorpusStats& stats,
+                                       const std::vector<std::string>& tokens);
+};
+
+/// Shared tokenizer configuration of the baselines.
+text::Tokenizer BaselineTokenizer();
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_BASELINE_COMMON_H_

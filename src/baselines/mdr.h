@@ -1,0 +1,46 @@
+#ifndef MIRA_BASELINES_MDR_H_
+#define MIRA_BASELINES_MDR_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/baseline_common.h"
+#include "discovery/types.h"
+
+namespace mira::baselines {
+
+/// Field mixture weights and smoothing of the MDR ranker.
+struct MdrOptions {
+  double w_title = 0.25;
+  double w_section = 0.05;
+  double w_caption = 0.30;
+  double w_schema = 0.15;
+  double w_body = 0.25;
+  /// Dirichlet smoothing mass.
+  double mu = 300.0;
+};
+
+/// Multi-field Document Ranking (Pimplikar & Sarawagi [36]): a table is a
+/// structured document whose fields (page title, section title, caption,
+/// schema, body) are scored independently with Dirichlet-smoothed query
+/// likelihood and combined with a weighted mixture. Purely lexical: no
+/// embedding can bridge vocabulary mismatch, which is exactly the weakness
+/// the paper's semantic methods exploit.
+class MdrSearcher final : public discovery::Searcher {
+ public:
+  MdrSearcher(std::shared_ptr<const CorpusFieldStats> stats,
+              MdrOptions options = {});
+
+  Result<discovery::Ranking> Search(
+      const std::string& query,
+      const discovery::DiscoveryOptions& options) const override;
+  std::string name() const override { return "MDR"; }
+
+ private:
+  std::shared_ptr<const CorpusFieldStats> stats_;
+  MdrOptions options_;
+};
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_MDR_H_

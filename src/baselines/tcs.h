@@ -1,0 +1,66 @@
+#ifndef MIRA_BASELINES_TCS_H_
+#define MIRA_BASELINES_TCS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "common/result.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+#include "ml/decision_tree.h"
+#include "vecmath/matrix.h"
+
+namespace mira::baselines {
+
+struct TcsOptions {
+  /// Tokens of the consolidated table text that feed the table-level
+  /// embedding (TCS embeds whole tables, not cells — a key difference from
+  /// MIRA's value-level representation).
+  size_t table_embedding_tokens = 64;
+  ml::ForestOptions forest;
+};
+
+/// Table Contextual Search (Zhang & Balog [55]): maps query and table into
+/// several semantic spaces (lexical tf-idf, word embeddings, field language
+/// models), computes one similarity per space, and ranks with a Random
+/// Forest regressor trained on judged pairs. Semantic but *table-level*:
+/// one vector per table blends all its attributes together, so ambiguous or
+/// multi-topic tables blur — the contrast motivating the paper's cell-level
+/// embeddings.
+class TcsSearcher final : public discovery::Searcher {
+ public:
+  static Result<std::unique_ptr<TcsSearcher>> Build(
+      std::shared_ptr<const CorpusFieldStats> stats,
+      std::shared_ptr<const embed::SemanticEncoder> encoder,
+      const table::Federation& federation,
+      const std::vector<TrainingPair>& training, TcsOptions options = {});
+
+  Result<discovery::Ranking> Search(
+      const std::string& query,
+      const discovery::DiscoveryOptions& options) const override;
+  std::string name() const override { return "TCS"; }
+
+  static constexpr size_t kNumFeatures = 6;
+
+ private:
+  TcsSearcher(std::shared_ptr<const CorpusFieldStats> stats,
+              std::shared_ptr<const embed::SemanticEncoder> encoder,
+              TcsOptions options);
+
+  std::vector<double> Features(const std::vector<std::string>& tokens,
+                               const vecmath::Vec& query_embedding,
+                               size_t table_index) const;
+
+  std::shared_ptr<const CorpusFieldStats> stats_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  TcsOptions options_;
+  /// One (truncated) embedding per table.
+  vecmath::Matrix table_embeddings_;
+  ml::RandomForest forest_;
+};
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_TCS_H_

@@ -1,0 +1,65 @@
+#ifndef MIRA_BASELINES_TML_H_
+#define MIRA_BASELINES_TML_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+
+namespace mira::baselines {
+
+struct TmlOptions {
+  /// Total serialization budget shared by the *whole corpus* — the LLM
+  /// context window. Each table gets total_context_tokens / num_tables
+  /// tokens of its serialization (caption and schema first). On small
+  /// corpora every table fits and TML shines; on large corpora each table is
+  /// reduced to a stub — reproducing the scalability cliff the paper
+  /// observes for token-limited models (§5.2).
+  size_t total_context_tokens = 24000;
+  /// Per-table serialization is never longer than this even when the corpus
+  /// is tiny.
+  size_t max_tokens_per_table = 256;
+  /// At least caption+schema survive.
+  size_t min_tokens_per_table = 8;
+  size_t query_token_budget = 128;
+  /// Blend of sequence-level (pooled) and token-interaction scoring, as for
+  /// AdH; LLM judgments lean more on fine-grained token evidence.
+  float pooled_weight = 0.45f;
+};
+
+/// Table Meets LLM (Sui et al. [45]): serializes tables into an LLM's
+/// context and asks the model to match them against the query. Modeled as a
+/// bidirectional token soft-matcher over the serialized (budget-truncated)
+/// tables: mean-of-max similarity in both directions, which is more
+/// expensive per pair than AdH's one-directional scoring — mirroring TML's
+/// higher query latency.
+class TmlSearcher final : public discovery::Searcher {
+ public:
+  TmlSearcher(const table::Federation& federation,
+              std::shared_ptr<const CorpusFieldStats> stats,
+              std::shared_ptr<const embed::SemanticEncoder> encoder,
+              TmlOptions options = {});
+
+  Result<discovery::Ranking> Search(
+      const std::string& query,
+      const discovery::DiscoveryOptions& options) const override;
+  std::string name() const override { return "TML"; }
+
+  /// Tokens each table actually received under the shared context budget.
+  size_t tokens_per_table() const { return tokens_per_table_; }
+
+ private:
+  std::shared_ptr<const CorpusFieldStats> stats_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  TmlOptions options_;
+  size_t tokens_per_table_ = 0;
+  std::vector<std::vector<float>> table_token_vectors_;
+  std::vector<vecmath::Vec> table_pooled_;
+};
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_TML_H_

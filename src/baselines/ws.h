@@ -1,0 +1,48 @@
+#ifndef MIRA_BASELINES_WS_H_
+#define MIRA_BASELINES_WS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_common.h"
+#include "common/result.h"
+#include "discovery/types.h"
+#include "ml/linear_regression.h"
+
+namespace mira::baselines {
+
+/// WebTable System (Cafarella et al. [6]): hand-crafted per-pair features
+/// combined by a linear regression model trained on judged pairs. The
+/// features are classic web-table signals (BM25 over the body, field hit
+/// counts, table shape statistics); being manually engineered, they cannot
+/// capture semantic relatedness beyond exact token overlap.
+class WsSearcher final : public discovery::Searcher {
+ public:
+  /// Trains the linear model on `training` and retains the field stats.
+  static Result<std::unique_ptr<WsSearcher>> Build(
+      std::shared_ptr<const CorpusFieldStats> stats,
+      const std::vector<TrainingPair>& training);
+
+  Result<discovery::Ranking> Search(
+      const std::string& query,
+      const discovery::DiscoveryOptions& options) const override;
+  std::string name() const override { return "WS"; }
+
+  /// The per-pair feature vector (exposed for tests).
+  static std::vector<double> Features(const CorpusFieldStats& stats,
+                                      const std::vector<std::string>& tokens,
+                                      size_t table_index);
+  static constexpr size_t kNumFeatures = 10;
+
+ private:
+  WsSearcher(std::shared_ptr<const CorpusFieldStats> stats,
+             ml::LinearRegression model);
+
+  std::shared_ptr<const CorpusFieldStats> stats_;
+  ml::LinearRegression model_;
+};
+
+}  // namespace mira::baselines
+
+#endif  // MIRA_BASELINES_WS_H_

@@ -1,0 +1,62 @@
+#ifndef MIRA_CLUSTER_HDBSCAN_H_
+#define MIRA_CLUSTER_HDBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "vecmath/matrix.h"
+
+namespace mira::cluster {
+
+/// Label assigned to noise points.
+inline constexpr int32_t kNoise = -1;
+
+/// Options of the HDBSCAN* implementation (Campello et al.; McInnes et al.
+/// [31]). Density-based, hierarchical, noise-aware — chosen by the paper for
+/// its ability to form meaningful clusters from the non-convex shapes of
+/// tabular text embeddings (§4.3).
+struct HdbscanOptions {
+  /// Smallest subtree that counts as a cluster in the condensed tree.
+  size_t min_cluster_size = 8;
+  /// Neighborhood size for core distances; 0 means min_cluster_size.
+  size_t min_samples = 0;
+};
+
+/// One cluster of the flat extraction.
+struct HdbscanCluster {
+  /// Row indices of the members.
+  std::vector<size_t> members;
+  /// Excess-of-mass stability of the selected condensed-tree node.
+  double stability = 0.0;
+};
+
+struct HdbscanResult {
+  /// Cluster label per input row; kNoise for outliers.
+  std::vector<int32_t> labels;
+  /// Clusters indexed by label.
+  std::vector<HdbscanCluster> clusters;
+
+  size_t num_clusters() const { return clusters.size(); }
+  size_t num_noise() const;
+};
+
+/// Runs HDBSCAN* over the rows of `data` with Euclidean base distance.
+///
+/// Pipeline: core distances (min_samples-NN) -> mutual reachability distance
+/// -> MST (Prim, O(n^2) on the implicit complete graph) -> single-linkage
+/// dendrogram -> condensed tree (min_cluster_size) -> excess-of-mass cluster
+/// selection. Deterministic.
+Result<HdbscanResult> Hdbscan(const vecmath::Matrix& data,
+                              const HdbscanOptions& options);
+
+/// Medoid (member minimizing total intra-cluster distance) of each cluster;
+/// returns one row index per cluster, aligned with result.clusters. HDBSCAN
+/// has no native cluster centers, so the paper computes medoids manually as
+/// cluster representatives (§4.3) — this is that step.
+std::vector<size_t> ComputeMedoids(const vecmath::Matrix& data,
+                                   const HdbscanResult& result);
+
+}  // namespace mira::cluster
+
+#endif  // MIRA_CLUSTER_HDBSCAN_H_

@@ -1,0 +1,145 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::cluster {
+
+namespace {
+
+// k-means++ seeding: the first centroid is uniform; each next centroid is
+// drawn with probability proportional to the squared distance to the nearest
+// already-chosen centroid.
+std::vector<size_t> PlusPlusSeeds(const vecmath::Matrix& data, size_t k,
+                                  Rng* rng) {
+  const size_t n = data.rows();
+  std::vector<size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(static_cast<size_t>(rng->NextBounded(n)));
+
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  while (seeds.size() < k) {
+    size_t last = seeds.back();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = vecmath::SquaredL2(data.Row(i), data.Row(last), data.cols());
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; pick uniformly.
+      seeds.push_back(static_cast<size_t>(rng->NextBounded(n)));
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    double cum = 0.0;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      cum += min_dist[i];
+      if (cum >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const vecmath::Matrix& data,
+                            const KMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t dim = data.cols();
+  const size_t k = options.num_clusters;
+  if (k == 0) return Status::InvalidArgument("k-means: num_clusters must be > 0");
+  if (n < k) {
+    return Status::InvalidArgument(
+        StrFormat("k-means: %zu rows < %zu clusters", n, k));
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = vecmath::Matrix(k, dim);
+  std::vector<size_t> seeds = PlusPlusSeeds(data, k, &rng);
+  for (size_t j = 0; j < k; ++j) {
+    std::copy(data.Row(seeds[j]), data.Row(seeds[j]) + dim,
+              result.centroids.Row(j));
+  }
+
+  result.assignments.assign(n, -1);
+  std::vector<size_t> counts(k, 0);
+  vecmath::Matrix sums(k, dim);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = vecmath::SquaredL2(data.Row(i), result.centroids.Row(c), dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+
+    // Update step.
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.data().begin(), sums.data().end(), 0.f);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(result.assignments[i]);
+      vecmath::AddInPlace(sums.Row(c), data.Row(i), dim);
+      ++counts[c];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its centroid.
+        size_t farthest = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          size_t ci = static_cast<size_t>(result.assignments[i]);
+          double d = vecmath::SquaredL2(data.Row(i), result.centroids.Row(ci), dim);
+          if (d > far_d) {
+            far_d = d;
+            farthest = i;
+          }
+        }
+        movement += vecmath::SquaredL2(result.centroids.Row(c),
+                                       data.Row(farthest), dim);
+        std::copy(data.Row(farthest), data.Row(farthest) + dim,
+                  result.centroids.Row(c));
+        continue;
+      }
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < dim; ++j) {
+        float next = sums.At(c, j) * inv;
+        float delta = next - result.centroids.At(c, j);
+        movement += static_cast<double>(delta) * delta;
+        result.centroids.At(c, j) = next;
+      }
+    }
+
+    if (!changed || movement < options.tolerance) break;
+  }
+
+  return result;
+}
+
+}  // namespace mira::cluster

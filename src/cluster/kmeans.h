@@ -1,0 +1,38 @@
+#ifndef MIRA_CLUSTER_KMEANS_H_
+#define MIRA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "vecmath/matrix.h"
+
+namespace mira::cluster {
+
+/// Lloyd's k-means with k-means++ seeding. Deterministic given the seed.
+struct KMeansOptions {
+  size_t num_clusters = 8;
+  size_t max_iterations = 25;
+  /// Stop early when total centroid movement (squared L2) drops below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  /// num_clusters x dim centroid matrix.
+  vecmath::Matrix centroids;
+  /// Cluster assignment per input row.
+  std::vector<int32_t> assignments;
+  /// Final total within-cluster sum of squared distances.
+  double inertia = 0.0;
+  size_t iterations = 0;
+};
+
+/// Clusters the rows of `data`. Fails if data is empty or has fewer rows than
+/// clusters requested.
+Result<KMeansResult> KMeans(const vecmath::Matrix& data,
+                            const KMeansOptions& options);
+
+}  // namespace mira::cluster
+
+#endif  // MIRA_CLUSTER_KMEANS_H_

@@ -1,0 +1,69 @@
+#ifndef MIRA_COMMON_LOGGING_H_
+#define MIRA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mira {
+
+/// Log severities in increasing order. Messages below the global threshold
+/// (see SetLogLevel) are discarded.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that is actually emitted. Defaults to
+/// kInfo. Thread-safe (relaxed atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-line builder; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mira
+
+#define MIRA_LOG_INTERNAL(level) \
+  ::mira::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define MIRA_LOG_DEBUG() MIRA_LOG_INTERNAL(::mira::LogLevel::kDebug)
+#define MIRA_LOG_INFO() MIRA_LOG_INTERNAL(::mira::LogLevel::kInfo)
+#define MIRA_LOG_WARNING() MIRA_LOG_INTERNAL(::mira::LogLevel::kWarning)
+#define MIRA_LOG_ERROR() MIRA_LOG_INTERNAL(::mira::LogLevel::kError)
+#define MIRA_LOG_FATAL() MIRA_LOG_INTERNAL(::mira::LogLevel::kFatal)
+
+/// Internal-invariant check: always on (also in release builds), aborts with
+/// a message on violation. For programming errors, not expected conditions.
+#define MIRA_CHECK(condition)                                        \
+  if (!(condition))                                                  \
+  MIRA_LOG_FATAL() << "Check failed: " #condition " at " << __FILE__ \
+                   << ":" << __LINE__ << " "
+
+#define MIRA_DCHECK(condition) MIRA_CHECK(condition)
+
+#endif  // MIRA_COMMON_LOGGING_H_

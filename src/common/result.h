@@ -1,0 +1,97 @@
+#ifndef MIRA_COMMON_RESULT_H_
+#define MIRA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mira {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. The Arrow `Result<T>` idiom.
+///
+/// Typical use:
+///
+///     Result<Index> BuildIndex(...);
+///     MIRA_ASSIGN_OR_RETURN(Index idx, BuildIndex(...));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      Status::Internal("Result constructed from OK status").Abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The contained value. Aborts if not ok().
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out. Aborts if not ok().
+  T MoveValue() {
+    EnsureOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The value if ok(), otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace mira
+
+#define MIRA_RESULT_CONCAT_IMPL(a, b) a##b
+#define MIRA_RESULT_CONCAT(a, b) MIRA_RESULT_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// binds the value to `lhs` (a declaration like `auto v`).
+#define MIRA_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  auto MIRA_RESULT_CONCAT(_mira_result_, __LINE__) = (rexpr);               \
+  if (!MIRA_RESULT_CONCAT(_mira_result_, __LINE__).ok())                    \
+    return MIRA_RESULT_CONCAT(_mira_result_, __LINE__).status();            \
+  lhs = MIRA_RESULT_CONCAT(_mira_result_, __LINE__).MoveValue()
+
+#endif  // MIRA_COMMON_RESULT_H_

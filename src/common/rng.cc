@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace mira {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x = SplitMix64(x);
+    s = x;
+  }
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  MIRA_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  MIRA_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? NextUint64() : NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; uses two uniforms per call (the second is discarded for
+  // simplicity of state management).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  MIRA_CHECK(n > 0);
+  if (n == 1 || s <= 0.0) return static_cast<size_t>(NextBounded(n));
+  // Rejection sampling (Devroye) over ranks 1..n; returns 0-based rank.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    // x in [1, n+1); clamp to [1, n].
+    if (x < 1.0) x = 1.0;
+    if (x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<size_t>(x) - 1;
+    }
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  MIRA_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, fine at our
+  // scales. For k << n a hash-set approach would be cheaper but the callers
+  // sample sizable fractions.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextBounded(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  return Rng(SplitMix64(NextUint64() ^ SplitMix64(salt)));
+}
+
+}  // namespace mira

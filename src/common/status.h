@@ -1,0 +1,106 @@
+#ifndef MIRA_COMMON_STATUS_H_
+#define MIRA_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mira {
+
+/// Machine-readable category of a failure. Mirrors the Arrow/RocksDB error
+/// model: library code never throws; fallible operations return a Status (or
+/// a Result<T>, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kNotImplemented = 8,
+  kCancelled = 9,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus a message.
+///
+/// A Status is cheap to pass around: the OK state is represented by a null
+/// pointer, so success carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status Internal(std::string msg);
+  static Status IoError(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status Cancelled(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message text; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status text if not OK. Use only where a
+  /// failure is a programming error, not an expected runtime condition.
+  void Abort() const;
+  void Abort(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mira
+
+/// Propagates a non-OK Status to the caller.
+#define MIRA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::mira::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // MIRA_COMMON_STATUS_H_

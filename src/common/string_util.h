@@ -1,0 +1,43 @@
+#ifndef MIRA_COMMON_STRING_UTIL_H_
+#define MIRA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mira {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character is an ASCII digit, optionally after a sign and
+/// with at most one decimal point ("42", "-3.14"). Empty string -> false.
+bool LooksNumeric(std::string_view text);
+
+/// FNV-1a 64-bit hash; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view text);
+
+/// Combines two hashes (boost-style mix).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_STRING_UTIL_H_

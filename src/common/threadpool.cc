@@ -1,0 +1,84 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mira {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t num_workers = pool->num_threads();
+  const size_t chunk = std::max<size_t>(1, n / (num_workers * 4));
+  std::atomic<size_t> next{begin};
+  std::atomic<size_t> done_chunks{0};
+  size_t total_chunks = (n + chunk - 1) / chunk;
+  for (size_t c = 0; c < total_chunks; ++c) {
+    pool->Submit([&next, &done_chunks, end, chunk, &body] {
+      size_t start = next.fetch_add(chunk);
+      size_t stop = std::min(end, start + chunk);
+      for (size_t i = start; i < stop; ++i) body(i);
+      done_chunks.fetch_add(1);
+    });
+  }
+  pool->WaitIdle();
+}
+
+}  // namespace mira

@@ -1,0 +1,52 @@
+#ifndef MIRA_COMMON_THREADPOOL_H_
+#define MIRA_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mira {
+
+/// Fixed-size worker pool with a simple FIFO queue. Destruction waits for all
+/// queued work to finish.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>=1). 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks have finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until done.
+/// Chunks statically; `body` must be safe to call concurrently.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_THREADPOOL_H_

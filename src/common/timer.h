@@ -1,0 +1,58 @@
+#ifndef MIRA_COMMON_TIMER_H_
+#define MIRA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mira {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed milliseconds of repeated timed sections and reports
+/// simple aggregate statistics. Used by the benchmark harness.
+class LatencyRecorder {
+ public:
+  void Record(double millis) {
+    ++count_;
+    total_ += millis;
+    if (count_ == 1 || millis < min_) min_ = millis;
+    if (count_ == 1 || millis > max_) max_ = millis;
+  }
+
+  int64_t count() const { return count_; }
+  double total_millis() const { return total_; }
+  double mean_millis() const { return count_ ? total_ / count_ : 0.0; }
+  double min_millis() const { return min_; }
+  double max_millis() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_TIMER_H_

@@ -1,0 +1,132 @@
+#include "datagen/concept_bank.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mira::datagen {
+
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnprstvz";
+constexpr char kVowels[] = "aeiou";
+
+}  // namespace
+
+std::string MakePseudoWord(Rng* rng, size_t syllables) {
+  std::string word;
+  word.reserve(syllables * 2 + 1);
+  for (size_t s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[rng->NextBounded(sizeof(kConsonants) - 1)]);
+    word.push_back(kVowels[rng->NextBounded(sizeof(kVowels) - 1)]);
+  }
+  // Occasional trailing consonant for variety.
+  if (rng->NextBernoulli(0.35)) {
+    word.push_back(kConsonants[rng->NextBounded(sizeof(kConsonants) - 1)]);
+  }
+  return word;
+}
+
+ConceptBank ConceptBank::Generate(const ConceptBankOptions& options) {
+  ConceptBank bank;
+  bank.options_ = options;
+  Rng rng(options.seed);
+  auto lexicon = std::make_shared<embed::Lexicon>();
+
+  std::unordered_set<std::string> used;
+  auto fresh_word = [&](size_t syllables) {
+    for (;;) {
+      std::string word = MakePseudoWord(&rng, syllables);
+      if (used.insert(word).second) return word;
+    }
+  };
+
+  const size_t num_aspects = options.num_topics * options.aspects_per_topic;
+  bank.aspect_table_surfaces_.resize(num_aspects);
+  bank.aspect_query_surfaces_.resize(num_aspects);
+  bank.topic_table_surfaces_.resize(options.num_topics);
+  bank.topic_query_surfaces_.resize(options.num_topics);
+
+  for (size_t t = 0; t < options.num_topics; ++t) {
+    int32_t topic_id = lexicon->AddTopic(fresh_word(3));
+
+    // A label concept per topic: surfaces usable in captions/queries to name
+    // the topic as a whole.
+    int32_t label_concept = lexicon->AddConcept(topic_id, fresh_word(3));
+    for (size_t s = 0; s < options.surfaces_per_concept; ++s) {
+      std::string surface = fresh_word(2 + rng.NextBounded(2));
+      lexicon->AddSurface(label_concept, surface);
+      if (s < (options.surfaces_per_concept + 1) / 2) {
+        bank.topic_table_surfaces_[t].push_back(surface);
+      } else {
+        bank.topic_query_surfaces_[t].push_back(surface);
+      }
+    }
+
+    for (size_t a = 0; a < options.aspects_per_topic; ++a) {
+      size_t aspect = t * options.aspects_per_topic + a;
+      // Aspects are registered topic-major, so the lexicon's aspect ids
+      // coincide with the bank's global aspect ids.
+      int32_t lex_aspect = lexicon->AddAspect(topic_id, fresh_word(3));
+      MIRA_CHECK(lex_aspect == static_cast<int32_t>(aspect));
+      for (size_t c = 0; c < options.concepts_per_aspect; ++c) {
+        int32_t concept_id =
+            lexicon->AddConcept(topic_id, fresh_word(3), lex_aspect);
+        for (size_t s = 0; s < options.surfaces_per_concept; ++s) {
+          std::string surface = fresh_word(2 + rng.NextBounded(2));
+          lexicon->AddSurface(concept_id, surface);
+          // First half of the surfaces appear in tables, the second half in
+          // queries: semantically identical, lexically disjoint.
+          if (s < (options.surfaces_per_concept + 1) / 2) {
+            bank.aspect_table_surfaces_[aspect].push_back(surface);
+          } else {
+            bank.aspect_query_surfaces_[aspect].push_back(surface);
+          }
+        }
+      }
+    }
+  }
+
+  bank.filler_.reserve(options.filler_vocab);
+  for (size_t i = 0; i < options.filler_vocab; ++i) {
+    bank.filler_.push_back(fresh_word(1 + rng.NextBounded(3)));
+  }
+
+  bank.lexicon_ = std::move(lexicon);
+  return bank;
+}
+
+const std::vector<std::string>& ConceptBank::TableSurfaces(int32_t aspect) const {
+  MIRA_CHECK(aspect >= 0 &&
+             static_cast<size_t>(aspect) < aspect_table_surfaces_.size());
+  return aspect_table_surfaces_[aspect];
+}
+
+const std::vector<std::string>& ConceptBank::QuerySurfaces(int32_t aspect) const {
+  MIRA_CHECK(aspect >= 0 &&
+             static_cast<size_t>(aspect) < aspect_query_surfaces_.size());
+  return aspect_query_surfaces_[aspect];
+}
+
+const std::vector<std::string>& ConceptBank::TopicTableSurfaces(
+    int32_t topic) const {
+  MIRA_CHECK(topic >= 0 &&
+             static_cast<size_t>(topic) < topic_table_surfaces_.size());
+  return topic_table_surfaces_[topic];
+}
+
+const std::vector<std::string>& ConceptBank::TopicQuerySurfaces(
+    int32_t topic) const {
+  MIRA_CHECK(topic >= 0 &&
+             static_cast<size_t>(topic) < topic_query_surfaces_.size());
+  return topic_query_surfaces_[topic];
+}
+
+const std::string& ConceptBank::SampleFiller(Rng* rng) const {
+  // Zipfian usage, as in natural language: a few filler words are extremely
+  // common (and thus carry ~zero IDF for the lexical baselines), most are
+  // rare.
+  return filler_[rng->NextZipf(filler_.size(), 1.05)];
+}
+
+}  // namespace mira::datagen

@@ -1,0 +1,89 @@
+#ifndef MIRA_DATAGEN_CONCEPT_BANK_H_
+#define MIRA_DATAGEN_CONCEPT_BANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/lexicon.h"
+
+namespace mira::datagen {
+
+/// Shape of the synthetic semantic inventory.
+struct ConceptBankOptions {
+  /// Topics ("COVID vaccines", "European climate", ...).
+  size_t num_topics = 32;
+  /// Aspects per topic — the granularity of full relevance (grade 2 =
+  /// same aspect, grade 1 = same topic).
+  size_t aspects_per_topic = 4;
+  /// Concepts per aspect ("Comirnaty", "dosage schedule", ...).
+  size_t concepts_per_aspect = 5;
+  /// Surface forms (synonyms) per concept. Split between table-side and
+  /// query-side so that queries and relevant tables usually share *meaning*
+  /// but not *strings* — the phenomenon the paper's semantic matching
+  /// exploits and keyword baselines miss.
+  size_t surfaces_per_concept = 6;
+  /// Non-topical vocabulary used as noise everywhere.
+  size_t filler_vocab = 400;
+  uint64_t seed = 101;
+};
+
+/// A generated world of topics/aspects/concepts/surfaces plus the Lexicon
+/// that teaches the encoder their relationships. This is the ground truth
+/// against which relevance is judged.
+class ConceptBank {
+ public:
+  static ConceptBank Generate(const ConceptBankOptions& options);
+
+  const std::shared_ptr<const embed::Lexicon>& lexicon() const {
+    return lexicon_;
+  }
+  const ConceptBankOptions& options() const { return options_; }
+
+  size_t num_topics() const { return options_.num_topics; }
+  size_t num_aspects() const {
+    return options_.num_topics * options_.aspects_per_topic;
+  }
+  int32_t AspectOf(int32_t topic, size_t aspect_in_topic) const {
+    return topic * static_cast<int32_t>(options_.aspects_per_topic) +
+           static_cast<int32_t>(aspect_in_topic);
+  }
+  int32_t TopicOfAspect(int32_t aspect) const {
+    return aspect / static_cast<int32_t>(options_.aspects_per_topic);
+  }
+
+  /// Surfaces intended for table cells of the aspect.
+  const std::vector<std::string>& TableSurfaces(int32_t aspect) const;
+  /// Surfaces intended for query text about the aspect.
+  const std::vector<std::string>& QuerySurfaces(int32_t aspect) const;
+
+  /// Table-side / query-side label surfaces of a whole topic.
+  const std::vector<std::string>& TopicTableSurfaces(int32_t topic) const;
+  const std::vector<std::string>& TopicQuerySurfaces(int32_t topic) const;
+
+  /// Non-topical filler vocabulary.
+  const std::vector<std::string>& filler() const { return filler_; }
+
+  /// Uniform filler word.
+  const std::string& SampleFiller(Rng* rng) const;
+
+ private:
+  ConceptBankOptions options_;
+  std::shared_ptr<const embed::Lexicon> lexicon_;
+  /// Indexed by global aspect id.
+  std::vector<std::vector<std::string>> aspect_table_surfaces_;
+  std::vector<std::vector<std::string>> aspect_query_surfaces_;
+  /// Indexed by topic.
+  std::vector<std::vector<std::string>> topic_table_surfaces_;
+  std::vector<std::vector<std::string>> topic_query_surfaces_;
+  std::vector<std::string> filler_;
+};
+
+/// Deterministic pronounceable pseudo-word of `syllables` CV syllables.
+std::string MakePseudoWord(Rng* rng, size_t syllables);
+
+}  // namespace mira::datagen
+
+#endif  // MIRA_DATAGEN_CONCEPT_BANK_H_

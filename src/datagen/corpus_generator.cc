@@ -1,0 +1,209 @@
+#include "datagen/corpus_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mira::datagen {
+
+namespace {
+
+enum class ColumnRole { kTopical, kNumeric, kFiller, kOffTopic };
+
+// A numeric regime per column so values within a column are coherent
+// (years vs quantities vs rates), mirroring real tables.
+std::string SampleNumeric(Rng* rng, int regime) {
+  switch (regime % 3) {
+    case 0:  // year-like
+      return std::to_string(1900 + rng->NextBounded(131));
+    case 1:  // integer quantity with skewed magnitude
+      return std::to_string(1 + rng->NextBounded(
+                                    1ULL << (2 + rng->NextBounded(16))));
+    default: {  // rate/percentage
+      return StrFormat("%.2f", rng->NextUniform(0.0, 100.0));
+    }
+  }
+}
+
+const std::string& PickSurface(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->NextBounded(pool.size())];
+}
+
+}  // namespace
+
+CorpusOptions WikiTablesCorpusOptions() {
+  CorpusOptions options;
+  options.numeric_column_fraction = 0.25;  // ~26.9% numeric cells in [55]
+  options.edp_style = false;
+  return options;
+}
+
+CorpusOptions EdpCorpusOptions() {
+  CorpusOptions options;
+  options.numeric_column_fraction = 0.55;  // ~55.3% numeric cells reported
+  options.topical_column_fraction = 0.3;
+  options.min_rows = 3;
+  options.max_rows = 8;
+  options.edp_style = true;
+  options.seed = 404;
+  return options;
+}
+
+GeneratedCorpus GenerateCorpus(const ConceptBank& bank,
+                               const CorpusOptions& options) {
+  GeneratedCorpus corpus;
+  Rng rng(options.seed);
+  const size_t num_topics = bank.num_topics();
+  const size_t aspects_per_topic = bank.options().aspects_per_topic;
+
+  for (size_t t = 0; t < options.num_tables; ++t) {
+    int32_t topic =
+        static_cast<int32_t>(rng.NextZipf(num_topics, options.topic_skew));
+    int32_t aspect = bank.AspectOf(topic, rng.NextBounded(aspects_per_topic));
+
+    if (rng.NextBernoulli(options.stub_table_probability)) {
+      // Generic topic stub: 1-2 columns, few rows; cells are topic labels and
+      // surfaces scattered across the topic's aspects. No aspect focus.
+      table::Relation stub;
+      stub.name = StrFormat("table_%05zu", t);
+      size_t cols = 1 + rng.NextBounded(2);
+      size_t rows = 3 + rng.NextBounded(4);
+      for (size_t c = 0; c < cols; ++c) {
+        stub.schema.push_back(bank.SampleFiller(&rng));
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<std::string> row(cols);
+        for (size_t c = 0; c < cols; ++c) {
+          if (rng.NextBernoulli(0.35)) {
+            row[c] = bank.SampleFiller(&rng);
+          } else if (rng.NextBernoulli(0.4)) {
+            row[c] = PickSurface(bank.TopicTableSurfaces(topic), &rng);
+          } else {
+            int32_t any_aspect =
+                bank.AspectOf(topic, rng.NextBounded(aspects_per_topic));
+            row[c] = PickSurface(bank.TableSurfaces(any_aspect), &rng);
+          }
+        }
+        stub.AddRow(std::move(row)).Abort("corpus generator");
+      }
+      if (options.edp_style) {
+        stub.description = PickSurface(bank.TopicTableSurfaces(topic), &rng);
+      } else {
+        stub.page_title = PickSurface(bank.TopicTableSurfaces(topic), &rng);
+        stub.caption = bank.SampleFiller(&rng);
+      }
+      corpus.federation.AddRelation(std::move(stub));
+      corpus.table_topic.push_back(topic);
+      corpus.table_aspect.push_back(-1);
+      corpus.table_is_stub.push_back(true);
+      corpus.table_secondary_aspect.push_back(-1);
+      continue;
+    }
+
+    size_t cols = options.min_cols +
+                  rng.NextBounded(options.max_cols - options.min_cols + 1);
+    size_t rows = options.min_rows +
+                  rng.NextBounded(options.max_rows - options.min_rows + 1);
+
+    // Assign column roles. At least one topical column always exists —
+    // a table about nothing is unjudgeable. The topical density varies per
+    // table around the configured mean.
+    std::vector<ColumnRole> roles(cols, ColumnRole::kFiller);
+    double density = options.topical_column_fraction * rng.NextUniform(0.5, 1.5);
+    size_t topical =
+        std::max<size_t>(1, static_cast<size_t>(density * cols + 0.5));
+    size_t numeric =
+        static_cast<size_t>(options.numeric_column_fraction * cols + 0.5);
+    size_t assigned = 0;
+    for (size_t c = 0; c < topical && assigned < cols; ++c) {
+      roles[assigned++] = ColumnRole::kTopical;
+    }
+    for (size_t c = 0; c < numeric && assigned < cols; ++c) {
+      roles[assigned++] = ColumnRole::kNumeric;
+    }
+    bool has_offtopic = false;
+    if (assigned < cols && rng.NextBernoulli(options.offtopic_column_probability)) {
+      roles[assigned++] = ColumnRole::kOffTopic;
+      has_offtopic = true;
+    }
+    rng.Shuffle(&roles);
+
+    // Off-topic columns pull from one other random topic (coherent noise).
+    int32_t offtopic_aspect = bank.AspectOf(
+        static_cast<int32_t>((topic + 1 + rng.NextBounded(num_topics - 1)) %
+                             num_topics),
+        rng.NextBounded(aspects_per_topic));
+
+    table::Relation relation;
+    relation.name = StrFormat("table_%05zu", t);
+    std::vector<int> numeric_regimes(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      numeric_regimes[c] = static_cast<int>(rng.NextBounded(3));
+      switch (roles[c]) {
+        case ColumnRole::kTopical:
+        case ColumnRole::kOffTopic:
+          relation.schema.push_back(bank.SampleFiller(&rng) + "_" +
+                                    bank.SampleFiller(&rng));
+          break;
+        case ColumnRole::kNumeric:
+          relation.schema.push_back(bank.SampleFiller(&rng) + "_count");
+          break;
+        case ColumnRole::kFiller:
+          relation.schema.push_back(bank.SampleFiller(&rng));
+          break;
+      }
+    }
+
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        switch (roles[c]) {
+          case ColumnRole::kTopical: {
+            bool leak = rng.NextBernoulli(options.query_surface_leak);
+            const auto& pool =
+                leak ? bank.QuerySurfaces(aspect) : bank.TableSurfaces(aspect);
+            row[c] = PickSurface(pool, &rng);
+            break;
+          }
+          case ColumnRole::kOffTopic:
+            row[c] = PickSurface(bank.TableSurfaces(offtopic_aspect), &rng);
+            break;
+          case ColumnRole::kNumeric:
+            row[c] = SampleNumeric(&rng, numeric_regimes[c]);
+            break;
+          case ColumnRole::kFiller:
+            row[c] = bank.SampleFiller(&rng) + " " + bank.SampleFiller(&rng);
+            break;
+        }
+      }
+      relation.AddRow(std::move(row)).Abort("corpus generator");
+    }
+
+    // Context fields.
+    if (options.edp_style) {
+      relation.description =
+          PickSurface(bank.TopicTableSurfaces(topic), &rng) + " " +
+          bank.SampleFiller(&rng) + " " + bank.SampleFiller(&rng);
+    } else {
+      relation.page_title = PickSurface(bank.TopicTableSurfaces(topic), &rng) +
+                            " " + bank.SampleFiller(&rng);
+      relation.section_title = bank.SampleFiller(&rng);
+      if (rng.NextBernoulli(options.caption_topic_probability)) {
+        relation.caption = PickSurface(bank.TableSurfaces(aspect), &rng) + " " +
+                           bank.SampleFiller(&rng);
+      } else {
+        relation.caption =
+            bank.SampleFiller(&rng) + " " + bank.SampleFiller(&rng);
+      }
+    }
+
+    corpus.federation.AddRelation(std::move(relation));
+    corpus.table_topic.push_back(topic);
+    corpus.table_aspect.push_back(aspect);
+    corpus.table_is_stub.push_back(false);
+    corpus.table_secondary_aspect.push_back(has_offtopic ? offtopic_aspect : -1);
+  }
+  return corpus;
+}
+
+}  // namespace mira::datagen

@@ -1,0 +1,78 @@
+#ifndef MIRA_DATAGEN_CORPUS_GENERATOR_H_
+#define MIRA_DATAGEN_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/concept_bank.h"
+#include "table/relation.h"
+
+namespace mira::datagen {
+
+/// Shape of a generated table corpus.
+struct CorpusOptions {
+  size_t num_tables = 1200;
+  size_t min_rows = 4;
+  size_t max_rows = 12;
+  size_t min_cols = 3;
+  size_t max_cols = 6;
+  /// Mean fraction of columns carrying the table's aspect concepts; the
+  /// actual fraction varies per table in [0.5x, 1.5x] of this, so relevant
+  /// tables differ in how diluted their signal is — the spread that separates
+  /// focused retrieval (ANNS/CTS) from whole-table averaging (ExS).
+  double topical_column_fraction = 0.4;
+  /// Probability a table is a "generic topic stub": a small table of
+  /// topic-label and scattered cross-aspect surfaces with no concrete aspect
+  /// content (navigation/index tables). Judges grade these irrelevant (0) for
+  /// specific information needs, yet under whole-table score averaging their
+  /// uniformly-moderate similarity lets them outrank diluted truly-relevant
+  /// tables — the §5.3 dilution phenomenon.
+  double stub_table_probability = 0.06;
+  /// Fraction of columns carrying numeric data. The remainder is filler,
+  /// except for a possible off-topic column (below).
+  double numeric_column_fraction = 0.25;
+  /// Probability a table gets one column of surfaces from an unrelated
+  /// topic (cross-topic noise; what dilutes ExS).
+  double offtopic_column_probability = 0.35;
+  /// Probability a topical cell uses a *query-side* surface — the small
+  /// lexical overlap that keeps keyword baselines above zero.
+  double query_surface_leak = 0.5;
+  /// Probability the caption names the topic with a table-side label.
+  double caption_topic_probability = 0.6;
+  /// Zipf skew of topic popularity (0 = uniform).
+  double topic_skew = 0.4;
+  /// EDP-style corpora have more numeric data and descriptions instead of
+  /// page/section context.
+  bool edp_style = false;
+  uint64_t seed = 202;
+};
+
+/// WikiTables-like preset (26.9% numeric cells, rich context fields).
+CorpusOptions WikiTablesCorpusOptions();
+/// European Data Portal-like preset (55.3% numeric cells, description-only
+/// context, smaller tables).
+CorpusOptions EdpCorpusOptions();
+
+/// A generated corpus with its hidden ground truth.
+struct GeneratedCorpus {
+  table::Federation federation;
+  /// Topic / global-aspect id per table (aligned with RelationId).
+  std::vector<int32_t> table_topic;
+  std::vector<int32_t> table_aspect;
+  /// Generic topic stubs: lexically topical, semantically content-free;
+  /// always judged grade 0.
+  std::vector<bool> table_is_stub;
+  /// Aspect of the table's off-topic column (-1 when absent). A table whose
+  /// side column carries aspect X genuinely *contains* X content, so judges
+  /// grade it partially relevant for X queries.
+  std::vector<int32_t> table_secondary_aspect;
+};
+
+/// Samples `options.num_tables` relations from the concept bank.
+GeneratedCorpus GenerateCorpus(const ConceptBank& bank,
+                               const CorpusOptions& options);
+
+}  // namespace mira::datagen
+
+#endif  // MIRA_DATAGEN_CORPUS_GENERATOR_H_

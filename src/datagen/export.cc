@@ -1,0 +1,84 @@
+#include "datagen/export.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "ir/trec_io.h"
+
+namespace mira::datagen {
+
+namespace {
+
+// Quotes a CSV field when needed (commas, quotes, newlines).
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += "\"\"";
+    else quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
+Status ExportWorkload(const Workload& workload, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(dir) / "tables", ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  // Tables.
+  const auto& federation = workload.corpus.federation;
+  for (table::RelationId rid = 0; rid < federation.size(); ++rid) {
+    const table::Relation& relation = federation.relation(rid);
+    std::string path =
+        StrFormat("%s/tables/table_%05u.csv", dir.c_str(), rid);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path);
+    for (size_t c = 0; c < relation.schema.size(); ++c) {
+      out << (c ? "," : "") << CsvField(relation.schema[c]);
+    }
+    out << '\n';
+    for (const auto& row : relation.rows) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        out << (c ? "," : "") << CsvField(row[c]);
+      }
+      out << '\n';
+    }
+    if (!out.good()) return Status::IoError("write failed: " + path);
+  }
+
+  // Queries.
+  {
+    std::string path = dir + "/queries.tsv";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path);
+    for (const auto& query : workload.queries) {
+      out << query.id << '\t' << QueryClassToString(query.cls) << '\t'
+          << query.text << '\n';
+    }
+    if (!out.good()) return Status::IoError("write failed: " + path);
+  }
+
+  // Qrels in trec_eval format.
+  MIRA_RETURN_NOT_OK(ir::WriteQrelsFile(dir + "/qrels.txt", workload.qrels));
+
+  // Hidden ground truth (for analysis, not for models).
+  {
+    std::string path = dir + "/ground_truth.tsv";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path);
+    out << "table\ttopic\taspect\tis_stub\n";
+    for (size_t t = 0; t < workload.corpus.table_topic.size(); ++t) {
+      out << t << '\t' << workload.corpus.table_topic[t] << '\t'
+          << workload.corpus.table_aspect[t] << '\t'
+          << (workload.corpus.table_is_stub[t] ? 1 : 0) << '\n';
+    }
+    if (!out.good()) return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace mira::datagen

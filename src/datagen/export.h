@@ -1,0 +1,22 @@
+#ifndef MIRA_DATAGEN_EXPORT_H_
+#define MIRA_DATAGEN_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/workload.h"
+
+namespace mira::datagen {
+
+/// Materializes a generated workload as files, so external tools (or the
+/// csv_search_cli example) can consume it:
+///   <dir>/tables/table_00000.csv ...  one CSV per relation (header = schema)
+///   <dir>/queries.tsv                 id <TAB> class <TAB> text
+///   <dir>/qrels.txt                   trec_eval qrels (qid 0 docid grade)
+///   <dir>/ground_truth.tsv            table id, topic, aspect, is_stub
+/// Existing files are overwritten. The directory is created if needed.
+Status ExportWorkload(const Workload& workload, const std::string& dir);
+
+}  // namespace mira::datagen
+
+#endif  // MIRA_DATAGEN_EXPORT_H_

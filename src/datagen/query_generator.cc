@@ -1,0 +1,198 @@
+#include "datagen/query_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mira::datagen {
+
+namespace {
+
+void AppendWord(std::string* text, const std::string& word) {
+  if (!text->empty()) text->push_back(' ');
+  text->append(word);
+}
+
+GeneratedQuery MakeQuery(const ConceptBank& bank, QueryClass cls,
+                         size_t min_kw, size_t max_kw,
+                         double table_surface_probability, Rng* rng) {
+  GeneratedQuery query;
+  query.cls = cls;
+  query.topic = static_cast<int32_t>(rng->NextBounded(bank.num_topics()));
+  query.aspect = bank.AspectOf(
+      query.topic, rng->NextBounded(bank.options().aspects_per_topic));
+
+  size_t budget = min_kw + rng->NextBounded(max_kw - min_kw + 1);
+  // Users mix their own wording (query-side surfaces) with vocabulary they
+  // have seen in data (table-side surfaces).
+  auto aspect_word = [&](int32_t aspect) -> const std::string& {
+    const auto& pool = rng->NextBernoulli(table_surface_probability)
+                           ? bank.TableSurfaces(aspect)
+                           : bank.QuerySurfaces(aspect);
+    return pool[rng->NextBounded(pool.size())];
+  };
+  auto topic_word = [&]() -> const std::string& {
+    const auto& pool = rng->NextBernoulli(table_surface_probability)
+                           ? bank.TopicTableSurfaces(query.topic)
+                           : bank.TopicQuerySurfaces(query.topic);
+    return pool[rng->NextBounded(pool.size())];
+  };
+
+  std::string text;
+  size_t used = 0;
+  switch (cls) {
+    case QueryClass::kShort: {
+      // 2-3 keywords: concept surfaces, maybe the topic label.
+      AppendWord(&text, aspect_word(query.aspect));
+      ++used;
+      while (used < budget) {
+        if (rng->NextBernoulli(0.4)) {
+          AppendWord(&text, topic_word());
+        } else {
+          AppendWord(&text, aspect_word(query.aspect));
+        }
+        ++used;
+      }
+      break;
+    }
+    case QueryClass::kModerate: {
+      // Sentence-like: several aspect surfaces, the topic label, filler glue.
+      size_t signal = std::max<size_t>(3, (2 * budget) / 5);
+      for (size_t i = 0; i < signal && used < budget; ++i, ++used) {
+        if (i == 1) {
+          AppendWord(&text, topic_word());
+        } else {
+          AppendWord(&text, aspect_word(query.aspect));
+        }
+      }
+      while (used < budget) {
+        AppendWord(&text, bank.SampleFiller(rng));
+        ++used;
+      }
+      break;
+    }
+    case QueryClass::kLong: {
+      // Full-text: aspect signal, sibling-aspect drift, cross-topic
+      // digressions, heavy filler. The drift and digressions blur the pooled
+      // embedding across and beyond the topic — the reason long queries
+      // score lowest across all methods (§5.2).
+      size_t signal = std::max<size_t>(4, budget / 9);
+      size_t drift = std::max<size_t>(4, budget / 8);
+      size_t digression = std::max<size_t>(3, budget / 6);
+      for (size_t i = 0; i < signal && used < budget; ++i, ++used) {
+        AppendWord(&text, aspect_word(query.aspect));
+      }
+      for (size_t i = 0; i < drift && used < budget; ++i, ++used) {
+        int32_t sibling = bank.AspectOf(
+            query.topic, rng->NextBounded(bank.options().aspects_per_topic));
+        AppendWord(&text, aspect_word(sibling));
+      }
+      // The digression is *coherent*: one foreign theme, as in real
+      // multi-theme documents. It steers part of the embedding toward an
+      // unrelated topic whose tables are all judged irrelevant.
+      int32_t other_topic = static_cast<int32_t>(
+          (query.topic + 1 + rng->NextBounded(bank.num_topics() - 1)) %
+          bank.num_topics());
+      int32_t foreign = bank.AspectOf(
+          other_topic, rng->NextBounded(bank.options().aspects_per_topic));
+      const auto& foreign_pool = bank.QuerySurfaces(foreign);
+      for (size_t i = 0; i < digression && used < budget; ++i, ++used) {
+        AppendWord(&text, foreign_pool[rng->NextBounded(foreign_pool.size())]);
+      }
+      if (used < budget) {
+        AppendWord(&text, topic_word());
+        ++used;
+      }
+      while (used < budget) {
+        AppendWord(&text, bank.SampleFiller(rng));
+        ++used;
+      }
+      break;
+    }
+  }
+  query.text = std::move(text);
+  query.num_keywords = used;
+  return query;
+}
+
+}  // namespace
+
+std::string_view QueryClassToString(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kShort:
+      return "short";
+    case QueryClass::kModerate:
+      return "moderate";
+    case QueryClass::kLong:
+      return "long";
+  }
+  return "?";
+}
+
+std::vector<GeneratedQuery> GenerateQueries(const ConceptBank& bank,
+                                            const QuerySetOptions& options) {
+  std::vector<GeneratedQuery> queries;
+  Rng rng(options.seed);
+  ir::QueryId next_id = 0;
+  struct ClassSpec {
+    QueryClass cls;
+    size_t min_kw;
+    size_t max_kw;
+  };
+  const ClassSpec specs[] = {
+      {QueryClass::kShort, options.short_min, options.short_max},
+      {QueryClass::kModerate, options.moderate_min, options.moderate_max},
+      {QueryClass::kLong, options.long_min, options.long_max},
+  };
+  for (const auto& spec : specs) {
+    for (size_t i = 0; i < options.per_class; ++i) {
+      GeneratedQuery query =
+          MakeQuery(bank, spec.cls, spec.min_kw, spec.max_kw,
+                    options.table_surface_probability, &rng);
+      query.id = next_id++;
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+ir::Qrels MakeQrels(const GeneratedCorpus& corpus,
+                    const std::vector<GeneratedQuery>& queries,
+                    const QrelsOptions& options) {
+  ir::Qrels qrels;
+  Rng rng(options.seed);
+  const size_t num_tables = corpus.table_topic.size();
+  for (const auto& query : queries) {
+    std::vector<ir::DocId> partial;
+    std::vector<ir::DocId> irrelevant;
+    for (size_t t = 0; t < num_tables; ++t) {
+      if (corpus.table_is_stub[t]) {
+        // Generic stubs never satisfy a specific information need.
+        irrelevant.push_back(static_cast<ir::DocId>(t));
+      } else if (corpus.table_aspect[t] == query.aspect) {
+        qrels.Add(query.id, static_cast<ir::DocId>(t), 2);
+      } else if (corpus.table_secondary_aspect[t] == query.aspect) {
+        // Judges grade by content: a side column about the query's aspect
+        // makes the table partially relevant even under another main topic.
+        qrels.Add(query.id, static_cast<ir::DocId>(t), 1);
+      } else if (corpus.table_topic[t] == query.topic) {
+        partial.push_back(static_cast<ir::DocId>(t));
+      } else {
+        irrelevant.push_back(static_cast<ir::DocId>(t));
+      }
+    }
+    rng.Shuffle(&partial);
+    for (size_t i = 0; i < partial.size() && i < options.max_partial_per_query;
+         ++i) {
+      qrels.Add(query.id, partial[i], 1);
+    }
+    rng.Shuffle(&irrelevant);
+    for (size_t i = 0;
+         i < irrelevant.size() && i < options.max_irrelevant_per_query; ++i) {
+      qrels.Add(query.id, irrelevant[i], 0);
+    }
+  }
+  return qrels;
+}
+
+}  // namespace mira::datagen

@@ -1,0 +1,69 @@
+#ifndef MIRA_DATAGEN_QUERY_GENERATOR_H_
+#define MIRA_DATAGEN_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/concept_bank.h"
+#include "datagen/corpus_generator.h"
+#include "ir/metrics.h"
+
+namespace mira::datagen {
+
+/// The paper's three query-length classes (§5 [Queries]).
+enum class QueryClass { kShort, kModerate, kLong };
+
+std::string_view QueryClassToString(QueryClass cls);
+
+struct GeneratedQuery {
+  ir::QueryId id = 0;
+  std::string text;
+  QueryClass cls = QueryClass::kShort;
+  /// Hidden intent.
+  int32_t topic = 0;
+  int32_t aspect = 0;
+  size_t num_keywords = 0;
+};
+
+struct QuerySetOptions {
+  /// Queries generated per class (the paper uses 60 total).
+  size_t per_class = 20;
+  /// Keyword budgets per class, matching §5: SQ <= 3, MQ <= 30, LQ 30..300.
+  size_t short_min = 2, short_max = 3;
+  size_t moderate_min = 8, moderate_max = 26;
+  size_t long_min = 35, long_max = 120;
+  /// Probability a signal token uses a *table-side* surface form: users know
+  /// some of the exact vocabulary of the data they seek, which is what keeps
+  /// purely lexical baselines (MDR, WS) in the game at all.
+  double table_surface_probability = 0.6;
+  uint64_t seed = 303;
+};
+
+/// Generates queries with hidden topic/aspect intents. Short queries are a
+/// few query-side concept surfaces; moderate queries are sentence-like with
+/// filler; long queries additionally drift into sibling aspects of the same
+/// topic, diluting their embedding — the mechanism behind the paper's
+/// short > moderate > long quality ordering.
+std::vector<GeneratedQuery> GenerateQueries(const ConceptBank& bank,
+                                            const QuerySetOptions& options);
+
+struct QrelsOptions {
+  /// All same-aspect tables are judged fully relevant (grade 2). Same-topic
+  /// tables are judged partially relevant (grade 1) up to this cap per query.
+  size_t max_partial_per_query = 6;
+  /// Explicit grade-0 judgments sampled per query (pool realism; metrics
+  /// treat unjudged as irrelevant anyway).
+  size_t max_irrelevant_per_query = 15;
+  uint64_t seed = 505;
+};
+
+/// Derives graded relevance judgments from the hidden topic/aspect ground
+/// truth of corpus and queries.
+ir::Qrels MakeQrels(const GeneratedCorpus& corpus,
+                    const std::vector<GeneratedQuery>& queries,
+                    const QrelsOptions& options);
+
+}  // namespace mira::datagen
+
+#endif  // MIRA_DATAGEN_QUERY_GENERATOR_H_

@@ -1,0 +1,72 @@
+#include "datagen/workload.h"
+
+#include <unordered_map>
+
+namespace mira::datagen {
+
+WorkloadOptions WikiTablesWorkload(size_t num_tables) {
+  WorkloadOptions options;
+  options.corpus = WikiTablesCorpusOptions();
+  options.corpus.num_tables = num_tables;
+  return options;
+}
+
+WorkloadOptions EdpWorkload(size_t num_tables) {
+  WorkloadOptions options;
+  options.bank.seed = 707;
+  options.corpus = EdpCorpusOptions();
+  options.corpus.num_tables = num_tables;
+  options.queries.seed = 808;
+  options.qrels.seed = 909;
+  return options;
+}
+
+Workload Workload::Generate(const WorkloadOptions& options) {
+  Workload workload;
+  workload.bank = ConceptBank::Generate(options.bank);
+  workload.corpus = GenerateCorpus(workload.bank, options.corpus);
+  workload.queries = GenerateQueries(workload.bank, options.queries);
+  workload.qrels = MakeQrels(workload.corpus, workload.queries, options.qrels);
+  return workload;
+}
+
+std::vector<GeneratedQuery> Workload::QueriesOf(QueryClass cls) const {
+  std::vector<GeneratedQuery> out;
+  for (const auto& query : queries) {
+    if (query.cls == cls) out.push_back(query);
+  }
+  return out;
+}
+
+Workload::View Workload::MakeView(double fraction, uint64_t seed) const {
+  View view;
+  view.federation =
+      corpus.federation.Subset(fraction, seed, &view.original_ids);
+  view.table_topic.reserve(view.original_ids.size());
+  view.table_aspect.reserve(view.original_ids.size());
+  for (table::RelationId orig : view.original_ids) {
+    view.table_topic.push_back(corpus.table_topic[orig]);
+    view.table_aspect.push_back(corpus.table_aspect[orig]);
+    view.table_is_stub.push_back(corpus.table_is_stub[orig]);
+  }
+  // Remap qrels to view-local ids; judgments on dropped tables vanish.
+  std::unordered_map<table::RelationId, table::RelationId> to_view;
+  to_view.reserve(view.original_ids.size());
+  for (table::RelationId v = 0; v < view.original_ids.size(); ++v) {
+    to_view.emplace(view.original_ids[v], v);
+  }
+  for (const auto& query : queries) {
+    for (table::RelationId v = 0; v < view.original_ids.size(); ++v) {
+      int grade = qrels.Grade(query.id, view.original_ids[v]);
+      // Preserve explicit zero judgments only when originally judged; the
+      // Grade API cannot distinguish, so re-derive from ground truth:
+      if (grade > 0) {
+        view.qrels.Add(query.id, v, grade);
+      }
+    }
+    // Explicit grade-0 pool entries are immaterial for the metrics; skip.
+  }
+  return view;
+}
+
+}  // namespace mira::datagen

@@ -1,0 +1,58 @@
+#ifndef MIRA_DATAGEN_WORKLOAD_H_
+#define MIRA_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/concept_bank.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/query_generator.h"
+
+namespace mira::datagen {
+
+/// End-to-end workload configuration.
+struct WorkloadOptions {
+  ConceptBankOptions bank;
+  CorpusOptions corpus;
+  QuerySetOptions queries;
+  QrelsOptions qrels;
+};
+
+/// WikiTables-flavored workload at a table-count scale.
+WorkloadOptions WikiTablesWorkload(size_t num_tables);
+/// EDP-flavored workload at a table-count scale.
+WorkloadOptions EdpWorkload(size_t num_tables);
+
+/// A complete experiment input: concept bank (with lexicon), corpus with
+/// ground truth, query sets, and graded qrels.
+struct Workload {
+  ConceptBank bank;
+  GeneratedCorpus corpus;
+  std::vector<GeneratedQuery> queries;
+  ir::Qrels qrels;
+
+  static Workload Generate(const WorkloadOptions& options);
+
+  /// Queries of one length class.
+  std::vector<GeneratedQuery> QueriesOf(QueryClass cls) const;
+
+  /// A scaled-down federation view (the paper's SD/MD/LD partitions): the
+  /// subset federation plus qrels remapped to the subset's RelationIds.
+  /// Judgments for dropped tables are discarded.
+  struct View {
+    table::Federation federation;
+    ir::Qrels qrels;
+    /// View RelationId -> original RelationId.
+    std::vector<table::RelationId> original_ids;
+    /// Topic/aspect ground truth aligned with the view's RelationIds.
+    std::vector<int32_t> table_topic;
+    std::vector<int32_t> table_aspect;
+    std::vector<bool> table_is_stub;
+  };
+  View MakeView(double fraction, uint64_t seed) const;
+};
+
+}  // namespace mira::datagen
+
+#endif  // MIRA_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,280 @@
+#include "dimred/umap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dimred/pca.h"
+#include "index/hnsw_index.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::dimred {
+
+namespace {
+
+struct Edge {
+  uint32_t from;
+  uint32_t to;
+  float weight;
+};
+
+constexpr float kSmoothKTolerance = 1e-5f;
+constexpr size_t kSmoothKIterations = 64;
+constexpr float kMinKDistScale = 1e-3f;
+
+// Solves sigma_i by bisection so that sum_j exp(-max(0, d_ij - rho_i) /
+// sigma_i) = log2(k) (umap-learn's smooth_knn_dist).
+void SmoothKnnDist(const std::vector<float>& dists, float* rho, float* sigma) {
+  const size_t k = dists.size();
+  float target = std::log2(static_cast<float>(k));
+
+  *rho = 0.f;
+  for (float d : dists) {
+    if (d > 0.f) {
+      *rho = d;
+      break;
+    }
+  }
+
+  float lo = 0.f;
+  float hi = std::numeric_limits<float>::max();
+  float mid = 1.0f;
+  for (size_t iter = 0; iter < kSmoothKIterations; ++iter) {
+    float psum = 0.f;
+    for (float d : dists) {
+      float adj = d - *rho;
+      psum += adj > 0.f ? std::exp(-adj / mid) : 1.0f;
+    }
+    if (std::fabs(psum - target) < kSmoothKTolerance) break;
+    if (psum > target) {
+      hi = mid;
+      mid = (lo + hi) / 2.0f;
+    } else {
+      lo = mid;
+      mid = hi == std::numeric_limits<float>::max() ? mid * 2.0f
+                                                    : (lo + hi) / 2.0f;
+    }
+  }
+  *sigma = mid;
+
+  // Guard against degenerate neighborhoods (all-identical points).
+  float mean_dist = 0.f;
+  for (float d : dists) mean_dist += d;
+  mean_dist /= static_cast<float>(k);
+  if (*sigma < kMinKDistScale * mean_dist) *sigma = kMinKDistScale * mean_dist;
+  if (*sigma <= 0.f) *sigma = 1.0f;
+}
+
+}  // namespace
+
+void FitAbParams(float min_dist, float spread, float* a, float* b) {
+  // Least-squares fit of phi(x) = 1/(1 + a x^(2b)) to the target curve
+  //   psi(x) = 1                         for x <= min_dist
+  //          = exp(-(x - min_dist)/spread) otherwise
+  // over x in (0, 3*spread]. Coarse grid search then local refinement —
+  // deterministic and dependency-free (umap-learn uses scipy curve_fit).
+  constexpr size_t kSamples = 300;
+  std::vector<float> xs(kSamples), ys(kSamples);
+  for (size_t i = 0; i < kSamples; ++i) {
+    float x = 3.0f * spread * static_cast<float>(i + 1) / kSamples;
+    xs[i] = x;
+    ys[i] = x <= min_dist ? 1.0f : std::exp(-(x - min_dist) / spread);
+  }
+  auto loss = [&](float ca, float cb) {
+    float total = 0.f;
+    for (size_t i = 0; i < kSamples; ++i) {
+      float phi = 1.0f / (1.0f + ca * std::pow(xs[i], 2.0f * cb));
+      float diff = phi - ys[i];
+      total += diff * diff;
+    }
+    return total;
+  };
+
+  float best_a = 1.0f, best_b = 1.0f;
+  float best = std::numeric_limits<float>::max();
+  for (float ca = 0.2f; ca <= 10.0f; ca += 0.2f) {
+    for (float cb = 0.2f; cb <= 2.5f; cb += 0.05f) {
+      float l = loss(ca, cb);
+      if (l < best) {
+        best = l;
+        best_a = ca;
+        best_b = cb;
+      }
+    }
+  }
+  // Local refinement by coordinate descent with shrinking steps.
+  float step_a = 0.1f, step_b = 0.025f;
+  for (int round = 0; round < 40; ++round) {
+    bool moved = false;
+    for (float da : {-step_a, step_a}) {
+      float l = loss(best_a + da, best_b);
+      if (best_a + da > 0.f && l < best) {
+        best = l;
+        best_a += da;
+        moved = true;
+      }
+    }
+    for (float db : {-step_b, step_b}) {
+      float l = loss(best_a, best_b + db);
+      if (best_b + db > 0.f && l < best) {
+        best = l;
+        best_b += db;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      step_a *= 0.5f;
+      step_b *= 0.5f;
+    }
+  }
+  *a = best_a;
+  *b = best_b;
+}
+
+Result<UmapModel> FitUmap(const vecmath::Matrix& data,
+                          const UmapOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n < 4) return Status::InvalidArgument("umap: need at least 4 rows");
+  if (options.target_dim == 0 || options.target_dim > d) {
+    return Status::InvalidArgument(
+        StrFormat("umap: target_dim %zu out of range (input dim %zu)",
+                  options.target_dim, d));
+  }
+  const size_t k = std::min(options.n_neighbors, n - 1);
+
+  // --- 1. approximate kNN graph via HNSW ---
+  index::HnswOptions hnsw_opts;
+  hnsw_opts.metric = vecmath::Metric::kL2;
+  hnsw_opts.M = 16;
+  hnsw_opts.ef_construction = std::max<size_t>(100, 2 * k);
+  hnsw_opts.seed = options.seed ^ 0xA11CE;
+  index::HnswIndex knn_index(hnsw_opts);
+  for (size_t i = 0; i < n; ++i) {
+    MIRA_RETURN_NOT_OK(knn_index.Add(i, data.RowVec(i)));
+  }
+  MIRA_RETURN_NOT_OK(knn_index.Build());
+
+  std::vector<std::vector<uint32_t>> knn_ids(n);
+  std::vector<std::vector<float>> knn_dists(n);
+  index::SearchParams params;
+  params.k = k + 1;  // self likely included
+  params.ef = std::max<size_t>(64, 2 * (k + 1));
+  for (size_t i = 0; i < n; ++i) {
+    MIRA_ASSIGN_OR_RETURN(auto hits, knn_index.Search(data.RowVec(i), params));
+    for (const auto& hit : hits) {
+      if (hit.id == i) continue;
+      if (knn_ids[i].size() >= k) break;
+      knn_ids[i].push_back(static_cast<uint32_t>(hit.id));
+      // kL2 similarity is the negated squared distance.
+      knn_dists[i].push_back(std::sqrt(std::max(0.f, -hit.score)));
+    }
+  }
+
+  // --- 2 & 3. fuzzy simplicial set ---
+  // Directed membership strengths, then symmetrize: w = u + v - u*v.
+  std::vector<std::unordered_map<uint32_t, float>> directed(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (knn_ids[i].empty()) continue;
+    float rho, sigma;
+    SmoothKnnDist(knn_dists[i], &rho, &sigma);
+    for (size_t j = 0; j < knn_ids[i].size(); ++j) {
+      float adj = knn_dists[i][j] - rho;
+      float w = adj > 0.f ? std::exp(-adj / sigma) : 1.0f;
+      directed[i][knn_ids[i][j]] = w;
+    }
+  }
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [j, w_ij] : directed[i]) {
+      if (j > i) {
+        // Forward entry owns the pair; fold in the reverse weight if present.
+        float w_ji = 0.f;
+        auto it = directed[j].find(static_cast<uint32_t>(i));
+        if (it != directed[j].end()) w_ji = it->second;
+        float w = w_ij + w_ji - w_ij * w_ji;
+        if (w > 0.f) edges.push_back({static_cast<uint32_t>(i), j, w});
+      } else if (j < i && directed[j].find(static_cast<uint32_t>(i)) ==
+                              directed[j].end()) {
+        // Pair seen only in this (backward) direction.
+        if (w_ij > 0.f) edges.push_back({j, static_cast<uint32_t>(i), w_ij});
+      }
+    }
+  }
+
+  // --- 4. curve parameters ---
+  UmapModel model;
+  FitAbParams(options.min_dist, options.spread, &model.a, &model.b);
+
+  // --- 5. PCA init, scaled to a ~10-unit box ---
+  PcaOptions pca_opts;
+  pca_opts.target_dim = options.target_dim;
+  pca_opts.seed = options.seed ^ 0xBEEF;
+  MIRA_ASSIGN_OR_RETURN(PcaModel pca, FitPca(data, pca_opts));
+  model.embedding = pca.TransformAll(data);
+  float max_abs = 1e-9f;
+  for (float x : model.embedding.data()) max_abs = std::max(max_abs, std::fabs(x));
+  vecmath::ScaleInPlace(model.embedding.data().data(), 10.0f / max_abs,
+                        model.embedding.data().size());
+
+  // --- 6. SGD with negative sampling ---
+  float max_w = 0.f;
+  for (const Edge& e : edges) max_w = std::max(max_w, e.weight);
+  if (max_w <= 0.f) return model;  // fully disconnected; PCA layout stands
+
+  std::vector<float> epochs_per_sample(edges.size());
+  std::vector<float> next_due(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    epochs_per_sample[e] = max_w / edges[e].weight;
+    next_due[e] = epochs_per_sample[e];
+  }
+
+  Rng rng(options.seed ^ 0x5EED);
+  const float a = model.a;
+  const float b = model.b;
+  const size_t dim = options.target_dim;
+  auto clip = [](float x) { return std::clamp(x, -4.0f, 4.0f); };
+
+  for (size_t epoch = 1; epoch <= options.n_epochs; ++epoch) {
+    float alpha = options.learning_rate *
+                  (1.0f - static_cast<float>(epoch) / options.n_epochs);
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (next_due[e] > static_cast<float>(epoch)) continue;
+      next_due[e] += epochs_per_sample[e];
+      float* yi = model.embedding.Row(edges[e].from);
+      float* yj = model.embedding.Row(edges[e].to);
+
+      float dist_sq = vecmath::SquaredL2(yi, yj, dim);
+      if (dist_sq > 0.f) {
+        float pd = std::pow(dist_sq, b);
+        float coef = (-2.0f * a * b * pd / dist_sq) / (1.0f + a * pd);
+        for (size_t c = 0; c < dim; ++c) {
+          float g = clip(coef * (yi[c] - yj[c]));
+          yi[c] += alpha * g;
+          yj[c] -= alpha * g;
+        }
+      }
+
+      for (size_t s = 0; s < options.negative_sample_rate; ++s) {
+        uint32_t other = static_cast<uint32_t>(rng.NextBounded(n));
+        if (other == edges[e].from) continue;
+        float* yk = model.embedding.Row(other);
+        float nd = vecmath::SquaredL2(yi, yk, dim);
+        if (nd <= 0.f) nd = 1e-3f;
+        float pd = std::pow(nd, b);
+        float coef = (2.0f * b) / ((0.001f + nd) * (1.0f + a * pd));
+        for (size_t c = 0; c < dim; ++c) {
+          float g = clip(coef * (yi[c] - yk[c]));
+          yi[c] += alpha * g;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace mira::dimred

@@ -1,0 +1,101 @@
+#include "discovery/anns_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "vecmath/vector_ops.h"
+
+namespace mira::discovery {
+
+namespace {
+constexpr char kCellCollection[] = "cells";
+}  // namespace
+
+AnnsSearcher::AnnsSearcher(AnnsOptions options, size_t num_relations)
+    : options_(options), num_relations_(num_relations) {}
+
+Result<std::unique_ptr<AnnsSearcher>> AnnsSearcher::Build(
+    const table::Federation& federation,
+    std::shared_ptr<const CorpusEmbeddings> corpus,
+    std::shared_ptr<const embed::SemanticEncoder> encoder,
+    const AnnsOptions& options) {
+  if (corpus == nullptr || encoder == nullptr) {
+    return Status::InvalidArgument("anns: null corpus/encoder");
+  }
+
+  std::unique_ptr<AnnsSearcher> searcher(
+      new AnnsSearcher(options, corpus->num_relations));
+  // Keep the encoder alive through the shared_ptr captured below.
+  searcher->encoder_ = encoder;
+
+  vectordb::CollectionParams params;
+  params.dim = corpus->dim();
+  params.metric = vecmath::Metric::kCosine;
+  params.index_kind = options.use_pq ? vectordb::IndexKind::kHnswPq
+                                     : vectordb::IndexKind::kHnsw;
+  params.hnsw_m = options.hnsw_m;
+  params.hnsw_ef_construction = options.hnsw_ef_construction;
+  params.hnsw_ef_search = options.ef_search;
+  params.pq_subquantizers = options.pq_subquantizers;
+  params.seed = options.seed;
+
+  MIRA_ASSIGN_OR_RETURN(vectordb::Collection * cells,
+                        searcher->db_.CreateCollection(kCellCollection, params));
+  // Step 1 of Algorithm 2: populate the vector database. Each point carries
+  // the relation id and attribute name as payload metadata.
+  for (size_t i = 0; i < corpus->num_cells(); ++i) {
+    const CellRef& ref = corpus->refs[i];
+    vectordb::Point point;
+    point.id = static_cast<uint64_t>(i);
+    point.vector = corpus->vectors.RowVec(i);
+    point.payload.SetInt("rel", static_cast<int64_t>(ref.relation));
+    point.payload.SetString(
+        "attr", federation.relation(ref.relation).schema[ref.col]);
+    MIRA_RETURN_NOT_OK(cells->Upsert(std::move(point)));
+  }
+  MIRA_RETURN_NOT_OK(cells->BuildIndex());
+  return searcher;
+}
+
+Result<Ranking> AnnsSearcher::Search(const std::string& query,
+                                     const DiscoveryOptions& options) const {
+  vecmath::Vec q = encoder_->EncodeText(query);
+  vecmath::NormalizeInPlace(&q);
+
+  MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* cells,
+                        db_.GetCollection(kCellCollection));
+  MIRA_ASSIGN_OR_RETURN(
+      auto hits, cells->Search(q, options_.cell_candidates, options_.ef_search));
+
+  // Step 2 of Algorithm 2: the relation score is the average similarity of
+  // the relation's vectors among the approximate nearest neighbors.
+  std::unordered_map<table::RelationId, std::pair<double, uint32_t>> grouped;
+  for (const auto& hit : hits) {
+    auto rel = hit.payload->GetInt("rel");
+    if (!rel.has_value()) continue;
+    auto& [sum, count] = grouped[static_cast<table::RelationId>(*rel)];
+    sum += hit.score;
+    ++count;
+  }
+
+  Ranking ranking;
+  ranking.reserve(grouped.size());
+  for (const auto& [rid, sum_count] : grouped) {
+    ranking.push_back(
+        {rid, static_cast<float>(sum_count.first / sum_count.second)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const DiscoveryHit& a, const DiscoveryHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.relation < b.relation;
+            });
+  ApplyThresholdAndTopK(&ranking, options);
+  return ranking;
+}
+
+size_t AnnsSearcher::IndexMemoryBytes() const {
+  auto cells = db_.GetCollection(kCellCollection);
+  return cells.ok() ? (*cells)->IndexMemoryBytes() : 0;
+}
+
+}  // namespace mira::discovery

@@ -1,0 +1,68 @@
+#ifndef MIRA_DISCOVERY_ANNS_SEARCH_H_
+#define MIRA_DISCOVERY_ANNS_SEARCH_H_
+
+#include <memory>
+#include <string>
+
+#include "discovery/corpus_embeddings.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+#include "vectordb/vector_db.h"
+
+namespace mira::discovery {
+
+/// Build/search knobs of the ANNS method.
+struct AnnsOptions {
+  /// Cell-level nearest neighbors retrieved per query before grouping by
+  /// relation. Larger finds more candidate relations but costs time.
+  size_t cell_candidates = 288;
+  /// HNSW beam width at query time. Deliberately moderate: ANNS trades a
+  /// little accuracy for speed (§4.2); CTS searches its selected clusters
+  /// exactly and recovers that accuracy.
+  size_t ef_search = 96;
+  /// HNSW graph degree / construction beam.
+  size_t hnsw_m = 16;
+  size_t hnsw_ef_construction = 200;
+  /// PQ subquantizers (auto-adjusted to divide the dimension).
+  size_t pq_subquantizers = 16;
+  /// Disable PQ compression (ablation knob; the paper's method uses PQ).
+  bool use_pq = true;
+  uint64_t seed = 7;
+};
+
+/// Approximate Nearest Neighbors Search — Algorithm 2 (§4.2).
+///
+/// Build: every cell embedding is stored in a vector-database collection with
+/// its metadata (relation id, attribute name), Product-Quantization
+/// compressed and HNSW indexed. Search: embed the query, fetch the
+/// approximate nearest cells, rank relations by the average similarity of
+/// their retrieved cells.
+class AnnsSearcher final : public Searcher {
+ public:
+  /// Builds the vector database from pre-computed corpus embeddings.
+  static Result<std::unique_ptr<AnnsSearcher>> Build(
+      const table::Federation& federation,
+      std::shared_ptr<const CorpusEmbeddings> corpus,
+      std::shared_ptr<const embed::SemanticEncoder> encoder,
+      const AnnsOptions& options = {});
+
+  Result<Ranking> Search(const std::string& query,
+                         const DiscoveryOptions& options) const override;
+  std::string name() const override { return "ANNS"; }
+
+  /// Resident bytes of the vector index (storage-reduction reporting).
+  size_t IndexMemoryBytes() const;
+  const AnnsOptions& options() const { return options_; }
+
+ private:
+  AnnsSearcher(AnnsOptions options, size_t num_relations);
+
+  AnnsOptions options_;
+  size_t num_relations_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  vectordb::VectorDb db_;
+};
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_ANNS_SEARCH_H_

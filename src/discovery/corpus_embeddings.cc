@@ -1,0 +1,112 @@
+#include "discovery/corpus_embeddings.h"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::discovery {
+
+Result<CorpusEmbeddings> CorpusEmbeddings::Build(
+    const table::Federation& federation, const embed::SemanticEncoder& encoder,
+    ThreadPool* pool) {
+  if (federation.empty()) {
+    return Status::InvalidArgument("corpus embeddings: empty federation");
+  }
+
+  CorpusEmbeddings corpus;
+  corpus.num_relations = federation.size();
+  corpus.cells_per_relation.assign(federation.size(), 0);
+
+  // Pre-compute the cell list so rows can be written independently.
+  struct PendingCell {
+    CellRef ref;
+    const std::string* text;
+  };
+  std::vector<PendingCell> pending;
+  for (table::RelationId rid = 0; rid < federation.size(); ++rid) {
+    const table::Relation& relation = federation.relation(rid);
+    for (uint32_t r = 0; r < relation.num_rows(); ++r) {
+      for (uint32_t c = 0; c < relation.num_columns(); ++c) {
+        const std::string& cell = relation.rows[r][c];
+        if (cell.empty()) continue;
+        pending.push_back({CellRef{rid, r, c}, &cell});
+        ++corpus.cells_per_relation[rid];
+      }
+    }
+  }
+  if (pending.empty()) {
+    return Status::InvalidArgument("corpus embeddings: no non-empty cells");
+  }
+
+  corpus.vectors = vecmath::Matrix(pending.size(), encoder.dim());
+  corpus.refs.resize(pending.size());
+
+  auto embed_one = [&](size_t i) {
+    vecmath::Vec v = encoder.EncodeText(*pending[i].text);
+    vecmath::NormalizeInPlace(&v);
+    corpus.vectors.SetRow(i, v);
+    corpus.refs[i] = pending[i].ref;
+  };
+
+  if (pool != nullptr) {
+    ParallelFor(pool, 0, pending.size(), embed_one);
+  } else {
+    for (size_t i = 0; i < pending.size(); ++i) embed_one(i);
+  }
+  return corpus;
+}
+
+namespace {
+constexpr char kCorpusMagic[8] = {'M', 'I', 'R', 'A', 'C', 'O', 'R', '1'};
+}  // namespace
+
+Status CorpusEmbeddings::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  out.write(kCorpusMagic, sizeof(kCorpusMagic));
+  uint64_t header[3] = {num_relations, vectors.rows(), vectors.cols()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(vectors.data().data()),
+            static_cast<std::streamsize>(vectors.data().size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(refs.data()),
+            static_cast<std::streamsize>(refs.size() * sizeof(CellRef)));
+  out.write(reinterpret_cast<const char*>(cells_per_relation.data()),
+            static_cast<std::streamsize>(cells_per_relation.size() *
+                                         sizeof(uint32_t)));
+  if (!out.good()) return Status::IoError("corpus embeddings write failed");
+  return Status::OK();
+}
+
+Result<CorpusEmbeddings> CorpusEmbeddings::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kCorpusMagic, sizeof(kCorpusMagic)) != 0) {
+    return Status::IoError("bad corpus embeddings magic");
+  }
+  uint64_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in.good()) return Status::IoError("truncated corpus embeddings");
+
+  CorpusEmbeddings corpus;
+  corpus.num_relations = header[0];
+  corpus.vectors = vecmath::Matrix(header[1], header[2]);
+  in.read(reinterpret_cast<char*>(corpus.vectors.data().data()),
+          static_cast<std::streamsize>(corpus.vectors.data().size() *
+                                       sizeof(float)));
+  corpus.refs.resize(header[1]);
+  in.read(reinterpret_cast<char*>(corpus.refs.data()),
+          static_cast<std::streamsize>(corpus.refs.size() * sizeof(CellRef)));
+  corpus.cells_per_relation.resize(corpus.num_relations);
+  in.read(reinterpret_cast<char*>(corpus.cells_per_relation.data()),
+          static_cast<std::streamsize>(corpus.cells_per_relation.size() *
+                                       sizeof(uint32_t)));
+  if (!in.good()) return Status::IoError("truncated corpus embeddings");
+  return corpus;
+}
+
+}  // namespace mira::discovery

@@ -1,0 +1,55 @@
+#ifndef MIRA_DISCOVERY_CORPUS_EMBEDDINGS_H_
+#define MIRA_DISCOVERY_CORPUS_EMBEDDINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/threadpool.h"
+#include "embed/encoder.h"
+#include "table/relation.h"
+#include "vecmath/matrix.h"
+
+namespace mira::discovery {
+
+/// Which cell of which relation a corpus vector came from.
+struct CellRef {
+  table::RelationId relation = 0;
+  uint32_t row = 0;
+  uint32_t col = 0;
+};
+
+/// The semantic representation of a federation (§4): one embedding per
+/// attribute value, computed query-independently and shared by all three
+/// search methods. Vectors are L2-normalized (cosine = dot).
+struct CorpusEmbeddings {
+  /// One row per non-empty cell.
+  vecmath::Matrix vectors;
+  /// Provenance of each row.
+  std::vector<CellRef> refs;
+  /// Number of embedded cells per relation (indexed by RelationId).
+  std::vector<uint32_t> cells_per_relation;
+  size_t num_relations = 0;
+
+  size_t num_cells() const { return refs.size(); }
+  size_t dim() const { return vectors.cols(); }
+
+  /// Embeds every attribute value of every relation. With a thread pool the
+  /// work is parallelized over relations (the encoder is thread-safe).
+  static Result<CorpusEmbeddings> Build(const table::Federation& federation,
+                                        const embed::SemanticEncoder& encoder,
+                                        ThreadPool* pool = nullptr);
+
+  /// Persists the embeddings to a binary file. Embedding is the dominant
+  /// indexing cost, so caching it lets a federation be re-opened in seconds
+  /// (the derived ANN/cluster structures are rebuilt).
+  Status Save(const std::string& path) const;
+
+  /// Restores embeddings written by Save().
+  static Result<CorpusEmbeddings> Load(const std::string& path);
+};
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_CORPUS_EMBEDDINGS_H_

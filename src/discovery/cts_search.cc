@@ -1,0 +1,261 @@
+#include "discovery/cts_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::discovery {
+
+namespace {
+
+constexpr char kMedoidCollection[] = "cts_medoids";
+
+std::string ClusterCollectionName(size_t cluster) {
+  return StrFormat("cluster_%zu", cluster);
+}
+
+// Nearest medoid (in the reduced space) of a reduced point.
+size_t NearestMedoid(const vecmath::Matrix& medoid_reduced, const float* point,
+                     size_t dim) {
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t m = 0; m < medoid_reduced.rows(); ++m) {
+    float d = vecmath::SquaredL2(point, medoid_reduced.Row(m), dim);
+    if (d < best_d) {
+      best_d = d;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CtsSearcher::CtsSearcher(CtsOptions options) : options_(options) {}
+
+Result<std::unique_ptr<CtsSearcher>> CtsSearcher::Build(
+    const table::Federation& federation,
+    std::shared_ptr<const CorpusEmbeddings> corpus,
+    std::shared_ptr<const embed::SemanticEncoder> encoder,
+    const CtsOptions& options) {
+  if (corpus == nullptr || encoder == nullptr) {
+    return Status::InvalidArgument("cts: null corpus/encoder");
+  }
+  const size_t n = corpus->num_cells();
+  std::unique_ptr<CtsSearcher> searcher(new CtsSearcher(options));
+  searcher->encoder_ = encoder;
+
+  // ---- Table vectorization + dimensionality reduction (Algorithm 3) ----
+  // Corpora too small for a meaningful manifold collapse to one cluster.
+  const size_t min_for_clustering =
+      std::max<size_t>(32, options.hdbscan.min_cluster_size * 4);
+
+  std::vector<int32_t> cell_cluster(n, 0);
+  vecmath::Matrix medoid_full;  // one full-dim medoid vector per cluster
+  size_t num_clusters = 1;
+
+  if (n >= min_for_clustering) {
+    MIRA_ASSIGN_OR_RETURN(dimred::UmapModel umap,
+                          dimred::FitUmap(corpus->vectors, options.umap));
+    const vecmath::Matrix& reduced = umap.embedding;
+    const size_t rd = reduced.cols();
+
+    // HDBSCAN on (a sample of) the reduced vectors.
+    std::vector<size_t> sample_rows;
+    if (n > options.max_clustering_points) {
+      Rng rng(options.seed ^ 0xC7u);
+      sample_rows =
+          rng.SampleWithoutReplacement(n, options.max_clustering_points);
+      std::sort(sample_rows.begin(), sample_rows.end());
+    } else {
+      sample_rows.resize(n);
+      for (size_t i = 0; i < n; ++i) sample_rows[i] = i;
+    }
+    vecmath::Matrix sample(sample_rows.size(), rd);
+    for (size_t i = 0; i < sample_rows.size(); ++i) {
+      std::copy(reduced.Row(sample_rows[i]), reduced.Row(sample_rows[i]) + rd,
+                sample.Row(i));
+    }
+    MIRA_ASSIGN_OR_RETURN(cluster::HdbscanResult clustering,
+                          cluster::Hdbscan(sample, options.hdbscan));
+
+    if (clustering.num_clusters() >= 2) {
+      num_clusters = clustering.num_clusters();
+      // Medoids are computed manually (HDBSCAN provides no centers, §4.3) in
+      // the reduced space; keep both representations.
+      std::vector<size_t> medoid_sample_rows =
+          cluster::ComputeMedoids(sample, clustering);
+      vecmath::Matrix medoid_reduced(num_clusters, rd);
+      medoid_full = vecmath::Matrix(num_clusters, corpus->dim());
+      for (size_t m = 0; m < num_clusters; ++m) {
+        size_t corpus_row = sample_rows[medoid_sample_rows[m]];
+        medoid_reduced.SetRow(m, reduced.RowVec(corpus_row));
+        medoid_full.SetRow(m, corpus->vectors.RowVec(corpus_row));
+      }
+
+      // Cluster of each cell: HDBSCAN label for sampled+clustered cells,
+      // nearest medoid (reduced space) for noise and out-of-sample cells.
+      std::vector<int32_t> sample_label_of_row(n, cluster::kNoise);
+      for (size_t i = 0; i < sample_rows.size(); ++i) {
+        sample_label_of_row[sample_rows[i]] = clustering.labels[i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        int32_t label = sample_label_of_row[i];
+        cell_cluster[i] =
+            label != cluster::kNoise
+                ? label
+                : static_cast<int32_t>(
+                      NearestMedoid(medoid_reduced, reduced.Row(i), rd));
+      }
+    }
+  }
+
+  if (num_clusters == 1) {
+    // Degenerate case: one cluster holding everything; its medoid is the
+    // cell closest to the corpus centroid.
+    vecmath::Vec centroid(corpus->dim(), 0.f);
+    for (size_t i = 0; i < n; ++i) {
+      vecmath::AddInPlace(centroid.data(), corpus->vectors.Row(i), corpus->dim());
+    }
+    vecmath::ScaleInPlace(&centroid, 1.0f / static_cast<float>(n));
+    size_t best = 0;
+    float best_d = std::numeric_limits<float>::max();
+    for (size_t i = 0; i < n; ++i) {
+      float d = vecmath::SquaredL2(centroid.data(), corpus->vectors.Row(i),
+                                   corpus->dim());
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    medoid_full = vecmath::Matrix(1, corpus->dim());
+    medoid_full.SetRow(0, corpus->vectors.RowVec(best));
+  }
+  searcher->num_clusters_ = num_clusters;
+
+  // ---- Store clusters in the vector database (§4.3: each cluster is a
+  // collection; the medoids act as the retrieval index) ----
+  std::vector<size_t> cluster_sizes(num_clusters, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++cluster_sizes[static_cast<size_t>(cell_cluster[i])];
+  }
+  searcher->largest_cluster_fraction_ =
+      static_cast<double>(*std::max_element(cluster_sizes.begin(),
+                                            cluster_sizes.end())) /
+      static_cast<double>(n);
+
+  for (size_t c = 0; c < num_clusters; ++c) {
+    vectordb::CollectionParams params;
+    params.dim = corpus->dim();
+    params.metric = vecmath::Metric::kCosine;
+    // Clusters are small by design; graph indexes only pay off past a few
+    // thousand points.
+    params.index_kind = cluster_sizes[c] >= 2048 ? vectordb::IndexKind::kHnsw
+                                                 : vectordb::IndexKind::kFlat;
+    params.seed = options.seed + c;
+    MIRA_ASSIGN_OR_RETURN(auto* collection,
+                          searcher->db_.CreateCollection(
+                              ClusterCollectionName(c), params));
+    (void)collection;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const CellRef& ref = corpus->refs[i];
+    vectordb::Point point;
+    point.id = static_cast<uint64_t>(i);
+    point.vector = corpus->vectors.RowVec(i);
+    point.payload.SetInt("rel", static_cast<int64_t>(ref.relation));
+    point.payload.SetString(
+        "attr", federation.relation(ref.relation).schema[ref.col]);
+    MIRA_ASSIGN_OR_RETURN(
+        auto* collection,
+        searcher->db_.GetCollection(
+            ClusterCollectionName(static_cast<size_t>(cell_cluster[i]))));
+    MIRA_RETURN_NOT_OK(collection->Upsert(std::move(point)));
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    MIRA_ASSIGN_OR_RETURN(auto* collection,
+                          searcher->db_.GetCollection(ClusterCollectionName(c)));
+    MIRA_RETURN_NOT_OK(collection->BuildIndex());
+  }
+
+  vectordb::CollectionParams medoid_params;
+  medoid_params.dim = corpus->dim();
+  medoid_params.metric = vecmath::Metric::kCosine;
+  medoid_params.index_kind = vectordb::IndexKind::kFlat;
+  MIRA_ASSIGN_OR_RETURN(
+      auto* medoids, searcher->db_.CreateCollection(kMedoidCollection,
+                                                    medoid_params));
+  for (size_t c = 0; c < num_clusters; ++c) {
+    vectordb::Point point;
+    point.id = static_cast<uint64_t>(c);
+    point.vector = medoid_full.RowVec(c);
+    point.payload.SetInt("cluster", static_cast<int64_t>(c));
+    MIRA_RETURN_NOT_OK(medoids->Upsert(std::move(point)));
+  }
+  MIRA_RETURN_NOT_OK(medoids->BuildIndex());
+
+  return searcher;
+}
+
+Result<Ranking> CtsSearcher::Search(const std::string& query,
+                                    const DiscoveryOptions& options) const {
+  vecmath::Vec q = encoder_->EncodeText(query);
+  vecmath::NormalizeInPlace(&q);
+
+  // Match the query against the cluster medoids and keep the top clusters.
+  MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* medoids,
+                        db_.GetCollection(kMedoidCollection));
+  MIRA_ASSIGN_OR_RETURN(auto medoid_hits,
+                        medoids->Search(q, options_.cluster_candidates));
+
+  // Targeted ANN search inside the selected clusters only.
+  size_t per_cluster =
+      std::max<size_t>(16, options_.cell_candidates /
+                               std::max<size_t>(1, medoid_hits.size()));
+  std::unordered_map<table::RelationId, std::pair<double, uint32_t>> grouped;
+  for (const auto& medoid_hit : medoid_hits) {
+    auto cluster_id = medoid_hit.payload->GetInt("cluster");
+    if (!cluster_id.has_value()) continue;
+    MIRA_ASSIGN_OR_RETURN(
+        const vectordb::Collection* cells,
+        db_.GetCollection(
+            ClusterCollectionName(static_cast<size_t>(*cluster_id))));
+    MIRA_ASSIGN_OR_RETURN(auto hits, cells->Search(q, per_cluster));
+    for (const auto& hit : hits) {
+      auto rel = hit.payload->GetInt("rel");
+      if (!rel.has_value()) continue;
+      auto& [sum, count] = grouped[static_cast<table::RelationId>(*rel)];
+      sum += hit.score;
+      ++count;
+    }
+  }
+
+  Ranking ranking;
+  ranking.reserve(grouped.size());
+  for (const auto& [rid, sum_count] : grouped) {
+    ranking.push_back(
+        {rid, static_cast<float>(sum_count.first / sum_count.second)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const DiscoveryHit& a, const DiscoveryHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.relation < b.relation;
+            });
+  ApplyThresholdAndTopK(&ranking, options);
+  return ranking;
+}
+
+size_t CtsSearcher::IndexMemoryBytes() const {
+  size_t total = 0;
+  for (const auto& name : db_.ListCollections()) {
+    auto collection = db_.GetCollection(name);
+    if (collection.ok()) total += (*collection)->IndexMemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace mira::discovery

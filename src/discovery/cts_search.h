@@ -1,0 +1,81 @@
+#ifndef MIRA_DISCOVERY_CTS_SEARCH_H_
+#define MIRA_DISCOVERY_CTS_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hdbscan.h"
+#include "dimred/umap.h"
+#include "discovery/corpus_embeddings.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+#include "vectordb/vector_db.h"
+
+namespace mira::discovery {
+
+/// Build/search knobs of the CTS method.
+struct CtsOptions {
+  /// UMAP configuration for the dimensionality-reduction step.
+  dimred::UmapOptions umap;
+  /// HDBSCAN configuration for the clustering step.
+  cluster::HdbscanOptions hdbscan;
+  /// Number of most-similar cluster medoids the query is matched against.
+  size_t cluster_candidates = 20;
+  /// Cell-level candidates retrieved inside the selected clusters.
+  size_t cell_candidates = 768;
+  /// Clustering cost ceiling: when the corpus has more cells, HDBSCAN runs
+  /// on a deterministic sample of this size and the remaining cells are
+  /// assigned to the cluster of their nearest medoid (in reduced space).
+  size_t max_clustering_points = 20000;
+  uint64_t seed = 7;
+
+  CtsOptions() {
+    umap.target_dim = 5;
+    umap.n_neighbors = 15;
+    umap.n_epochs = 150;
+    hdbscan.min_cluster_size = 8;
+  }
+};
+
+/// Clustered Targeted Search — Algorithm 3 (§4.3), the paper's central
+/// contribution.
+///
+/// Build: cell embeddings -> UMAP reduction -> HDBSCAN clustering -> medoid
+/// per cluster (HDBSCAN has no native centers, so medoids are computed
+/// manually); cells and medoids live in vector-database collections, with
+/// each cell tagged by its cluster and the medoids acting as the cluster
+/// index. Search: the query is compared against the medoids, then an ANN
+/// search runs *inside the top clusters only*, and relations are ranked by
+/// the average similarity of their retrieved cells.
+class CtsSearcher final : public Searcher {
+ public:
+  static Result<std::unique_ptr<CtsSearcher>> Build(
+      const table::Federation& federation,
+      std::shared_ptr<const CorpusEmbeddings> corpus,
+      std::shared_ptr<const embed::SemanticEncoder> encoder,
+      const CtsOptions& options = {});
+
+  Result<Ranking> Search(const std::string& query,
+                         const DiscoveryOptions& options) const override;
+  std::string name() const override { return "CTS"; }
+
+  size_t num_clusters() const { return num_clusters_; }
+  /// Fraction of cells assigned to the largest cluster (diagnostic).
+  double largest_cluster_fraction() const { return largest_cluster_fraction_; }
+  size_t IndexMemoryBytes() const;
+  const CtsOptions& options() const { return options_; }
+
+ private:
+  explicit CtsSearcher(CtsOptions options);
+
+  CtsOptions options_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  vectordb::VectorDb db_;
+  size_t num_clusters_ = 0;
+  double largest_cluster_fraction_ = 0.0;
+};
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_CTS_SEARCH_H_

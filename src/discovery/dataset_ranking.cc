@@ -1,0 +1,77 @@
+#include "discovery/dataset_ranking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mira::discovery {
+
+DatasetRanking AggregateByDataset(const Ranking& ranking,
+                                  const table::Federation& federation,
+                                  const DiscoveryOptions& options,
+                                  DatasetAggregation aggregation) {
+  DatasetRanking hits;
+  std::unordered_map<table::DatasetId, size_t> slot_of;
+
+  for (const DiscoveryHit& hit : ranking) {
+    table::DatasetId dataset = federation.DatasetOf(hit.relation);
+    if (dataset == table::kNoDataset) {
+      DatasetHit singleton;
+      singleton.singleton_relation = hit.relation;
+      singleton.score = hit.score;
+      singleton.members.push_back(hit);
+      hits.push_back(std::move(singleton));
+      continue;
+    }
+    auto it = slot_of.find(dataset);
+    if (it == slot_of.end()) {
+      it = slot_of.emplace(dataset, hits.size()).first;
+      DatasetHit fresh;
+      fresh.dataset = dataset;
+      hits.push_back(std::move(fresh));
+    }
+    hits[it->second].members.push_back(hit);
+  }
+
+  for (DatasetHit& hit : hits) {
+    if (hit.is_singleton()) continue;
+    double total = 0.0;
+    float best = hit.members.front().score;
+    for (const DiscoveryHit& member : hit.members) {
+      total += member.score;
+      best = std::max(best, member.score);
+    }
+    switch (aggregation) {
+      case DatasetAggregation::kMax:
+        hit.score = best;
+        break;
+      case DatasetAggregation::kMean:
+        hit.score = static_cast<float>(total / hit.members.size());
+        break;
+      case DatasetAggregation::kSum:
+        hit.score = static_cast<float>(total);
+        break;
+    }
+    std::sort(hit.members.begin(), hit.members.end(),
+              [](const DiscoveryHit& a, const DiscoveryHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.relation < b.relation;
+              });
+  }
+
+  std::sort(hits.begin(), hits.end(), [](const DatasetHit& a,
+                                         const DatasetHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.dataset != b.dataset) return a.dataset < b.dataset;
+    return a.singleton_relation < b.singleton_relation;
+  });
+
+  size_t keep = 0;
+  for (const DatasetHit& hit : hits) {
+    if (hit.score < options.threshold || keep >= options.top_k) break;
+    ++keep;
+  }
+  hits.resize(keep);
+  return hits;
+}
+
+}  // namespace mira::discovery

@@ -1,0 +1,48 @@
+#ifndef MIRA_DISCOVERY_DATASET_RANKING_H_
+#define MIRA_DISCOVERY_DATASET_RANKING_H_
+
+#include <vector>
+
+#include "discovery/types.h"
+#include "table/relation.h"
+
+namespace mira::discovery {
+
+/// How relation-level scores combine into a multi-relation dataset score.
+enum class DatasetAggregation {
+  /// The dataset is as related as its best relation (the natural reading of
+  /// the paper's match function for multi-relation datasets).
+  kMax,
+  /// Mean over the dataset's *retrieved* relations.
+  kMean,
+  /// Sum over retrieved relations (rewards datasets with broad coverage).
+  kSum,
+};
+
+/// One discovered dataset.
+struct DatasetHit {
+  table::DatasetId dataset = table::kNoDataset;
+  /// kNoDataset hits wrap a singleton relation (stored here).
+  table::RelationId singleton_relation = 0;
+  float score = 0.f;
+  /// Retrieved member relations contributing to the score, best first.
+  std::vector<DiscoveryHit> members;
+
+  bool is_singleton() const { return dataset == table::kNoDataset; }
+};
+
+using DatasetRanking = std::vector<DatasetHit>;
+
+/// Lifts a relation-level ranking to dataset level (§3's multi-relation
+/// generalization): relations assigned to the same dataset merge into one
+/// hit; unassigned relations stay as singleton hits. The result is sorted
+/// best-first and truncated/thresholded with `options`.
+DatasetRanking AggregateByDataset(const Ranking& ranking,
+                                  const table::Federation& federation,
+                                  const DiscoveryOptions& options,
+                                  DatasetAggregation aggregation =
+                                      DatasetAggregation::kMax);
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_DATASET_RANKING_H_

@@ -1,0 +1,122 @@
+#include "discovery/engine.h"
+
+namespace mira::discovery {
+
+std::string_view MethodToString(Method method) {
+  switch (method) {
+    case Method::kExhaustive:
+      return "ExS";
+    case Method::kAnns:
+      return "ANNS";
+    case Method::kCts:
+      return "CTS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Encoder with corpus-driven SIF weights over the federation's text.
+std::shared_ptr<embed::SemanticEncoder> MakeEngineEncoder(
+    const table::Federation& federation,
+    std::shared_ptr<const embed::Lexicon> lexicon,
+    const EngineOptions& options) {
+  auto encoder = std::make_shared<embed::SemanticEncoder>(options.encoder,
+                                                          std::move(lexicon));
+  // Corpus unigram statistics drive the encoder's SIF pooling weights: very
+  // frequent tokens contribute little to sentence embeddings.
+  auto frequencies = std::make_shared<embed::TokenFrequencies>();
+  for (const auto& relation : federation.relations()) {
+    frequencies->AddText(relation.ConsolidatedText());
+  }
+  encoder->SetTokenFrequencies(std::move(frequencies));
+  return encoder;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Build(
+    table::Federation federation, std::shared_ptr<const embed::Lexicon> lexicon,
+    const EngineOptions& options) {
+  if (lexicon == nullptr) {
+    return Status::InvalidArgument("engine: null lexicon");
+  }
+  std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
+  engine->federation_ = std::move(federation);
+  engine->encoder_ =
+      MakeEngineEncoder(engine->federation_, std::move(lexicon), options);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.embed_threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.embed_threads);
+  }
+  MIRA_ASSIGN_OR_RETURN(
+      CorpusEmbeddings corpus,
+      CorpusEmbeddings::Build(engine->federation_, *engine->encoder_,
+                              pool.get()));
+  engine->corpus_ = std::make_shared<const CorpusEmbeddings>(std::move(corpus));
+  MIRA_RETURN_NOT_OK(engine->FinishBuild(options));
+  return engine;
+}
+
+Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::BuildWithCorpus(
+    table::Federation federation, std::shared_ptr<const embed::Lexicon> lexicon,
+    CorpusEmbeddings corpus, const EngineOptions& options) {
+  if (lexicon == nullptr) {
+    return Status::InvalidArgument("engine: null lexicon");
+  }
+  if (corpus.num_relations != federation.size()) {
+    return Status::InvalidArgument(
+        "engine: cached corpus does not match the federation");
+  }
+  if (corpus.dim() != options.encoder.dim) {
+    return Status::InvalidArgument(
+        "engine: cached corpus dimension does not match encoder options");
+  }
+  std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
+  engine->federation_ = std::move(federation);
+  engine->encoder_ =
+      MakeEngineEncoder(engine->federation_, std::move(lexicon), options);
+  engine->corpus_ = std::make_shared<const CorpusEmbeddings>(std::move(corpus));
+  MIRA_RETURN_NOT_OK(engine->FinishBuild(options));
+  return engine;
+}
+
+Status DiscoveryEngine::FinishBuild(const EngineOptions& options) {
+  exhaustive_ = std::make_unique<ExhaustiveSearcher>(&federation_, corpus_,
+                                                     encoder_, options.exs);
+  if (options.build_anns) {
+    MIRA_ASSIGN_OR_RETURN(
+        anns_, AnnsSearcher::Build(federation_, corpus_, encoder_,
+                                   options.anns));
+  }
+  if (options.build_cts) {
+    MIRA_ASSIGN_OR_RETURN(
+        cts_, CtsSearcher::Build(federation_, corpus_, encoder_, options.cts));
+  }
+  return Status::OK();
+}
+
+const Searcher* DiscoveryEngine::searcher(Method method) const {
+  switch (method) {
+    case Method::kExhaustive:
+      return exhaustive_.get();
+    case Method::kAnns:
+      return anns_.get();
+    case Method::kCts:
+      return cts_.get();
+  }
+  return nullptr;
+}
+
+Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
+                                        const DiscoveryOptions& options) const {
+  const Searcher* searcher = this->searcher(method);
+  if (searcher == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(MethodToString(method)) + " searcher was not built");
+  }
+  return searcher->Search(query, options);
+}
+
+}  // namespace mira::discovery

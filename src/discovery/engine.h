@@ -1,0 +1,90 @@
+#ifndef MIRA_DISCOVERY_ENGINE_H_
+#define MIRA_DISCOVERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/threadpool.h"
+#include "discovery/anns_search.h"
+#include "discovery/cts_search.h"
+#include "discovery/exhaustive_search.h"
+#include "discovery/types.h"
+#include "embed/encoder.h"
+#include "table/relation.h"
+
+namespace mira::discovery {
+
+/// Which of the paper's three methods answers a query.
+enum class Method { kExhaustive, kAnns, kCts };
+
+std::string_view MethodToString(Method method);
+
+/// Engine-level configuration.
+struct EngineOptions {
+  embed::EncoderOptions encoder;
+  ExsOptions exs;
+  AnnsOptions anns;
+  CtsOptions cts;
+  /// Build the ANNS vector database (disable to save build time when only
+  /// ExS/CTS are exercised).
+  bool build_anns = true;
+  /// Build the CTS cluster structures.
+  bool build_cts = true;
+  /// Threads for corpus embedding; 0 = hardware concurrency, 1 = serial.
+  size_t embed_threads = 0;
+};
+
+/// One-stop facade over the full pipeline of Figure 2: encode the federation
+/// once, then answer keyword queries with any of ExS / ANNS / CTS.
+///
+/// Typical use:
+///
+///     auto engine = DiscoveryEngine::Build(federation, lexicon, options);
+///     auto ranking = engine->Search(Method::kCts, "covid vaccine", {});
+class DiscoveryEngine {
+ public:
+  /// Builds every enabled search structure over `federation`. The federation
+  /// is copied into the engine (it must outlive nothing).
+  static Result<std::unique_ptr<DiscoveryEngine>> Build(
+      table::Federation federation,
+      std::shared_ptr<const embed::Lexicon> lexicon,
+      const EngineOptions& options = {});
+
+  /// Builds from previously cached cell embeddings (CorpusEmbeddings::Save /
+  /// Load), skipping the embedding pass — the dominant indexing cost. The
+  /// federation must be the one the corpus was embedded from and the encoder
+  /// options must match the original build (ExS re-encodes at query time and
+  /// its scores would drift otherwise).
+  static Result<std::unique_ptr<DiscoveryEngine>> BuildWithCorpus(
+      table::Federation federation,
+      std::shared_ptr<const embed::Lexicon> lexicon, CorpusEmbeddings corpus,
+      const EngineOptions& options = {});
+
+  /// Answers a keyword query with the chosen method.
+  Result<Ranking> Search(Method method, const std::string& query,
+                         const DiscoveryOptions& options) const;
+
+  /// Access to an individual searcher (null if not built).
+  const Searcher* searcher(Method method) const;
+
+  const table::Federation& federation() const { return federation_; }
+  const embed::SemanticEncoder& encoder() const { return *encoder_; }
+  const CorpusEmbeddings& corpus() const { return *corpus_; }
+
+ private:
+  DiscoveryEngine() = default;
+
+  /// Builds the three searchers once corpus embeddings exist.
+  Status FinishBuild(const EngineOptions& options);
+
+  table::Federation federation_;
+  std::shared_ptr<const embed::SemanticEncoder> encoder_;
+  std::shared_ptr<const CorpusEmbeddings> corpus_;
+  std::unique_ptr<ExhaustiveSearcher> exhaustive_;
+  std::unique_ptr<AnnsSearcher> anns_;
+  std::unique_ptr<CtsSearcher> cts_;
+};
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_ENGINE_H_

@@ -1,0 +1,85 @@
+#include "discovery/exhaustive_search.h"
+
+#include <algorithm>
+
+#include "vecmath/vector_ops.h"
+
+namespace mira::discovery {
+
+ExhaustiveSearcher::ExhaustiveSearcher(
+    const table::Federation* federation,
+    std::shared_ptr<const CorpusEmbeddings> corpus,
+    std::shared_ptr<const embed::SemanticEncoder> encoder, ExsOptions options)
+    : federation_(federation),
+      corpus_(std::move(corpus)),
+      encoder_(std::move(encoder)),
+      options_(options) {
+  MIRA_CHECK(corpus_ != nullptr && encoder_ != nullptr);
+  MIRA_CHECK(options_.reuse_corpus_embeddings || federation_ != nullptr);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
+                                           const DiscoveryOptions& options) const {
+  // Embed Q -> q' (Algorithm 1, line 1).
+  vecmath::Vec q = encoder_->EncodeText(query);
+  vecmath::NormalizeInPlace(&q);
+
+  const size_t d = corpus_->dim();
+  std::vector<double> score_sum(corpus_->num_relations, 0.0);
+
+  if (options_.reuse_corpus_embeddings) {
+    // "ExS-cached" ablation: score against the pre-built corpus matrix.
+    const size_t n = corpus_->num_cells();
+    for (size_t i = 0; i < n; ++i) {
+      float s = vecmath::Dot(q.data(), corpus_->vectors.Row(i), d);
+      score_sum[corpus_->refs[i].relation] += s;
+    }
+  } else {
+    // Faithful Algorithm 1: every attribute value is embedded inside the
+    // query loop (lines 3-8) before its similarity is computed. With a pool
+    // the relations are partitioned across workers (scores are per-relation
+    // sums, so partitioning by relation needs no synchronization).
+    auto scan_relation = [&](size_t rid) {
+      const table::Relation& relation = federation_->relation(rid);
+      double sum = 0.0;
+      for (const auto& row : relation.rows) {
+        for (const auto& cell : row) {
+          if (cell.empty()) continue;
+          vecmath::Vec w = encoder_->EncodeText(cell);
+          vecmath::NormalizeInPlace(&w);
+          sum += vecmath::Dot(q.data(), w.data(), d);
+        }
+      }
+      score_sum[rid] = sum;
+    };
+    if (pool_ != nullptr) {
+      ParallelFor(pool_.get(), 0, federation_->size(), scan_relation);
+    } else {
+      for (size_t rid = 0; rid < federation_->size(); ++rid) {
+        scan_relation(rid);
+      }
+    }
+  }
+
+  // avg_s per relation, then sort / threshold / top-k (lines 10-13).
+  Ranking ranking;
+  ranking.reserve(corpus_->num_relations);
+  for (table::RelationId rid = 0; rid < corpus_->num_relations; ++rid) {
+    uint32_t cells = corpus_->cells_per_relation[rid];
+    if (cells == 0) continue;
+    ranking.push_back(
+        {rid, static_cast<float>(score_sum[rid] / static_cast<double>(cells))});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const DiscoveryHit& a, const DiscoveryHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.relation < b.relation;
+            });
+  ApplyThresholdAndTopK(&ranking, options);
+  return ranking;
+}
+
+}  // namespace mira::discovery

@@ -1,0 +1,25 @@
+#include "discovery/match.h"
+
+#include "vecmath/vector_ops.h"
+
+namespace mira::discovery {
+
+float MatchScore(const table::Relation& relation, const std::string& query,
+                 const embed::SemanticEncoder& encoder) {
+  vecmath::Vec q = encoder.EncodeText(query);
+  vecmath::NormalizeInPlace(&q);
+  double total = 0.0;
+  size_t cells = 0;
+  for (const auto& row : relation.rows) {
+    for (const auto& cell : row) {
+      if (cell.empty()) continue;
+      vecmath::Vec w = encoder.EncodeText(cell);
+      vecmath::NormalizeInPlace(&w);
+      total += vecmath::Dot(q, w);
+      ++cells;
+    }
+  }
+  return cells == 0 ? 0.f : static_cast<float>(total / cells);
+}
+
+}  // namespace mira::discovery

@@ -1,0 +1,22 @@
+#ifndef MIRA_DISCOVERY_MATCH_H_
+#define MIRA_DISCOVERY_MATCH_H_
+
+#include <string>
+
+#include "embed/encoder.h"
+#include "table/relation.h"
+
+namespace mira::discovery {
+
+/// The paper's match function (§3): match(R, Q) -> score — the average
+/// cosine similarity between the query embedding and the embeddings of the
+/// relation's attribute values. A relation is "related" iff
+/// match(R, Q) >= h. This is the one-relation primitive that all three
+/// search algorithms optimize the computation of; use it directly for spot
+/// checks or tiny federations.
+float MatchScore(const table::Relation& relation, const std::string& query,
+                 const embed::SemanticEncoder& encoder);
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_MATCH_H_

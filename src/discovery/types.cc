@@ -1,0 +1,14 @@
+#include "discovery/types.h"
+
+namespace mira::discovery {
+
+void ApplyThresholdAndTopK(Ranking* ranking, const DiscoveryOptions& options) {
+  size_t keep = 0;
+  for (const DiscoveryHit& hit : *ranking) {
+    if (hit.score < options.threshold || keep >= options.top_k) break;
+    ++keep;
+  }
+  ranking->resize(keep);
+}
+
+}  // namespace mira::discovery

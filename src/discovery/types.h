@@ -1,0 +1,50 @@
+#ifndef MIRA_DISCOVERY_TYPES_H_
+#define MIRA_DISCOVERY_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/relation.h"
+
+namespace mira::discovery {
+
+/// Per-query knobs shared by all search methods: the paper's top-k and
+/// relatedness threshold h (§3: related iff match(F, q) >= h).
+struct DiscoveryOptions {
+  size_t top_k = 20;
+  /// Minimum relation score; relations below are filtered out. The paper's
+  /// cosine scores live in [-1, 1]; 0 disables filtering in practice.
+  float threshold = -1.0f;
+};
+
+/// One discovered dataset with its match score.
+struct DiscoveryHit {
+  table::RelationId relation = 0;
+  float score = 0.f;
+};
+
+/// Ranked list of related datasets, best first.
+using Ranking = std::vector<DiscoveryHit>;
+
+/// Common interface of the three semantic search methods (and of the
+/// baseline rankers, which adapt to it for the evaluation harness).
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Returns the top-k relations related to the keyword query.
+  virtual Result<Ranking> Search(const std::string& query,
+                                 const DiscoveryOptions& options) const = 0;
+
+  /// Short method tag ("ExS", "ANNS", "CTS", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Truncates a ranking to entries with score >= threshold and at most k
+/// entries (assumes it is already sorted best-first).
+void ApplyThresholdAndTopK(Ranking* ranking, const DiscoveryOptions& options);
+
+}  // namespace mira::discovery
+
+#endif  // MIRA_DISCOVERY_TYPES_H_

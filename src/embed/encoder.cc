@@ -1,0 +1,186 @@
+#include "embed/encoder.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mira::embed {
+
+namespace {
+
+// Salt values keep the seed streams of the different direction families
+// disjoint.
+constexpr uint64_t kTopicSalt = 0x70F1C'5A17ULL;
+constexpr uint64_t kAspectSalt = 0xA59EC7'5A17ULL;
+constexpr uint64_t kConceptSalt = 0xC0'9CE7'5A17ULL;
+constexpr uint64_t kNgramSalt = 0x96'7A3'5A17ULL;
+constexpr uint64_t kNumberSalt = 0x9B'3E2'5A17ULL;
+constexpr uint64_t kBucketSalt = 0xB0C'4E7'5A17ULL;
+
+}  // namespace
+
+void TokenFrequencies::Add(const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) {
+    ++counts_[token];
+    ++total_;
+  }
+}
+
+void TokenFrequencies::AddText(std::string_view text) {
+  text::Tokenizer tokenizer;
+  Add(tokenizer.Tokenize(text));
+}
+
+double TokenFrequencies::Prob(const std::string& token) const {
+  auto it = counts_.find(token);
+  double total = static_cast<double>(total_) + 1.0;
+  // Unseen tokens get half the mass of a hapax so they rank strictly rarer.
+  return it == counts_.end() ? 0.5 / total
+                             : static_cast<double>(it->second) / total;
+}
+
+SemanticEncoder::SemanticEncoder(EncoderOptions options,
+                                 std::shared_ptr<const Lexicon> lexicon)
+    : options_(std::move(options)), lexicon_(std::move(lexicon)) {
+  MIRA_CHECK(options_.dim > 0);
+  MIRA_CHECK(lexicon_ != nullptr);
+}
+
+vecmath::Vec SemanticEncoder::GaussianDirection(uint64_t seed) const {
+  Rng rng(SplitMix64(options_.seed ^ seed));
+  vecmath::Vec v(options_.dim);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  vecmath::NormalizeInPlace(&v);
+  return v;
+}
+
+vecmath::Vec SemanticEncoder::TopicDirection(int32_t topic_id) const {
+  return GaussianDirection(kTopicSalt + static_cast<uint64_t>(topic_id) * 2654435761ULL);
+}
+
+vecmath::Vec SemanticEncoder::AspectDirection(int32_t aspect_id) const {
+  return GaussianDirection(kAspectSalt +
+                           static_cast<uint64_t>(aspect_id) * 48271ULL);
+}
+
+vecmath::Vec SemanticEncoder::ConceptDirection(int32_t concept_id) const {
+  // Concept = topic_share * topic + aspect_share * aspect (when the concept
+  // has one) + remainder * unique. The resulting cosine ladder — same
+  // concept > same aspect > same topic > unrelated — is the geometry
+  // sentence encoders give real-world synonym/theme structure.
+  int32_t topic = lexicon_->TopicOf(concept_id);
+  int32_t aspect = lexicon_->AspectOfConcept(concept_id);
+  vecmath::Vec topic_dir = TopicDirection(topic);
+  vecmath::Vec unique =
+      GaussianDirection(kConceptSalt + static_cast<uint64_t>(concept_id) * 976369ULL);
+  float wt = options_.topic_share;
+  float wa = aspect == kNoAspect ? 0.f : options_.aspect_share;
+  float wu = std::sqrt(std::max(0.f, 1.f - wt * wt - wa * wa));
+  vecmath::Vec out(options_.dim, 0.f);
+  vecmath::AxpyInPlace(&out, topic_dir, wt);
+  if (aspect != kNoAspect) {
+    vecmath::AxpyInPlace(&out, AspectDirection(aspect), wa);
+  }
+  vecmath::AxpyInPlace(&out, unique, wu);
+  vecmath::NormalizeInPlace(&out);
+  return out;
+}
+
+vecmath::Vec SemanticEncoder::HashedLexicalVector(const std::string& token) const {
+  vecmath::Vec acc(options_.dim, 0.f);
+  size_t count = 0;
+  for (size_t n : options_.ngram_sizes) {
+    for (const auto& gram : text::CharNgrams(token, n)) {
+      uint64_t h = Fnv1a64(gram) ^ kNgramSalt;
+      vecmath::AxpyInPlace(&acc, GaussianDirection(h), 1.0f);
+      ++count;
+    }
+  }
+  if (count == 0) {
+    // Degenerate token (should not happen after tokenization); fall back to
+    // hashing the whole token.
+    return GaussianDirection(Fnv1a64(token) ^ kNgramSalt);
+  }
+  vecmath::NormalizeInPlace(&acc);
+  return acc;
+}
+
+vecmath::Vec SemanticEncoder::ComputeTokenVector(const std::string& token) const {
+  vecmath::Vec lexical = HashedLexicalVector(token);
+
+  // Numeric tokens: blend the shared numberness direction and a coarse
+  // log-magnitude bucket so numerically-near values embed near each other.
+  if (LooksNumeric(token)) {
+    double value = std::atof(token.c_str());
+    double magnitude = std::log10(std::abs(value) + 1.0);
+    int64_t bucket = static_cast<int64_t>(std::floor(magnitude * 2.0));
+    vecmath::Vec number_dir = GaussianDirection(kNumberSalt);
+    vecmath::Vec bucket_dir =
+        GaussianDirection(kBucketSalt + static_cast<uint64_t>(bucket + 64) * 40503ULL);
+    float wn = options_.numeric_share;
+    float wm = options_.magnitude_share;
+    float wl = std::max(0.f, 1.f - wn - wm);
+    vecmath::Vec out(options_.dim, 0.f);
+    vecmath::AxpyInPlace(&out, number_dir, wn);
+    vecmath::AxpyInPlace(&out, bucket_dir, wm);
+    vecmath::AxpyInPlace(&out, lexical, wl);
+    vecmath::NormalizeInPlace(&out);
+    return out;
+  }
+
+  int32_t concept_id = lexicon_->ConceptOf(token);
+  if (concept_id == kNoConcept) return lexical;
+
+  // Surface form of a known concept: mostly the concept direction, with a
+  // lexical residue so distinct synonyms are near-identical but not equal.
+  vecmath::Vec concept_dir = ConceptDirection(concept_id);
+  float wc = options_.concept_blend;
+  float wl = std::sqrt(std::max(0.f, 1.f - wc * wc));
+  vecmath::Vec out(options_.dim, 0.f);
+  vecmath::AxpyInPlace(&out, concept_dir, wc);
+  vecmath::AxpyInPlace(&out, lexical, wl);
+  vecmath::NormalizeInPlace(&out);
+  return out;
+}
+
+vecmath::Vec SemanticEncoder::EncodeToken(const std::string& token) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = token_cache_.find(token);
+    if (it != token_cache_.end()) return it->second;
+  }
+  vecmath::Vec v = ComputeTokenVector(token);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    token_cache_.emplace(token, v);
+  }
+  return v;
+}
+
+vecmath::Vec SemanticEncoder::EncodeTokens(
+    const std::vector<std::string>& tokens) const {
+  vecmath::Vec acc(options_.dim, 0.f);
+  if (tokens.empty()) return acc;
+  float total_weight = 0.f;
+  for (const auto& token : tokens) {
+    float w = text::Tokenizer::IsStopword(token) ? options_.stopword_weight : 1.0f;
+    if (frequencies_ != nullptr) {
+      double p = frequencies_->Prob(token);
+      w *= static_cast<float>(options_.sif_a / (options_.sif_a + p));
+    }
+    vecmath::AxpyInPlace(&acc, EncodeToken(token), w);
+    total_weight += w;
+  }
+  if (total_weight > 0.f) vecmath::ScaleInPlace(&acc, 1.0f / total_weight);
+  vecmath::NormalizeInPlace(&acc);
+  return acc;
+}
+
+vecmath::Vec SemanticEncoder::EncodeText(std::string_view text) const {
+  return EncodeTokens(tokenizer_.Tokenize(text));
+}
+
+}  // namespace mira::embed

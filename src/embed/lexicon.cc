@@ -1,0 +1,84 @@
+#include "embed/lexicon.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mira::embed {
+
+int32_t Lexicon::AddTopic(std::string name) {
+  topic_names_.push_back(std::move(name));
+  return static_cast<int32_t>(topic_names_.size()) - 1;
+}
+
+int32_t Lexicon::AddAspect(int32_t topic_id, std::string name) {
+  MIRA_CHECK(topic_id >= 0 &&
+             static_cast<size_t>(topic_id) < topic_names_.size());
+  aspect_names_.push_back(std::move(name));
+  aspect_topic_.push_back(topic_id);
+  return static_cast<int32_t>(aspect_topic_.size()) - 1;
+}
+
+int32_t Lexicon::AddConcept(int32_t topic_id, std::string name,
+                            int32_t aspect_id) {
+  MIRA_CHECK(topic_id >= 0 &&
+             static_cast<size_t>(topic_id) < topic_names_.size());
+  if (aspect_id != kNoAspect) {
+    MIRA_CHECK(static_cast<size_t>(aspect_id) < aspect_topic_.size());
+    MIRA_CHECK(aspect_topic_[aspect_id] == topic_id);
+  }
+  concept_names_.push_back(std::move(name));
+  concept_topic_.push_back(topic_id);
+  concept_aspect_.push_back(aspect_id);
+  return static_cast<int32_t>(concept_topic_.size()) - 1;
+}
+
+int32_t Lexicon::AspectOfConcept(int32_t concept_id) const {
+  MIRA_CHECK(concept_id >= 0 &&
+             static_cast<size_t>(concept_id) < concept_aspect_.size());
+  return concept_aspect_[concept_id];
+}
+
+int32_t Lexicon::TopicOfAspect(int32_t aspect_id) const {
+  MIRA_CHECK(aspect_id >= 0 &&
+             static_cast<size_t>(aspect_id) < aspect_topic_.size());
+  return aspect_topic_[aspect_id];
+}
+
+void Lexicon::AddSurface(int32_t concept_id, std::string_view surface) {
+  MIRA_CHECK(concept_id >= 0 &&
+             static_cast<size_t>(concept_id) < concept_topic_.size());
+  surface_to_concept_[ToLower(surface)] = concept_id;
+}
+
+int32_t Lexicon::ConceptOf(std::string_view token) const {
+  auto it = surface_to_concept_.find(std::string(token));
+  return it == surface_to_concept_.end() ? kNoConcept : it->second;
+}
+
+int32_t Lexicon::TopicOf(int32_t concept_id) const {
+  MIRA_CHECK(concept_id >= 0 &&
+             static_cast<size_t>(concept_id) < concept_topic_.size());
+  return concept_topic_[concept_id];
+}
+
+const std::string& Lexicon::TopicName(int32_t topic_id) const {
+  MIRA_CHECK(topic_id >= 0 &&
+             static_cast<size_t>(topic_id) < topic_names_.size());
+  return topic_names_[topic_id];
+}
+
+const std::string& Lexicon::ConceptName(int32_t concept_id) const {
+  MIRA_CHECK(concept_id >= 0 &&
+             static_cast<size_t>(concept_id) < concept_names_.size());
+  return concept_names_[concept_id];
+}
+
+std::vector<std::string> Lexicon::SurfacesOf(int32_t concept_id) const {
+  std::vector<std::string> out;
+  for (const auto& [surface, cid] : surface_to_concept_) {
+    if (cid == concept_id) out.push_back(surface);
+  }
+  return out;
+}
+
+}  // namespace mira::embed

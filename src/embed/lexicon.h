@@ -1,0 +1,80 @@
+#ifndef MIRA_EMBED_LEXICON_H_
+#define MIRA_EMBED_LEXICON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mira::embed {
+
+/// Sentinel for "no concept/topic/aspect".
+inline constexpr int32_t kNoConcept = -1;
+inline constexpr int32_t kNoTopic = -1;
+inline constexpr int32_t kNoAspect = -1;
+
+/// A four-level semantic inventory: topics contain aspects, aspects contain
+/// concepts, concepts have surface forms (synonyms). The aspect level is
+/// optional — concepts may hang directly off a topic.
+///
+/// This is MIRA's substitute for the world knowledge inside Sentence-BERT:
+/// the encoder blends a per-concept vector into every surface form's
+/// embedding, so "comirnaty", "pfizer-biontech" and "mrna vaccine" land close
+/// together even though they share no characters — exactly the property the
+/// paper's motivating example (Figure 1) relies on. Concepts of the same
+/// topic share a topic component, giving the "looser" relatedness the paper
+/// attributes to language models versus ontologies (§2).
+class Lexicon {
+ public:
+  /// Registers a topic; returns its id. Duplicate names are distinct topics.
+  int32_t AddTopic(std::string name);
+
+  /// Registers an aspect (sub-theme) under a topic; returns its id.
+  int32_t AddAspect(int32_t topic_id, std::string name);
+
+  /// Registers a concept under a topic; returns its id. `aspect_id` may be
+  /// kNoAspect for topic-level concepts (e.g. topic labels).
+  int32_t AddConcept(int32_t topic_id, std::string name,
+                     int32_t aspect_id = kNoAspect);
+
+  /// Maps a surface token (lowercased, single token) to a concept. A token
+  /// can belong to at most one concept; re-registering overwrites.
+  void AddSurface(int32_t concept_id, std::string_view surface);
+
+  /// Concept of a token, or kNoConcept.
+  int32_t ConceptOf(std::string_view token) const;
+
+  /// Topic of a concept; aborts on invalid id.
+  int32_t TopicOf(int32_t concept_id) const;
+
+  /// Aspect of a concept (kNoAspect when topic-level).
+  int32_t AspectOfConcept(int32_t concept_id) const;
+
+  /// Topic of an aspect.
+  int32_t TopicOfAspect(int32_t aspect_id) const;
+
+  const std::string& TopicName(int32_t topic_id) const;
+  const std::string& ConceptName(int32_t concept_id) const;
+
+  /// All surface forms registered for a concept.
+  std::vector<std::string> SurfacesOf(int32_t concept_id) const;
+
+  size_t num_topics() const { return topic_names_.size(); }
+  size_t num_aspects() const { return aspect_topic_.size(); }
+  size_t num_concepts() const { return concept_topic_.size(); }
+  size_t num_surfaces() const { return surface_to_concept_.size(); }
+
+ private:
+  std::vector<std::string> topic_names_;
+  std::vector<std::string> aspect_names_;
+  std::vector<int32_t> aspect_topic_;
+  std::vector<std::string> concept_names_;
+  std::vector<int32_t> concept_topic_;
+  std::vector<int32_t> concept_aspect_;
+  std::unordered_map<std::string, int32_t> surface_to_concept_;
+};
+
+}  // namespace mira::embed
+
+#endif  // MIRA_EMBED_LEXICON_H_

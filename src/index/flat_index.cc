@@ -1,0 +1,61 @@
+#include "index/flat_index.h"
+
+#include "common/string_util.h"
+
+namespace mira::index {
+
+FlatIndex::FlatIndex(vecmath::Metric metric) : metric_(metric) {}
+
+Status FlatIndex::Add(uint64_t id, const vecmath::Vec& vector) {
+  if (built_) return Status::FailedPrecondition("flat: index already built");
+  if (!vectors_.empty() && vector.size() != vectors_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("flat: dim mismatch (%zu vs %zu)", vector.size(),
+                  vectors_.cols()));
+  }
+  if (metric_ == vecmath::Metric::kCosine) {
+    vectors_.AppendRow(vecmath::Normalized(vector));
+  } else {
+    vectors_.AppendRow(vector);
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+Status FlatIndex::Build() {
+  if (built_) return Status::FailedPrecondition("flat: Build called twice");
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<vecmath::ScoredId>> FlatIndex::Search(
+    const vecmath::Vec& query, const SearchParams& params) const {
+  if (!built_) return Status::FailedPrecondition("flat: Build() not called");
+  if (query.size() != vectors_.cols() && !vectors_.empty()) {
+    return Status::InvalidArgument("flat: query dim mismatch");
+  }
+  vecmath::Vec q = metric_ == vecmath::Metric::kCosine
+                       ? vecmath::Normalized(query)
+                       : query;
+  vecmath::TopK top(params.k);
+  const size_t n = ids_.size();
+  const size_t d = vectors_.cols();
+  for (size_t i = 0; i < n; ++i) {
+    float sim;
+    if (metric_ == vecmath::Metric::kCosine) {
+      // Rows and query are pre-normalized; cosine reduces to a dot product.
+      sim = vecmath::Dot(q.data(), vectors_.Row(i), d);
+    } else {
+      sim = vecmath::MetricSimilarity(metric_, q.data(), vectors_.Row(i), d);
+    }
+    top.Push(ids_[i], sim);
+  }
+  return top.Take();
+}
+
+size_t FlatIndex::MemoryBytes() const {
+  return vectors_.data().size() * sizeof(float) +
+         ids_.size() * sizeof(uint64_t);
+}
+
+}  // namespace mira::index

@@ -1,0 +1,42 @@
+#ifndef MIRA_INDEX_FLAT_INDEX_H_
+#define MIRA_INDEX_FLAT_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "vecmath/matrix.h"
+
+namespace mira::index {
+
+/// Exact brute-force index: the storage backend of Exhaustive Search (§4.1)
+/// and the ground-truth oracle for ANN recall tests.
+class FlatIndex final : public VectorIndex {
+ public:
+  explicit FlatIndex(vecmath::Metric metric = vecmath::Metric::kCosine);
+
+  Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  Status Build() override;
+  Result<std::vector<vecmath::ScoredId>> Search(
+      const vecmath::Vec& query, const SearchParams& params) const override;
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return vectors_.cols(); }
+  vecmath::Metric metric() const override { return metric_; }
+  std::string name() const override { return "flat"; }
+  size_t MemoryBytes() const override;
+
+  /// Direct access for callers that stream over all vectors (ExS).
+  const vecmath::Matrix& vectors() const { return vectors_; }
+  const std::vector<uint64_t>& ids() const { return ids_; }
+
+ private:
+  vecmath::Metric metric_;
+  vecmath::Matrix vectors_;
+  std::vector<uint64_t> ids_;
+  bool built_ = false;
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_FLAT_INDEX_H_

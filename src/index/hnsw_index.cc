@@ -1,0 +1,356 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mira::index {
+
+HnswIndex::HnswIndex(HnswOptions options) : options_(options) {
+  MIRA_CHECK(options_.M >= 2);
+  level_mult_ = 1.0 / std::log(static_cast<double>(options_.M));
+  rng_state_ = SplitMix64(options_.seed);
+}
+
+float HnswIndex::ExactDistance(const float* query, uint32_t node) const {
+  const float* v = vectors_.Row(node);
+  const size_t d = vectors_.cols();
+  switch (options_.metric) {
+    case vecmath::Metric::kCosine:
+    case vecmath::Metric::kL2:
+      return vecmath::SquaredL2(query, v, d);
+    case vecmath::Metric::kDot:
+      return -vecmath::Dot(query, v, d);
+  }
+  return 0.f;
+}
+
+float HnswIndex::OutputSimilarity(float internal_distance) const {
+  switch (options_.metric) {
+    case vecmath::Metric::kCosine:
+      // Vectors are unit-norm; |a-b|^2 = 2 - 2 cos.
+      return 1.0f - internal_distance / 2.0f;
+    case vecmath::Metric::kL2:
+      return -internal_distance;
+    case vecmath::Metric::kDot:
+      return -internal_distance;
+  }
+  return 0.f;
+}
+
+Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
+  if (built_) return Status::FailedPrecondition("hnsw: index already built");
+  if (!vectors_.empty() && vector.size() != vectors_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("hnsw: dim mismatch (%zu vs %zu)", vector.size(),
+                  vectors_.cols()));
+  }
+  if (options_.metric == vecmath::Metric::kCosine) {
+    vectors_.AppendRow(vecmath::Normalized(vector));
+  } else {
+    vectors_.AppendRow(vector);
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+int HnswIndex::DrawLevel() {
+  rng_state_ = SplitMix64(rng_state_);
+  double u = static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+  if (u <= 0.0) u = 1e-300;
+  return static_cast<int>(std::floor(-std::log(u) * level_mult_));
+}
+
+uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
+                                  int level) const {
+  uint32_t current = entry;
+  float current_dist = ExactDistance(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t nb : links_[current][level]) {
+      float d = ExactDistance(query, nb);
+      if (d < current_dist) {
+        current = nb;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
+                                                         uint32_t entry,
+                                                         size_t ef,
+                                                         int level) const {
+  // Min-heap of frontier candidates, max-heap of current best ef results.
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> frontier;
+  std::priority_queue<Candidate> best;
+  std::unordered_set<uint32_t> visited;
+
+  float d0 = ExactDistance(query, entry);
+  frontier.push({d0, entry});
+  best.push({d0, entry});
+  visited.insert(entry);
+
+  while (!frontier.empty()) {
+    Candidate c = frontier.top();
+    frontier.pop();
+    if (best.size() >= ef && c.distance > best.top().distance) break;
+    for (uint32_t nb : links_[c.node][level]) {
+      if (!visited.insert(nb).second) continue;
+      float d = ExactDistance(query, nb);
+      if (best.size() < ef || d < best.top().distance) {
+        frontier.push({d, nb});
+        best.push({d, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    out[i - 1] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
+                                     uint32_t entry, int level) const {
+  const size_t bytes = pq_->code_bytes();
+  auto dist = [&](uint32_t node) {
+    return pq_->AdcDistance(table, codes_.data() + node * bytes);
+  };
+  uint32_t current = entry;
+  float current_dist = dist(current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t nb : links_[current][level]) {
+      float d = dist(nb);
+      if (d < current_dist) {
+        current = nb;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayerAdc(
+    const std::vector<float>& table, uint32_t entry, size_t ef,
+    int level) const {
+  const size_t bytes = pq_->code_bytes();
+  auto dist = [&](uint32_t node) {
+    return pq_->AdcDistance(table, codes_.data() + node * bytes);
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> frontier;
+  std::priority_queue<Candidate> best;
+  std::unordered_set<uint32_t> visited;
+
+  float d0 = dist(entry);
+  frontier.push({d0, entry});
+  best.push({d0, entry});
+  visited.insert(entry);
+
+  while (!frontier.empty()) {
+    Candidate c = frontier.top();
+    frontier.pop();
+    if (best.size() >= ef && c.distance > best.top().distance) break;
+    for (uint32_t nb : links_[c.node][level]) {
+      if (!visited.insert(nb).second) continue;
+      float d = dist(nb);
+      if (best.size() < ef || d < best.top().distance) {
+        frontier.push({d, nb});
+        best.push({d, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    out[i - 1] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    uint32_t base, const std::vector<Candidate>& candidates,
+    size_t max_neighbors) const {
+  // Heuristic of [29], Algorithm 4: take a candidate only if it is closer to
+  // the base point than to every already-selected neighbor; this keeps the
+  // graph navigable by spreading edges across directions. Pruned candidates
+  // backfill remaining slots (keepPrunedConnections).
+  std::vector<uint32_t> selected;
+  std::vector<uint32_t> pruned;
+  for (const Candidate& c : candidates) {
+    if (c.node == base) continue;
+    if (selected.size() >= max_neighbors) break;
+    bool diverse = true;
+    for (uint32_t s : selected) {
+      float d_cs = ExactDistance(vectors_.Row(c.node), s);
+      if (d_cs < c.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(c.node);
+    } else {
+      pruned.push_back(c.node);
+    }
+  }
+  for (uint32_t p : pruned) {
+    if (selected.size() >= max_neighbors) break;
+    selected.push_back(p);
+  }
+  return selected;
+}
+
+void HnswIndex::Connect(uint32_t from, uint32_t to, int level) {
+  auto& list = links_[from][level];
+  if (std::find(list.begin(), list.end(), to) != list.end()) return;
+  list.push_back(to);
+  size_t cap = MaxDegree(level);
+  if (list.size() <= cap) return;
+  // Overflow: re-select the best `cap` neighbors with the heuristic.
+  std::vector<Candidate> candidates;
+  candidates.reserve(list.size());
+  const float* base_vec = vectors_.Row(from);
+  for (uint32_t nb : list) {
+    candidates.push_back({ExactDistance(base_vec, nb), nb});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  list = SelectNeighbors(from, candidates, cap);
+}
+
+void HnswIndex::InsertNode(uint32_t node) {
+  int level = levels_[node];
+  if (max_level_ < 0) {
+    entry_point_ = node;
+    max_level_ = level;
+    return;
+  }
+
+  const float* query = vectors_.Row(node);
+  uint32_t ep = entry_point_;
+  for (int l = max_level_; l > level; --l) {
+    ep = GreedyClosest(query, ep, l);
+  }
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<Candidate> beam =
+        SearchLayer(query, ep, options_.ef_construction, l);
+    std::vector<uint32_t> neighbors =
+        SelectNeighbors(node, beam, options_.M);
+    for (uint32_t nb : neighbors) {
+      Connect(node, nb, l);
+      Connect(nb, node, l);
+    }
+    if (!beam.empty()) ep = beam.front().node;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+Status HnswIndex::Build() {
+  if (built_) return Status::FailedPrecondition("hnsw: Build called twice");
+  if (ids_.empty()) return Status::FailedPrecondition("hnsw: no vectors added");
+
+  const size_t n = ids_.size();
+  levels_.resize(n);
+  links_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    levels_[i] = DrawLevel();
+    links_[i].resize(levels_[i] + 1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    InsertNode(static_cast<uint32_t>(i));
+  }
+
+  if (options_.quantization.has_value()) {
+    if (options_.metric == vecmath::Metric::kDot) {
+      return Status::NotImplemented("hnsw: quantization requires cosine or l2");
+    }
+    MIRA_ASSIGN_OR_RETURN(auto pq,
+                          ProductQuantizer::Train(vectors_, *options_.quantization));
+    pq_ = std::move(pq);
+    codes_.resize(n * pq_->code_bytes());
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<uint8_t> code = pq_->Encode(vectors_.RowVec(i));
+      std::copy(code.begin(), code.end(), codes_.begin() + i * pq_->code_bytes());
+    }
+  }
+
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
+    const vecmath::Vec& query, const SearchParams& params) const {
+  if (!built_) return Status::FailedPrecondition("hnsw: Build() not called");
+  if (query.size() != vectors_.cols()) {
+    return Status::InvalidArgument("hnsw: query dim mismatch");
+  }
+  vecmath::Vec q = options_.metric == vecmath::Metric::kCosine
+                       ? vecmath::Normalized(query)
+                       : query;
+  size_t ef = std::max(params.ef == 0 ? options_.ef_search : params.ef, params.k);
+
+  std::vector<Candidate> beam;
+  if (pq_.has_value()) {
+    std::vector<float> table = pq_->ComputeDistanceTable(q);
+    uint32_t ep = entry_point_;
+    for (int l = max_level_; l >= 1; --l) {
+      ep = GreedyClosestAdc(table, ep, l);
+    }
+    beam = SearchLayerAdc(table, ep, ef, 0);
+    // Rescore the beam with exact distances.
+    for (Candidate& c : beam) {
+      c.distance = ExactDistance(q.data(), c.node);
+    }
+    std::sort(beam.begin(), beam.end());
+  } else {
+    uint32_t ep = entry_point_;
+    for (int l = max_level_; l >= 1; --l) {
+      ep = GreedyClosest(q.data(), ep, l);
+    }
+    beam = SearchLayer(q.data(), ep, ef, 0);
+  }
+
+  std::vector<vecmath::ScoredId> out;
+  out.reserve(std::min(params.k, beam.size()));
+  for (size_t i = 0; i < beam.size() && i < params.k; ++i) {
+    out.push_back({ids_[beam[i].node], OutputSimilarity(beam[i].distance)});
+  }
+  return out;
+}
+
+size_t HnswIndex::Degree(uint32_t node, int level) const {
+  MIRA_CHECK(node < links_.size());
+  if (level < 0 || static_cast<size_t>(level) >= links_[node].size()) return 0;
+  return links_[node][level].size();
+}
+
+size_t HnswIndex::MemoryBytes() const {
+  size_t bytes = vectors_.data().size() * sizeof(float) +
+                 ids_.size() * sizeof(uint64_t) + codes_.size();
+  for (const auto& node : links_) {
+    for (const auto& level : node) {
+      bytes += level.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mira::index

@@ -1,0 +1,121 @@
+#ifndef MIRA_INDEX_HNSW_INDEX_H_
+#define MIRA_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/product_quantizer.h"
+#include "index/vector_index.h"
+#include "vecmath/matrix.h"
+
+namespace mira::index {
+
+/// Hierarchical Navigable Small World graph (Malkov & Yashunin [29]): a
+/// multi-layer proximity graph in which each element's maximum layer is drawn
+/// from an exponentially decaying distribution; upper layers provide long
+/// hops, layer 0 holds everyone. Search greedily descends the hierarchy and
+/// finishes with a beam (ef) search on layer 0 — pruning the search space
+/// exactly as §4.2 describes.
+struct HnswOptions {
+  /// Max out-degree per node on layers > 0 (layer 0 allows 2M).
+  size_t M = 16;
+  /// Beam width during construction.
+  size_t ef_construction = 200;
+  /// Default beam width during search (override per query via
+  /// SearchParams::ef).
+  size_t ef_search = 64;
+  vecmath::Metric metric = vecmath::Metric::kCosine;
+  uint64_t seed = 7;
+  /// When set, vectors are additionally Product-Quantization compressed at
+  /// Build() time and layer-0 traversal runs on ADC lookups, with the final
+  /// beam rescored against the exact vectors (Qdrant-style quantized search
+  /// with rescoring). kDot is not supported with quantization.
+  std::optional<PqOptions> quantization;
+};
+
+class HnswIndex final : public VectorIndex {
+ public:
+  explicit HnswIndex(HnswOptions options = {});
+
+  Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  Status Build() override;
+  Result<std::vector<vecmath::ScoredId>> Search(
+      const vecmath::Vec& query, const SearchParams& params) const override;
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return vectors_.cols(); }
+  vecmath::Metric metric() const override { return options_.metric; }
+  std::string name() const override {
+    return options_.quantization ? "hnsw+pq" : "hnsw";
+  }
+  size_t MemoryBytes() const override;
+
+  /// Max layer of the built graph (diagnostic).
+  int max_level() const { return max_level_; }
+  /// Out-degree of a node on a layer (diagnostic/testing).
+  size_t Degree(uint32_t node, int level) const;
+  const HnswOptions& options() const { return options_; }
+
+ private:
+  struct Candidate {
+    float distance;
+    uint32_t node;
+    bool operator<(const Candidate& other) const {
+      return distance < other.distance ||
+             (distance == other.distance && node < other.node);
+    }
+    bool operator>(const Candidate& other) const { return other < *this; }
+  };
+
+  /// Internal distance (lower = closer): squared L2 for kCosine (vectors
+  /// normalized at Add) and kL2, negative dot for kDot.
+  float ExactDistance(const float* query, uint32_t node) const;
+  float OutputSimilarity(float internal_distance) const;
+
+  int DrawLevel();
+  /// Greedy hill-climb toward the query on one layer; returns the local
+  /// minimum node.
+  uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const;
+  /// Beam search on one layer; returns candidates sorted by distance.
+  std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
+                                     size_t ef, int level) const;
+  /// ADC variants used for quantized search.
+  uint32_t GreedyClosestAdc(const std::vector<float>& table, uint32_t entry,
+                            int level) const;
+  std::vector<Candidate> SearchLayerAdc(const std::vector<float>& table,
+                                        uint32_t entry, size_t ef,
+                                        int level) const;
+  /// Diversifying neighbor selection (Algorithm 4 of [29]).
+  std::vector<uint32_t> SelectNeighbors(uint32_t base,
+                                        const std::vector<Candidate>& candidates,
+                                        size_t max_neighbors) const;
+  void Connect(uint32_t from, uint32_t to, int level);
+  void InsertNode(uint32_t node);
+
+  size_t MaxDegree(int level) const {
+    return level == 0 ? options_.M * 2 : options_.M;
+  }
+
+  HnswOptions options_;
+  double level_mult_ = 0.0;
+  uint64_t rng_state_ = 0;
+
+  vecmath::Matrix vectors_;
+  std::vector<uint64_t> ids_;
+  std::vector<int> levels_;
+  /// links_[node][level] = neighbor list.
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+  bool built_ = false;
+
+  std::optional<ProductQuantizer> pq_;
+  std::vector<uint8_t> codes_;  // size() * code_bytes when quantized
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_HNSW_INDEX_H_

@@ -1,0 +1,107 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "common/string_util.h"
+
+namespace mira::index {
+
+IvfIndex::IvfIndex(IvfOptions options) : options_(options) {}
+
+Status IvfIndex::Add(uint64_t id, const vecmath::Vec& vector) {
+  if (built_) return Status::FailedPrecondition("ivf: index already built");
+  if (!vectors_.empty() && vector.size() != vectors_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("ivf: dim mismatch (%zu vs %zu)", vector.size(),
+                  vectors_.cols()));
+  }
+  if (options_.metric == vecmath::Metric::kCosine) {
+    vectors_.AppendRow(vecmath::Normalized(vector));
+  } else {
+    vectors_.AppendRow(vector);
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+Status IvfIndex::Build() {
+  if (built_) return Status::FailedPrecondition("ivf: Build called twice");
+  if (ids_.empty()) return Status::FailedPrecondition("ivf: no vectors added");
+  const size_t n = ids_.size();
+  size_t nlist = options_.nlist;
+  if (nlist == 0) {
+    nlist = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(n))));
+  }
+  nlist = std::min(nlist, n);
+
+  cluster::KMeansOptions km;
+  km.num_clusters = nlist;
+  km.max_iterations = options_.train_iterations;
+  km.seed = options_.seed;
+  MIRA_ASSIGN_OR_RETURN(auto result, cluster::KMeans(vectors_, km));
+  centroids_ = std::move(result.centroids);
+  lists_.assign(nlist, {});
+  for (size_t i = 0; i < n; ++i) {
+    lists_[static_cast<size_t>(result.assignments[i])].push_back(
+        static_cast<uint32_t>(i));
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<vecmath::ScoredId>> IvfIndex::Search(
+    const vecmath::Vec& query, const SearchParams& params) const {
+  if (!built_) return Status::FailedPrecondition("ivf: Build() not called");
+  if (query.size() != vectors_.cols()) {
+    return Status::InvalidArgument("ivf: query dim mismatch");
+  }
+  vecmath::Vec q = options_.metric == vecmath::Metric::kCosine
+                       ? vecmath::Normalized(query)
+                       : query;
+  const size_t d = vectors_.cols();
+  size_t nprobe = params.ef != 0 ? params.ef : options_.nprobe;
+  nprobe = std::min(nprobe, centroids_.rows());
+
+  // Rank cells by centroid similarity.
+  vecmath::TopK cell_top(nprobe);
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    cell_top.Push(c, vecmath::MetricSimilarity(options_.metric, q.data(),
+                                               centroids_.Row(c), d));
+  }
+
+  // Exact scan of the selected inverted lists.
+  vecmath::TopK top(params.k);
+  for (const auto& cell : cell_top.Take()) {
+    for (uint32_t row : lists_[cell.id]) {
+      float sim;
+      if (options_.metric == vecmath::Metric::kCosine) {
+        sim = vecmath::Dot(q.data(), vectors_.Row(row), d);
+      } else {
+        sim = vecmath::MetricSimilarity(options_.metric, q.data(),
+                                        vectors_.Row(row), d);
+      }
+      top.Push(ids_[row], sim);
+    }
+  }
+  return top.Take();
+}
+
+std::vector<size_t> IvfIndex::ListSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(lists_.size());
+  for (const auto& list : lists_) sizes.push_back(list.size());
+  return sizes;
+}
+
+size_t IvfIndex::MemoryBytes() const {
+  size_t bytes = vectors_.data().size() * sizeof(float) +
+                 centroids_.data().size() * sizeof(float) +
+                 ids_.size() * sizeof(uint64_t);
+  for (const auto& list : lists_) bytes += list.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace mira::index

@@ -1,0 +1,59 @@
+#ifndef MIRA_INDEX_IVF_INDEX_H_
+#define MIRA_INDEX_IVF_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "vecmath/matrix.h"
+
+namespace mira::index {
+
+/// Inverted-file index (IVF-Flat): vectors are partitioned into `nlist`
+/// k-means cells; a query scans only the `nprobe` nearest cells. The classic
+/// FAISS-style alternative to HNSW — included as an ablation point between
+/// brute force and graph search, and as a structural cousin of CTS (whose
+/// HDBSCAN clusters play the role of learned, density-based cells).
+struct IvfOptions {
+  /// Number of coarse cells. 0 = ~sqrt(n) at Build time.
+  size_t nlist = 0;
+  /// Cells probed per query (overridable per query via SearchParams::ef).
+  size_t nprobe = 8;
+  size_t train_iterations = 15;
+  vecmath::Metric metric = vecmath::Metric::kCosine;
+  uint64_t seed = 17;
+};
+
+class IvfIndex final : public VectorIndex {
+ public:
+  explicit IvfIndex(IvfOptions options = {});
+
+  Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  Status Build() override;
+  /// SearchParams::ef, when non-zero, overrides nprobe.
+  Result<std::vector<vecmath::ScoredId>> Search(
+      const vecmath::Vec& query, const SearchParams& params) const override;
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return vectors_.cols(); }
+  vecmath::Metric metric() const override { return options_.metric; }
+  std::string name() const override { return "ivf-flat"; }
+  size_t MemoryBytes() const override;
+
+  size_t num_lists() const { return centroids_.rows(); }
+  /// Size of each inverted list (diagnostic).
+  std::vector<size_t> ListSizes() const;
+
+ private:
+  IvfOptions options_;
+  vecmath::Matrix vectors_;
+  std::vector<uint64_t> ids_;
+  vecmath::Matrix centroids_;
+  /// lists_[cell] = row indices assigned to that cell.
+  std::vector<std::vector<uint32_t>> lists_;
+  bool built_ = false;
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_IVF_INDEX_H_

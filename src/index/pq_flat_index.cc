@@ -1,0 +1,112 @@
+#include "index/pq_flat_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mira::index {
+
+PqFlatIndex::PqFlatIndex(PqFlatOptions options) : options_(options) {}
+
+Status PqFlatIndex::Add(uint64_t id, const vecmath::Vec& vector) {
+  if (built_) return Status::FailedPrecondition("pq-flat: index already built");
+  if (options_.metric == vecmath::Metric::kDot) {
+    return Status::NotImplemented("pq-flat: requires cosine or l2 metric");
+  }
+  if (dim_ == 0) {
+    dim_ = vector.size();
+  } else if (vector.size() != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("pq-flat: dim mismatch (%zu vs %zu)", vector.size(), dim_));
+  }
+  if (options_.metric == vecmath::Metric::kCosine) {
+    originals_.AppendRow(vecmath::Normalized(vector));
+  } else {
+    originals_.AppendRow(vector);
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+Status PqFlatIndex::Build() {
+  if (built_) return Status::FailedPrecondition("pq-flat: Build called twice");
+  if (ids_.empty()) return Status::FailedPrecondition("pq-flat: no vectors");
+  MIRA_ASSIGN_OR_RETURN(auto pq, ProductQuantizer::Train(originals_, options_.pq));
+  pq_ = std::move(pq);
+  codes_.resize(ids_.size() * pq_->code_bytes());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    std::vector<uint8_t> code = pq_->Encode(originals_.RowVec(i));
+    std::copy(code.begin(), code.end(), codes_.begin() + i * pq_->code_bytes());
+  }
+  if (options_.rescore_factor == 0) {
+    // Pure-ADC mode: exact vectors are no longer needed, drop them — this is
+    // the storage saving PQ exists for.
+    originals_ = vecmath::Matrix();
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
+    const vecmath::Vec& query, const SearchParams& params) const {
+  if (!built_) return Status::FailedPrecondition("pq-flat: Build() not called");
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("pq-flat: query dim mismatch");
+  }
+  vecmath::Vec q = options_.metric == vecmath::Metric::kCosine
+                       ? vecmath::Normalized(query)
+                       : query;
+  std::vector<float> table = pq_->ComputeDistanceTable(q);
+  const size_t bytes = pq_->code_bytes();
+  const size_t n = ids_.size();
+
+  size_t shortlist =
+      options_.rescore_factor == 0
+          ? params.k
+          : std::min(n, params.k * options_.rescore_factor);
+
+  // ADC scan keeping the `shortlist` nearest codes. TopK keeps the *highest*
+  // scores, so negate distances.
+  vecmath::TopK adc_top(shortlist);
+  for (size_t i = 0; i < n; ++i) {
+    float d = pq_->AdcDistance(table, codes_.data() + i * bytes);
+    adc_top.Push(i, -d);  // id slot reused as internal row number
+  }
+  std::vector<vecmath::ScoredId> shortlist_rows = adc_top.Take();
+
+  auto to_similarity = [this](float sq_l2) {
+    return options_.metric == vecmath::Metric::kCosine ? 1.0f - sq_l2 / 2.0f
+                                                       : -sq_l2;
+  };
+
+  std::vector<vecmath::ScoredId> out;
+  if (options_.rescore_factor == 0) {
+    out.reserve(shortlist_rows.size());
+    for (const auto& row : shortlist_rows) {
+      out.push_back({ids_[row.id], to_similarity(-row.score)});
+    }
+    return out;
+  }
+
+  vecmath::TopK exact_top(params.k);
+  for (const auto& row : shortlist_rows) {
+    float d = vecmath::SquaredL2(q.data(), originals_.Row(row.id), dim_);
+    exact_top.Push(row.id, -d);
+  }
+  std::vector<vecmath::ScoredId> best = exact_top.Take();
+  out.reserve(best.size());
+  for (const auto& row : best) {
+    out.push_back({ids_[row.id], to_similarity(-row.score)});
+  }
+  return out;
+}
+
+size_t PqFlatIndex::MemoryBytes() const {
+  return codes_.size() + ids_.size() * sizeof(uint64_t) +
+         originals_.data().size() * sizeof(float) +
+         (pq_ ? pq_->num_subquantizers() * pq_->codebook_size() *
+                    pq_->sub_dim() * sizeof(float)
+              : 0);
+}
+
+}  // namespace mira::index

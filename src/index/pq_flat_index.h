@@ -1,0 +1,58 @@
+#ifndef MIRA_INDEX_PQ_FLAT_INDEX_H_
+#define MIRA_INDEX_PQ_FLAT_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/product_quantizer.h"
+#include "index/vector_index.h"
+#include "vecmath/matrix.h"
+
+namespace mira::index {
+
+/// PQ-compressed linear-scan index: every vector is stored only as its m-byte
+/// PQ code; queries scan all codes with ADC lookups, optionally rescoring the
+/// best `rescore_factor * k` candidates against the exact vectors. Sits
+/// between FlatIndex (exact, large) and HnswIndex (graph) in the ablation
+/// space; demonstrates PQ's storage reduction in isolation.
+struct PqFlatOptions {
+  PqOptions pq;
+  vecmath::Metric metric = vecmath::Metric::kCosine;
+  /// 0 disables rescoring (pure ADC ranking); otherwise the top
+  /// rescore_factor*k ADC candidates are re-ranked exactly.
+  size_t rescore_factor = 4;
+};
+
+class PqFlatIndex final : public VectorIndex {
+ public:
+  explicit PqFlatIndex(PqFlatOptions options = {});
+
+  Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  Status Build() override;
+  Result<std::vector<vecmath::ScoredId>> Search(
+      const vecmath::Vec& query, const SearchParams& params) const override;
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return dim_; }
+  vecmath::Metric metric() const override { return options_.metric; }
+  std::string name() const override { return "pq-flat"; }
+  size_t MemoryBytes() const override;
+
+  const ProductQuantizer* quantizer() const {
+    return pq_.has_value() ? &*pq_ : nullptr;
+  }
+
+ private:
+  PqFlatOptions options_;
+  size_t dim_ = 0;
+  std::vector<uint64_t> ids_;
+  vecmath::Matrix originals_;  // kept only when rescoring is enabled
+  std::optional<ProductQuantizer> pq_;
+  std::vector<uint8_t> codes_;
+  bool built_ = false;
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_PQ_FLAT_INDEX_H_

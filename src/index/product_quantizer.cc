@@ -1,0 +1,142 @@
+#include "index/product_quantizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mira::index {
+
+Result<ProductQuantizer> ProductQuantizer::Train(
+    const vecmath::Matrix& training_data, const PqOptions& options) {
+  if (options.nbits != 8) {
+    return Status::NotImplemented("pq: only nbits=8 is supported");
+  }
+  const size_t dim = training_data.cols();
+  const size_t m = options.num_subquantizers;
+  if (m == 0 || dim % m != 0) {
+    return Status::InvalidArgument(
+        StrFormat("pq: %zu subquantizers do not divide dim %zu", m, dim));
+  }
+  const size_t ksub = 1u << options.nbits;
+  size_t n = training_data.rows();
+
+  // Optional training-row subsample.
+  std::vector<size_t> train_rows;
+  if (options.max_training_rows > 0 && n > options.max_training_rows) {
+    Rng sample_rng(options.seed ^ 0x5A4D91E5ULL);
+    train_rows =
+        sample_rng.SampleWithoutReplacement(n, options.max_training_rows);
+    std::sort(train_rows.begin(), train_rows.end());
+    n = train_rows.size();
+  } else {
+    train_rows.resize(n);
+    for (size_t i = 0; i < n; ++i) train_rows[i] = i;
+  }
+  // k-means needs at least as many points as centroids; cap the codebook at
+  // the training size if the corpus is tiny (keeps small tests usable).
+  const size_t effective_ksub = std::min(ksub, n);
+  if (effective_ksub == 0) {
+    return Status::InvalidArgument("pq: empty training data");
+  }
+
+  ProductQuantizer pq;
+  pq.dim_ = dim;
+  pq.m_ = m;
+  pq.sub_dim_ = dim / m;
+  pq.ksub_ = ksub;
+  pq.codebooks_.assign(m * ksub * pq.sub_dim_, 0.f);
+
+  for (size_t s = 0; s < m; ++s) {
+    // Slice out subspace s.
+    vecmath::Matrix sub(n, pq.sub_dim_);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = training_data.Row(train_rows[i]) + s * pq.sub_dim_;
+      std::copy(row, row + pq.sub_dim_, sub.Row(i));
+    }
+    cluster::KMeansOptions km;
+    km.num_clusters = effective_ksub;
+    km.max_iterations = options.train_iterations;
+    km.seed = options.seed + s * 7919;
+    MIRA_ASSIGN_OR_RETURN(auto result, cluster::KMeans(sub, km));
+    for (size_t c = 0; c < effective_ksub; ++c) {
+      float* dst = pq.codebooks_.data() + ((s * ksub) + c) * pq.sub_dim_;
+      std::copy(result.centroids.Row(c), result.centroids.Row(c) + pq.sub_dim_,
+                dst);
+    }
+    // Unused codebook slots (tiny training sets) duplicate centroid 0 so any
+    // code decodes to something sane.
+    for (size_t c = effective_ksub; c < ksub; ++c) {
+      float* dst = pq.codebooks_.data() + ((s * ksub) + c) * pq.sub_dim_;
+      const float* src = pq.codebooks_.data() + (s * ksub) * pq.sub_dim_;
+      std::copy(src, src + pq.sub_dim_, dst);
+    }
+  }
+  return pq;
+}
+
+std::vector<uint8_t> ProductQuantizer::Encode(const vecmath::Vec& vector) const {
+  std::vector<uint8_t> codes(m_);
+  for (size_t s = 0; s < m_; ++s) {
+    const float* sub = vector.data() + s * sub_dim_;
+    float best = std::numeric_limits<float>::max();
+    size_t best_c = 0;
+    const float* base = codebooks_.data() + (s * ksub_) * sub_dim_;
+    for (size_t c = 0; c < ksub_; ++c) {
+      float d = vecmath::SquaredL2(sub, base + c * sub_dim_, sub_dim_);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    codes[s] = static_cast<uint8_t>(best_c);
+  }
+  return codes;
+}
+
+vecmath::Vec ProductQuantizer::Decode(const std::vector<uint8_t>& codes) const {
+  vecmath::Vec out(dim_, 0.f);
+  for (size_t s = 0; s < m_; ++s) {
+    const float* centroid =
+        codebooks_.data() + ((s * ksub_) + codes[s]) * sub_dim_;
+    std::copy(centroid, centroid + sub_dim_, out.data() + s * sub_dim_);
+  }
+  return out;
+}
+
+std::vector<float> ProductQuantizer::ComputeDistanceTable(
+    const vecmath::Vec& query) const {
+  std::vector<float> table(m_ * ksub_);
+  for (size_t s = 0; s < m_; ++s) {
+    const float* sub = query.data() + s * sub_dim_;
+    const float* base = codebooks_.data() + (s * ksub_) * sub_dim_;
+    for (size_t c = 0; c < ksub_; ++c) {
+      table[s * ksub_ + c] = vecmath::SquaredL2(sub, base + c * sub_dim_, sub_dim_);
+    }
+  }
+  return table;
+}
+
+float ProductQuantizer::AdcDistance(const std::vector<float>& table,
+                                    const uint8_t* codes) const {
+  float sum = 0.f;
+  for (size_t s = 0; s < m_; ++s) {
+    sum += table[s * ksub_ + codes[s]];
+  }
+  return sum;
+}
+
+double ProductQuantizer::ReconstructionError(const vecmath::Matrix& data) const {
+  if (data.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    vecmath::Vec row = data.RowVec(i);
+    vecmath::Vec rec = Decode(Encode(row));
+    total += vecmath::SquaredL2(row, rec);
+  }
+  return total / static_cast<double>(data.rows());
+}
+
+}  // namespace mira::index

@@ -1,0 +1,77 @@
+#ifndef MIRA_INDEX_PRODUCT_QUANTIZER_H_
+#define MIRA_INDEX_PRODUCT_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "vecmath/matrix.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::index {
+
+/// Product Quantization (Jégou et al. [19]): splits a D-dim vector into m
+/// subvectors of D/m dims each, quantizing every subvector against its own
+/// k-means codebook of 2^nbits centroids. A vector compresses to m bytes
+/// (nbits = 8), and query-to-code distances are computed by table lookups
+/// (Asymmetric Distance Computation) instead of float dot products — the
+/// storage/compute reduction the ANNS method relies on (§4.2).
+struct PqOptions {
+  /// Number of subquantizers m; must divide the vector dimension.
+  size_t num_subquantizers = 16;
+  /// Bits per code; codebook size is 2^nbits. Only 8 is supported (1 byte).
+  size_t nbits = 8;
+  /// k-means iterations per codebook.
+  size_t train_iterations = 12;
+  /// Codebooks are trained on at most this many rows (uniform deterministic
+  /// sample); 0 = all rows. 256-centroid codebooks converge long before the
+  /// corpus is exhausted, so sampling buys large build-time savings.
+  size_t max_training_rows = 4096;
+  uint64_t seed = 1234;
+};
+
+class ProductQuantizer {
+ public:
+  /// Trains codebooks on the rows of `training_data` (>= 2^nbits rows).
+  static Result<ProductQuantizer> Train(const vecmath::Matrix& training_data,
+                                        const PqOptions& options);
+
+  /// Quantizes a vector to m one-byte codes.
+  std::vector<uint8_t> Encode(const vecmath::Vec& vector) const;
+
+  /// Reconstructs the centroid approximation of a code sequence.
+  vecmath::Vec Decode(const std::vector<uint8_t>& codes) const;
+
+  /// Precomputed query-to-centroid table: entry [s * ksub + c] is the squared
+  /// L2 distance between query subvector s and centroid c of subquantizer s.
+  std::vector<float> ComputeDistanceTable(const vecmath::Vec& query) const;
+
+  /// Squared L2 distance between the query (via its distance table) and an
+  /// encoded vector: the ADC sum of m table lookups.
+  float AdcDistance(const std::vector<float>& table,
+                    const uint8_t* codes) const;
+
+  size_t dim() const { return dim_; }
+  size_t num_subquantizers() const { return m_; }
+  size_t sub_dim() const { return sub_dim_; }
+  size_t codebook_size() const { return ksub_; }
+  size_t code_bytes() const { return m_; }
+
+  /// Mean squared reconstruction error over the rows of `data` (diagnostic).
+  double ReconstructionError(const vecmath::Matrix& data) const;
+
+ private:
+  ProductQuantizer() = default;
+
+  size_t dim_ = 0;
+  size_t m_ = 0;
+  size_t sub_dim_ = 0;
+  size_t ksub_ = 0;
+  /// m_ codebooks, each ksub_ x sub_dim_, stored concatenated row-major:
+  /// centroid c of subquantizer s starts at ((s * ksub_) + c) * sub_dim_.
+  std::vector<float> codebooks_;
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_PRODUCT_QUANTIZER_H_

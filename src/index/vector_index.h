@@ -1,0 +1,57 @@
+#ifndef MIRA_INDEX_VECTOR_INDEX_H_
+#define MIRA_INDEX_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vecmath/distance.h"
+#include "vecmath/top_k.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::index {
+
+/// Per-query knobs.
+struct SearchParams {
+  /// Number of results requested.
+  size_t k = 10;
+  /// Beam width for graph indexes (HNSW ef); 0 means the index default.
+  size_t ef = 0;
+};
+
+/// Common interface of MIRA's vector indexes (flat, PQ-flat, HNSW).
+///
+/// Lifecycle: Add() all vectors, then Build() exactly once, then Search().
+/// Scores returned by Search are *similarities* under the index metric
+/// (higher = closer; for cosine the actual cosine value), so callers can
+/// compare them against the paper's threshold h directly.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Registers a vector under an external id. Ids must be unique; dimensions
+  /// must agree across calls. Fails after Build().
+  virtual Status Add(uint64_t id, const vecmath::Vec& vector) = 0;
+
+  /// Finalizes the index (graph construction, quantizer training, ...).
+  virtual Status Build() = 0;
+
+  /// k-nearest search. Fails before Build().
+  virtual Result<std::vector<vecmath::ScoredId>> Search(
+      const vecmath::Vec& query, const SearchParams& params) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t dim() const = 0;
+  virtual vecmath::Metric metric() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Approximate resident bytes of the search structures (used by the
+  /// storage-reduction experiments).
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace mira::index
+
+#endif  // MIRA_INDEX_VECTOR_INDEX_H_

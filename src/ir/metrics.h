@@ -1,0 +1,73 @@
+#ifndef MIRA_IR_METRICS_H_
+#define MIRA_IR_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+namespace mira::ir {
+
+using QueryId = uint32_t;
+using DocId = uint32_t;
+
+/// Graded relevance judgments on the WikiTables scale: 0 irrelevant,
+/// 1 partially relevant, 2 fully relevant (§5 [Datasets]).
+class Qrels {
+ public:
+  void Add(QueryId query, DocId doc, int grade);
+
+  /// Grade of a pair; 0 when unjudged (standard IR convention).
+  int Grade(QueryId query, DocId doc) const;
+
+  /// Number of documents with grade >= 1 for a query.
+  size_t NumRelevant(QueryId query) const;
+
+  /// Grades of all judged documents for a query (for ideal DCG).
+  std::vector<int> GradesFor(QueryId query) const;
+
+  /// All (document, grade) judgments of a query, sorted by document id.
+  std::vector<std::pair<DocId, int>> JudgmentsFor(QueryId query) const;
+
+  std::vector<QueryId> Queries() const;
+  size_t num_pairs() const { return num_pairs_; }
+
+ private:
+  std::unordered_map<QueryId, std::unordered_map<DocId, int>> judgments_;
+  size_t num_pairs_ = 0;
+};
+
+/// Reciprocal rank of the first relevant (grade >= 1) document; 0 if none.
+double ReciprocalRank(const std::vector<DocId>& ranking, const Qrels& qrels,
+                      QueryId query);
+
+/// Average precision with binary relevance (grade >= 1), normalized by the
+/// total number of relevant documents.
+double AveragePrecision(const std::vector<DocId>& ranking, const Qrels& qrels,
+                        QueryId query);
+
+/// Normalized discounted cumulative gain at cutoff k with graded gains
+/// (2^grade - 1); 0 when the query has no relevant documents.
+double NdcgAt(const std::vector<DocId>& ranking, const Qrels& qrels,
+              QueryId query, size_t k);
+
+/// Aggregated scores over a run (one ranking per query). Queries present in
+/// the qrels but missing from the run count as zero.
+struct EvalResult {
+  double map = 0.0;
+  double mrr = 0.0;
+  /// cutoff -> mean NDCG.
+  std::map<size_t, double> ndcg;
+  size_t num_queries = 0;
+};
+
+EvalResult Evaluate(
+    const Qrels& qrels,
+    const std::unordered_map<QueryId, std::vector<DocId>>& run,
+    const std::vector<size_t>& ndcg_cutoffs = {5, 10, 15, 20});
+
+}  // namespace mira::ir
+
+#endif  // MIRA_IR_METRICS_H_

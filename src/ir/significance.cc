@@ -1,0 +1,82 @@
+#include "ir/significance.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mira::ir {
+
+namespace {
+
+double ScoreOf(PerQueryMetric metric, const std::vector<DocId>& ranking,
+               const Qrels& qrels, QueryId query) {
+  switch (metric) {
+    case PerQueryMetric::kAveragePrecision:
+      return AveragePrecision(ranking, qrels, query);
+    case PerQueryMetric::kReciprocalRank:
+      return ReciprocalRank(ranking, qrels, query);
+    case PerQueryMetric::kNdcg10:
+      return NdcgAt(ranking, qrels, query, 10);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<SignificanceResult> PairedRandomizationTest(
+    const Qrels& qrels,
+    const std::unordered_map<QueryId, std::vector<DocId>>& run_a,
+    const std::unordered_map<QueryId, std::vector<DocId>>& run_b,
+    PerQueryMetric metric, size_t permutations, uint64_t seed) {
+  std::vector<QueryId> queries = qrels.Queries();
+  if (queries.empty()) {
+    return Status::InvalidArgument("significance: qrels contain no queries");
+  }
+
+  static const std::vector<DocId> kEmpty;
+  auto ranking_of = [&](const auto& run, QueryId query) -> const std::vector<DocId>& {
+    auto it = run.find(query);
+    return it == run.end() ? kEmpty : it->second;
+  };
+
+  SignificanceResult result;
+  result.num_queries = queries.size();
+  std::vector<double> differences;
+  differences.reserve(queries.size());
+  for (QueryId query : queries) {
+    double a = ScoreOf(metric, ranking_of(run_a, query), qrels, query);
+    double b = ScoreOf(metric, ranking_of(run_b, query), qrels, query);
+    double diff = a - b;
+    differences.push_back(diff);
+    if (diff > 1e-12) {
+      ++result.wins;
+    } else if (diff < -1e-12) {
+      ++result.losses;
+    } else {
+      ++result.ties;
+    }
+    result.mean_difference += diff;
+  }
+  result.mean_difference /= static_cast<double>(queries.size());
+
+  // Fisher randomization: under the null, each per-query difference's sign
+  // is exchangeable; count permutations with |mean| >= |observed|.
+  Rng rng(seed);
+  const double observed = std::fabs(result.mean_difference);
+  size_t at_least = 0;
+  for (size_t p = 0; p < permutations; ++p) {
+    double sum = 0.0;
+    for (double diff : differences) {
+      sum += rng.NextBernoulli(0.5) ? diff : -diff;
+    }
+    if (std::fabs(sum / static_cast<double>(differences.size())) >=
+        observed - 1e-15) {
+      ++at_least;
+    }
+  }
+  result.p_value =
+      static_cast<double>(at_least + 1) / static_cast<double>(permutations + 1);
+  return result;
+}
+
+}  // namespace mira::ir

@@ -1,0 +1,46 @@
+#ifndef MIRA_IR_SIGNIFICANCE_H_
+#define MIRA_IR_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/metrics.h"
+
+namespace mira::ir {
+
+/// Per-query metric under comparison.
+enum class PerQueryMetric { kAveragePrecision, kReciprocalRank, kNdcg10 };
+
+/// Result of a paired comparison between two runs over the same queries.
+struct SignificanceResult {
+  /// Mean of (A - B) per-query metric differences.
+  double mean_difference = 0.0;
+  /// Two-sided p-value of the Fisher randomization (permutation) test: the
+  /// probability of a mean |difference| at least this large if A and B were
+  /// exchangeable per query. The standard IR significance test — no
+  /// normality assumption.
+  double p_value = 1.0;
+  /// Queries where A beats B / B beats A / ties.
+  size_t wins = 0;
+  size_t losses = 0;
+  size_t ties = 0;
+  size_t num_queries = 0;
+
+  bool Significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Paired Fisher randomization test comparing run A against run B on the
+/// qrels' query set. `permutations` sign-flips are drawn with the given
+/// seed (deterministic). Fails when the qrels contain no queries.
+Result<SignificanceResult> PairedRandomizationTest(
+    const Qrels& qrels, const std::unordered_map<QueryId, std::vector<DocId>>& run_a,
+    const std::unordered_map<QueryId, std::vector<DocId>>& run_b,
+    PerQueryMetric metric = PerQueryMetric::kAveragePrecision,
+    size_t permutations = 10000, uint64_t seed = 29);
+
+}  // namespace mira::ir
+
+#endif  // MIRA_IR_SIGNIFICANCE_H_

@@ -1,0 +1,98 @@
+#include "ir/trec_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mira::ir {
+
+Run ScoredRun::ToRun() const {
+  Run out;
+  for (const auto& [query, entries] : rankings) {
+    std::vector<DocId>& docs = out[query];
+    docs.reserve(entries.size());
+    for (const auto& entry : entries) docs.push_back(entry.doc);
+  }
+  return out;
+}
+
+Status WriteRunFile(const std::string& path, const ScoredRun& run,
+                    const std::string& tag) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  std::vector<QueryId> queries;
+  queries.reserve(run.rankings.size());
+  for (const auto& [query, _] : run.rankings) queries.push_back(query);
+  std::sort(queries.begin(), queries.end());
+  for (QueryId query : queries) {
+    const auto& entries = run.rankings.at(query);
+    for (size_t rank = 0; rank < entries.size(); ++rank) {
+      out << query << " Q0 " << entries[rank].doc << ' ' << (rank + 1) << ' '
+          << entries[rank].score << ' ' << tag << '\n';
+    }
+  }
+  if (!out.good()) return Status::IoError("run file write failed");
+  return Status::OK();
+}
+
+Result<ScoredRun> ReadRunFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  ScoredRun run;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::istringstream fields(line);
+    uint64_t query, doc;
+    std::string q0, tag;
+    uint64_t rank;
+    double score;
+    if (!(fields >> query >> q0 >> doc >> rank >> score >> tag)) {
+      return Status::InvalidArgument(
+          StrFormat("run file '%s': malformed line %zu", path.c_str(), line_no));
+    }
+    run.rankings[static_cast<QueryId>(query)].push_back(
+        {static_cast<DocId>(doc), score});
+  }
+  return run;
+}
+
+Status WriteQrelsFile(const std::string& path, const Qrels& qrels) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  for (QueryId query : qrels.Queries()) {
+    for (const auto& [doc, grade] : qrels.JudgmentsFor(query)) {
+      out << query << " 0 " << doc << ' ' << grade << '\n';
+    }
+  }
+  if (!out.good()) return Status::IoError("qrels write failed");
+  return Status::OK();
+}
+
+Result<Qrels> ReadQrelsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  Qrels qrels;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::istringstream fields(line);
+    uint64_t query, doc;
+    std::string iter;
+    int grade;
+    if (!(fields >> query >> iter >> doc >> grade)) {
+      return Status::InvalidArgument(
+          StrFormat("qrels '%s': malformed line %zu", path.c_str(), line_no));
+    }
+    qrels.Add(static_cast<QueryId>(query), static_cast<DocId>(doc), grade);
+  }
+  return qrels;
+}
+
+}  // namespace mira::ir

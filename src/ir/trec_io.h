@@ -1,0 +1,45 @@
+#ifndef MIRA_IR_TREC_IO_H_
+#define MIRA_IR_TREC_IO_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/metrics.h"
+
+namespace mira::ir {
+
+/// A run: one ranked document list per query.
+using Run = std::unordered_map<QueryId, std::vector<DocId>>;
+
+/// A run with scores (needed for the TREC format's score column).
+struct ScoredRun {
+  struct Entry {
+    DocId doc = 0;
+    double score = 0.0;
+  };
+  std::unordered_map<QueryId, std::vector<Entry>> rankings;
+
+  /// Drops the scores.
+  Run ToRun() const;
+};
+
+/// Writes a run in the classic trec_eval format:
+///   <qid> Q0 <docid> <rank> <score> <tag>
+/// Queries are emitted in ascending id order, documents in rank order.
+Status WriteRunFile(const std::string& path, const ScoredRun& run,
+                    const std::string& tag);
+
+/// Parses a trec_eval run file (whitespace-separated, 6 columns).
+Result<ScoredRun> ReadRunFile(const std::string& path);
+
+/// Writes qrels in the standard format: `<qid> 0 <docid> <grade>`.
+Status WriteQrelsFile(const std::string& path, const Qrels& qrels);
+
+/// Parses a standard qrels file.
+Result<Qrels> ReadQrelsFile(const std::string& path);
+
+}  // namespace mira::ir
+
+#endif  // MIRA_IR_TREC_IO_H_

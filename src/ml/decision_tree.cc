@@ -1,0 +1,168 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mira::ml {
+
+namespace {
+
+double MeanOf(const RegressionData& data, const std::vector<size_t>& indices,
+              size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += data.targets[indices[i]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Fit(const RegressionData& data,
+                                       const TreeOptions& options,
+                                       const std::vector<size_t>& sample_indices) {
+  if (data.size() == 0) return Status::InvalidArgument("tree: empty data");
+  DecisionTree tree;
+  std::vector<size_t> indices = sample_indices;
+  if (indices.empty()) {
+    indices.resize(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  Rng rng(options.seed);
+  tree.BuildNode(data, &indices, 0, indices.size(), 0, options, &rng);
+  return tree;
+}
+
+int32_t DecisionTree::BuildNode(const RegressionData& data,
+                                std::vector<size_t>* indices, size_t begin,
+                                size_t end, size_t depth,
+                                const TreeOptions& options, Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(data, *indices, begin, end);
+
+  const size_t count = end - begin;
+  if (depth >= options.max_depth || count < options.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features for this split.
+  const size_t f = data.num_features;
+  std::vector<size_t> feature_order(f);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  size_t feature_budget = options.max_features == 0
+                              ? f
+                              : std::min(options.max_features, f);
+  if (feature_budget < f) rng->Shuffle(&feature_order);
+
+  // Best split by sum-of-squares reduction, scanning sorted feature values
+  // with prefix statistics.
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    double y = data.targets[(*indices)[i]];
+    total_sum += y;
+    total_sq += y * y;
+  }
+  double parent_sse = total_sq - total_sum * total_sum / count;
+
+  std::vector<std::pair<double, double>> xy(count);  // (feature value, target)
+  for (size_t fi = 0; fi < feature_budget; ++fi) {
+    size_t feature = feature_order[fi];
+    for (size_t i = begin; i < end; ++i) {
+      size_t row = (*indices)[i];
+      xy[i - begin] = {data.features[row][feature], data.targets[row]};
+    }
+    std::sort(xy.begin(), xy.end());
+
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      left_sum += xy[i].second;
+      left_sq += xy[i].second * xy[i].second;
+      if (xy[i].first == xy[i + 1].first) continue;  // no boundary here
+      size_t left_n = i + 1;
+      size_t right_n = count - left_n;
+      if (left_n < options.min_samples_leaf || right_n < options.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double right_sq = total_sq - left_sq;
+      double sse = (left_sq - left_sum * left_sum / left_n) +
+                   (right_sq - right_sum * right_sum / right_n);
+      double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(feature);
+        best_threshold = (xy[i].first + xy[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  auto middle = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](size_t row) {
+        return data.features[row][best_feature] <= best_threshold;
+      });
+  size_t split = static_cast<size_t>(middle - indices->begin());
+  if (split == begin || split == end) return node_id;  // degenerate
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int32_t left = BuildNode(data, indices, begin, split, depth + 1, options, rng);
+  int32_t right = BuildNode(data, indices, split, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const std::vector<double>& x) const {
+  if (nodes_.empty()) return 0.0;
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    size_t feature = static_cast<size_t>(nodes_[node].feature);
+    double value = feature < x.size() ? x[feature] : 0.0;
+    node = value <= nodes_[node].threshold ? nodes_[node].left
+                                           : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+Result<RandomForest> RandomForest::Fit(const RegressionData& data,
+                                       const ForestOptions& options) {
+  if (data.size() == 0) return Status::InvalidArgument("forest: empty data");
+  RandomForest forest;
+  Rng rng(options.seed);
+  size_t sample_size = static_cast<size_t>(
+      std::max(1.0, options.bootstrap_fraction * data.size()));
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    std::vector<size_t> sample(sample_size);
+    for (auto& idx : sample) {
+      idx = static_cast<size_t>(rng.NextBounded(data.size()));
+    }
+    TreeOptions tree_opts = options.tree;
+    tree_opts.seed = SplitMix64(options.seed + t * 2654435761ULL);
+    if (tree_opts.max_features == 0) {
+      tree_opts.max_features = static_cast<size_t>(
+          std::max(1.0, std::sqrt(static_cast<double>(data.num_features))));
+    }
+    MIRA_ASSIGN_OR_RETURN(DecisionTree tree,
+                          DecisionTree::Fit(data, tree_opts, sample));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+double RandomForest::Predict(const std::vector<double>& x) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace mira::ml

@@ -1,0 +1,78 @@
+#ifndef MIRA_ML_DECISION_TREE_H_
+#define MIRA_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/linear_regression.h"
+
+namespace mira::ml {
+
+/// CART regression tree: greedy variance-reduction splits on
+/// (feature, threshold) pairs.
+struct TreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 4;
+  size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = all (random forests pass sqrt(f)).
+  size_t max_features = 0;
+  uint64_t seed = 11;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the rows of `data` selected by `sample_indices` (empty = all).
+  static Result<DecisionTree> Fit(const RegressionData& data,
+                                  const TreeOptions& options,
+                                  const std::vector<size_t>& sample_indices = {});
+
+  double Predict(const std::vector<double>& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t BuildNode(const RegressionData& data, std::vector<size_t>* indices,
+                    size_t begin, size_t end, size_t depth,
+                    const TreeOptions& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+};
+
+/// Bagged ensemble of CART trees with per-split feature subsampling — the
+/// Random Forest regressor TCS [55] ranks with.
+struct ForestOptions {
+  size_t num_trees = 30;
+  TreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 13;
+};
+
+class RandomForest {
+ public:
+  static Result<RandomForest> Fit(const RegressionData& data,
+                                  const ForestOptions& options = {});
+
+  double Predict(const std::vector<double>& x) const;
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace mira::ml
+
+#endif  // MIRA_ML_DECISION_TREE_H_

@@ -1,0 +1,98 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mira::ml {
+
+Status RegressionData::Add(std::vector<double> x, double y) {
+  if (num_features == 0) num_features = x.size();
+  if (x.size() != num_features) {
+    return Status::InvalidArgument(
+        StrFormat("regression data: %zu features, expected %zu", x.size(),
+                  num_features));
+  }
+  features.push_back(std::move(x));
+  targets.push_back(y);
+  return Status::OK();
+}
+
+Status SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
+                         size_t n) {
+  auto& A = *a;
+  auto& B = *b;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(A[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(A[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::InvalidArgument("linear system is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(A[col * n + c], A[pivot * n + c]);
+      std::swap(B[col], B[pivot]);
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = A[r * n + col] / A[col * n + col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) A[r * n + c] -= factor * A[col * n + c];
+      B[r] -= factor * B[col];
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col > 0; --col) {
+    size_t i = col - 1;
+    double sum = B[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= A[i * n + c] * B[c];
+    B[i] = sum / A[i * n + i];
+  }
+  return Status::OK();
+}
+
+Result<LinearRegression> LinearRegression::Fit(const RegressionData& data,
+                                               const RidgeOptions& options) {
+  if (data.size() == 0) return Status::InvalidArgument("ridge: empty data");
+  const size_t f = data.num_features;
+  const size_t n = f + (options.fit_intercept ? 1 : 0);
+
+  // Normal equations: (X'X + l2 I) w = X'y, with an appended all-ones
+  // feature for the intercept (not regularized).
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  std::vector<double> row(n);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < f; ++j) row[j] = data.features[i][j];
+    if (options.fit_intercept) row[f] = 1.0;
+    for (size_t a = 0; a < n; ++a) {
+      xty[a] += row[a] * data.targets[i];
+      for (size_t b = 0; b < n; ++b) xtx[a * n + b] += row[a] * row[b];
+    }
+  }
+  for (size_t j = 0; j < f; ++j) xtx[j * n + j] += options.l2;
+
+  MIRA_RETURN_NOT_OK(SolveLinearSystem(&xtx, &xty, n));
+
+  LinearRegression model;
+  model.weights_.assign(xty.begin(), xty.begin() + f);
+  model.intercept_ = options.fit_intercept ? xty[f] : 0.0;
+  return model;
+}
+
+double LinearRegression::Predict(const std::vector<double>& x) const {
+  double sum = intercept_;
+  for (size_t j = 0; j < weights_.size() && j < x.size(); ++j) {
+    sum += weights_[j] * x[j];
+  }
+  return sum;
+}
+
+}  // namespace mira::ml

@@ -1,0 +1,50 @@
+#ifndef MIRA_ML_LINEAR_REGRESSION_H_
+#define MIRA_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mira::ml {
+
+/// A supervised regression dataset: row-major feature matrix + targets.
+struct RegressionData {
+  size_t num_features = 0;
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+
+  Status Add(std::vector<double> x, double y);
+  size_t size() const { return targets.size(); }
+};
+
+/// Ridge regression fit by solving the regularized normal equations with
+/// Gaussian elimination (feature counts here are tiny). Backs the WebTable
+/// System baseline's hand-crafted-features + linear-regression ranker [6].
+struct RidgeOptions {
+  double l2 = 1e-3;
+  bool fit_intercept = true;
+};
+
+class LinearRegression {
+ public:
+  static Result<LinearRegression> Fit(const RegressionData& data,
+                                      const RidgeOptions& options = {});
+
+  double Predict(const std::vector<double>& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Solves A x = b in place (A is n x n row-major) by Gaussian elimination
+/// with partial pivoting. Fails on (near-)singular systems.
+Status SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
+                         size_t n);
+
+}  // namespace mira::ml
+
+#endif  // MIRA_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,110 @@
+#include "table/csv_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mira::table {
+
+namespace {
+
+// Splits CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> SplitRecords(
+    std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current_record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+
+  auto end_field = [&]() {
+    if (options.trim_fields && !field_was_quoted) {
+      field = std::string(Trim(field));
+    }
+    current_record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip fully-empty records (e.g. trailing newline).
+    if (current_record.size() != 1 || !current_record[0].empty()) {
+      records.push_back(std::move(current_record));
+    }
+    current_record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == options.delimiter) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch.
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("csv: unterminated quote");
+  if (!field.empty() || !current_record.empty()) end_record();
+  return records;
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(std::string_view text, std::string relation_name,
+                          const CsvOptions& options) {
+  MIRA_ASSIGN_OR_RETURN(auto records, SplitRecords(text, options));
+  Relation relation;
+  relation.name = std::move(relation_name);
+  if (records.empty()) return relation;
+
+  size_t first_data = 0;
+  if (options.has_header) {
+    relation.schema = records[0];
+    first_data = 1;
+  } else {
+    relation.schema.reserve(records[0].size());
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      relation.schema.push_back(StrFormat("col%zu", c));
+    }
+  }
+  for (size_t r = first_data; r < records.size(); ++r) {
+    MIRA_RETURN_NOT_OK(relation.AddRow(std::move(records[r])));
+  }
+  return relation;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Name the relation after the file stem.
+  std::string stem = path;
+  if (size_t slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (size_t dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return ParseCsv(buffer.str(), stem, options);
+}
+
+}  // namespace mira::table

@@ -1,0 +1,33 @@
+#ifndef MIRA_TABLE_CSV_READER_H_
+#define MIRA_TABLE_CSV_READER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "table/relation.h"
+
+namespace mira::table {
+
+/// RFC-4180-ish CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First record is the schema; otherwise columns are named col0, col1, ...
+  bool has_header = true;
+  /// Trim ASCII whitespace around unquoted fields.
+  bool trim_fields = true;
+};
+
+/// Parses CSV text into a Relation. Supports quoted fields with embedded
+/// delimiters, doubled quotes ("") and embedded newlines. Rows with a cell
+/// count differing from the header are rejected.
+Result<Relation> ParseCsv(std::string_view text, std::string relation_name,
+                          const CsvOptions& options = {});
+
+/// Reads and parses a CSV file; the relation is named after the file stem.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+}  // namespace mira::table
+
+#endif  // MIRA_TABLE_CSV_READER_H_

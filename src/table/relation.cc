@@ -1,0 +1,137 @@
+#include "table/relation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mira::table {
+
+Status Relation::AddRow(std::vector<std::string> row) {
+  if (row.size() != schema.size()) {
+    return Status::InvalidArgument(
+        StrFormat("relation '%s': row with %zu cells, schema has %zu",
+                  name.c_str(), row.size(), schema.size()));
+  }
+  rows.push_back(std::move(row));
+  return Status::OK();
+}
+
+const std::string& Relation::Cell(size_t row, size_t col) const {
+  MIRA_CHECK(row < rows.size() && col < schema.size());
+  return rows[row][col];
+}
+
+std::vector<std::string> Relation::FlattenedCells() const {
+  std::vector<std::string> cells;
+  cells.reserve(num_cells());
+  for (const auto& row : rows) {
+    for (const auto& cell : row) cells.push_back(cell);
+  }
+  return cells;
+}
+
+std::string Relation::ConsolidatedText() const {
+  std::string out = caption.empty() ? name : caption;
+  for (const auto& column : schema) {
+    out.push_back(' ');
+    out.append(column);
+  }
+  for (const auto& row : rows) {
+    for (const auto& cell : row) {
+      out.push_back(' ');
+      out.append(cell);
+    }
+  }
+  return out;
+}
+
+double Relation::NumericCellFraction() const {
+  size_t numeric = 0;
+  size_t total = 0;
+  for (const auto& row : rows) {
+    for (const auto& cell : row) {
+      ++total;
+      if (LooksNumeric(cell)) ++numeric;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(numeric) / total;
+}
+
+RelationId Federation::AddRelation(Relation relation) {
+  relations_.push_back(std::move(relation));
+  relation_dataset_.push_back(kNoDataset);
+  return static_cast<RelationId>(relations_.size()) - 1;
+}
+
+DatasetId Federation::AddDataset(std::string name) {
+  dataset_names_.push_back(std::move(name));
+  return static_cast<DatasetId>(dataset_names_.size()) - 1;
+}
+
+Status Federation::AssignToDataset(RelationId relation, DatasetId dataset) {
+  if (relation >= relations_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("federation: relation %u out of range", relation));
+  }
+  if (dataset >= dataset_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("federation: dataset %u out of range", dataset));
+  }
+  relation_dataset_[relation] = dataset;
+  return Status::OK();
+}
+
+DatasetId Federation::DatasetOf(RelationId relation) const {
+  MIRA_CHECK(relation < relation_dataset_.size());
+  return relation_dataset_[relation];
+}
+
+const std::string& Federation::DatasetName(DatasetId dataset) const {
+  MIRA_CHECK(dataset < dataset_names_.size());
+  return dataset_names_[dataset];
+}
+
+std::vector<RelationId> Federation::RelationsOf(DatasetId dataset) const {
+  std::vector<RelationId> out;
+  for (RelationId r = 0; r < relation_dataset_.size(); ++r) {
+    if (relation_dataset_[r] == dataset) out.push_back(r);
+  }
+  return out;
+}
+
+const Relation& Federation::relation(RelationId id) const {
+  MIRA_CHECK(id < relations_.size());
+  return relations_[id];
+}
+
+size_t Federation::TotalCells() const {
+  size_t total = 0;
+  for (const auto& r : relations_) total += r.num_cells();
+  return total;
+}
+
+Federation Federation::Subset(double fraction, uint64_t seed,
+                              std::vector<RelationId>* kept) const {
+  MIRA_CHECK(fraction > 0.0 && fraction <= 1.0);
+  size_t keep = static_cast<size_t>(
+      std::max<double>(1.0, fraction * static_cast<double>(relations_.size()) + 0.5));
+  keep = std::min(keep, relations_.size());
+
+  Rng rng(seed);
+  std::vector<size_t> picked = rng.SampleWithoutReplacement(relations_.size(), keep);
+  std::sort(picked.begin(), picked.end());
+
+  Federation subset;
+  subset.dataset_names_ = dataset_names_;
+  if (kept != nullptr) kept->clear();
+  for (size_t index : picked) {
+    RelationId id = subset.AddRelation(relations_[index]);
+    subset.relation_dataset_[id] = relation_dataset_[index];
+    if (kept != nullptr) kept->push_back(static_cast<RelationId>(index));
+  }
+  return subset;
+}
+
+}  // namespace mira::table

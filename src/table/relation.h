@@ -1,0 +1,110 @@
+#ifndef MIRA_TABLE_RELATION_H_
+#define MIRA_TABLE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mira::table {
+
+/// A relation in the paper's data model (§3): a named set of tuples sharing
+/// one schema, enriched with the contextual elements WikiTables carries
+/// (page/section titles, caption, description) that the multi-field baselines
+/// rank on. Cells are strings — embeddings are computed from their text,
+/// numeric or not.
+struct Relation {
+  std::string name;
+  /// Attribute names; every row has exactly schema.size() cells.
+  std::vector<std::string> schema;
+  std::vector<std::vector<std::string>> rows;
+
+  // WikiTables-style context fields.
+  std::string page_title;
+  std::string section_title;
+  std::string caption;
+  std::string description;
+
+  size_t num_columns() const { return schema.size(); }
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cells() const { return rows.size() * schema.size(); }
+
+  /// Appends a row; fails unless it has exactly one cell per schema column.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Cell accessor (row-major); aborts out of range.
+  const std::string& Cell(size_t row, size_t col) const;
+
+  /// All cell values flattened row-major — the unit the encoder embeds.
+  std::vector<std::string> FlattenedCells() const;
+
+  /// Schema + caption + all cells joined with spaces; the "single column per
+  /// table" consolidation used for WikiTables (§5 [Datasets]).
+  std::string ConsolidatedText() const;
+
+  /// Fraction of cells that look numeric (diagnostic; the paper reports
+  /// 26.9% for WikiTables and 55.3% for EDP).
+  double NumericCellFraction() const;
+};
+
+/// Dense id of a relation inside a federation.
+using RelationId = uint32_t;
+
+/// Dense id of a dataset inside a federation.
+using DatasetId = uint32_t;
+
+/// Sentinel: relation not assigned to any explicit dataset (it is then its
+/// own implicit singleton dataset, the paper's primary setting).
+inline constexpr DatasetId kNoDataset = static_cast<DatasetId>(-1);
+
+/// A federation (§3): a finite set of datasets, each a set of relations.
+/// The paper primarily treats dataset == single relation; the optional
+/// dataset grouping here realizes the multi-relation generalization it
+/// mentions ("the framework can be generalized to accommodate multi-relation
+/// datasets").
+class Federation {
+ public:
+  RelationId AddRelation(Relation relation);
+
+  /// Registers a named multi-relation dataset.
+  DatasetId AddDataset(std::string name);
+
+  /// Assigns a relation to a dataset; fails on invalid ids.
+  Status AssignToDataset(RelationId relation, DatasetId dataset);
+
+  /// Dataset of a relation; kNoDataset when unassigned (singleton).
+  DatasetId DatasetOf(RelationId relation) const;
+
+  const std::string& DatasetName(DatasetId dataset) const;
+  size_t num_datasets() const { return dataset_names_.size(); }
+
+  /// Relations belonging to a dataset, in id order.
+  std::vector<RelationId> RelationsOf(DatasetId dataset) const;
+
+  const Relation& relation(RelationId id) const;
+  size_t size() const { return relations_.size(); }
+  bool empty() const { return relations_.empty(); }
+
+  /// Total cell count across relations.
+  size_t TotalCells() const;
+
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// Deterministic subset with ~fraction of the relations (the paper's
+  /// SD/MD/LD = 10%/50%/100% partitions). Keeps the first ceil(fraction * n)
+  /// relations of a seeded shuffle, preserving original relative order, and
+  /// returns the kept original RelationIds through `kept` if non-null.
+  Federation Subset(double fraction, uint64_t seed,
+                    std::vector<RelationId>* kept = nullptr) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::vector<std::string> dataset_names_;
+  /// Parallel to relations_; kNoDataset for singletons.
+  std::vector<DatasetId> relation_dataset_;
+};
+
+}  // namespace mira::table
+
+#endif  // MIRA_TABLE_RELATION_H_

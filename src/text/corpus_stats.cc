@@ -1,0 +1,75 @@
+#include "text/corpus_stats.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace mira::text {
+
+TermBag CorpusStats::AddDocument(const std::vector<std::string>& tokens) {
+  TermBag bag;
+  std::unordered_set<int32_t> seen;
+  for (const auto& token : tokens) {
+    int32_t id = vocab_.AddToken(token);
+    if (static_cast<size_t>(id) >= doc_freq_.size()) {
+      doc_freq_.resize(id + 1, 0);
+    }
+    bag.Add(id);
+    seen.insert(id);
+  }
+  for (int32_t id : seen) ++doc_freq_[id];
+  ++num_documents_;
+  total_length_ += bag.length;
+  return bag;
+}
+
+int64_t CorpusStats::DocumentFrequency(int32_t token_id) const {
+  if (token_id < 0 || static_cast<size_t>(token_id) >= doc_freq_.size()) {
+    return 0;
+  }
+  return doc_freq_[token_id];
+}
+
+double CorpusStats::Idf(int32_t token_id) const {
+  double df = static_cast<double>(DocumentFrequency(token_id));
+  double n = static_cast<double>(num_documents_);
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+double CorpusStats::CollectionProb(int32_t token_id) const {
+  double count = 0.0;
+  if (token_id >= 0 && static_cast<size_t>(token_id) < vocab_.size()) {
+    count = static_cast<double>(vocab_.GetCount(token_id));
+  }
+  double total = static_cast<double>(vocab_.total_count());
+  double vsize = static_cast<double>(vocab_.size());
+  return (count + 1.0) / (total + vsize + 1.0);
+}
+
+double CorpusStats::DirichletLogLikelihood(
+    const std::vector<int32_t>& query_ids, const TermBag& doc,
+    double mu) const {
+  double ll = 0.0;
+  double denom = static_cast<double>(doc.length) + mu;
+  for (int32_t id : query_ids) {
+    double tf = static_cast<double>(doc.Count(id));
+    double pc = CollectionProb(id);
+    ll += std::log((tf + mu * pc) / denom);
+  }
+  return ll;
+}
+
+double CorpusStats::Bm25(const std::vector<int32_t>& query_ids,
+                         const TermBag& doc, double k1, double b) const {
+  double score = 0.0;
+  double avgdl = average_document_length();
+  if (avgdl <= 0.0) avgdl = 1.0;
+  double len_norm = k1 * (1.0 - b + b * static_cast<double>(doc.length) / avgdl);
+  for (int32_t id : query_ids) {
+    double tf = static_cast<double>(doc.Count(id));
+    if (tf <= 0.0) continue;
+    score += Idf(id) * tf * (k1 + 1.0) / (tf + len_norm);
+  }
+  return score;
+}
+
+}  // namespace mira::text

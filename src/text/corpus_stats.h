@@ -1,0 +1,74 @@
+#ifndef MIRA_TEXT_CORPUS_STATS_H_
+#define MIRA_TEXT_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace mira::text {
+
+/// Bag-of-words form of one document (or one document *field*).
+struct TermBag {
+  std::unordered_map<int32_t, int32_t> counts;
+  int64_t length = 0;
+
+  void Add(int32_t token_id) {
+    ++counts[token_id];
+    ++length;
+  }
+  int32_t Count(int32_t token_id) const {
+    auto it = counts.find(token_id);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+/// Collection-level term statistics shared by the classic-IR baselines (MDR's
+/// language models, WS's features, BM25). Build once per corpus; thereafter
+/// read-only and safe to share across threads.
+class CorpusStats {
+ public:
+  /// Registers a document's tokens; returns its TermBag (ids assigned via the
+  /// internal vocabulary).
+  TermBag AddDocument(const std::vector<std::string>& tokens);
+
+  /// Number of documents containing the token at least once.
+  int64_t DocumentFrequency(int32_t token_id) const;
+
+  /// Smoothed inverse document frequency: ln((N - df + 0.5)/(df + 0.5) + 1)
+  /// (the BM25+ variant, always positive).
+  double Idf(int32_t token_id) const;
+
+  /// Collection language-model probability p(t|C) with add-one smoothing.
+  double CollectionProb(int32_t token_id) const;
+
+  int64_t num_documents() const { return num_documents_; }
+  double average_document_length() const {
+    return num_documents_ ? static_cast<double>(total_length_) / num_documents_
+                          : 0.0;
+  }
+
+  Vocab& vocab() { return vocab_; }
+  const Vocab& vocab() const { return vocab_; }
+
+  /// Dirichlet-smoothed query log-likelihood of `query_ids` under the
+  /// document `doc`: sum_t log((tf + mu p(t|C)) / (|d| + mu)).
+  double DirichletLogLikelihood(const std::vector<int32_t>& query_ids,
+                                const TermBag& doc, double mu) const;
+
+  /// Okapi BM25 score of `query_ids` against `doc`.
+  double Bm25(const std::vector<int32_t>& query_ids, const TermBag& doc,
+              double k1 = 1.2, double b = 0.75) const;
+
+ private:
+  Vocab vocab_;
+  std::vector<int64_t> doc_freq_;
+  int64_t num_documents_ = 0;
+  int64_t total_length_ = 0;
+};
+
+}  // namespace mira::text
+
+#endif  // MIRA_TEXT_CORPUS_STATS_H_

@@ -1,0 +1,89 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mira::text {
+
+namespace {
+
+// Compact English stopword list; enough for IR statistics, deliberately not
+// exhaustive.
+constexpr std::array<std::string_view, 36> kStopwords = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",   "for",
+    "from", "has",  "have", "he",  "in",   "is",   "it",   "its",  "of",
+    "on",   "or",   "that", "the", "their", "them", "then", "there", "these",
+    "they", "this", "to",   "was", "were", "which", "will", "with", "you"};
+
+inline bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c));
+}
+
+// '-', '_', '.' join a token when both neighbors are alphanumeric.
+inline bool IsJoiner(char c) { return c == '-' || c == '_' || c == '.'; }
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view token) {
+  for (auto sw : kStopwords) {
+    if (token == sw) return true;
+  }
+  return false;
+}
+
+bool Tokenizer::KeepToken(const std::string& token) const {
+  if (token.size() < options_.min_token_length) return false;
+  if (!options_.keep_numbers && LooksNumeric(token)) return false;
+  if (options_.remove_stopwords && IsStopword(token)) return false;
+  return true;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (IsWordChar(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c)))
+                            : c);
+    } else if (IsJoiner(c) && !current.empty() && i + 1 < text.size() &&
+               IsWordChar(text[i + 1])) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      if (KeepToken(current)) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty() && KeepToken(current)) tokens.push_back(current);
+  return tokens;
+}
+
+size_t Tokenizer::CountTokens(std::string_view text) const {
+  return Tokenize(text).size();
+}
+
+std::vector<std::string> CharNgrams(std::string_view token, size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  std::string padded;
+  padded.reserve(token.size() + 2);
+  padded.push_back('^');
+  padded.append(token);
+  padded.push_back('$');
+  if (padded.size() < n) {
+    grams.push_back(padded);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+}  // namespace mira::text

@@ -1,0 +1,55 @@
+#ifndef MIRA_TEXT_TOKENIZER_H_
+#define MIRA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mira::text {
+
+/// Tokenization options.
+struct TokenizerOptions {
+  /// Lowercase all tokens (default on; embeddings and IR statistics are
+  /// case-insensitive throughout the paper's pipeline).
+  bool lowercase = true;
+  /// Drop a small English stopword list.
+  bool remove_stopwords = false;
+  /// Keep tokens that are purely numeric. The paper stresses that numeric
+  /// cells matter (26.9% of WikiTables values, 55.3% of EDP values).
+  bool keep_numbers = true;
+  /// Minimum token length in characters; shorter tokens are dropped.
+  size_t min_token_length = 1;
+};
+
+/// Splits text into word tokens on non-alphanumeric boundaries. '-', '_' and
+/// '.' inside a token are treated as part of it when flanked by alphanumerics
+/// ("covid-19", "3.14", "all-mpnet-base-v2" stay single tokens).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes a single string.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Tokenizes and joins nothing: token count only (cheaper than Tokenize
+  /// when only the length is needed, e.g. query-length classification).
+  size_t CountTokens(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// True if the token is in the built-in English stopword list.
+  static bool IsStopword(std::string_view token);
+
+ private:
+  bool KeepToken(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+/// Extracts padded character n-grams of size n from a token, e.g. n = 3 on
+/// "cat" -> {"^ca", "cat", "at$"}. Used by the hashed token embedder.
+std::vector<std::string> CharNgrams(std::string_view token, size_t n);
+
+}  // namespace mira::text
+
+#endif  // MIRA_TEXT_TOKENIZER_H_

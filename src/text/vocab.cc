@@ -1,0 +1,38 @@
+#include "text/vocab.h"
+
+#include "common/logging.h"
+
+namespace mira::text {
+
+int32_t Vocab::AddToken(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  int32_t id;
+  if (it == ids_.end()) {
+    id = static_cast<int32_t>(tokens_.size());
+    tokens_.emplace_back(token);
+    counts_.push_back(0);
+    ids_.emplace(tokens_.back(), id);
+  } else {
+    id = it->second;
+  }
+  ++counts_[id];
+  ++total_count_;
+  return id;
+}
+
+int32_t Vocab::GetId(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnknownToken : it->second;
+}
+
+const std::string& Vocab::GetToken(int32_t id) const {
+  MIRA_CHECK(id >= 0 && static_cast<size_t>(id) < tokens_.size());
+  return tokens_[id];
+}
+
+int64_t Vocab::GetCount(int32_t id) const {
+  MIRA_CHECK(id >= 0 && static_cast<size_t>(id) < counts_.size());
+  return counts_[id];
+}
+
+}  // namespace mira::text

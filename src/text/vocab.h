@@ -1,0 +1,42 @@
+#ifndef MIRA_TEXT_VOCAB_H_
+#define MIRA_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mira::text {
+
+/// Sentinel for "token not in vocabulary".
+inline constexpr int32_t kUnknownToken = -1;
+
+/// Bidirectional token <-> dense-id mapping with frequency counts.
+class Vocab {
+ public:
+  /// Adds (or finds) a token, incrementing its count. Returns its id.
+  int32_t AddToken(std::string_view token);
+
+  /// Id of a token or kUnknownToken.
+  int32_t GetId(std::string_view token) const;
+
+  /// Token text for an id; aborts on out-of-range.
+  const std::string& GetToken(int32_t id) const;
+
+  /// Occurrence count accumulated through AddToken.
+  int64_t GetCount(int32_t id) const;
+
+  size_t size() const { return tokens_.size(); }
+  int64_t total_count() const { return total_count_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace mira::text
+
+#endif  // MIRA_TEXT_VOCAB_H_

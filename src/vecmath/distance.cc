@@ -1,0 +1,53 @@
+#include "vecmath/distance.h"
+
+namespace mira::vecmath {
+
+std::string_view MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kDot:
+      return "dot";
+    case Metric::kL2:
+      return "l2";
+  }
+  return "unknown";
+}
+
+float MetricDistance(Metric metric, const float* a, const float* b, size_t n) {
+  switch (metric) {
+    case Metric::kCosine:
+      return 1.0f - CosineSimilarity(a, b, n);
+    case Metric::kDot:
+      return -Dot(a, b, n);
+    case Metric::kL2:
+      return SquaredL2(a, b, n);
+  }
+  return 0.f;
+}
+
+float MetricSimilarity(Metric metric, const float* a, const float* b, size_t n) {
+  switch (metric) {
+    case Metric::kCosine:
+      return CosineSimilarity(a, b, n);
+    case Metric::kDot:
+      return Dot(a, b, n);
+    case Metric::kL2:
+      return -SquaredL2(a, b, n);
+  }
+  return 0.f;
+}
+
+float DistanceToSimilarity(Metric metric, float distance) {
+  switch (metric) {
+    case Metric::kCosine:
+      return 1.0f - distance;
+    case Metric::kDot:
+      return -distance;
+    case Metric::kL2:
+      return -distance;
+  }
+  return 0.f;
+}
+
+}  // namespace mira::vecmath

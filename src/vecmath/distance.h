@@ -1,0 +1,43 @@
+#ifndef MIRA_VECMATH_DISTANCE_H_
+#define MIRA_VECMATH_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "vecmath/vector_ops.h"
+
+namespace mira::vecmath {
+
+/// Distance/similarity metric used by indexes and the vector database. The
+/// paper uses cosine similarity throughout (§4.2) but notes dot product and
+/// Euclidean distance are interchangeable; all three are supported.
+enum class Metric {
+  kCosine,
+  kDot,
+  kL2,
+};
+
+std::string_view MetricToString(Metric metric);
+
+/// A *dissimilarity* for the given metric: lower is closer. For kCosine this
+/// is (1 - cosine), for kDot it is -dot, for kL2 the squared distance.
+float MetricDistance(Metric metric, const float* a, const float* b, size_t n);
+inline float MetricDistance(Metric metric, const Vec& a, const Vec& b) {
+  return MetricDistance(metric, a.data(), b.data(), a.size());
+}
+
+/// A *similarity* for the given metric: higher is closer. For kCosine this is
+/// the cosine in [-1,1], for kDot the dot product, for kL2 the negated
+/// squared distance.
+float MetricSimilarity(Metric metric, const float* a, const float* b, size_t n);
+inline float MetricSimilarity(Metric metric, const Vec& a, const Vec& b) {
+  return MetricSimilarity(metric, a.data(), b.data(), a.size());
+}
+
+/// Converts a distance produced by MetricDistance back to the corresponding
+/// similarity.
+float DistanceToSimilarity(Metric metric, float distance);
+
+}  // namespace mira::vecmath
+
+#endif  // MIRA_VECMATH_DISTANCE_H_

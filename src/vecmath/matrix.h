@@ -1,0 +1,73 @@
+#ifndef MIRA_VECMATH_MATRIX_H_
+#define MIRA_VECMATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::vecmath {
+
+/// Row-major dense float matrix used as the vector storage layout of indexes
+/// and reducers. Rows are fixed-width embedding vectors.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  float* Row(size_t r) {
+    MIRA_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    MIRA_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    MIRA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    MIRA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Copies a row out as a Vec.
+  Vec RowVec(size_t r) const {
+    const float* p = Row(r);
+    return Vec(p, p + cols_);
+  }
+
+  /// Overwrites a row. `v.size()` must equal cols().
+  void SetRow(size_t r, const Vec& v) {
+    MIRA_DCHECK(v.size() == cols_);
+    std::copy(v.begin(), v.end(), Row(r));
+  }
+
+  /// Appends a row (grows the matrix by one).
+  void AppendRow(const Vec& v) {
+    if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+    MIRA_DCHECK(v.size() == cols_);
+    data_.insert(data_.end(), v.begin(), v.end());
+    ++rows_;
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace mira::vecmath
+
+#endif  // MIRA_VECMATH_MATRIX_H_

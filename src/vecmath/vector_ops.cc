@@ -1,0 +1,77 @@
+#include "vecmath/vector_ops.h"
+
+#include <cmath>
+
+namespace mira::vecmath {
+
+float Dot(const float* a, const float* b, size_t n) {
+  // Four partial accumulators give the compiler room to vectorize without
+  // reassociation flags.
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float SquaredL2(const float* a, const float* b, size_t n) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    float d2 = a[i + 2] - b[i + 2];
+    float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+void NormalizeInPlace(float* a, size_t n) {
+  float norm = Norm(a, n);
+  if (norm <= 0.f) return;
+  float inv = 1.0f / norm;
+  for (size_t i = 0; i < n; ++i) a[i] *= inv;
+}
+
+Vec Normalized(const Vec& a) {
+  Vec out = a;
+  NormalizeInPlace(&out);
+  return out;
+}
+
+void AddInPlace(float* a, const float* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void AxpyInPlace(float* a, const float* b, float scale, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += scale * b[i];
+}
+
+void ScaleInPlace(float* a, float scale, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= scale;
+}
+
+float CosineSimilarity(const float* a, const float* b, size_t n) {
+  float dot = Dot(a, b, n);
+  float na = Norm(a, n);
+  float nb = Norm(b, n);
+  if (na <= 0.f || nb <= 0.f) return 0.f;
+  return dot / (na * nb);
+}
+
+}  // namespace mira::vecmath

@@ -1,0 +1,61 @@
+#ifndef MIRA_VECMATH_VECTOR_OPS_H_
+#define MIRA_VECMATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mira::vecmath {
+
+/// Dense float vector; the embedding currency of the whole library.
+using Vec = std::vector<float>;
+
+/// Dot product of two equally-sized spans.
+float Dot(const float* a, const float* b, size_t n);
+inline float Dot(const Vec& a, const Vec& b) {
+  return Dot(a.data(), b.data(), a.size());
+}
+
+/// Squared Euclidean distance.
+float SquaredL2(const float* a, const float* b, size_t n);
+inline float SquaredL2(const Vec& a, const Vec& b) {
+  return SquaredL2(a.data(), b.data(), a.size());
+}
+
+/// Euclidean norm.
+float Norm(const float* a, size_t n);
+inline float Norm(const Vec& a) { return Norm(a.data(), a.size()); }
+
+/// In-place L2 normalization; zero vectors are left untouched.
+void NormalizeInPlace(float* a, size_t n);
+inline void NormalizeInPlace(Vec* a) { NormalizeInPlace(a->data(), a->size()); }
+
+/// Returns a normalized copy.
+Vec Normalized(const Vec& a);
+
+/// a += b.
+void AddInPlace(float* a, const float* b, size_t n);
+inline void AddInPlace(Vec* a, const Vec& b) {
+  AddInPlace(a->data(), b.data(), a->size());
+}
+
+/// a += scale * b.
+void AxpyInPlace(float* a, const float* b, float scale, size_t n);
+inline void AxpyInPlace(Vec* a, const Vec& b, float scale) {
+  AxpyInPlace(a->data(), b.data(), scale, a->size());
+}
+
+/// a *= scale.
+void ScaleInPlace(float* a, float scale, size_t n);
+inline void ScaleInPlace(Vec* a, float scale) {
+  ScaleInPlace(a->data(), scale, a->size());
+}
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+float CosineSimilarity(const float* a, const float* b, size_t n);
+inline float CosineSimilarity(const Vec& a, const Vec& b) {
+  return CosineSimilarity(a.data(), b.data(), a.size());
+}
+
+}  // namespace mira::vecmath
+
+#endif  // MIRA_VECMATH_VECTOR_OPS_H_

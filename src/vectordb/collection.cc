@@ -1,0 +1,222 @@
+#include "vectordb/collection.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "vecmath/top_k.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::vectordb {
+
+Collection::Collection(std::string name, CollectionParams params)
+    : name_(std::move(name)), params_(params) {}
+
+Status Collection::Upsert(Point point) {
+  if (built_) {
+    return Status::FailedPrecondition(
+        StrFormat("collection '%s': upsert after BuildIndex", name_.c_str()));
+  }
+  if (params_.dim == 0) {
+    params_.dim = point.vector.size();
+  } else if (point.vector.size() != params_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("collection '%s': vector dim %zu != %zu", name_.c_str(),
+                  point.vector.size(), params_.dim));
+  }
+  auto it = id_to_offset_.find(point.id);
+  if (it != id_to_offset_.end()) {
+    points_[it->second] = std::move(point);
+  } else {
+    id_to_offset_.emplace(point.id, points_.size());
+    points_.push_back(std::move(point));
+  }
+  return Status::OK();
+}
+
+void Collection::CreatePayloadIndex(std::string field) {
+  if (std::find(indexed_fields_.begin(), indexed_fields_.end(), field) ==
+      indexed_fields_.end()) {
+    indexed_fields_.push_back(std::move(field));
+  }
+}
+
+std::string Collection::PayloadKeyOf(const PayloadValue& value) const {
+  if (const auto* s = std::get_if<std::string>(&value)) return "s:" + *s;
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return "i:" + std::to_string(*i);
+  }
+  return "d:" + std::to_string(std::get<double>(value));
+}
+
+Status Collection::BuildIndex() {
+  if (built_) {
+    return Status::FailedPrecondition(
+        StrFormat("collection '%s': BuildIndex called twice", name_.c_str()));
+  }
+  if (points_.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("collection '%s': no points", name_.c_str()));
+  }
+
+  switch (params_.index_kind) {
+    case IndexKind::kFlat:
+      index_ = std::make_unique<index::FlatIndex>(params_.metric);
+      break;
+    case IndexKind::kIvf: {
+      index::IvfOptions opts;
+      opts.nlist = params_.ivf_nlist;
+      opts.nprobe = params_.ivf_nprobe;
+      opts.metric = params_.metric;
+      opts.seed = params_.seed;
+      index_ = std::make_unique<index::IvfIndex>(opts);
+      break;
+    }
+    case IndexKind::kHnsw:
+    case IndexKind::kHnswPq: {
+      index::HnswOptions opts;
+      opts.M = params_.hnsw_m;
+      opts.ef_construction = params_.hnsw_ef_construction;
+      opts.ef_search = params_.hnsw_ef_search;
+      opts.metric = params_.metric;
+      opts.seed = params_.seed;
+      if (params_.index_kind == IndexKind::kHnswPq) {
+        index::PqOptions pq;
+        // Shrink m for small dims so it always divides; PQ needs subvectors.
+        size_t m = params_.pq_subquantizers;
+        while (m > 1 && params_.dim % m != 0) --m;
+        pq.num_subquantizers = m;
+        opts.quantization = pq;
+      }
+      index_ = std::make_unique<index::HnswIndex>(opts);
+      break;
+    }
+  }
+  for (const Point& p : points_) {
+    MIRA_RETURN_NOT_OK(index_->Add(p.id, p.vector));
+  }
+  MIRA_RETURN_NOT_OK(index_->Build());
+
+  for (const auto& field : indexed_fields_) {
+    auto& by_value = payload_index_[field];
+    for (size_t offset = 0; offset < points_.size(); ++offset) {
+      const PayloadValue* v = points_[offset].payload.Get(field);
+      if (v != nullptr) by_value[PayloadKeyOf(*v)].push_back(offset);
+    }
+  }
+
+  built_ = true;
+  return Status::OK();
+}
+
+std::optional<std::vector<size_t>> Collection::PreFilterCandidates(
+    const Filter& filter) const {
+  // Only pure-equality filters over indexed fields can be answered from the
+  // inverted payload index.
+  std::vector<size_t> candidates;
+  bool first = true;
+  for (const auto& cond : filter.must) {
+    if (cond.kind != Condition::Kind::kEquals) return std::nullopt;
+    auto field_it = payload_index_.find(cond.field);
+    if (field_it == payload_index_.end()) return std::nullopt;
+    auto value_it = field_it->second.find(PayloadKeyOf(cond.equals_value));
+    std::vector<size_t> matches;
+    if (value_it != field_it->second.end()) matches = value_it->second;
+    if (first) {
+      candidates = std::move(matches);
+      first = false;
+    } else {
+      // Intersect sorted offset lists.
+      std::vector<size_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            matches.begin(), matches.end(),
+                            std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
+                                                  size_t k, size_t ef,
+                                                  const Filter& filter) const {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        StrFormat("collection '%s': BuildIndex not called", name_.c_str()));
+  }
+  if (query.size() != params_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("collection '%s': query dim %zu != %zu", name_.c_str(),
+                  query.size(), params_.dim));
+  }
+
+  std::vector<SearchHit> hits;
+  if (filter.empty()) {
+    index::SearchParams params{k, ef};
+    MIRA_ASSIGN_OR_RETURN(auto scored, index_->Search(query, params));
+    hits.reserve(scored.size());
+    for (const auto& s : scored) {
+      hits.push_back({s.id, s.score, &points_[id_to_offset_.at(s.id)].payload});
+    }
+    return hits;
+  }
+
+  auto candidates = PreFilterCandidates(filter);
+  if (candidates.has_value()) {
+    // Exact scoring over the (typically small) pre-filtered candidate set.
+    vecmath::Vec q = params_.metric == vecmath::Metric::kCosine
+                         ? vecmath::Normalized(query)
+                         : query;
+    vecmath::TopK top(k);
+    for (size_t offset : *candidates) {
+      float sim = vecmath::MetricSimilarity(params_.metric, q,
+                                            points_[offset].vector);
+      top.Push(offset, sim);
+    }
+    for (const auto& s : top.Take()) {
+      const Point& p = points_[s.id];
+      hits.push_back({p.id, s.score, &p.payload});
+    }
+    return hits;
+  }
+
+  // Fallback: oversampled ANN search post-filtered on payload.
+  constexpr size_t kOversample = 4;
+  index::SearchParams params{std::min(points_.size(), k * kOversample), ef};
+  MIRA_ASSIGN_OR_RETURN(auto scored, index_->Search(query, params));
+  for (const auto& s : scored) {
+    if (hits.size() >= k) break;
+    const Point& p = points_[id_to_offset_.at(s.id)];
+    if (filter.Matches(p.payload)) hits.push_back({p.id, s.score, &p.payload});
+  }
+  return hits;
+}
+
+Result<const Point*> Collection::Get(uint64_t id) const {
+  auto it = id_to_offset_.find(id);
+  if (it == id_to_offset_.end()) {
+    return Status::NotFound(
+        StrFormat("collection '%s': point %llu", name_.c_str(),
+                  static_cast<unsigned long long>(id)));
+  }
+  return &points_[it->second];
+}
+
+std::vector<const Point*> Collection::Scroll(const Filter& filter) const {
+  std::vector<const Point*> out;
+  for (const Point& p : points_) {
+    if (filter.Matches(p.payload)) out.push_back(&p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Point* a, const Point* b) { return a->id < b->id; });
+  return out;
+}
+
+size_t Collection::IndexMemoryBytes() const {
+  return index_ ? index_->MemoryBytes() : 0;
+}
+
+}  // namespace mira::vectordb

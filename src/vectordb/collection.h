@@ -1,0 +1,131 @@
+#ifndef MIRA_VECTORDB_COLLECTION_H_
+#define MIRA_VECTORDB_COLLECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "index/product_quantizer.h"
+#include "index/vector_index.h"
+#include "vecmath/distance.h"
+#include "vectordb/filter.h"
+#include "vectordb/payload.h"
+
+namespace mira::vectordb {
+
+/// Which search structure backs a collection.
+enum class IndexKind {
+  /// Exact brute force.
+  kFlat,
+  /// HNSW graph on raw vectors.
+  kHnsw,
+  /// HNSW graph with PQ-compressed traversal + exact rescoring — the ANNS
+  /// configuration of the paper (§4.2: PQ preprocessing + HNSW index).
+  kHnswPq,
+  /// Inverted-file index (k-means cells, nprobe scan) — FAISS-style
+  /// alternative backend.
+  kIvf,
+};
+
+struct CollectionParams {
+  size_t dim = 0;
+  vecmath::Metric metric = vecmath::Metric::kCosine;
+  IndexKind index_kind = IndexKind::kHnswPq;
+  size_t hnsw_m = 16;
+  size_t hnsw_ef_construction = 200;
+  size_t hnsw_ef_search = 64;
+  /// PQ subquantizers (kHnswPq only); must divide dim.
+  size_t pq_subquantizers = 16;
+  /// IVF cells (kIvf only); 0 = sqrt(n).
+  size_t ivf_nlist = 0;
+  /// IVF cells probed per query (kIvf only).
+  size_t ivf_nprobe = 8;
+  uint64_t seed = 7;
+};
+
+/// One stored point.
+struct Point {
+  uint64_t id = 0;
+  vecmath::Vec vector;
+  Payload payload;
+};
+
+/// A search hit: id, metric similarity, payload reference.
+struct SearchHit {
+  uint64_t id = 0;
+  float score = 0.f;
+  const Payload* payload = nullptr;
+};
+
+/// A named set of points with payloads and a vector index — the unit of
+/// storage of the vector database (Qdrant's "collection").
+///
+/// Lifecycle: Upsert() points, BuildIndex() once, then Search()/Scroll().
+/// Payload-filtered search uses the payload inverted index when every filter
+/// field is indexed (exact pre-filtering), and oversampled ANN post-filtering
+/// otherwise.
+class Collection {
+ public:
+  Collection(std::string name, CollectionParams params);
+
+  /// Inserts a point; replaces an existing point with the same id (before
+  /// BuildIndex only).
+  Status Upsert(Point point);
+
+  /// Finalizes the collection: trains/builds the configured vector index and
+  /// the payload indexes.
+  Status BuildIndex();
+
+  /// Marks a payload field for inverted indexing (call before BuildIndex).
+  void CreatePayloadIndex(std::string field);
+
+  /// k-NN search; `filter` restricts candidates by payload.
+  Result<std::vector<SearchHit>> Search(const vecmath::Vec& query, size_t k,
+                                        size_t ef = 0,
+                                        const Filter& filter = {}) const;
+
+  /// Point lookup by id.
+  Result<const Point*> Get(uint64_t id) const;
+
+  /// All points matching `filter`, in id order.
+  std::vector<const Point*> Scroll(const Filter& filter = {}) const;
+
+  const std::string& name() const { return name_; }
+  const CollectionParams& params() const { return params_; }
+  size_t size() const { return points_.size(); }
+  bool built() const { return built_; }
+  const std::vector<Point>& points() const { return points_; }
+  const std::vector<std::string>& indexed_fields() const {
+    return indexed_fields_;
+  }
+
+  /// Resident bytes of index structures (storage-reduction reporting).
+  size_t IndexMemoryBytes() const;
+
+ private:
+  std::string PayloadKeyOf(const PayloadValue& value) const;
+  /// Candidate point offsets for a filter via the payload indexes, or nullopt
+  /// when not all fields are indexed.
+  std::optional<std::vector<size_t>> PreFilterCandidates(
+      const Filter& filter) const;
+
+  std::string name_;
+  CollectionParams params_;
+  std::vector<Point> points_;
+  std::unordered_map<uint64_t, size_t> id_to_offset_;
+  std::unique_ptr<index::VectorIndex> index_;
+  bool built_ = false;
+
+  /// field -> serialized value -> point offsets.
+  std::vector<std::string> indexed_fields_;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<size_t>>>
+      payload_index_;
+};
+
+}  // namespace mira::vectordb
+
+#endif  // MIRA_VECTORDB_COLLECTION_H_

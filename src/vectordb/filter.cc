@@ -1,0 +1,48 @@
+#include "vectordb/filter.h"
+
+namespace mira::vectordb {
+
+Condition Condition::Equals(std::string field, PayloadValue value) {
+  Condition c;
+  c.field = std::move(field);
+  c.kind = Kind::kEquals;
+  c.equals_value = std::move(value);
+  return c;
+}
+
+Condition Condition::IntIn(std::string field, std::vector<int64_t> values) {
+  Condition c;
+  c.field = std::move(field);
+  c.kind = Kind::kIntIn;
+  c.int_set.insert(values.begin(), values.end());
+  return c;
+}
+
+Condition Condition::IntRange(std::string field, int64_t min, int64_t max) {
+  Condition c;
+  c.field = std::move(field);
+  c.kind = Kind::kIntRange;
+  c.range_min = min;
+  c.range_max = max;
+  return c;
+}
+
+bool Condition::Matches(const Payload& payload) const {
+  const PayloadValue* value = payload.Get(field);
+  if (value == nullptr) return false;
+  switch (kind) {
+    case Kind::kEquals:
+      return *value == equals_value;
+    case Kind::kIntIn: {
+      const auto* i = std::get_if<int64_t>(value);
+      return i != nullptr && int_set.count(*i) > 0;
+    }
+    case Kind::kIntRange: {
+      const auto* i = std::get_if<int64_t>(value);
+      return i != nullptr && *i >= range_min && *i <= range_max;
+    }
+  }
+  return false;
+}
+
+}  // namespace mira::vectordb

@@ -1,0 +1,52 @@
+#ifndef MIRA_VECTORDB_FILTER_H_
+#define MIRA_VECTORDB_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "vectordb/payload.h"
+
+namespace mira::vectordb {
+
+/// One predicate on a payload field.
+struct Condition {
+  enum class Kind { kEquals, kIntIn, kIntRange };
+
+  std::string field;
+  Kind kind = Kind::kEquals;
+
+  /// kEquals: the value to match exactly.
+  PayloadValue equals_value;
+  /// kIntIn: accepted integer values.
+  std::unordered_set<int64_t> int_set;
+  /// kIntRange: inclusive bounds.
+  int64_t range_min = 0;
+  int64_t range_max = 0;
+
+  static Condition Equals(std::string field, PayloadValue value);
+  static Condition IntIn(std::string field, std::vector<int64_t> values);
+  static Condition IntRange(std::string field, int64_t min, int64_t max);
+
+  bool Matches(const Payload& payload) const;
+};
+
+/// Conjunction of conditions (Qdrant's `must` clause). An empty filter
+/// matches everything.
+struct Filter {
+  std::vector<Condition> must;
+
+  bool Matches(const Payload& payload) const {
+    for (const auto& cond : must) {
+      if (!cond.Matches(payload)) return false;
+    }
+    return true;
+  }
+  bool empty() const { return must.empty(); }
+};
+
+}  // namespace mira::vectordb
+
+#endif  // MIRA_VECTORDB_FILTER_H_

@@ -1,0 +1,31 @@
+#include "vectordb/payload.h"
+
+namespace mira::vectordb {
+
+const PayloadValue* Payload::Get(std::string_view key) const {
+  auto it = fields_.find(std::string(key));
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Payload::GetString(std::string_view key) const {
+  const PayloadValue* v = Get(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return std::nullopt;
+}
+
+std::optional<int64_t> Payload::GetInt(std::string_view key) const {
+  const PayloadValue* v = Get(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* i = std::get_if<int64_t>(v)) return *i;
+  return std::nullopt;
+}
+
+std::optional<double> Payload::GetDouble(std::string_view key) const {
+  const PayloadValue* v = Get(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  return std::nullopt;
+}
+
+}  // namespace mira::vectordb

@@ -1,0 +1,55 @@
+#ifndef MIRA_VECTORDB_PAYLOAD_H_
+#define MIRA_VECTORDB_PAYLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mira::vectordb {
+
+/// A payload field value: string, integer or double.
+using PayloadValue = std::variant<std::string, int64_t, double>;
+
+/// Structured metadata attached to a stored point — in MIRA's pipelines the
+/// relation id, attribute name, cluster id etc. (Algorithm 2 stores "relation
+/// ID, attribute name, etc." with each vector).
+class Payload {
+ public:
+  void Set(std::string key, PayloadValue value) {
+    fields_[std::move(key)] = std::move(value);
+  }
+  void SetString(std::string key, std::string value) {
+    Set(std::move(key), PayloadValue(std::move(value)));
+  }
+  void SetInt(std::string key, int64_t value) {
+    Set(std::move(key), PayloadValue(value));
+  }
+  void SetDouble(std::string key, double value) {
+    Set(std::move(key), PayloadValue(value));
+  }
+
+  /// Typed getters; empty when missing or differently typed.
+  std::optional<std::string> GetString(std::string_view key) const;
+  std::optional<int64_t> GetInt(std::string_view key) const;
+  std::optional<double> GetDouble(std::string_view key) const;
+
+  bool Has(std::string_view key) const {
+    return fields_.find(std::string(key)) != fields_.end();
+  }
+  const PayloadValue* Get(std::string_view key) const;
+
+  size_t size() const { return fields_.size(); }
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+ private:
+  // std::map keeps snapshot serialization deterministic.
+  std::map<std::string, PayloadValue> fields_;
+};
+
+}  // namespace mira::vectordb
+
+#endif  // MIRA_VECTORDB_PAYLOAD_H_

@@ -1,0 +1,233 @@
+#include "vectordb/vector_db.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mira::vectordb {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'R', 'A', 'V', 'D', 'B', '1'};
+
+// Little-endian binary primitives. MIRA targets a single host architecture;
+// snapshots are not an interchange format.
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ofstream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void WriteFloats(std::ofstream& out, const std::vector<float>& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadI64(std::ifstream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadF64(std::ifstream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t size = 0;
+  if (!ReadU64(in, &size)) return false;
+  s->resize(size);
+  in.read(s->data(), static_cast<std::streamsize>(size));
+  return in.good();
+}
+bool ReadFloats(std::ifstream& in, std::vector<float>* v) {
+  uint64_t size = 0;
+  if (!ReadU64(in, &size)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(float)));
+  return in.good();
+}
+
+}  // namespace
+
+Result<Collection*> VectorDb::CreateCollection(const std::string& name,
+                                               CollectionParams params) {
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("collection '%s' already exists", name.c_str()));
+  }
+  auto collection = std::make_unique<Collection>(name, params);
+  Collection* raw = collection.get();
+  collections_.emplace(name, std::move(collection));
+  return raw;
+}
+
+Result<Collection*> VectorDb::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound(StrFormat("collection '%s'", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<const Collection*> VectorDb::GetCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound(StrFormat("collection '%s'", name.c_str()));
+  }
+  return static_cast<const Collection*>(it->second.get());
+}
+
+Status VectorDb::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound(StrFormat("collection '%s'", name.c_str()));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VectorDb::ListCollections() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+Status VectorDb::SaveSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, collections_.size());
+  for (const auto& [name, collection] : collections_) {
+    WriteString(out, name);
+    const CollectionParams& p = collection->params();
+    WriteU64(out, p.dim);
+    WriteU64(out, static_cast<uint64_t>(p.metric));
+    WriteU64(out, static_cast<uint64_t>(p.index_kind));
+    WriteU64(out, p.hnsw_m);
+    WriteU64(out, p.hnsw_ef_construction);
+    WriteU64(out, p.hnsw_ef_search);
+    WriteU64(out, p.pq_subquantizers);
+    WriteU64(out, p.ivf_nlist);
+    WriteU64(out, p.ivf_nprobe);
+    WriteU64(out, p.seed);
+    const auto& indexed = collection->indexed_fields();
+    WriteU64(out, indexed.size());
+    for (const auto& field : indexed) WriteString(out, field);
+    const auto& points = collection->points();
+    WriteU64(out, points.size());
+    for (const Point& point : points) {
+      WriteU64(out, point.id);
+      WriteFloats(out, point.vector);
+      WriteU64(out, point.payload.size());
+      for (const auto& [key, value] : point.payload) {
+        WriteString(out, key);
+        if (const auto* s = std::get_if<std::string>(&value)) {
+          WriteU64(out, 0);
+          WriteString(out, *s);
+        } else if (const auto* i = std::get_if<int64_t>(&value)) {
+          WriteU64(out, 1);
+          WriteI64(out, *i);
+        } else {
+          WriteU64(out, 2);
+          WriteF64(out, std::get<double>(value));
+        }
+      }
+    }
+  }
+  if (!out.good()) return Status::IoError("snapshot write failed");
+  return Status::OK();
+}
+
+Result<VectorDb> VectorDb::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad snapshot magic");
+  }
+  VectorDb db;
+  uint64_t num_collections = 0;
+  if (!ReadU64(in, &num_collections)) return Status::IoError("truncated snapshot");
+  for (uint64_t c = 0; c < num_collections; ++c) {
+    std::string name;
+    if (!ReadString(in, &name)) return Status::IoError("truncated snapshot");
+    CollectionParams p;
+    uint64_t dim, metric, kind, m, efc, efs, pqm, nlist, nprobe, seed;
+    if (!ReadU64(in, &dim) || !ReadU64(in, &metric) || !ReadU64(in, &kind) ||
+        !ReadU64(in, &m) || !ReadU64(in, &efc) || !ReadU64(in, &efs) ||
+        !ReadU64(in, &pqm) || !ReadU64(in, &nlist) || !ReadU64(in, &nprobe) ||
+        !ReadU64(in, &seed)) {
+      return Status::IoError("truncated snapshot");
+    }
+    p.dim = dim;
+    p.metric = static_cast<vecmath::Metric>(metric);
+    p.index_kind = static_cast<IndexKind>(kind);
+    p.hnsw_m = m;
+    p.hnsw_ef_construction = efc;
+    p.hnsw_ef_search = efs;
+    p.pq_subquantizers = pqm;
+    p.ivf_nlist = nlist;
+    p.ivf_nprobe = nprobe;
+    p.seed = seed;
+    MIRA_ASSIGN_OR_RETURN(Collection * collection,
+                          db.CreateCollection(name, p));
+    uint64_t num_indexed = 0;
+    if (!ReadU64(in, &num_indexed)) return Status::IoError("truncated snapshot");
+    for (uint64_t f = 0; f < num_indexed; ++f) {
+      std::string field;
+      if (!ReadString(in, &field)) return Status::IoError("truncated snapshot");
+      collection->CreatePayloadIndex(field);
+    }
+    uint64_t num_points = 0;
+    if (!ReadU64(in, &num_points)) return Status::IoError("truncated snapshot");
+    for (uint64_t i = 0; i < num_points; ++i) {
+      Point point;
+      if (!ReadU64(in, &point.id)) return Status::IoError("truncated snapshot");
+      if (!ReadFloats(in, &point.vector)) {
+        return Status::IoError("truncated snapshot");
+      }
+      uint64_t num_fields = 0;
+      if (!ReadU64(in, &num_fields)) return Status::IoError("truncated snapshot");
+      for (uint64_t f = 0; f < num_fields; ++f) {
+        std::string key;
+        uint64_t tag;
+        if (!ReadString(in, &key) || !ReadU64(in, &tag)) {
+          return Status::IoError("truncated snapshot");
+        }
+        if (tag == 0) {
+          std::string s;
+          if (!ReadString(in, &s)) return Status::IoError("truncated snapshot");
+          point.payload.SetString(key, std::move(s));
+        } else if (tag == 1) {
+          int64_t v;
+          if (!ReadI64(in, &v)) return Status::IoError("truncated snapshot");
+          point.payload.SetInt(key, v);
+        } else {
+          double v;
+          if (!ReadF64(in, &v)) return Status::IoError("truncated snapshot");
+          point.payload.SetDouble(key, v);
+        }
+      }
+      MIRA_RETURN_NOT_OK(collection->Upsert(std::move(point)));
+    }
+    MIRA_RETURN_NOT_OK(collection->BuildIndex());
+  }
+  return db;
+}
+
+}  // namespace mira::vectordb

@@ -1,0 +1,51 @@
+#ifndef MIRA_VECTORDB_VECTOR_DB_H_
+#define MIRA_VECTORDB_VECTOR_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "vectordb/collection.h"
+
+namespace mira::vectordb {
+
+/// Embedded vector database: a registry of named collections. MIRA's
+/// substitute for the Qdrant server the paper deploys — same concepts
+/// (collections, points, payloads, HNSW/PQ indexes), no network hop.
+class VectorDb {
+ public:
+  VectorDb() = default;
+  VectorDb(const VectorDb&) = delete;
+  VectorDb& operator=(const VectorDb&) = delete;
+  VectorDb(VectorDb&&) = default;
+  VectorDb& operator=(VectorDb&&) = default;
+
+  /// Creates a collection; fails if the name exists.
+  Result<Collection*> CreateCollection(const std::string& name,
+                                       CollectionParams params);
+
+  /// Looks up a collection.
+  Result<Collection*> GetCollection(const std::string& name);
+  Result<const Collection*> GetCollection(const std::string& name) const;
+
+  Status DropCollection(const std::string& name);
+
+  std::vector<std::string> ListCollections() const;
+  size_t num_collections() const { return collections_.size(); }
+
+  /// Serializes every collection's points and parameters to a binary
+  /// snapshot file. Indexes are rebuilt on load (they are derived state).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a database from a snapshot and rebuilds all indexes.
+  static Result<VectorDb> LoadSnapshot(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace mira::vectordb
+
+#endif  // MIRA_VECTORDB_VECTOR_DB_H_

@@ -1,0 +1,326 @@
+// Tests for src/baselines: field statistics and the five comparison systems
+// (MDR, WS, TCS, AdH, TML).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/adh.h"
+#include "baselines/baseline_common.h"
+#include "baselines/mdr.h"
+#include "baselines/tcs.h"
+#include "baselines/tml.h"
+#include "baselines/ws.h"
+#include "datagen/workload.h"
+
+namespace mira::baselines {
+namespace {
+
+// A minimal corpus where table 0 is obviously about covid vaccines and
+// table 1 about football. Context fields are filled so every field scorer
+// has signal.
+struct MiniCorpus {
+  table::Federation federation;
+  std::shared_ptr<const CorpusFieldStats> stats;
+  std::shared_ptr<embed::SemanticEncoder> encoder;
+  std::vector<TrainingPair> training;
+};
+
+MiniCorpus MakeMiniCorpus() {
+  MiniCorpus mc;
+  table::Relation covid;
+  covid.name = "covid";
+  covid.page_title = "covid vaccination program";
+  covid.section_title = "health";
+  covid.caption = "vaccine doses by country";
+  covid.schema = {"country", "vaccine", "doses"};
+  covid.AddRow({"germany", "comirnaty", "120"}).Abort("");
+  covid.AddRow({"france", "vaxzevria", "95"}).Abort("");
+  mc.federation.AddRelation(std::move(covid));
+
+  table::Relation football;
+  football.name = "football";
+  football.page_title = "football league results";
+  football.section_title = "sports";
+  football.caption = "final standings";
+  football.schema = {"team", "points", "goals"};
+  football.AddRow({"harriers", "42", "61"}).Abort("");
+  football.AddRow({"rovers", "38", "55"}).Abort("");
+  mc.federation.AddRelation(std::move(football));
+
+  // A third noisy table so rankings have a middle.
+  table::Relation weather;
+  weather.name = "weather";
+  weather.page_title = "city weather almanac";
+  weather.caption = "temperatures";
+  weather.schema = {"city", "temp"};
+  weather.AddRow({"oslo", "-3"}).Abort("");
+  mc.federation.AddRelation(std::move(weather));
+
+  mc.stats = CorpusFieldStats::Build(mc.federation);
+
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  mc.encoder = std::make_shared<embed::SemanticEncoder>(
+      opts, std::make_shared<embed::Lexicon>());
+
+  mc.training = {
+      {"covid vaccine doses", 0, 2}, {"covid vaccine doses", 1, 0},
+      {"covid vaccine doses", 2, 0}, {"football league points", 1, 2},
+      {"football league points", 0, 0}, {"football league points", 2, 0},
+      {"city weather temperatures", 2, 2}, {"city weather temperatures", 0, 0},
+      {"vaccination program germany", 0, 2}, {"final standings goals", 1, 2},
+  };
+  return mc;
+}
+
+// ---------- CorpusFieldStats ----------
+
+TEST(CorpusFieldStatsTest, PerTableFieldData) {
+  MiniCorpus mc = MakeMiniCorpus();
+  ASSERT_EQ(mc.stats->tables.size(), 3u);
+  const TableFieldData& covid = mc.stats->tables[0];
+  EXPECT_EQ(covid.num_rows, 2u);
+  EXPECT_EQ(covid.num_cols, 3u);
+  EXPECT_GT(covid.title.length, 0);
+  EXPECT_GT(covid.caption.length, 0);
+  EXPECT_GT(covid.schema.length, 0);
+  EXPECT_GT(covid.body.length, 0);
+  EXPECT_GT(covid.numeric_fraction, 0.2);
+  // Serialization order: caption tokens come before body tokens.
+  ASSERT_FALSE(covid.serialized_tokens.empty());
+  EXPECT_EQ(covid.serialized_tokens[0], "vaccine");
+}
+
+TEST(CorpusFieldStatsTest, QueryIdsMapOovToMinusOne) {
+  MiniCorpus mc = MakeMiniCorpus();
+  auto ids = CorpusFieldStats::QueryIds(mc.stats->body_stats,
+                                        {"comirnaty", "nonexistentword"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_GE(ids[0], 0);
+  EXPECT_EQ(ids[1], text::kUnknownToken);
+}
+
+TEST(CorpusFieldStatsTest, DescriptionFoldedIntoCaption) {
+  table::Federation federation;
+  table::Relation r;
+  r.name = "edp";
+  r.schema = {"a"};
+  r.description = "renewable energy statistics";
+  r.AddRow({"x"}).Abort("");
+  federation.AddRelation(std::move(r));
+  auto stats = CorpusFieldStats::Build(federation);
+  EXPECT_GE(stats->tables[0].caption.length, 3);
+}
+
+// ---------- MDR ----------
+
+TEST(MdrTest, RanksMatchingTableFirst) {
+  MiniCorpus mc = MakeMiniCorpus();
+  MdrSearcher mdr(mc.stats);
+  discovery::DiscoveryOptions options;
+  options.top_k = 3;
+  auto covid = mdr.Search("covid vaccine doses", options).MoveValue();
+  ASSERT_FALSE(covid.empty());
+  EXPECT_EQ(covid[0].relation, 0u);
+  auto football = mdr.Search("football league points", options).MoveValue();
+  EXPECT_EQ(football[0].relation, 1u);
+}
+
+TEST(MdrTest, FieldWeightsMatter) {
+  MiniCorpus mc = MakeMiniCorpus();
+  // Zero out everything but the title: a title-only query should still find
+  // its table.
+  MdrOptions options;
+  options.w_section = options.w_caption = options.w_schema = options.w_body = 0;
+  options.w_title = 1.0;
+  MdrSearcher mdr(mc.stats, options);
+  auto hits = mdr.Search("weather almanac", {}).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].relation, 2u);
+}
+
+TEST(MdrTest, EmptyQueryYieldsEmptyRanking) {
+  MiniCorpus mc = MakeMiniCorpus();
+  MdrSearcher mdr(mc.stats);
+  EXPECT_TRUE(mdr.Search("", {}).MoveValue().empty());
+}
+
+TEST(MdrTest, TopKRespected) {
+  MiniCorpus mc = MakeMiniCorpus();
+  MdrSearcher mdr(mc.stats);
+  discovery::DiscoveryOptions options;
+  options.top_k = 1;
+  EXPECT_EQ(mdr.Search("covid", options).MoveValue().size(), 1u);
+}
+
+// ---------- WS ----------
+
+TEST(WsTest, TrainsAndRanksMatchingTableFirst) {
+  MiniCorpus mc = MakeMiniCorpus();
+  auto ws = WsSearcher::Build(mc.stats, mc.training).MoveValue();
+  auto covid = ws->Search("covid vaccine doses", {}).MoveValue();
+  ASSERT_FALSE(covid.empty());
+  EXPECT_EQ(covid[0].relation, 0u);
+  auto football = ws->Search("football league points", {}).MoveValue();
+  EXPECT_EQ(football[0].relation, 1u);
+}
+
+TEST(WsTest, FeatureVectorShape) {
+  MiniCorpus mc = MakeMiniCorpus();
+  auto features = WsSearcher::Features(*mc.stats, {"covid", "vaccine"}, 0);
+  EXPECT_EQ(features.size(), WsSearcher::kNumFeatures);
+  for (double f : features) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(WsTest, RejectsEmptyTraining) {
+  MiniCorpus mc = MakeMiniCorpus();
+  EXPECT_TRUE(WsSearcher::Build(mc.stats, {}).status().IsInvalidArgument());
+}
+
+TEST(WsTest, RejectsOutOfRangeTrainingPair) {
+  MiniCorpus mc = MakeMiniCorpus();
+  std::vector<TrainingPair> bad = {{"q", 99, 1}};
+  EXPECT_TRUE(WsSearcher::Build(mc.stats, bad).status().IsInvalidArgument());
+}
+
+// ---------- TCS ----------
+
+TEST(TcsTest, TrainsAndRanksMatchingTableFirst) {
+  MiniCorpus mc = MakeMiniCorpus();
+  auto tcs = TcsSearcher::Build(mc.stats, mc.encoder, mc.federation,
+                                mc.training)
+                 .MoveValue();
+  auto covid = tcs->Search("covid vaccine doses germany", {}).MoveValue();
+  ASSERT_FALSE(covid.empty());
+  EXPECT_EQ(covid[0].relation, 0u);
+}
+
+TEST(TcsTest, RejectsMissingInputs) {
+  MiniCorpus mc = MakeMiniCorpus();
+  EXPECT_TRUE(TcsSearcher::Build(nullptr, mc.encoder, mc.federation, mc.training)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TcsSearcher::Build(mc.stats, mc.encoder, mc.federation, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------- AdH ----------
+
+TEST(AdhTest, SemanticMatchWithoutExactKeyword) {
+  MiniCorpus mc = MakeMiniCorpus();
+  // Give the encoder a lexicon so "covid" relates to "comirnaty".
+  auto lexicon = std::make_shared<embed::Lexicon>();
+  int32_t topic = lexicon->AddTopic("covid");
+  int32_t aspect = lexicon->AddAspect(topic, "vaccines");
+  int32_t c = lexicon->AddConcept(topic, "covid", aspect);
+  lexicon->AddSurface(c, "covid");
+  lexicon->AddSurface(c, "comirnaty");
+  lexicon->AddSurface(c, "vaxzevria");
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  auto encoder = std::make_shared<embed::SemanticEncoder>(opts, lexicon);
+
+  AdhSearcher adh(mc.federation, mc.stats, encoder);
+  auto hits = adh.Search("covid", {}).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].relation, 0u);  // found via synonym embeddings
+}
+
+TEST(AdhTest, TruncationHidesLateContent) {
+  // A table whose matching content lies beyond the token budget becomes
+  // invisible to AdH — the paper's critique.
+  table::Federation federation;
+  table::Relation big;
+  big.name = "big";
+  big.schema = {"c"};
+  for (int i = 0; i < 30; ++i) big.AddRow({"padding"}).Abort("");
+  big.AddRow({"needle"}).Abort("");  // row 31, beyond a budget of 8 tokens
+  federation.AddRelation(std::move(big));
+  table::Relation small;
+  small.name = "small";
+  small.schema = {"c"};
+  small.AddRow({"needle"}).Abort("");
+  federation.AddRelation(std::move(small));
+
+  auto stats = CorpusFieldStats::Build(federation);
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  auto encoder = std::make_shared<embed::SemanticEncoder>(
+      opts, std::make_shared<embed::Lexicon>());
+  AdhOptions adh_options;
+  adh_options.input_token_budget = 8;
+  AdhSearcher adh(federation, stats, encoder, adh_options);
+  auto hits = adh.Search("needle", {}).MoveValue();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].relation, 1u);  // the small table wins
+  EXPECT_GT(hits[0].score, hits[1].score + 0.1f);
+}
+
+TEST(MeanMaxTokenSimilarityTest, HandComputed) {
+  // dim 2; a = [(1,0)], b = [(0,1), (1,0)] -> best match = 1.0.
+  std::vector<float> a = {1, 0};
+  std::vector<float> b = {0, 1, 1, 0};
+  EXPECT_FLOAT_EQ(MeanMaxTokenSimilarity(a.data(), 1, b.data(), 2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(MeanMaxTokenSimilarity(a.data(), 0, b.data(), 2, 2), 0.0f);
+  EXPECT_FLOAT_EQ(MeanMaxTokenSimilarity(a.data(), 1, b.data(), 0, 2), 0.0f);
+}
+
+// ---------- TML ----------
+
+TEST(TmlTest, ContextBudgetSharedAcrossCorpus) {
+  MiniCorpus mc = MakeMiniCorpus();
+  TmlOptions small_context;
+  small_context.total_context_tokens = 30;  // 10 tokens per table (3 tables)
+  TmlSearcher tml_small(mc.federation, mc.stats, mc.encoder, small_context);
+  EXPECT_EQ(tml_small.tokens_per_table(), 10u);
+
+  TmlOptions big_context;
+  big_context.total_context_tokens = 100000;
+  TmlSearcher tml_big(mc.federation, mc.stats, mc.encoder, big_context);
+  EXPECT_EQ(tml_big.tokens_per_table(), big_context.max_tokens_per_table);
+}
+
+TEST(TmlTest, RanksMatchingTableFirstWithAmpleContext) {
+  MiniCorpus mc = MakeMiniCorpus();
+  TmlSearcher tml(mc.federation, mc.stats, mc.encoder);
+  auto covid = tml.Search("covid vaccine doses comirnaty", {}).MoveValue();
+  ASSERT_FALSE(covid.empty());
+  EXPECT_EQ(covid[0].relation, 0u);
+}
+
+TEST(TmlTest, MinTokensFloorApplies) {
+  MiniCorpus mc = MakeMiniCorpus();
+  TmlOptions options;
+  options.total_context_tokens = 1;  // would be 0 per table
+  TmlSearcher tml(mc.federation, mc.stats, mc.encoder, options);
+  EXPECT_EQ(tml.tokens_per_table(), options.min_tokens_per_table);
+}
+
+// ---------- Baselines interoperate with the Searcher interface ----------
+
+TEST(BaselineInterfaceTest, NamesAndPolymorphicUse) {
+  MiniCorpus mc = MakeMiniCorpus();
+  MdrSearcher mdr(mc.stats);
+  auto ws = WsSearcher::Build(mc.stats, mc.training).MoveValue();
+  auto tcs =
+      TcsSearcher::Build(mc.stats, mc.encoder, mc.federation, mc.training)
+          .MoveValue();
+  AdhSearcher adh(mc.federation, mc.stats, mc.encoder);
+  TmlSearcher tml(mc.federation, mc.stats, mc.encoder);
+
+  std::vector<const discovery::Searcher*> searchers = {&mdr, ws.get(),
+                                                       tcs.get(), &adh, &tml};
+  std::vector<std::string> names;
+  for (const auto* s : searchers) {
+    names.push_back(s->name());
+    auto hits = s->Search("covid vaccine", {}).MoveValue();
+    EXPECT_LE(hits.size(), 3u);
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"MDR", "WS", "TCS", "AdH", "TML"}));
+}
+
+}  // namespace
+}  // namespace mira::baselines

@@ -1,0 +1,280 @@
+// Unit + property tests for src/cluster: k-means and HDBSCAN.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/hdbscan.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::cluster {
+namespace {
+
+using vecmath::Matrix;
+using vecmath::Vec;
+
+// `blobs` well-separated Gaussian blobs of `per_blob` points each.
+Matrix MakeBlobs(size_t blobs, size_t per_blob, size_t dim, double spread,
+                 uint64_t seed, std::vector<int32_t>* truth = nullptr) {
+  Rng rng(seed);
+  Matrix data(blobs * per_blob, dim);
+  if (truth != nullptr) truth->resize(blobs * per_blob);
+  for (size_t b = 0; b < blobs; ++b) {
+    Vec center(dim);
+    for (auto& x : center) x = static_cast<float>(rng.NextGaussian() * 20.0);
+    for (size_t i = 0; i < per_blob; ++i) {
+      size_t row = b * per_blob + i;
+      for (size_t j = 0; j < dim; ++j) {
+        data.At(row, j) =
+            center[j] + static_cast<float>(rng.NextGaussian() * spread);
+      }
+      if (truth != nullptr) (*truth)[row] = static_cast<int32_t>(b);
+    }
+  }
+  return data;
+}
+
+// Fraction of point pairs whose same/different-cluster relation agrees with
+// ground truth (Rand index).
+double RandIndex(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  size_t agree = 0, total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(agree) / total;
+}
+
+// ---------- k-means ----------
+
+TEST(KMeansTest, RejectsBadInputs) {
+  Matrix data = MakeBlobs(2, 10, 4, 0.5, 1);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_TRUE(KMeans(data, options).status().IsInvalidArgument());
+  options.num_clusters = 100;  // more clusters than points
+  EXPECT_TRUE(KMeans(data, options).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  std::vector<int32_t> truth;
+  Matrix data = MakeBlobs(4, 50, 8, 0.5, 2, &truth);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  auto result = KMeans(data, options).MoveValue();
+  EXPECT_GT(RandIndex(result.assignments, truth), 0.95);
+  EXPECT_EQ(result.centroids.rows(), 4u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Matrix data = MakeBlobs(6, 40, 6, 1.5, 3);
+  KMeansOptions two, six;
+  two.num_clusters = 2;
+  six.num_clusters = 6;
+  auto r2 = KMeans(data, two).MoveValue();
+  auto r6 = KMeans(data, six).MoveValue();
+  EXPECT_LT(r6.inertia, r2.inertia);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Matrix data = MakeBlobs(3, 30, 4, 1.0, 4);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto a = KMeans(data, options).MoveValue();
+  auto b = KMeans(data, options).MoveValue();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, AssignmentsPointToNearestCentroid) {
+  Matrix data = MakeBlobs(3, 40, 5, 1.0, 5);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto result = KMeans(data, options).MoveValue();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    float assigned = vecmath::SquaredL2(
+        data.Row(i), result.centroids.Row(result.assignments[i]), data.cols());
+    for (size_t c = 0; c < 3; ++c) {
+      float d = vecmath::SquaredL2(data.Row(i), result.centroids.Row(c),
+                                   data.cols());
+      EXPECT_GE(d + 1e-4, assigned);
+    }
+  }
+}
+
+TEST(KMeansTest, KEqualsNAssignsSingletons) {
+  Matrix data = MakeBlobs(1, 8, 3, 5.0, 6);
+  KMeansOptions options;
+  options.num_clusters = 8;
+  auto result = KMeans(data, options).MoveValue();
+  std::set<int32_t> used(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(used.size(), 8u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+// ---------- HDBSCAN ----------
+
+TEST(HdbscanTest, RejectsTinyMinClusterSize) {
+  Matrix data = MakeBlobs(2, 20, 4, 0.5, 7);
+  HdbscanOptions options;
+  options.min_cluster_size = 1;
+  EXPECT_TRUE(Hdbscan(data, options).status().IsInvalidArgument());
+}
+
+TEST(HdbscanTest, TooFewPointsAllNoise) {
+  Matrix data = MakeBlobs(1, 4, 3, 0.5, 8);
+  HdbscanOptions options;
+  options.min_cluster_size = 8;
+  auto result = Hdbscan(data, options).MoveValue();
+  EXPECT_EQ(result.num_clusters(), 0u);
+  EXPECT_EQ(result.num_noise(), 4u);
+}
+
+TEST(HdbscanTest, RecoversSeparatedBlobs) {
+  std::vector<int32_t> truth;
+  Matrix data = MakeBlobs(4, 60, 5, 0.4, 9, &truth);
+  HdbscanOptions options;
+  options.min_cluster_size = 10;
+  auto result = Hdbscan(data, options).MoveValue();
+  EXPECT_EQ(result.num_clusters(), 4u);
+  // Compare labels on non-noise points only.
+  std::vector<int32_t> pred, gt;
+  for (size_t i = 0; i < result.labels.size(); ++i) {
+    if (result.labels[i] != kNoise) {
+      pred.push_back(result.labels[i]);
+      gt.push_back(truth[i]);
+    }
+  }
+  EXPECT_GT(pred.size(), result.labels.size() * 9 / 10);
+  EXPECT_GT(RandIndex(pred, gt), 0.98);
+}
+
+TEST(HdbscanTest, UniformNoiseYieldsFewOrNoClusters) {
+  Rng rng(10);
+  Matrix data(120, 6);
+  for (auto& x : data.data()) {
+    x = static_cast<float>(rng.NextUniform(-50, 50));
+  }
+  HdbscanOptions options;
+  options.min_cluster_size = 15;
+  auto result = Hdbscan(data, options).MoveValue();
+  // Uniform data has no density structure; expect mostly noise.
+  EXPECT_LE(result.num_clusters(), 2u);
+}
+
+TEST(HdbscanTest, OutliersMarkedNoise) {
+  std::vector<int32_t> truth;
+  Matrix blobs = MakeBlobs(2, 50, 4, 0.3, 11, &truth);
+  // Append far-away isolated points.
+  Matrix data(blobs.rows() + 5, blobs.cols());
+  for (size_t i = 0; i < blobs.rows(); ++i) data.SetRow(i, blobs.RowVec(i));
+  Rng rng(12);
+  for (size_t i = 0; i < 5; ++i) {
+    Vec outlier(blobs.cols());
+    for (auto& x : outlier) x = static_cast<float>(rng.NextUniform(200, 400));
+    data.SetRow(blobs.rows() + i, outlier);
+  }
+  HdbscanOptions options;
+  options.min_cluster_size = 10;
+  auto result = Hdbscan(data, options).MoveValue();
+  EXPECT_EQ(result.num_clusters(), 2u);
+  size_t outlier_noise = 0;
+  for (size_t i = blobs.rows(); i < data.rows(); ++i) {
+    outlier_noise += result.labels[i] == kNoise;
+  }
+  EXPECT_GE(outlier_noise, 4u);
+}
+
+TEST(HdbscanTest, LabelsConsistentWithClusterMembers) {
+  Matrix data = MakeBlobs(3, 40, 4, 0.4, 13);
+  HdbscanOptions options;
+  options.min_cluster_size = 8;
+  auto result = Hdbscan(data, options).MoveValue();
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    for (size_t member : result.clusters[c].members) {
+      EXPECT_EQ(result.labels[member], static_cast<int32_t>(c));
+    }
+  }
+  // Every labeled point appears in exactly one member list.
+  size_t total_members = 0;
+  for (const auto& cluster : result.clusters) total_members += cluster.members.size();
+  size_t labeled = result.labels.size() - result.num_noise();
+  EXPECT_EQ(total_members, labeled);
+}
+
+TEST(HdbscanTest, DeterministicAcrossRuns) {
+  Matrix data = MakeBlobs(3, 50, 5, 0.6, 14);
+  HdbscanOptions options;
+  options.min_cluster_size = 10;
+  auto a = Hdbscan(data, options).MoveValue();
+  auto b = Hdbscan(data, options).MoveValue();
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(HdbscanTest, StabilityPositiveForRealClusters) {
+  Matrix data = MakeBlobs(2, 60, 4, 0.3, 15);
+  HdbscanOptions options;
+  options.min_cluster_size = 10;
+  auto result = Hdbscan(data, options).MoveValue();
+  for (const auto& cluster : result.clusters) {
+    EXPECT_GT(cluster.stability, 0.0);
+  }
+}
+
+// Parameterized sweep over min_cluster_size (property: blob recovery is
+// stable across a reasonable range).
+class HdbscanMcsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HdbscanMcsSweep, FourBlobsRecovered) {
+  std::vector<int32_t> truth;
+  Matrix data = MakeBlobs(4, 50, 5, 0.4, 16, &truth);
+  HdbscanOptions options;
+  options.min_cluster_size = GetParam();
+  auto result = Hdbscan(data, options).MoveValue();
+  EXPECT_EQ(result.num_clusters(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MinClusterSizes, HdbscanMcsSweep,
+                         ::testing::Values(5, 8, 12, 20));
+
+// ---------- Medoids ----------
+
+TEST(MedoidsTest, MedoidIsMemberAndCentral) {
+  std::vector<int32_t> truth;
+  Matrix data = MakeBlobs(3, 40, 4, 0.5, 17, &truth);
+  HdbscanOptions options;
+  options.min_cluster_size = 10;
+  auto result = Hdbscan(data, options).MoveValue();
+  ASSERT_EQ(result.num_clusters(), 3u);
+  auto medoids = ComputeMedoids(data, result);
+  ASSERT_EQ(medoids.size(), 3u);
+  for (size_t c = 0; c < medoids.size(); ++c) {
+    const auto& members = result.clusters[c].members;
+    // Medoid must be a member of its own cluster.
+    EXPECT_TRUE(std::find(members.begin(), members.end(), medoids[c]) !=
+                members.end());
+    // No member has a smaller total distance.
+    auto total_dist = [&](size_t candidate) {
+      double total = 0;
+      for (size_t m : members) {
+        total += std::sqrt(static_cast<double>(
+            vecmath::SquaredL2(data.Row(candidate), data.Row(m), data.cols())));
+      }
+      return total;
+    };
+    double medoid_total = total_dist(medoids[c]);
+    for (size_t m : members) {
+      EXPECT_GE(total_dist(m) + 1e-6, medoid_total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mira::cluster

@@ -1,0 +1,578 @@
+// Tests for src/discovery: corpus embeddings, ExS/ANNS/CTS, the engine, and
+// the paper's motivating example (Figure 1).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <unordered_set>
+
+#include "datagen/workload.h"
+#include "discovery/anns_search.h"
+#include "discovery/cts_search.h"
+#include "discovery/engine.h"
+#include "discovery/exhaustive_search.h"
+#include "discovery/match.h"
+#include "discovery/types.h"
+
+namespace mira::discovery {
+namespace {
+
+using datagen::ConceptBankOptions;
+using datagen::Workload;
+using datagen::WorkloadOptions;
+
+// The Figure 1 federation: WHO / CDC / ECDC COVID vaccine tables plus two
+// unrelated tables; only ECDC contains the literal keyword "COVID".
+struct CovidFixture {
+  table::Federation federation;
+  std::shared_ptr<embed::Lexicon> lexicon;
+  table::RelationId who, cdc, ecdc, football, weather;
+};
+
+CovidFixture MakeCovidFixture() {
+  CovidFixture fx;
+  fx.lexicon = std::make_shared<embed::Lexicon>();
+  int32_t covid = fx.lexicon->AddTopic("covid");
+  int32_t vaccines = fx.lexicon->AddAspect(covid, "vaccines");
+  int32_t disease = fx.lexicon->AddConcept(covid, "covid_disease", vaccines);
+  fx.lexicon->AddSurface(disease, "covid");
+  fx.lexicon->AddSurface(disease, "covid-19");
+  int32_t pfizer = fx.lexicon->AddConcept(covid, "pfizer", vaccines);
+  fx.lexicon->AddSurface(pfizer, "comirnaty");
+  fx.lexicon->AddSurface(pfizer, "pfizer-biontech");
+  fx.lexicon->AddSurface(pfizer, "pfizer");
+  fx.lexicon->AddSurface(pfizer, "mrna");
+  int32_t az = fx.lexicon->AddConcept(covid, "astrazeneca", vaccines);
+  fx.lexicon->AddSurface(az, "vaxzevria");
+  fx.lexicon->AddSurface(az, "astrazeneca");
+  fx.lexicon->AddSurface(az, "janssen");
+  int32_t sinovac = fx.lexicon->AddConcept(covid, "sinovac", vaccines);
+  fx.lexicon->AddSurface(sinovac, "coronavac");
+  fx.lexicon->AddSurface(sinovac, "sinovac");
+  int32_t moderna = fx.lexicon->AddConcept(covid, "moderna", vaccines);
+  fx.lexicon->AddSurface(moderna, "moderna");
+  fx.lexicon->AddSurface(moderna, "spikevax");
+  int32_t novavax = fx.lexicon->AddConcept(covid, "novavax", vaccines);
+  fx.lexicon->AddSurface(novavax, "novavax");
+  fx.lexicon->AddSurface(novavax, "nuvaxovid");
+
+  table::Relation who;
+  who.name = "WHO";
+  who.schema = {"Region", "Date", "Vaccine", "Dosage"};
+  who.AddRow({"North America", "2021-01-01", "Comirnaty", "First"}).Abort("");
+  who.AddRow({"Europe", "2021-02-01", "Vaxzevria", "Second"}).Abort("");
+  who.AddRow({"Asia", "2021-03-01", "CoronaVac", "First"}).Abort("");
+  fx.who = fx.federation.AddRelation(std::move(who));
+
+  // Figure 1's CDC table: Immunogen and Manufacturer columns carry vaccine
+  // vocabulary even though "COVID" never appears.
+  table::Relation cdc;
+  cdc.name = "CDC";
+  cdc.schema = {"State", "Date", "Immunogen", "Manufacturer"};
+  cdc.AddRow({"California", "2021-01-01", "mRNA", "Moderna"}).Abort("");
+  cdc.AddRow({"Texas", "2021-02-01", "Vector Virus", "Janssen"}).Abort("");
+  cdc.AddRow({"Florida", "2021-03-01", "mRNA", "Pfizer"}).Abort("");
+  cdc.AddRow({"New York", "2021-04-01", "Protein Subunit", "Novavax"}).Abort("");
+  fx.cdc = fx.federation.AddRelation(std::move(cdc));
+
+  table::Relation ecdc;
+  ecdc.name = "ECDC";
+  ecdc.schema = {"Country", "Date", "Trade Name", "Disease"};
+  ecdc.AddRow({"Germany", "2021-01-01", "Pfizer-BioNTech", "COVID-19"}).Abort("");
+  ecdc.AddRow({"France", "2021-02-01", "AstraZeneca", "COVID-19"}).Abort("");
+  ecdc.AddRow({"Spain", "2021-03-01", "Moderna", "COVID-19"}).Abort("");
+  ecdc.AddRow({"Italy", "2021-04-01", "Pfizer-BioNTech", "COVID-19"}).Abort("");
+  fx.ecdc = fx.federation.AddRelation(std::move(ecdc));
+
+  table::Relation football;
+  football.name = "Football";
+  football.schema = {"Team", "Points"};
+  football.AddRow({"Harriers", "42"}).Abort("");
+  football.AddRow({"Rovers", "38"}).Abort("");
+  fx.football = fx.federation.AddRelation(std::move(football));
+
+  table::Relation weather;
+  weather.name = "Weather";
+  weather.schema = {"City", "Temperature"};
+  weather.AddRow({"Oslo", "-3"}).Abort("");
+  weather.AddRow({"Cairo", "31"}).Abort("");
+  fx.weather = fx.federation.AddRelation(std::move(weather));
+  return fx;
+}
+
+EngineOptions FastEngineOptions() {
+  EngineOptions options;
+  // 256 dims keep random-direction noise (~1/sqrt(dim)) well below the
+  // concept-level signal even for the tiny Figure 1 federation.
+  options.encoder.dim = 256;
+  options.cts.umap.n_epochs = 60;
+  options.embed_threads = 1;
+  return options;
+}
+
+// Small generated workload shared by the algorithm tests.
+Workload SmallWorkload() {
+  WorkloadOptions options = datagen::WikiTablesWorkload(150);
+  options.bank.num_topics = 8;
+  options.bank.aspects_per_topic = 3;
+  options.queries.per_class = 6;
+  return Workload::Generate(options);
+}
+
+// ---------- CorpusEmbeddings ----------
+
+TEST(CorpusEmbeddingsTest, OneRowPerNonEmptyCell) {
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  embed::SemanticEncoder encoder(opts, fx.lexicon);
+  auto corpus = CorpusEmbeddings::Build(fx.federation, encoder).MoveValue();
+  EXPECT_EQ(corpus.num_cells(), fx.federation.TotalCells());
+  EXPECT_EQ(corpus.dim(), 64u);
+  EXPECT_EQ(corpus.num_relations, 5u);
+  uint32_t total = 0;
+  for (uint32_t c : corpus.cells_per_relation) total += c;
+  EXPECT_EQ(total, corpus.num_cells());
+}
+
+TEST(CorpusEmbeddingsTest, SkipsEmptyCells) {
+  table::Federation federation;
+  table::Relation r;
+  r.name = "sparse";
+  r.schema = {"a", "b"};
+  r.AddRow({"x", ""}).Abort("");
+  r.AddRow({"", "y"}).Abort("");
+  federation.AddRelation(std::move(r));
+  embed::EncoderOptions opts;
+  opts.dim = 32;
+  embed::SemanticEncoder encoder(opts, std::make_shared<embed::Lexicon>());
+  auto corpus = CorpusEmbeddings::Build(federation, encoder).MoveValue();
+  EXPECT_EQ(corpus.num_cells(), 2u);
+}
+
+TEST(CorpusEmbeddingsTest, EmptyFederationRejected) {
+  table::Federation federation;
+  embed::EncoderOptions opts;
+  opts.dim = 32;
+  embed::SemanticEncoder encoder(opts, std::make_shared<embed::Lexicon>());
+  EXPECT_TRUE(CorpusEmbeddings::Build(federation, encoder)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CorpusEmbeddingsTest, ParallelMatchesSerial) {
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions opts;
+  opts.dim = 48;
+  embed::SemanticEncoder encoder(opts, fx.lexicon);
+  auto serial = CorpusEmbeddings::Build(fx.federation, encoder).MoveValue();
+  ThreadPool pool(4);
+  auto parallel =
+      CorpusEmbeddings::Build(fx.federation, encoder, &pool).MoveValue();
+  ASSERT_EQ(serial.num_cells(), parallel.num_cells());
+  EXPECT_EQ(serial.vectors.data(), parallel.vectors.data());
+}
+
+// ---------- Motivating example (Figure 1) ----------
+
+class MotivatingExampleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CovidFixture fx = MakeCovidFixture();
+    fixture_ = new CovidFixture(std::move(fx));
+    engine_ = DiscoveryEngine::Build(fixture_->federation, fixture_->lexicon,
+                                     FastEngineOptions())
+                  .MoveValue()
+                  .release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete fixture_;
+  }
+  static CovidFixture* fixture_;
+  static DiscoveryEngine* engine_;
+};
+
+CovidFixture* MotivatingExampleTest::fixture_ = nullptr;
+DiscoveryEngine* MotivatingExampleTest::engine_ = nullptr;
+
+TEST_F(MotivatingExampleTest, KeywordCovidFindsAllThreeVaccineTables) {
+  // Sarah's query: plain keyword search would return only ECDC; semantic
+  // matching must surface WHO and CDC too (they never mention "COVID").
+  for (Method method : {Method::kExhaustive, Method::kAnns, Method::kCts}) {
+    DiscoveryOptions options;
+    options.top_k = 3;
+    Ranking ranking = engine_->Search(method, "COVID", options).MoveValue();
+    ASSERT_EQ(ranking.size(), 3u) << MethodToString(method);
+    std::unordered_set<table::RelationId> found;
+    for (const auto& hit : ranking) found.insert(hit.relation);
+    EXPECT_TRUE(found.count(fixture_->who)) << MethodToString(method);
+    EXPECT_TRUE(found.count(fixture_->cdc)) << MethodToString(method);
+    EXPECT_TRUE(found.count(fixture_->ecdc)) << MethodToString(method);
+  }
+}
+
+TEST_F(MotivatingExampleTest, UnrelatedTablesScoreLower) {
+  DiscoveryOptions options;
+  options.top_k = 5;
+  Ranking ranking =
+      engine_->Search(Method::kExhaustive, "COVID vaccine", options).MoveValue();
+  ASSERT_EQ(ranking.size(), 5u);
+  // Football and weather must occupy the two last positions.
+  std::unordered_set<table::RelationId> tail = {ranking[3].relation,
+                                                ranking[4].relation};
+  EXPECT_TRUE(tail.count(fixture_->football));
+  EXPECT_TRUE(tail.count(fixture_->weather));
+}
+
+TEST_F(MotivatingExampleTest, ThresholdFiltersUnrelated) {
+  DiscoveryOptions options;
+  options.top_k = 5;
+  Ranking unfiltered =
+      engine_->Search(Method::kExhaustive, "comirnaty", options).MoveValue();
+  ASSERT_EQ(unfiltered.size(), 5u);
+  // Pick a threshold between the 3rd (related) and 4th (unrelated) scores.
+  float h = (unfiltered[2].score + unfiltered[3].score) / 2.0f;
+  options.threshold = h;
+  Ranking filtered =
+      engine_->Search(Method::kExhaustive, "comirnaty", options).MoveValue();
+  EXPECT_EQ(filtered.size(), 3u);
+  for (const auto& hit : filtered) EXPECT_GE(hit.score, h);
+}
+
+TEST_F(MotivatingExampleTest, TopKTruncates) {
+  DiscoveryOptions options;
+  options.top_k = 2;
+  Ranking ranking =
+      engine_->Search(Method::kCts, "vaccine dose", options).MoveValue();
+  EXPECT_LE(ranking.size(), 2u);
+}
+
+TEST_F(MotivatingExampleTest, RankingSortedByScore) {
+  DiscoveryOptions options;
+  options.top_k = 5;
+  for (Method method : {Method::kExhaustive, Method::kAnns, Method::kCts}) {
+    Ranking ranking =
+        engine_->Search(method, "mrna vaccine", options).MoveValue();
+    for (size_t i = 1; i < ranking.size(); ++i) {
+      EXPECT_GE(ranking[i - 1].score, ranking[i].score);
+    }
+  }
+}
+
+// ---------- Engine plumbing ----------
+
+TEST(EngineTest, DisabledSearchersReportFailedPrecondition) {
+  CovidFixture fx = MakeCovidFixture();
+  EngineOptions options = FastEngineOptions();
+  options.build_anns = false;
+  options.build_cts = false;
+  auto engine =
+      DiscoveryEngine::Build(fx.federation, fx.lexicon, options).MoveValue();
+  EXPECT_TRUE(engine->Search(Method::kAnns, "covid", {}).status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine->Search(Method::kCts, "covid", {}).status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(engine->Search(Method::kExhaustive, "covid", {}).ok());
+}
+
+TEST(EngineTest, NullLexiconRejected) {
+  CovidFixture fx = MakeCovidFixture();
+  EXPECT_TRUE(DiscoveryEngine::Build(fx.federation, nullptr, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EngineTest, MethodNames) {
+  EXPECT_EQ(MethodToString(Method::kExhaustive), "ExS");
+  EXPECT_EQ(MethodToString(Method::kAnns), "ANNS");
+  EXPECT_EQ(MethodToString(Method::kCts), "CTS");
+}
+
+// ---------- Algorithm-level behaviour on a generated workload ----------
+
+class GeneratedWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(SmallWorkload());
+    engine_ = DiscoveryEngine::Build(workload_->corpus.federation,
+                                     workload_->bank.lexicon(),
+                                     FastEngineOptions())
+                  .MoveValue()
+                  .release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete workload_;
+  }
+
+  static double MapOf(Method method) {
+    DiscoveryOptions options;
+    options.top_k = 60;
+    std::unordered_map<ir::QueryId, std::vector<ir::DocId>> run;
+    for (const auto& q : workload_->queries) {
+      auto ranking = engine_->Search(method, q.text, options).MoveValue();
+      std::vector<ir::DocId> docs;
+      for (const auto& hit : ranking) docs.push_back(hit.relation);
+      run[q.id] = std::move(docs);
+    }
+    return ir::Evaluate(workload_->qrels, run).map;
+  }
+
+  static Workload* workload_;
+  static DiscoveryEngine* engine_;
+};
+
+Workload* GeneratedWorkloadTest::workload_ = nullptr;
+DiscoveryEngine* GeneratedWorkloadTest::engine_ = nullptr;
+
+TEST_F(GeneratedWorkloadTest, AllMethodsFarAboveRandom) {
+  // Random ranking over 150 tables with ~15 relevant would have MAP ~0.1.
+  EXPECT_GT(MapOf(Method::kExhaustive), 0.3);
+  EXPECT_GT(MapOf(Method::kAnns), 0.3);
+  EXPECT_GT(MapOf(Method::kCts), 0.3);
+}
+
+TEST_F(GeneratedWorkloadTest, FocusedMethodsBeatExhaustive) {
+  // The paper's central quality claim (Tables 1-3): CTS and ANNS outrank
+  // whole-table averaging.
+  double exs = MapOf(Method::kExhaustive);
+  EXPECT_GT(MapOf(Method::kCts), exs - 0.02);
+  EXPECT_GT(MapOf(Method::kAnns), exs - 0.02);
+}
+
+TEST_F(GeneratedWorkloadTest, ExhaustiveDeterministic) {
+  DiscoveryOptions options;
+  options.top_k = 10;
+  const auto& q = workload_->queries.front();
+  auto a = engine_->Search(Method::kExhaustive, q.text, options).MoveValue();
+  auto b = engine_->Search(Method::kExhaustive, q.text, options).MoveValue();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].relation, b[i].relation);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST_F(GeneratedWorkloadTest, CachedExhaustiveMatchesFaithful) {
+  // The ExS-cached ablation must return identical rankings — only speed
+  // differs.
+  auto corpus = std::make_shared<CorpusEmbeddings>(
+      CorpusEmbeddings::Build(workload_->corpus.federation, engine_->encoder())
+          .MoveValue());
+  auto encoder = std::make_shared<embed::SemanticEncoder>(
+      engine_->encoder().options(), workload_->bank.lexicon());
+  if (engine_->encoder().token_frequencies() != nullptr) {
+    auto freqs = std::make_shared<embed::TokenFrequencies>();
+    for (const auto& rel : workload_->corpus.federation.relations()) {
+      freqs->AddText(rel.ConsolidatedText());
+    }
+    encoder->SetTokenFrequencies(freqs);
+  }
+  ExsOptions cached;
+  cached.reuse_corpus_embeddings = true;
+  ExhaustiveSearcher fast(nullptr, corpus, encoder, cached);
+  DiscoveryOptions options;
+  options.top_k = 20;
+  for (size_t qi = 0; qi < 3; ++qi) {
+    const auto& q = workload_->queries[qi];
+    auto faithful =
+        engine_->Search(Method::kExhaustive, q.text, options).MoveValue();
+    auto quick = fast.Search(q.text, options).MoveValue();
+    ASSERT_EQ(faithful.size(), quick.size());
+    for (size_t i = 0; i < faithful.size(); ++i) {
+      EXPECT_EQ(faithful[i].relation, quick[i].relation);
+      EXPECT_NEAR(faithful[i].score, quick[i].score, 1e-4);
+    }
+  }
+}
+
+TEST_F(GeneratedWorkloadTest, ParallelExhaustiveMatchesSerial) {
+  ExsOptions parallel_options;
+  parallel_options.num_threads = 4;
+  ExhaustiveSearcher parallel(&workload_->corpus.federation,
+                              std::make_shared<CorpusEmbeddings>(
+                                  CorpusEmbeddings::Build(
+                                      workload_->corpus.federation,
+                                      engine_->encoder())
+                                      .MoveValue()),
+                              std::shared_ptr<const embed::SemanticEncoder>(
+                                  &engine_->encoder(),
+                                  [](const embed::SemanticEncoder*) {}),
+                              parallel_options);
+  DiscoveryOptions options;
+  options.top_k = 15;
+  for (size_t qi = 0; qi < 3; ++qi) {
+    const auto& q = workload_->queries[qi];
+    auto serial =
+        engine_->Search(Method::kExhaustive, q.text, options).MoveValue();
+    auto threaded = parallel.Search(q.text, options).MoveValue();
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].relation, threaded[i].relation);
+      EXPECT_NEAR(serial[i].score, threaded[i].score, 1e-5);
+    }
+  }
+}
+
+TEST_F(GeneratedWorkloadTest, CtsBuildsMultipleClusters) {
+  const auto* cts =
+      static_cast<const CtsSearcher*>(engine_->searcher(Method::kCts));
+  ASSERT_NE(cts, nullptr);
+  EXPECT_GT(cts->num_clusters(), 1u);
+  EXPECT_LT(cts->largest_cluster_fraction(), 0.9);
+  EXPECT_GT(cts->IndexMemoryBytes(), 0u);
+}
+
+TEST_F(GeneratedWorkloadTest, AnnsReportsIndexMemory) {
+  const auto* anns =
+      static_cast<const AnnsSearcher*>(engine_->searcher(Method::kAnns));
+  ASSERT_NE(anns, nullptr);
+  EXPECT_GT(anns->IndexMemoryBytes(), 0u);
+}
+
+// ---------- Corpus persistence & BuildWithCorpus ----------
+
+TEST(CorpusPersistenceTest, SaveLoadRoundTrip) {
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  embed::SemanticEncoder encoder(opts, fx.lexicon);
+  auto corpus = CorpusEmbeddings::Build(fx.federation, encoder).MoveValue();
+  auto path = std::filesystem::temp_directory_path() / "mira_corpus_test.bin";
+  ASSERT_TRUE(corpus.Save(path.string()).ok());
+  auto loaded = CorpusEmbeddings::Load(path.string()).MoveValue();
+  EXPECT_EQ(loaded.num_relations, corpus.num_relations);
+  EXPECT_EQ(loaded.num_cells(), corpus.num_cells());
+  EXPECT_EQ(loaded.vectors.data(), corpus.vectors.data());
+  EXPECT_EQ(loaded.cells_per_relation, corpus.cells_per_relation);
+  for (size_t i = 0; i < corpus.num_cells(); ++i) {
+    EXPECT_EQ(loaded.refs[i].relation, corpus.refs[i].relation);
+    EXPECT_EQ(loaded.refs[i].row, corpus.refs[i].row);
+    EXPECT_EQ(loaded.refs[i].col, corpus.refs[i].col);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusPersistenceTest, LoadRejectsGarbage) {
+  auto path = std::filesystem::temp_directory_path() / "mira_corpus_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_TRUE(CorpusEmbeddings::Load(path.string()).status().IsIoError());
+  std::remove(path.c_str());
+  EXPECT_TRUE(CorpusEmbeddings::Load("/no/such/corpus").status().IsIoError());
+}
+
+TEST(CorpusPersistenceTest, BuildWithCorpusMatchesFreshBuild) {
+  CovidFixture fx = MakeCovidFixture();
+  EngineOptions options = FastEngineOptions();
+  auto fresh =
+      DiscoveryEngine::Build(fx.federation, fx.lexicon, options).MoveValue();
+
+  // Round-trip the corpus through disk and rebuild.
+  auto path = std::filesystem::temp_directory_path() / "mira_corpus_rt.bin";
+  ASSERT_TRUE(fresh->corpus().Save(path.string()).ok());
+  auto corpus = CorpusEmbeddings::Load(path.string()).MoveValue();
+  auto cached = DiscoveryEngine::BuildWithCorpus(fx.federation, fx.lexicon,
+                                                 std::move(corpus), options)
+                    .MoveValue();
+  std::remove(path.c_str());
+
+  DiscoveryOptions search;
+  search.top_k = 5;
+  for (auto method : {Method::kExhaustive, Method::kAnns, Method::kCts}) {
+    auto a = fresh->Search(method, "covid vaccine", search).MoveValue();
+    auto b = cached->Search(method, "covid vaccine", search).MoveValue();
+    ASSERT_EQ(a.size(), b.size()) << MethodToString(method);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].relation, b[i].relation);
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-5);
+    }
+  }
+}
+
+TEST(CorpusPersistenceTest, BuildWithCorpusValidates) {
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions opts;
+  opts.dim = 64;
+  embed::SemanticEncoder encoder(opts, fx.lexicon);
+  auto corpus = CorpusEmbeddings::Build(fx.federation, encoder).MoveValue();
+
+  EngineOptions options;
+  options.encoder.dim = 128;  // mismatched dim
+  EXPECT_TRUE(DiscoveryEngine::BuildWithCorpus(fx.federation, fx.lexicon,
+                                               corpus, options)
+                  .status()
+                  .IsInvalidArgument());
+
+  table::Federation wrong;  // mismatched relation count
+  wrong.AddRelation(fx.federation.relation(0));
+  options.encoder.dim = 64;
+  EXPECT_TRUE(DiscoveryEngine::BuildWithCorpus(wrong, fx.lexicon,
+                                               std::move(corpus), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------- MatchScore (the §3 match function) ----------
+
+TEST(MatchScoreTest, OrdersRelatedAboveUnrelated) {
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions opts;
+  opts.dim = 256;
+  embed::SemanticEncoder encoder(opts, fx.lexicon);
+  float who = MatchScore(fx.federation.relation(fx.who), "covid", encoder);
+  float football =
+      MatchScore(fx.federation.relation(fx.football), "covid", encoder);
+  EXPECT_GT(who, football + 0.05f);
+}
+
+TEST(MatchScoreTest, MatchesExhaustiveSearcherScore) {
+  CovidFixture fx = MakeCovidFixture();
+  auto engine =
+      DiscoveryEngine::Build(fx.federation, fx.lexicon, FastEngineOptions())
+          .MoveValue();
+  DiscoveryOptions options;
+  options.top_k = 5;
+  auto ranking =
+      engine->Search(Method::kExhaustive, "vaccine", options).MoveValue();
+  for (const auto& hit : ranking) {
+    float direct = MatchScore(engine->federation().relation(hit.relation),
+                              "vaccine", engine->encoder());
+    EXPECT_NEAR(direct, hit.score, 1e-4);
+  }
+}
+
+TEST(MatchScoreTest, EmptyRelationScoresZero) {
+  table::Relation empty;
+  empty.schema = {"a"};
+  embed::EncoderOptions opts;
+  opts.dim = 32;
+  embed::SemanticEncoder encoder(opts, std::make_shared<embed::Lexicon>());
+  EXPECT_EQ(MatchScore(empty, "anything", encoder), 0.f);
+}
+
+// ---------- ApplyThresholdAndTopK ----------
+
+TEST(ThresholdTest, AppliesBothLimits) {
+  Ranking ranking = {{0, 0.9f}, {1, 0.7f}, {2, 0.5f}, {3, 0.3f}};
+  DiscoveryOptions options;
+  options.top_k = 3;
+  options.threshold = 0.4f;
+  ApplyThresholdAndTopK(&ranking, options);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking.back().relation, 2u);
+
+  Ranking tight = {{0, 0.9f}, {1, 0.7f}};
+  options.threshold = 0.95f;
+  ApplyThresholdAndTopK(&tight, options);
+  EXPECT_TRUE(tight.empty());
+}
+
+}  // namespace
+}  // namespace mira::discovery

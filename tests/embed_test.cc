@@ -1,0 +1,271 @@
+// Unit + property tests for src/embed: the lexicon and the deterministic
+// semantic encoder (MIRA's Sentence-BERT substitute).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "embed/encoder.h"
+#include "embed/lexicon.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::embed {
+namespace {
+
+using vecmath::CosineSimilarity;
+using vecmath::Norm;
+using vecmath::Vec;
+
+// A tiny COVID-flavored lexicon mirroring the paper's Figure 1.
+std::shared_ptr<Lexicon> MakeCovidLexicon() {
+  auto lexicon = std::make_shared<Lexicon>();
+  int32_t covid = lexicon->AddTopic("covid");
+  int32_t vaccines = lexicon->AddAspect(covid, "vaccines");
+  int32_t spread = lexicon->AddAspect(covid, "spread");
+
+  int32_t pfizer = lexicon->AddConcept(covid, "pfizer_vaccine", vaccines);
+  lexicon->AddSurface(pfizer, "comirnaty");
+  lexicon->AddSurface(pfizer, "pfizer-biontech");
+  lexicon->AddSurface(pfizer, "bnt162b2");
+
+  int32_t moderna = lexicon->AddConcept(covid, "moderna_vaccine", vaccines);
+  lexicon->AddSurface(moderna, "spikevax");
+  lexicon->AddSurface(moderna, "moderna");
+
+  int32_t variant = lexicon->AddConcept(covid, "variant", spread);
+  lexicon->AddSurface(variant, "omicron");
+  lexicon->AddSurface(variant, "delta");
+
+  int32_t football = lexicon->AddTopic("football");
+  int32_t leagues = lexicon->AddAspect(football, "leagues");
+  int32_t club = lexicon->AddConcept(football, "club", leagues);
+  lexicon->AddSurface(club, "arsenal");
+  lexicon->AddSurface(club, "gunners");
+  return lexicon;
+}
+
+SemanticEncoder MakeEncoder(size_t dim = 64) {
+  EncoderOptions options;
+  options.dim = dim;
+  return SemanticEncoder(options, MakeCovidLexicon());
+}
+
+// ---------- Lexicon ----------
+
+TEST(LexiconTest, TopicAspectConceptHierarchy) {
+  auto lex = MakeCovidLexicon();
+  EXPECT_EQ(lex->num_topics(), 2u);
+  EXPECT_EQ(lex->num_aspects(), 3u);
+  EXPECT_EQ(lex->num_concepts(), 4u);
+  int32_t pfizer = lex->ConceptOf("comirnaty");
+  ASSERT_NE(pfizer, kNoConcept);
+  EXPECT_EQ(lex->TopicOf(pfizer), 0);
+  int32_t aspect = lex->AspectOfConcept(pfizer);
+  EXPECT_EQ(lex->TopicOfAspect(aspect), 0);
+}
+
+TEST(LexiconTest, SurfaceLookupIsCaseInsensitive) {
+  auto lex = MakeCovidLexicon();
+  // AddSurface lowercases; lookups are against lowercased tokens (the
+  // tokenizer lowercases upstream).
+  EXPECT_NE(lex->ConceptOf("comirnaty"), kNoConcept);
+  EXPECT_EQ(lex->ConceptOf("COMIRNATY"), kNoConcept);  // raw lookup is exact
+}
+
+TEST(LexiconTest, UnknownSurface) {
+  auto lex = MakeCovidLexicon();
+  EXPECT_EQ(lex->ConceptOf("banana"), kNoConcept);
+}
+
+TEST(LexiconTest, SurfacesOfConcept) {
+  auto lex = MakeCovidLexicon();
+  int32_t pfizer = lex->ConceptOf("comirnaty");
+  auto surfaces = lex->SurfacesOf(pfizer);
+  EXPECT_EQ(surfaces.size(), 3u);
+}
+
+TEST(LexiconTest, ConceptWithoutAspect) {
+  Lexicon lex;
+  int32_t t = lex.AddTopic("t");
+  int32_t c = lex.AddConcept(t, "c");
+  EXPECT_EQ(lex.AspectOfConcept(c), kNoAspect);
+}
+
+// ---------- Encoder fundamentals ----------
+
+TEST(EncoderTest, OutputDimAndUnitNorm) {
+  auto enc = MakeEncoder(96);
+  Vec v = enc.EncodeText("comirnaty dose schedule");
+  EXPECT_EQ(v.size(), 96u);
+  EXPECT_NEAR(Norm(v), 1.0f, 1e-4);
+}
+
+TEST(EncoderTest, EmptyTextIsZeroVector) {
+  auto enc = MakeEncoder();
+  Vec v = enc.EncodeText("");
+  EXPECT_NEAR(Norm(v), 0.f, 1e-6);
+}
+
+TEST(EncoderTest, DeterministicAcrossInstances) {
+  EncoderOptions options;
+  options.dim = 64;
+  SemanticEncoder a(options, MakeCovidLexicon());
+  SemanticEncoder b(options, MakeCovidLexicon());
+  EXPECT_EQ(a.EncodeText("omicron wave 2021"), b.EncodeText("omicron wave 2021"));
+}
+
+TEST(EncoderTest, SeedChangesEmbeddings) {
+  EncoderOptions a_opts, b_opts;
+  a_opts.dim = b_opts.dim = 64;
+  b_opts.seed = a_opts.seed + 1;
+  SemanticEncoder a(a_opts, MakeCovidLexicon());
+  SemanticEncoder b(b_opts, MakeCovidLexicon());
+  EXPECT_LT(CosineSimilarity(a.EncodeText("omicron"), b.EncodeText("omicron")),
+            0.5f);
+}
+
+// ---------- The semantic ladder ----------
+
+TEST(EncoderTest, SynonymsAreVeryClose) {
+  auto enc = MakeEncoder();
+  float syn = CosineSimilarity(enc.EncodeText("comirnaty"),
+                               enc.EncodeText("pfizer-biontech"));
+  EXPECT_GT(syn, 0.6f);
+}
+
+TEST(EncoderTest, SameAspectConceptsAreClose) {
+  auto enc = MakeEncoder();
+  float same_aspect = CosineSimilarity(enc.EncodeText("comirnaty"),
+                                       enc.EncodeText("spikevax"));
+  EXPECT_GT(same_aspect, 0.35f);
+}
+
+TEST(EncoderTest, LadderOrdering) {
+  auto enc = MakeEncoder(128);
+  Vec comirnaty = enc.EncodeText("comirnaty");
+  float synonym = CosineSimilarity(comirnaty, enc.EncodeText("bnt162b2"));
+  float same_aspect = CosineSimilarity(comirnaty, enc.EncodeText("spikevax"));
+  float same_topic = CosineSimilarity(comirnaty, enc.EncodeText("omicron"));
+  float unrelated = CosineSimilarity(comirnaty, enc.EncodeText("arsenal"));
+  EXPECT_GT(synonym, same_aspect);
+  EXPECT_GT(same_aspect, same_topic);
+  EXPECT_GT(same_topic, unrelated);
+  EXPECT_LT(unrelated, 0.3f);
+}
+
+TEST(EncoderTest, UnrelatedRandomStringsNearOrthogonal) {
+  auto enc = MakeEncoder(256);
+  float sim = CosineSimilarity(enc.EncodeText("zygomatic"),
+                               enc.EncodeText("quixotry"));
+  EXPECT_LT(std::abs(sim), 0.35f);
+}
+
+TEST(EncoderTest, MisspellingsStayClose) {
+  // Character n-gram hashing gives robustness to small edits.
+  auto enc = MakeEncoder(256);
+  float sim = CosineSimilarity(enc.EncodeText("vaccination"),
+                               enc.EncodeText("vacination"));
+  EXPECT_GT(sim, 0.5f);
+}
+
+// ---------- Numeric handling ----------
+
+TEST(EncoderTest, NumbersShareNumbernessDirection) {
+  auto enc = MakeEncoder(128);
+  float num_num = CosineSimilarity(enc.EncodeText("1995"), enc.EncodeText("2831"));
+  float num_word = CosineSimilarity(enc.EncodeText("1995"), enc.EncodeText("zebra"));
+  EXPECT_GT(num_num, num_word);
+}
+
+TEST(EncoderTest, CloseMagnitudesCloserThanFarOnes) {
+  auto enc = MakeEncoder(128);
+  float near = CosineSimilarity(enc.EncodeText("1995"), enc.EncodeText("1997"));
+  float far = CosineSimilarity(enc.EncodeText("1995"), enc.EncodeText("3500000000"));
+  EXPECT_GT(near, far);
+}
+
+// ---------- Pooling ----------
+
+TEST(EncoderTest, QueryMatchesSentenceContainingSynonym) {
+  auto enc = MakeEncoder(128);
+  Vec query = enc.EncodeText("comirnaty");
+  float related = CosineSimilarity(query, enc.EncodeText("pfizer-biontech second dose"));
+  float unrelated = CosineSimilarity(query, enc.EncodeText("arsenal home win"));
+  EXPECT_GT(related, unrelated + 0.2f);
+}
+
+TEST(EncoderTest, StopwordsDownWeighted) {
+  auto enc = MakeEncoder(128);
+  Vec with_stop = enc.EncodeText("the of comirnaty");
+  Vec plain = enc.EncodeText("comirnaty");
+  EXPECT_GT(CosineSimilarity(with_stop, plain), 0.8f);
+}
+
+TEST(EncoderTest, SifDownWeightsFrequentTokens) {
+  EncoderOptions options;
+  options.dim = 128;
+  SemanticEncoder enc(options, MakeCovidLexicon());
+  auto freqs = std::make_shared<TokenFrequencies>();
+  // "ubiquitous" dominates the corpus.
+  std::vector<std::string> doc;
+  for (int i = 0; i < 5000; ++i) doc.push_back("ubiquitous");
+  doc.push_back("comirnaty");
+  freqs->Add(doc);
+  enc.SetTokenFrequencies(freqs);
+
+  Vec mixed = enc.EncodeText("ubiquitous comirnaty");
+  Vec signal = enc.EncodeText("comirnaty");
+  EXPECT_GT(CosineSimilarity(mixed, signal), 0.9f);
+}
+
+TEST(TokenFrequenciesTest, ProbReflectsCounts) {
+  TokenFrequencies freqs;
+  freqs.Add({"a", "a", "a", "b"});
+  EXPECT_GT(freqs.Prob("a"), freqs.Prob("b"));
+  EXPECT_GT(freqs.Prob("b"), freqs.Prob("unseen"));
+  EXPECT_EQ(freqs.total(), 4);
+}
+
+TEST(TokenFrequenciesTest, AddTextTokenizes) {
+  TokenFrequencies freqs;
+  freqs.AddText("Hello hello WORLD");
+  EXPECT_GT(freqs.Prob("hello"), freqs.Prob("world"));
+}
+
+// ---------- Parameterized dimensionality sweep ----------
+
+class EncoderDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EncoderDimTest, LadderHoldsAcrossDimensions) {
+  EncoderOptions options;
+  options.dim = GetParam();
+  SemanticEncoder enc(options, MakeCovidLexicon());
+  Vec comirnaty = enc.EncodeText("comirnaty");
+  float synonym = CosineSimilarity(comirnaty, enc.EncodeText("bnt162b2"));
+  float unrelated = CosineSimilarity(comirnaty, enc.EncodeText("arsenal"));
+  EXPECT_GT(synonym, unrelated + 0.25f);
+  EXPECT_EQ(comirnaty.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EncoderDimTest,
+                         ::testing::Values(32, 64, 128, 256, 768));
+
+// ---------- Concept/topic direction accessors ----------
+
+TEST(EncoderTest, ConceptDirectionIsUnit) {
+  auto enc = MakeEncoder(64);
+  Vec dir = enc.ConceptDirection(0);
+  EXPECT_NEAR(Norm(dir), 1.f, 1e-4);
+}
+
+TEST(EncoderTest, SameTopicConceptDirectionsCorrelate) {
+  auto enc = MakeEncoder(256);
+  auto lex = MakeCovidLexicon();
+  // Concepts 0,1,2 share topic 0; concept 3 is topic 1.
+  float same = CosineSimilarity(enc.ConceptDirection(0), enc.ConceptDirection(1));
+  float cross = CosineSimilarity(enc.ConceptDirection(0), enc.ConceptDirection(3));
+  EXPECT_GT(same, cross + 0.15f);
+}
+
+}  // namespace
+}  // namespace mira::embed

@@ -1,0 +1,338 @@
+// Tests for the extension features: multi-relation datasets (§3's
+// generalization), dataset-level ranking aggregation, TREC-format run/qrels
+// I/O, and the IVF-Flat index.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "discovery/dataset_ranking.h"
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "ir/trec_io.h"
+#include "table/relation.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira {
+namespace {
+
+table::Relation MakeRelation(const std::string& name) {
+  table::Relation r;
+  r.name = name;
+  r.schema = {"a"};
+  r.AddRow({"x"}).Abort("");
+  return r;
+}
+
+// ---------- Multi-relation datasets ----------
+
+TEST(FederationDatasetTest, AssignAndQuery) {
+  table::Federation federation;
+  auto r0 = federation.AddRelation(MakeRelation("r0"));
+  auto r1 = federation.AddRelation(MakeRelation("r1"));
+  auto r2 = federation.AddRelation(MakeRelation("r2"));
+  table::DatasetId health = federation.AddDataset("health");
+  ASSERT_TRUE(federation.AssignToDataset(r0, health).ok());
+  ASSERT_TRUE(federation.AssignToDataset(r2, health).ok());
+  EXPECT_EQ(federation.DatasetOf(r0), health);
+  EXPECT_EQ(federation.DatasetOf(r1), table::kNoDataset);
+  EXPECT_EQ(federation.DatasetName(health), "health");
+  EXPECT_EQ(federation.RelationsOf(health),
+            (std::vector<table::RelationId>{r0, r2}));
+  EXPECT_EQ(federation.num_datasets(), 1u);
+}
+
+TEST(FederationDatasetTest, AssignValidatesIds) {
+  table::Federation federation;
+  federation.AddRelation(MakeRelation("r0"));
+  table::DatasetId d = federation.AddDataset("d");
+  EXPECT_TRUE(federation.AssignToDataset(99, d).IsInvalidArgument());
+  EXPECT_TRUE(federation.AssignToDataset(0, 99).IsInvalidArgument());
+}
+
+TEST(FederationDatasetTest, SubsetPreservesAssignments) {
+  table::Federation federation;
+  table::DatasetId d = federation.AddDataset("d");
+  for (int i = 0; i < 20; ++i) {
+    auto id = federation.AddRelation(MakeRelation("r" + std::to_string(i)));
+    if (i % 2 == 0) federation.AssignToDataset(id, d).Abort("");
+  }
+  std::vector<table::RelationId> kept;
+  table::Federation subset = federation.Subset(0.5, 3, &kept);
+  for (size_t v = 0; v < kept.size(); ++v) {
+    EXPECT_EQ(subset.DatasetOf(v), federation.DatasetOf(kept[v]));
+  }
+}
+
+// ---------- Dataset-level ranking ----------
+
+discovery::Ranking MakeRanking() {
+  return {{0, 0.9f}, {1, 0.8f}, {2, 0.6f}, {3, 0.5f}};
+}
+
+TEST(DatasetRankingTest, SingletonsPassThrough) {
+  table::Federation federation;
+  for (int i = 0; i < 4; ++i) {
+    federation.AddRelation(MakeRelation("r" + std::to_string(i)));
+  }
+  discovery::DiscoveryOptions options;
+  auto hits =
+      discovery::AggregateByDataset(MakeRanking(), federation, options);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_TRUE(hits[0].is_singleton());
+  EXPECT_EQ(hits[0].singleton_relation, 0u);
+  EXPECT_FLOAT_EQ(hits[0].score, 0.9f);
+}
+
+TEST(DatasetRankingTest, MaxAggregationMergesMembers) {
+  table::Federation federation;
+  for (int i = 0; i < 4; ++i) {
+    federation.AddRelation(MakeRelation("r" + std::to_string(i)));
+  }
+  table::DatasetId d = federation.AddDataset("bundle");
+  federation.AssignToDataset(1, d).Abort("");
+  federation.AssignToDataset(2, d).Abort("");
+
+  discovery::DiscoveryOptions options;
+  auto hits = discovery::AggregateByDataset(MakeRanking(), federation, options,
+                                            discovery::DatasetAggregation::kMax);
+  // 0 (0.9) > bundle (max of 0.8, 0.6) > 3 (0.5).
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_TRUE(hits[0].is_singleton());
+  EXPECT_EQ(hits[1].dataset, d);
+  EXPECT_FLOAT_EQ(hits[1].score, 0.8f);
+  ASSERT_EQ(hits[1].members.size(), 2u);
+  EXPECT_EQ(hits[1].members[0].relation, 1u);  // best member first
+  EXPECT_EQ(hits[2].singleton_relation, 3u);
+}
+
+TEST(DatasetRankingTest, MeanAndSumAggregation) {
+  table::Federation federation;
+  for (int i = 0; i < 4; ++i) {
+    federation.AddRelation(MakeRelation("r" + std::to_string(i)));
+  }
+  table::DatasetId d = federation.AddDataset("bundle");
+  federation.AssignToDataset(1, d).Abort("");
+  federation.AssignToDataset(2, d).Abort("");
+  discovery::DiscoveryOptions options;
+  auto mean = discovery::AggregateByDataset(
+      MakeRanking(), federation, options, discovery::DatasetAggregation::kMean);
+  auto sum = discovery::AggregateByDataset(
+      MakeRanking(), federation, options, discovery::DatasetAggregation::kSum);
+  auto find_bundle = [&](const discovery::DatasetRanking& hits) {
+    for (const auto& hit : hits) {
+      if (hit.dataset == d) return hit.score;
+    }
+    return -1.f;
+  };
+  EXPECT_NEAR(find_bundle(mean), 0.7f, 1e-5);
+  EXPECT_NEAR(find_bundle(sum), 1.4f, 1e-5);
+}
+
+TEST(DatasetRankingTest, ThresholdAndTopKApply) {
+  table::Federation federation;
+  for (int i = 0; i < 4; ++i) {
+    federation.AddRelation(MakeRelation("r" + std::to_string(i)));
+  }
+  discovery::DiscoveryOptions options;
+  options.top_k = 2;
+  auto hits = discovery::AggregateByDataset(MakeRanking(), federation, options);
+  EXPECT_EQ(hits.size(), 2u);
+  options.top_k = 10;
+  options.threshold = 0.7f;
+  hits = discovery::AggregateByDataset(MakeRanking(), federation, options);
+  EXPECT_EQ(hits.size(), 2u);  // only 0.9 and 0.8 survive
+}
+
+// ---------- TREC I/O ----------
+
+TEST(TrecIoTest, RunFileRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "mira_run_test.txt";
+  ir::ScoredRun run;
+  run.rankings[3] = {{10, 0.9}, {11, 0.7}};
+  run.rankings[1] = {{20, 1.5}};
+  ASSERT_TRUE(ir::WriteRunFile(path.string(), run, "mira-cts").ok());
+  auto loaded = ir::ReadRunFile(path.string()).MoveValue();
+  ASSERT_EQ(loaded.rankings.size(), 2u);
+  ASSERT_EQ(loaded.rankings[3].size(), 2u);
+  EXPECT_EQ(loaded.rankings[3][0].doc, 10u);
+  EXPECT_DOUBLE_EQ(loaded.rankings[3][0].score, 0.9);
+  EXPECT_EQ(loaded.rankings[1][0].doc, 20u);
+  std::remove(path.c_str());
+}
+
+TEST(TrecIoTest, ScoredRunToRun) {
+  ir::ScoredRun run;
+  run.rankings[0] = {{5, 0.5}, {6, 0.4}};
+  ir::Run plain = run.ToRun();
+  EXPECT_EQ(plain[0], (std::vector<ir::DocId>{5, 6}));
+}
+
+TEST(TrecIoTest, QrelsRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "mira_qrels_test.txt";
+  ir::Qrels qrels;
+  qrels.Add(0, 7, 2);
+  qrels.Add(0, 8, 1);
+  qrels.Add(2, 7, 0);
+  ASSERT_TRUE(ir::WriteQrelsFile(path.string(), qrels).ok());
+  auto loaded = ir::ReadQrelsFile(path.string()).MoveValue();
+  EXPECT_EQ(loaded.Grade(0, 7), 2);
+  EXPECT_EQ(loaded.Grade(0, 8), 1);
+  EXPECT_EQ(loaded.Grade(2, 7), 0);
+  EXPECT_EQ(loaded.num_pairs(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TrecIoTest, MalformedRunRejected) {
+  auto path = std::filesystem::temp_directory_path() / "mira_bad_run.txt";
+  {
+    std::ofstream out(path);
+    out << "1 Q0 10\n";  // missing columns
+  }
+  EXPECT_TRUE(ir::ReadRunFile(path.string()).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(TrecIoTest, MissingFilesRejected) {
+  EXPECT_TRUE(ir::ReadRunFile("/no/such/run").status().IsIoError());
+  EXPECT_TRUE(ir::ReadQrelsFile("/no/such/qrels").status().IsIoError());
+}
+
+TEST(TrecIoTest, EvaluateFromRoundTrippedFiles) {
+  auto run_path = std::filesystem::temp_directory_path() / "mira_rt_run.txt";
+  auto qrels_path = std::filesystem::temp_directory_path() / "mira_rt_qrels.txt";
+  ir::Qrels qrels;
+  qrels.Add(0, 1, 2);
+  ir::ScoredRun run;
+  run.rankings[0] = {{1, 0.8}};
+  ASSERT_TRUE(ir::WriteRunFile(run_path.string(), run, "t").ok());
+  ASSERT_TRUE(ir::WriteQrelsFile(qrels_path.string(), qrels).ok());
+  auto loaded_run = ir::ReadRunFile(run_path.string()).MoveValue();
+  auto loaded_qrels = ir::ReadQrelsFile(qrels_path.string()).MoveValue();
+  auto result = ir::Evaluate(loaded_qrels, loaded_run.ToRun());
+  EXPECT_DOUBLE_EQ(result.map, 1.0);
+  std::remove(run_path.c_str());
+  std::remove(qrels_path.c_str());
+}
+
+// ---------- IVF index ----------
+
+vecmath::Matrix ClusteredData(size_t n, size_t dim, size_t clusters,
+                              uint64_t seed) {
+  Rng rng(seed);
+  vecmath::Matrix centers(clusters, dim);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t j = 0; j < dim; ++j) {
+      centers.At(c, j) = static_cast<float>(rng.NextGaussian());
+    }
+    vecmath::NormalizeInPlace(centers.Row(c), dim);
+  }
+  vecmath::Matrix data(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(i % clusters, j) +
+                      0.2f * static_cast<float>(rng.NextGaussian());
+    }
+    vecmath::NormalizeInPlace(data.Row(i), dim);
+  }
+  return data;
+}
+
+TEST(IvfIndexTest, LifecycleErrors) {
+  index::IvfIndex index;
+  EXPECT_TRUE(index.Build().IsFailedPrecondition());
+  ASSERT_TRUE(index.Add(0, {1, 0}).ok());
+  EXPECT_TRUE(index.Search({1, 0}, {1, 0}).status().IsFailedPrecondition());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_TRUE(index.Build().IsFailedPrecondition());
+  EXPECT_TRUE(index.Add(1, {0, 1}).IsFailedPrecondition());
+}
+
+TEST(IvfIndexTest, DefaultNlistIsSqrtN) {
+  index::IvfIndex index;
+  auto data = ClusteredData(400, 16, 8, 1);
+  for (size_t i = 0; i < 400; ++i) ASSERT_TRUE(index.Add(i, data.RowVec(i)).ok());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.num_lists(), 20u);
+  size_t total = 0;
+  for (size_t s : index.ListSizes()) total += s;
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(IvfIndexTest, FindsExactMatchWithinProbedCells) {
+  index::IvfOptions options;
+  options.nlist = 16;
+  options.nprobe = 4;
+  index::IvfIndex index(options);
+  auto data = ClusteredData(800, 24, 16, 2);
+  for (size_t i = 0; i < 800; ++i) ASSERT_TRUE(index.Add(i, data.RowVec(i)).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search(data.RowVec(123), {5, 0}).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 123u);
+}
+
+TEST(IvfIndexTest, MoreProbesImproveRecall) {
+  index::FlatIndex exact;
+  index::IvfOptions options;
+  options.nlist = 32;
+  index::IvfIndex ivf(options);
+  auto data = ClusteredData(1200, 24, 32, 3);
+  for (size_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(ivf.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(ivf.Build().ok());
+
+  Rng rng(4);
+  auto recall = [&](size_t nprobe) {
+    double total = 0;
+    for (int q = 0; q < 20; ++q) {
+      vecmath::Vec query = data.RowVec(rng.NextBounded(1200));
+      auto truth = exact.Search(query, {10, 0}).MoveValue();
+      auto hits = ivf.Search(query, {10, nprobe}).MoveValue();
+      std::unordered_set<uint64_t> expected;
+      for (const auto& t : truth) expected.insert(t.id);
+      size_t found = 0;
+      for (const auto& h : hits) found += expected.count(h.id);
+      total += static_cast<double>(found) / expected.size();
+    }
+    return total / 20;
+  };
+  Rng reset(4);
+  rng = reset;
+  double low = recall(1);
+  rng = reset;
+  double high = recall(16);
+  EXPECT_GE(high + 1e-9, low);
+  EXPECT_GT(high, 0.9);
+}
+
+TEST(IvfIndexTest, NprobeAllEqualsExact) {
+  index::FlatIndex exact;
+  index::IvfOptions options;
+  options.nlist = 10;
+  index::IvfIndex ivf(options);
+  auto data = ClusteredData(300, 16, 10, 5);
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(ivf.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(ivf.Build().ok());
+  vecmath::Vec query = data.RowVec(7);
+  auto truth = exact.Search(query, {10, 0}).MoveValue();
+  auto hits = ivf.Search(query, {10, 10}).MoveValue();  // probe all cells
+  ASSERT_EQ(hits.size(), truth.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, truth[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace mira

@@ -1,0 +1,432 @@
+// Unit + property tests for src/index: flat, HNSW (recall vs exact oracle),
+// product quantization, PQ-flat.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/pq_flat_index.h"
+#include "index/product_quantizer.h"
+#include "vecmath/vector_ops.h"
+
+namespace mira::index {
+namespace {
+
+using vecmath::Matrix;
+using vecmath::Metric;
+using vecmath::Vec;
+
+// Random unit vectors with `clusters` planted centers (so ANN search has
+// structure to exploit).
+Matrix MakeClusteredData(size_t n, size_t dim, size_t clusters, uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(clusters, dim);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t j = 0; j < dim; ++j) {
+      centers.At(c, j) = static_cast<float>(rng.NextGaussian());
+    }
+    vecmath::NormalizeInPlace(centers.Row(c), dim);
+  }
+  Matrix data(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = i % clusters;
+    for (size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(c, j) + 0.25f * static_cast<float>(rng.NextGaussian());
+    }
+    vecmath::NormalizeInPlace(data.Row(i), dim);
+  }
+  return data;
+}
+
+double RecallAtK(const std::vector<vecmath::ScoredId>& approx,
+                 const std::vector<vecmath::ScoredId>& exact, size_t k) {
+  std::unordered_set<uint64_t> truth;
+  for (size_t i = 0; i < exact.size() && i < k; ++i) truth.insert(exact[i].id);
+  size_t hits = 0;
+  for (size_t i = 0; i < approx.size() && i < k; ++i) {
+    hits += truth.count(approx[i].id);
+  }
+  return truth.empty() ? 1.0 : static_cast<double>(hits) / truth.size();
+}
+
+// ---------- FlatIndex ----------
+
+TEST(FlatIndexTest, ExactNearestByCosine) {
+  FlatIndex index(Metric::kCosine);
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {0, 1}).ok());
+  ASSERT_TRUE(index.Add(3, {0.9f, 0.1f}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search({1, 0}, {2, 0}).MoveValue();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 3u);
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-5);
+}
+
+TEST(FlatIndexTest, SearchBeforeBuildFails) {
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  EXPECT_TRUE(index.Search({1, 0}, {1, 0}).status().IsFailedPrecondition());
+}
+
+TEST(FlatIndexTest, AddAfterBuildFails) {
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_TRUE(index.Add(2, {0, 1}).IsFailedPrecondition());
+}
+
+TEST(FlatIndexTest, DimMismatchRejected) {
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  EXPECT_TRUE(index.Add(2, {1, 0, 0}).IsInvalidArgument());
+}
+
+TEST(FlatIndexTest, DoubleBuildFails) {
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_TRUE(index.Build().IsFailedPrecondition());
+}
+
+TEST(FlatIndexTest, L2MetricOrders) {
+  FlatIndex index(Metric::kL2);
+  ASSERT_TRUE(index.Add(1, {0, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {5, 5}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search({1, 1}, {2, 0}).MoveValue();
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(FlatIndexTest, DotMetricOrders) {
+  FlatIndex index(Metric::kDot);
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {3, 0}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search({1, 0}, {2, 0}).MoveValue();
+  EXPECT_EQ(hits[0].id, 2u);  // dot rewards magnitude
+}
+
+TEST(FlatIndexTest, MemoryBytesPositive) {
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(1, Vec(16, 0.5f)).ok());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_GE(index.MemoryBytes(), 16 * sizeof(float));
+}
+
+// ---------- ProductQuantizer ----------
+
+TEST(ProductQuantizerTest, TrainRejectsIndivisibleDim) {
+  Matrix data = MakeClusteredData(300, 30, 4, 1);
+  PqOptions options;
+  options.num_subquantizers = 7;  // 30 % 7 != 0
+  EXPECT_TRUE(ProductQuantizer::Train(data, options).status().IsInvalidArgument());
+}
+
+TEST(ProductQuantizerTest, EncodeDecodeRoundTripApproximates) {
+  Matrix data = MakeClusteredData(600, 32, 8, 2);
+  PqOptions options;
+  options.num_subquantizers = 8;
+  auto pq = ProductQuantizer::Train(data, options).MoveValue();
+  EXPECT_EQ(pq.code_bytes(), 8u);
+
+  Vec original = data.RowVec(0);
+  Vec reconstructed = pq.Decode(pq.Encode(original));
+  // Reconstruction error must be far below the norm of the vector.
+  EXPECT_LT(vecmath::SquaredL2(original, reconstructed), 0.5f);
+}
+
+TEST(ProductQuantizerTest, MoreSubquantizersLowerError) {
+  Matrix data = MakeClusteredData(800, 32, 8, 3);
+  PqOptions coarse, fine;
+  coarse.num_subquantizers = 2;
+  fine.num_subquantizers = 16;
+  auto pq_coarse = ProductQuantizer::Train(data, coarse).MoveValue();
+  auto pq_fine = ProductQuantizer::Train(data, fine).MoveValue();
+  EXPECT_LT(pq_fine.ReconstructionError(data),
+            pq_coarse.ReconstructionError(data));
+}
+
+TEST(ProductQuantizerTest, AdcApproximatesTrueDistance) {
+  Matrix data = MakeClusteredData(600, 32, 8, 4);
+  PqOptions options;
+  options.num_subquantizers = 16;
+  auto pq = ProductQuantizer::Train(data, options).MoveValue();
+
+  Rng rng(9);
+  Vec query(32);
+  for (auto& x : query) x = static_cast<float>(rng.NextGaussian());
+  vecmath::NormalizeInPlace(&query);
+  auto table = pq.ComputeDistanceTable(query);
+
+  for (size_t i = 0; i < 50; ++i) {
+    Vec row = data.RowVec(i);
+    std::vector<uint8_t> codes = pq.Encode(row);
+    float adc = pq.AdcDistance(table, codes.data());
+    float exact = vecmath::SquaredL2(query, row);
+    EXPECT_NEAR(adc, exact, 0.6f);
+  }
+}
+
+TEST(ProductQuantizerTest, TinyTrainingSetStillWorks) {
+  // Fewer rows than the 256-entry codebook.
+  Matrix data = MakeClusteredData(40, 16, 4, 5);
+  PqOptions options;
+  options.num_subquantizers = 4;
+  auto pq = ProductQuantizer::Train(data, options).MoveValue();
+  Vec v = data.RowVec(0);
+  EXPECT_EQ(pq.Encode(v).size(), 4u);
+}
+
+TEST(ProductQuantizerTest, TrainingSampleCapStillAccurate) {
+  Matrix data = MakeClusteredData(3000, 16, 8, 6);
+  PqOptions capped;
+  capped.num_subquantizers = 4;
+  capped.max_training_rows = 512;
+  auto pq = ProductQuantizer::Train(data, capped).MoveValue();
+  EXPECT_LT(pq.ReconstructionError(data), 0.3);
+}
+
+// ---------- HNSW ----------
+
+TEST(HnswIndexTest, EmptyBuildFails) {
+  HnswIndex index;
+  EXPECT_TRUE(index.Build().IsFailedPrecondition());
+}
+
+TEST(HnswIndexTest, SingleElement) {
+  HnswIndex index;
+  ASSERT_TRUE(index.Add(42, {1, 0, 0, 0}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search({1, 0, 0, 0}, {1, 0}).MoveValue();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-5);
+}
+
+TEST(HnswIndexTest, HighRecallVsExactOracle) {
+  const size_t n = 2000, dim = 32, k = 10;
+  Matrix data = MakeClusteredData(n, dim, 20, 7);
+
+  FlatIndex exact(Metric::kCosine);
+  HnswIndex approx;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(approx.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(approx.Build().ok());
+
+  Rng rng(11);
+  double total_recall = 0;
+  const int kQueries = 30;
+  for (int q = 0; q < kQueries; ++q) {
+    Vec query = data.RowVec(rng.NextBounded(n));
+    auto truth = exact.Search(query, {k, 0}).MoveValue();
+    auto hits = approx.Search(query, {k, 128}).MoveValue();
+    total_recall += RecallAtK(hits, truth, k);
+  }
+  EXPECT_GT(total_recall / kQueries, 0.9);
+}
+
+TEST(HnswIndexTest, LargerEfImprovesRecall) {
+  const size_t n = 1500, dim = 24, k = 10;
+  Matrix data = MakeClusteredData(n, dim, 30, 13);
+  FlatIndex exact(Metric::kCosine);
+  HnswOptions opts;
+  opts.ef_construction = 60;
+  opts.M = 8;
+  HnswIndex approx(opts);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(approx.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(approx.Build().ok());
+
+  Rng rng(15);
+  double recall_small = 0, recall_large = 0;
+  const int kQueries = 25;
+  for (int q = 0; q < kQueries; ++q) {
+    Vec query = data.RowVec(rng.NextBounded(n));
+    auto truth = exact.Search(query, {k, 0}).MoveValue();
+    recall_small += RecallAtK(approx.Search(query, {k, 10}).MoveValue(), truth, k);
+    recall_large += RecallAtK(approx.Search(query, {k, 200}).MoveValue(), truth, k);
+  }
+  EXPECT_GE(recall_large, recall_small);
+  EXPECT_GT(recall_large / kQueries, 0.9);
+}
+
+TEST(HnswIndexTest, DegreeBounds) {
+  const size_t n = 800;
+  HnswOptions opts;
+  opts.M = 6;
+  HnswIndex index(opts);
+  Matrix data = MakeClusteredData(n, 16, 8, 17);
+  for (size_t i = 0; i < n; ++i) ASSERT_TRUE(index.Add(i, data.RowVec(i)).ok());
+  ASSERT_TRUE(index.Build().ok());
+  for (uint32_t node = 0; node < n; ++node) {
+    EXPECT_LE(index.Degree(node, 0), opts.M * 2);
+    for (int level = 1; level <= index.max_level(); ++level) {
+      EXPECT_LE(index.Degree(node, level), opts.M);
+    }
+  }
+}
+
+TEST(HnswIndexTest, DeterministicGivenSeed) {
+  Matrix data = MakeClusteredData(500, 16, 8, 19);
+  auto build = [&]() {
+    HnswOptions opts;
+    opts.seed = 99;
+    auto index = std::make_unique<HnswIndex>(opts);
+    for (size_t i = 0; i < data.rows(); ++i) {
+      EXPECT_TRUE(index->Add(i, data.RowVec(i)).ok());
+    }
+    EXPECT_TRUE(index->Build().ok());
+    return index;
+  };
+  auto a = build();
+  auto b = build();
+  Vec query = data.RowVec(123);
+  auto ha = a->Search(query, {5, 64}).MoveValue();
+  auto hb = b->Search(query, {5, 64}).MoveValue();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i].id, hb[i].id);
+}
+
+TEST(HnswIndexTest, QuantizedSearchWithRescoringKeepsRecall) {
+  const size_t n = 1500, dim = 32, k = 10;
+  Matrix data = MakeClusteredData(n, dim, 15, 21);
+  FlatIndex exact(Metric::kCosine);
+  HnswOptions opts;
+  PqOptions pq;
+  pq.num_subquantizers = 8;
+  opts.quantization = pq;
+  HnswIndex quantized(opts);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(quantized.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(quantized.Build().ok());
+  EXPECT_EQ(quantized.name(), "hnsw+pq");
+
+  Rng rng(23);
+  double recall = 0;
+  const int kQueries = 25;
+  for (int q = 0; q < kQueries; ++q) {
+    Vec query = data.RowVec(rng.NextBounded(n));
+    auto truth = exact.Search(query, {k, 0}).MoveValue();
+    recall += RecallAtK(quantized.Search(query, {k, 128}).MoveValue(), truth, k);
+  }
+  EXPECT_GT(recall / kQueries, 0.75);
+}
+
+TEST(HnswIndexTest, QuantizedDotMetricRejected) {
+  HnswOptions opts;
+  opts.metric = Metric::kDot;
+  PqOptions pq;
+  opts.quantization = pq;
+  HnswIndex index(opts);
+  ASSERT_TRUE(index.Add(0, Vec(16, 0.25f)).ok());
+  EXPECT_TRUE(index.Build().IsNotImplemented());
+}
+
+// Parameterized recall sweep across M (property-style).
+class HnswMSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HnswMSweep, RecallAboveFloor) {
+  const size_t n = 1000, dim = 24, k = 5;
+  Matrix data = MakeClusteredData(n, dim, 10, 31);
+  FlatIndex exact(Metric::kCosine);
+  HnswOptions opts;
+  opts.M = GetParam();
+  HnswIndex approx(opts);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(approx.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(approx.Build().ok());
+  Rng rng(33);
+  double recall = 0;
+  for (int q = 0; q < 20; ++q) {
+    Vec query = data.RowVec(rng.NextBounded(n));
+    auto truth = exact.Search(query, {k, 0}).MoveValue();
+    recall += RecallAtK(approx.Search(query, {k, 100}).MoveValue(), truth, k);
+  }
+  EXPECT_GT(recall / 20, 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(MValues, HnswMSweep, ::testing::Values(4, 8, 16, 32));
+
+// ---------- PqFlatIndex ----------
+
+TEST(PqFlatIndexTest, RescoredSearchFindsPlantedNeighbor) {
+  const size_t n = 600, dim = 32;
+  Matrix data = MakeClusteredData(n, dim, 6, 37);
+  PqFlatOptions options;
+  options.pq.num_subquantizers = 8;
+  PqFlatIndex index(options);
+  for (size_t i = 0; i < n; ++i) ASSERT_TRUE(index.Add(i, data.RowVec(i)).ok());
+  ASSERT_TRUE(index.Build().ok());
+
+  auto hits = index.Search(data.RowVec(17), {5, 0}).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 17u);
+}
+
+TEST(PqFlatIndexTest, PureAdcModeDropsOriginals) {
+  const size_t n = 400, dim = 16;
+  Matrix data = MakeClusteredData(n, dim, 4, 41);
+  PqFlatOptions rescored, pure;
+  rescored.pq.num_subquantizers = 4;
+  pure.pq.num_subquantizers = 4;
+  pure.rescore_factor = 0;
+  PqFlatIndex a(rescored), b(pure);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(a.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(b.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(a.Build().ok());
+  ASSERT_TRUE(b.Build().ok());
+  // The storage saving is the point of PQ: pure-ADC mode drops the exact
+  // vectors (n * dim floats); only codes + codebooks remain.
+  size_t original_bytes = n * dim * sizeof(float);
+  EXPECT_LE(b.MemoryBytes() + original_bytes, a.MemoryBytes() + 64);
+  EXPECT_LT(b.MemoryBytes(), a.MemoryBytes());
+  // Pure ADC still searches.
+  auto hits = b.Search(data.RowVec(3), {3, 0}).MoveValue();
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(PqFlatIndexTest, RecallReasonableVsExact) {
+  const size_t n = 1000, dim = 32, k = 10;
+  Matrix data = MakeClusteredData(n, dim, 10, 43);
+  FlatIndex exact(Metric::kCosine);
+  PqFlatOptions options;
+  options.pq.num_subquantizers = 16;
+  PqFlatIndex pq(options);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(exact.Add(i, data.RowVec(i)).ok());
+    ASSERT_TRUE(pq.Add(i, data.RowVec(i)).ok());
+  }
+  ASSERT_TRUE(exact.Build().ok());
+  ASSERT_TRUE(pq.Build().ok());
+  Rng rng(47);
+  double recall = 0;
+  for (int q = 0; q < 20; ++q) {
+    Vec query = data.RowVec(rng.NextBounded(n));
+    auto truth = exact.Search(query, {k, 0}).MoveValue();
+    recall += RecallAtK(pq.Search(query, {k, 0}).MoveValue(), truth, k);
+  }
+  EXPECT_GT(recall / 20, 0.8);
+}
+
+}  // namespace
+}  // namespace mira::index

@@ -1,0 +1,186 @@
+// End-to-end integration tests: the full pipeline of Figure 2 on generated
+// workloads — semantic methods vs a purely lexical baseline, dataset-size
+// scaling, determinism across engines, and cross-module consistency.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/mdr.h"
+#include "datagen/workload.h"
+#include "discovery/engine.h"
+#include "common/timer.h"
+#include "ir/metrics.h"
+
+namespace mira {
+namespace {
+
+using datagen::QueryClass;
+using datagen::Workload;
+using datagen::WorkloadOptions;
+
+discovery::EngineOptions FastEngine() {
+  discovery::EngineOptions options;
+  options.encoder.dim = 96;
+  options.cts.umap.n_epochs = 60;
+  return options;
+}
+
+WorkloadOptions SmallWorkloadOptions(size_t tables) {
+  WorkloadOptions options = datagen::WikiTablesWorkload(tables);
+  options.bank.num_topics = 10;
+  options.bank.aspects_per_topic = 3;
+  options.queries.per_class = 8;
+  return options;
+}
+
+double EvaluateSearcher(const discovery::Searcher& searcher,
+                        const std::vector<datagen::GeneratedQuery>& queries,
+                        const ir::Qrels& qrels, size_t depth = 60) {
+  discovery::DiscoveryOptions options;
+  options.top_k = depth;
+  std::unordered_map<ir::QueryId, std::vector<ir::DocId>> run;
+  for (const auto& q : queries) {
+    auto ranking = searcher.Search(q.text, options).MoveValue();
+    std::vector<ir::DocId> docs;
+    for (const auto& hit : ranking) docs.push_back(hit.relation);
+    run[q.id] = std::move(docs);
+  }
+  return ir::Evaluate(qrels, run).map;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(Workload::Generate(SmallWorkloadOptions(220)));
+    engine_ = discovery::DiscoveryEngine::Build(workload_->corpus.federation,
+                                                workload_->bank.lexicon(),
+                                                FastEngine())
+                  .MoveValue()
+                  .release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete workload_;
+  }
+  static Workload* workload_;
+  static discovery::DiscoveryEngine* engine_;
+};
+
+Workload* PipelineTest::workload_ = nullptr;
+discovery::DiscoveryEngine* PipelineTest::engine_ = nullptr;
+
+TEST_F(PipelineTest, SemanticMethodsBeatLexicalBaseline) {
+  // The paper's thesis: embedding-based discovery finds semantically related
+  // datasets that keyword statistics miss.
+  auto stats = baselines::CorpusFieldStats::Build(workload_->corpus.federation);
+  baselines::MdrSearcher mdr(stats);
+  double lexical =
+      EvaluateSearcher(mdr, workload_->queries, workload_->qrels);
+  for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
+                      discovery::Method::kCts}) {
+    double semantic = EvaluateSearcher(*engine_->searcher(method),
+                                       workload_->queries, workload_->qrels);
+    EXPECT_GT(semantic, lexical + 0.1)
+        << discovery::MethodToString(method) << " vs MDR";
+  }
+}
+
+TEST_F(PipelineTest, ShortQueriesScoreAtLeastAsWellAsLong) {
+  // §5.2 trend: retrieval quality degrades as queries grow.
+  auto short_queries = workload_->QueriesOf(QueryClass::kShort);
+  auto long_queries = workload_->QueriesOf(QueryClass::kLong);
+  const auto* cts = engine_->searcher(discovery::Method::kCts);
+  double short_map = EvaluateSearcher(*cts, short_queries, workload_->qrels);
+  double long_map = EvaluateSearcher(*cts, long_queries, workload_->qrels);
+  EXPECT_GE(short_map + 0.1, long_map);
+}
+
+TEST_F(PipelineTest, QualityImprovesOnSmallerPartitions) {
+  // SD (10%) has fewer distractors than LD (100%); scores should not be
+  // dramatically worse and typically improve (§5.2's SD > MD > LD trend).
+  Workload::View sd = workload_->MakeView(0.25, 42);
+  auto engine_sd = discovery::DiscoveryEngine::Build(
+                       sd.federation, workload_->bank.lexicon(), FastEngine())
+                       .MoveValue();
+  double ld_map = EvaluateSearcher(*engine_->searcher(discovery::Method::kCts),
+                                   workload_->queries, workload_->qrels);
+  double sd_map =
+      EvaluateSearcher(*engine_sd->searcher(discovery::Method::kCts),
+                       workload_->queries, sd.qrels);
+  EXPECT_GT(sd_map + 0.15, ld_map);
+}
+
+TEST_F(PipelineTest, EnginesAreReproducible) {
+  auto engine2 = discovery::DiscoveryEngine::Build(workload_->corpus.federation,
+                                                   workload_->bank.lexicon(),
+                                                   FastEngine())
+                     .MoveValue();
+  discovery::DiscoveryOptions options;
+  options.top_k = 15;
+  for (size_t qi = 0; qi < 3; ++qi) {
+    const auto& q = workload_->queries[qi];
+    for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
+                        discovery::Method::kCts}) {
+      auto a = engine_->Search(method, q.text, options).MoveValue();
+      auto b = engine2->Search(method, q.text, options).MoveValue();
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].relation, b[i].relation);
+        EXPECT_EQ(a[i].score, b[i].score);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, ScoresWithinCosineRange) {
+  discovery::DiscoveryOptions options;
+  options.top_k = 30;
+  for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
+                      discovery::Method::kCts}) {
+    auto ranking =
+        engine_->Search(method, workload_->queries[0].text, options).MoveValue();
+    for (const auto& hit : ranking) {
+      EXPECT_GE(hit.score, -1.001f);
+      EXPECT_LE(hit.score, 1.001f);
+      EXPECT_LT(hit.relation, workload_->corpus.federation.size());
+    }
+  }
+}
+
+TEST_F(PipelineTest, EdpWorkloadRunsEndToEnd) {
+  WorkloadOptions options = datagen::EdpWorkload(120);
+  options.bank.num_topics = 8;
+  options.queries.per_class = 4;
+  Workload edp = Workload::Generate(options);
+  auto engine = discovery::DiscoveryEngine::Build(edp.corpus.federation,
+                                                  edp.bank.lexicon(),
+                                                  FastEngine())
+                    .MoveValue();
+  double map = EvaluateSearcher(*engine->searcher(discovery::Method::kCts),
+                                edp.queries, edp.qrels);
+  EXPECT_GT(map, 0.2);
+}
+
+TEST_F(PipelineTest, QueryTimeOrderingCtsFastestExsSlowest) {
+  // Performance shape of Figure 3 / Table 4: CTS <= ANNS << ExS.
+  discovery::DiscoveryOptions options;
+  options.top_k = 20;
+  auto time_method = [&](discovery::Method method) {
+    // Warm-up.
+    engine_->Search(method, workload_->queries[0].text, options).MoveValue();
+    WallTimer timer;
+    for (size_t qi = 0; qi < 6; ++qi) {
+      engine_->Search(method, workload_->queries[qi].text, options).MoveValue();
+    }
+    return timer.ElapsedMillis();
+  };
+  double exs = time_method(discovery::Method::kExhaustive);
+  double anns = time_method(discovery::Method::kAnns);
+  double cts = time_method(discovery::Method::kCts);
+  EXPECT_GT(exs, anns);
+  EXPECT_GT(exs, cts);
+}
+
+}  // namespace
+}  // namespace mira

@@ -1,0 +1,232 @@
+// Unit tests for src/ml: ridge regression, CART trees, random forests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_regression.h"
+
+namespace mira::ml {
+namespace {
+
+// ---------- SolveLinearSystem ----------
+
+TEST(SolveTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 2).ok());
+  EXPECT_NEAR(b[0], 1.0, 1e-9);
+  EXPECT_NEAR(b[1], 3.0, 1e-9);
+}
+
+TEST(SolveTest, SingularRejected) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_TRUE(SolveLinearSystem(&a, &b, 2).IsInvalidArgument());
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  // First pivot is zero; partial pivoting must swap rows.
+  std::vector<double> a = {0, 1, 1, 0};
+  std::vector<double> b = {2, 3};
+  ASSERT_TRUE(SolveLinearSystem(&a, &b, 2).ok());
+  EXPECT_NEAR(b[0], 3.0, 1e-9);
+  EXPECT_NEAR(b[1], 2.0, 1e-9);
+}
+
+// ---------- RegressionData ----------
+
+TEST(RegressionDataTest, FeatureArityEnforced) {
+  RegressionData data;
+  ASSERT_TRUE(data.Add({1, 2}, 0.5).ok());
+  EXPECT_TRUE(data.Add({1, 2, 3}, 0.5).IsInvalidArgument());
+  EXPECT_EQ(data.size(), 1u);
+}
+
+// ---------- LinearRegression ----------
+
+TEST(LinearRegressionTest, RecoversExactLinearFunction) {
+  // y = 2 x0 - 3 x1 + 1.
+  RegressionData data;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double x0 = rng.NextUniform(-5, 5);
+    double x1 = rng.NextUniform(-5, 5);
+    ASSERT_TRUE(data.Add({x0, x1}, 2 * x0 - 3 * x1 + 1).ok());
+  }
+  RidgeOptions options;
+  options.l2 = 1e-8;
+  auto model = LinearRegression::Fit(data, options).MoveValue();
+  EXPECT_NEAR(model.weights()[0], 2.0, 1e-3);
+  EXPECT_NEAR(model.weights()[1], -3.0, 1e-3);
+  EXPECT_NEAR(model.intercept(), 1.0, 1e-3);
+  EXPECT_NEAR(model.Predict({1, 1}), 0.0, 1e-3);
+}
+
+TEST(LinearRegressionTest, EmptyDataRejected) {
+  RegressionData data;
+  EXPECT_TRUE(LinearRegression::Fit(data).status().IsInvalidArgument());
+}
+
+TEST(LinearRegressionTest, RidgeShrinksWeights) {
+  RegressionData data;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextUniform(-1, 1);
+    ASSERT_TRUE(data.Add({x}, 10 * x).ok());
+  }
+  RidgeOptions weak, strong;
+  weak.l2 = 1e-8;
+  strong.l2 = 100.0;
+  auto w = LinearRegression::Fit(data, weak).MoveValue();
+  auto s = LinearRegression::Fit(data, strong).MoveValue();
+  EXPECT_LT(std::fabs(s.weights()[0]), std::fabs(w.weights()[0]));
+}
+
+TEST(LinearRegressionTest, CollinearFeaturesHandledByRidge) {
+  // Duplicate features: ridge regularization keeps the system solvable.
+  RegressionData data;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.NextUniform(-1, 1);
+    ASSERT_TRUE(data.Add({x, x}, 4 * x).ok());
+  }
+  auto model = LinearRegression::Fit(data).MoveValue();
+  EXPECT_NEAR(model.Predict({0.5, 0.5}), 2.0, 0.05);
+}
+
+TEST(LinearRegressionTest, NoInterceptOption) {
+  RegressionData data;
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(data.Add({static_cast<double>(i)}, 3.0 * i).ok());
+  }
+  RidgeOptions options;
+  options.fit_intercept = false;
+  auto model = LinearRegression::Fit(data, options).MoveValue();
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-4);  // ridge shrinks infinitesimally
+  EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+}
+
+// ---------- DecisionTree ----------
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  RegressionData data;
+  for (int i = 0; i < 100; ++i) {
+    double x = i / 100.0;
+    ASSERT_TRUE(data.Add({x}, x < 0.5 ? 1.0 : 5.0).ok());
+  }
+  TreeOptions options;
+  auto tree = DecisionTree::Fit(data, options).MoveValue();
+  EXPECT_NEAR(tree.Predict({0.2}), 1.0, 1e-6);
+  EXPECT_NEAR(tree.Predict({0.8}), 5.0, 1e-6);
+  EXPECT_GE(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTreeTest, EmptyDataRejected) {
+  RegressionData data;
+  EXPECT_TRUE(DecisionTree::Fit(data, {}).status().IsInvalidArgument());
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  RegressionData data;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.NextUniform(0, 1);
+    ASSERT_TRUE(data.Add({x}, std::sin(10 * x)).ok());
+  }
+  TreeOptions options;
+  options.max_depth = 3;
+  auto tree = DecisionTree::Fit(data, options).MoveValue();
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTreeTest, ConstantTargetYieldsLeaf) {
+  RegressionData data;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(data.Add({static_cast<double>(i)}, 7.0).ok());
+  }
+  auto tree = DecisionTree::Fit(data, {}).MoveValue();
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({25.0}), 7.0);
+}
+
+TEST(DecisionTreeTest, MultivariateSplitPicksInformativeFeature) {
+  // Only feature 1 matters.
+  RegressionData data;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    double noise = rng.NextUniform(0, 1);
+    double signal = rng.NextUniform(0, 1);
+    ASSERT_TRUE(data.Add({noise, signal}, signal > 0.5 ? 10.0 : 0.0).ok());
+  }
+  auto tree = DecisionTree::Fit(data, {}).MoveValue();
+  EXPECT_NEAR(tree.Predict({0.1, 0.9}), 10.0, 0.5);
+  EXPECT_NEAR(tree.Predict({0.9, 0.1}), 0.0, 0.5);
+}
+
+// ---------- RandomForest ----------
+
+TEST(RandomForestTest, BeatsSingleShallowTreeOnNoisyData) {
+  RegressionData data;
+  Rng rng(6);
+  auto target = [](double x) { return std::sin(6.28 * x) * 3.0; };
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.NextUniform(0, 1);
+    ASSERT_TRUE(data.Add({x}, target(x) + rng.NextGaussian() * 0.5).ok());
+  }
+  ForestOptions options;
+  options.num_trees = 40;
+  auto forest = RandomForest::Fit(data, options).MoveValue();
+  EXPECT_EQ(forest.num_trees(), 40u);
+
+  double forest_mse = 0;
+  for (int i = 0; i < 100; ++i) {
+    double x = i / 100.0;
+    double err = forest.Predict({x}) - target(x);
+    forest_mse += err * err;
+  }
+  forest_mse /= 100;
+  EXPECT_LT(forest_mse, 1.0);
+}
+
+TEST(RandomForestTest, EmptyDataRejected) {
+  RegressionData data;
+  EXPECT_TRUE(RandomForest::Fit(data, {}).status().IsInvalidArgument());
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  RegressionData data;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.NextUniform(0, 1);
+    ASSERT_TRUE(data.Add({x}, x * x).ok());
+  }
+  ForestOptions options;
+  options.num_trees = 10;
+  auto a = RandomForest::Fit(data, options).MoveValue();
+  auto b = RandomForest::Fit(data, options).MoveValue();
+  for (double x : {0.1, 0.4, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Predict({x}), b.Predict({x}));
+  }
+}
+
+TEST(RandomForestTest, PredictionWithinTargetRange) {
+  RegressionData data;
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.NextUniform(0, 1);
+    ASSERT_TRUE(data.Add({x}, rng.NextUniform(0, 2)).ok());
+  }
+  auto forest = RandomForest::Fit(data, {}).MoveValue();
+  for (double x : {0.0, 0.3, 0.7, 1.0}) {
+    double p = forest.Predict({x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace mira::ml

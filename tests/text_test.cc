@@ -1,0 +1,228 @@
+// Unit tests for src/text: tokenizer, vocab, corpus statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/corpus_stats.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace mira::text {
+namespace {
+
+// ---------- Tokenizer ----------
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Hello, World! 42");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "42");
+}
+
+TEST(TokenizerTest, JoinersKeepCompoundTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("covid-19 all-mpnet-base-v2 3.14 snake_case");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "covid-19");
+  EXPECT_EQ(tokens[1], "all-mpnet-base-v2");
+  EXPECT_EQ(tokens[2], "3.14");
+  EXPECT_EQ(tokens[3], "snake_case");
+}
+
+TEST(TokenizerTest, TrailingJoinerNotAbsorbed) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("end- x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "end");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ,.;  ").empty());
+}
+
+TEST(TokenizerTest, DropNumbersOption) {
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  Tokenizer tok(options);
+  auto tokens = tok.Tokenize("year 1995 rate 3.5");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "year");
+  EXPECT_EQ(tokens[1], "rate");
+}
+
+TEST(TokenizerTest, StopwordRemovalOption) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  Tokenizer tok(options);
+  auto tokens = tok.Tokenize("the cat is on a mat");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "mat");
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer tok(options);
+  auto tokens = tok.Tokenize("a bb ccc dddd");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "ccc");
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("CamelCase")[0], "CamelCase");
+}
+
+TEST(TokenizerTest, CountTokensMatchesTokenize) {
+  Tokenizer tok;
+  std::string text = "one two three covid-19";
+  EXPECT_EQ(tok.CountTokens(text), tok.Tokenize(text).size());
+}
+
+TEST(TokenizerTest, IsStopword) {
+  EXPECT_TRUE(Tokenizer::IsStopword("the"));
+  EXPECT_TRUE(Tokenizer::IsStopword("with"));
+  EXPECT_FALSE(Tokenizer::IsStopword("vaccine"));
+}
+
+TEST(CharNgramsTest, PaddedTrigrams) {
+  auto grams = CharNgrams("cat", 3);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "^ca");
+  EXPECT_EQ(grams[1], "cat");
+  EXPECT_EQ(grams[2], "at$");
+}
+
+TEST(CharNgramsTest, ShortTokenYieldsWholePadded) {
+  auto grams = CharNgrams("a", 4);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "^a$");
+}
+
+TEST(CharNgramsTest, SimilarTokensShareGrams) {
+  auto a = CharNgrams("vaccine", 3);
+  auto b = CharNgrams("vaccines", 3);
+  size_t shared = 0;
+  for (const auto& g : a) {
+    if (std::find(b.begin(), b.end(), g) != b.end()) ++shared;
+  }
+  EXPECT_GE(shared, 5u);
+}
+
+// ---------- Vocab ----------
+
+TEST(VocabTest, AddAndLookup) {
+  Vocab vocab;
+  int32_t a = vocab.AddToken("alpha");
+  int32_t b = vocab.AddToken("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetId("alpha"), a);
+  EXPECT_EQ(vocab.GetToken(b), "beta");
+  EXPECT_EQ(vocab.GetId("gamma"), kUnknownToken);
+}
+
+TEST(VocabTest, CountsAccumulate) {
+  Vocab vocab;
+  int32_t a = vocab.AddToken("x");
+  vocab.AddToken("x");
+  vocab.AddToken("y");
+  EXPECT_EQ(vocab.GetCount(a), 2);
+  EXPECT_EQ(vocab.total_count(), 3);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+// ---------- CorpusStats ----------
+
+TEST(CorpusStatsTest, DocumentFrequency) {
+  CorpusStats stats;
+  stats.AddDocument({"a", "b", "a"});
+  stats.AddDocument({"b", "c"});
+  int32_t a = stats.vocab().GetId("a");
+  int32_t b = stats.vocab().GetId("b");
+  int32_t c = stats.vocab().GetId("c");
+  EXPECT_EQ(stats.DocumentFrequency(a), 1);
+  EXPECT_EQ(stats.DocumentFrequency(b), 2);
+  EXPECT_EQ(stats.DocumentFrequency(c), 1);
+  EXPECT_EQ(stats.DocumentFrequency(kUnknownToken), 0);
+  EXPECT_EQ(stats.num_documents(), 2);
+}
+
+TEST(CorpusStatsTest, IdfOrdering) {
+  CorpusStats stats;
+  for (int i = 0; i < 10; ++i) stats.AddDocument({"common", i % 2 ? "rare" : "x"});
+  int32_t common = stats.vocab().GetId("common");
+  int32_t rare = stats.vocab().GetId("rare");
+  EXPECT_GT(stats.Idf(rare), stats.Idf(common));
+  EXPECT_GT(stats.Idf(common), 0.0);  // BM25+ idf stays positive
+}
+
+TEST(CorpusStatsTest, CollectionProbSumsBelowOne) {
+  CorpusStats stats;
+  stats.AddDocument({"a", "b", "c", "a"});
+  double total = 0;
+  for (int32_t id = 0; id < 3; ++id) total += stats.CollectionProb(id);
+  EXPECT_LE(total, 1.0);
+  EXPECT_GT(stats.CollectionProb(stats.vocab().GetId("a")),
+            stats.CollectionProb(stats.vocab().GetId("b")));
+}
+
+TEST(CorpusStatsTest, TermBagCounts) {
+  CorpusStats stats;
+  TermBag bag = stats.AddDocument({"x", "y", "x", "x"});
+  int32_t x = stats.vocab().GetId("x");
+  int32_t y = stats.vocab().GetId("y");
+  EXPECT_EQ(bag.Count(x), 3);
+  EXPECT_EQ(bag.Count(y), 1);
+  EXPECT_EQ(bag.Count(999), 0);
+  EXPECT_EQ(bag.length, 4);
+}
+
+TEST(CorpusStatsTest, DirichletPrefersMatchingDoc) {
+  CorpusStats stats;
+  TermBag match = stats.AddDocument({"covid", "vaccine", "dose"});
+  TermBag other = stats.AddDocument({"football", "league", "goal"});
+  std::vector<int32_t> query = {stats.vocab().GetId("covid"),
+                                stats.vocab().GetId("vaccine")};
+  EXPECT_GT(stats.DirichletLogLikelihood(query, match, 100.0),
+            stats.DirichletLogLikelihood(query, other, 100.0));
+}
+
+TEST(CorpusStatsTest, DirichletHandlesOovTokens) {
+  CorpusStats stats;
+  TermBag doc = stats.AddDocument({"a"});
+  std::vector<int32_t> query = {kUnknownToken};
+  double ll = stats.DirichletLogLikelihood(query, doc, 10.0);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, 0.0);
+}
+
+TEST(CorpusStatsTest, Bm25PrefersMatchingDoc) {
+  CorpusStats stats;
+  TermBag match = stats.AddDocument({"covid", "vaccine"});
+  TermBag other = stats.AddDocument({"football", "league"});
+  std::vector<int32_t> query = {stats.vocab().GetId("covid")};
+  EXPECT_GT(stats.Bm25(query, match), stats.Bm25(query, other));
+  EXPECT_EQ(stats.Bm25(query, other), 0.0);
+}
+
+TEST(CorpusStatsTest, Bm25TermFrequencySaturates) {
+  CorpusStats stats;
+  TermBag once = stats.AddDocument({"t", "pad", "pad", "pad"});
+  TermBag many = stats.AddDocument({"t", "t", "t", "t"});
+  std::vector<int32_t> query = {stats.vocab().GetId("t")};
+  double s1 = stats.Bm25(query, once);
+  double s4 = stats.Bm25(query, many);
+  EXPECT_GT(s4, s1);
+  EXPECT_LT(s4, 4.0 * s1);  // sub-linear growth
+}
+
+}  // namespace
+}  // namespace mira::text

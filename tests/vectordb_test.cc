@@ -1,0 +1,347 @@
+// Unit tests for src/vectordb: payloads, filters, collections, database,
+// snapshots.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "vectordb/collection.h"
+#include "vectordb/filter.h"
+#include "vectordb/payload.h"
+#include "vectordb/vector_db.h"
+
+namespace mira::vectordb {
+namespace {
+
+using vecmath::Vec;
+
+Point MakePoint(uint64_t id, Vec vector, int64_t rel = 0,
+                const std::string& attr = "col") {
+  Point p;
+  p.id = id;
+  p.vector = std::move(vector);
+  p.payload.SetInt("rel", rel);
+  p.payload.SetString("attr", attr);
+  return p;
+}
+
+// ---------- Payload ----------
+
+TEST(PayloadTest, TypedGetters) {
+  Payload p;
+  p.SetString("s", "hello");
+  p.SetInt("i", 42);
+  p.SetDouble("d", 2.5);
+  EXPECT_EQ(p.GetString("s"), "hello");
+  EXPECT_EQ(p.GetInt("i"), 42);
+  EXPECT_EQ(p.GetDouble("d"), 2.5);
+  EXPECT_FALSE(p.GetString("i").has_value());  // type mismatch
+  EXPECT_FALSE(p.GetInt("missing").has_value());
+  EXPECT_TRUE(p.Has("s"));
+  EXPECT_FALSE(p.Has("missing"));
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(PayloadTest, Overwrite) {
+  Payload p;
+  p.SetInt("k", 1);
+  p.SetInt("k", 2);
+  EXPECT_EQ(p.GetInt("k"), 2);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+// ---------- Filter ----------
+
+TEST(FilterTest, EqualsCondition) {
+  Payload p;
+  p.SetInt("rel", 7);
+  p.SetString("attr", "name");
+  EXPECT_TRUE(Condition::Equals("rel", int64_t{7}).Matches(p));
+  EXPECT_FALSE(Condition::Equals("rel", int64_t{8}).Matches(p));
+  EXPECT_TRUE(Condition::Equals("attr", std::string("name")).Matches(p));
+  EXPECT_FALSE(Condition::Equals("missing", int64_t{7}).Matches(p));
+}
+
+TEST(FilterTest, IntInCondition) {
+  Payload p;
+  p.SetInt("cluster", 3);
+  EXPECT_TRUE(Condition::IntIn("cluster", {1, 3, 5}).Matches(p));
+  EXPECT_FALSE(Condition::IntIn("cluster", {2, 4}).Matches(p));
+}
+
+TEST(FilterTest, IntRangeCondition) {
+  Payload p;
+  p.SetInt("year", 2020);
+  EXPECT_TRUE(Condition::IntRange("year", 2019, 2021).Matches(p));
+  EXPECT_TRUE(Condition::IntRange("year", 2020, 2020).Matches(p));
+  EXPECT_FALSE(Condition::IntRange("year", 2021, 2025).Matches(p));
+}
+
+TEST(FilterTest, ConjunctionSemantics) {
+  Payload p;
+  p.SetInt("rel", 1);
+  p.SetInt("cluster", 2);
+  Filter f;
+  f.must.push_back(Condition::Equals("rel", int64_t{1}));
+  f.must.push_back(Condition::Equals("cluster", int64_t{2}));
+  EXPECT_TRUE(f.Matches(p));
+  f.must.push_back(Condition::Equals("cluster", int64_t{3}));
+  EXPECT_FALSE(f.Matches(p));
+  EXPECT_TRUE(Filter{}.Matches(p));  // empty filter matches all
+}
+
+// ---------- Collection ----------
+
+TEST(CollectionTest, UpsertSearchRoundTrip) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {1, 0}, 10)).ok());
+  ASSERT_TRUE(c.Upsert(MakePoint(2, {0, 1}, 20)).ok());
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto hits = c.Search({1, 0}, 1).MoveValue();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[0].payload->GetInt("rel"), 10);
+}
+
+TEST(CollectionTest, UpsertReplacesById) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {1, 0}, 10)).ok());
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {0, 1}, 99)).ok());
+  EXPECT_EQ(c.size(), 1u);
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto point = c.Get(1).MoveValue();
+  EXPECT_EQ(point->payload.GetInt("rel"), 99);
+}
+
+TEST(CollectionTest, DimMismatchRejected) {
+  Collection c("cells", {});
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {1, 0})).ok());
+  EXPECT_TRUE(c.Upsert(MakePoint(2, {1, 0, 0})).IsInvalidArgument());
+}
+
+TEST(CollectionTest, LifecycleErrors) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  EXPECT_TRUE(c.BuildIndex().IsFailedPrecondition());  // empty
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {1, 0})).ok());
+  EXPECT_TRUE(c.Search({1, 0}, 1).status().IsFailedPrecondition());  // unbuilt
+  ASSERT_TRUE(c.BuildIndex().ok());
+  EXPECT_TRUE(c.BuildIndex().IsFailedPrecondition());  // double build
+  EXPECT_TRUE(c.Upsert(MakePoint(3, {1, 1})).IsFailedPrecondition());
+  EXPECT_TRUE(c.Search({1, 0, 0}, 1).status().IsInvalidArgument());  // bad dim
+}
+
+TEST(CollectionTest, GetMissingPoint) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  ASSERT_TRUE(c.Upsert(MakePoint(1, {1, 0})).ok());
+  ASSERT_TRUE(c.BuildIndex().ok());
+  EXPECT_TRUE(c.Get(999).status().IsNotFound());
+}
+
+TEST(CollectionTest, PayloadIndexedFilterSearch) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  c.CreatePayloadIndex("rel");
+  Rng rng(1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    Vec v = {rng.NextFloat(), rng.NextFloat()};
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v, static_cast<int64_t>(i % 5))).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  Filter f;
+  f.must.push_back(Condition::Equals("rel", int64_t{3}));
+  auto hits = c.Search({0.5f, 0.5f}, 50, 0, f).MoveValue();
+  EXPECT_EQ(hits.size(), 20u);  // exactly the rel==3 points
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.payload->GetInt("rel"), 3);
+  }
+}
+
+TEST(CollectionTest, UnindexedFilterFallsBackToPostFilter) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);  // no payload index
+  for (uint64_t i = 0; i < 60; ++i) {
+    Vec v = {static_cast<float>(i), 1.f};
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v, static_cast<int64_t>(i % 3))).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  Filter f;
+  f.must.push_back(Condition::Equals("rel", int64_t{1}));
+  auto hits = c.Search({10.f, 1.f}, 5, 0, f).MoveValue();
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.payload->GetInt("rel"), 1);
+  }
+}
+
+TEST(CollectionTest, ScrollWithFilter) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kFlat;
+  Collection c("cells", params);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c.Upsert(MakePoint(i, {1.f, 0.f}, static_cast<int64_t>(i % 2))).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  Filter f;
+  f.must.push_back(Condition::Equals("rel", int64_t{0}));
+  auto points = c.Scroll(f);
+  EXPECT_EQ(points.size(), 5u);
+  // Id-ordered.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1]->id, points[i]->id);
+  }
+}
+
+TEST(CollectionTest, HnswBackendSearches) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kHnsw;
+  Collection c("cells", params);
+  Rng rng(2);
+  for (uint64_t i = 0; i < 300; ++i) {
+    Vec v(16);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto target = c.Get(7).MoveValue();
+  auto hits = c.Search(target->vector, 3).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 7u);
+}
+
+TEST(CollectionTest, HnswPqBackendSearches) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kHnswPq;
+  params.pq_subquantizers = 4;
+  Collection c("cells", params);
+  Rng rng(3);
+  for (uint64_t i = 0; i < 400; ++i) {
+    Vec v(16);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto target = c.Get(11).MoveValue();
+  auto hits = c.Search(target->vector, 5, 64).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 11u);  // rescoring finds the exact point
+  EXPECT_GT(c.IndexMemoryBytes(), 0u);
+}
+
+TEST(CollectionTest, IvfBackendSearches) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kIvf;
+  params.ivf_nlist = 8;
+  params.ivf_nprobe = 4;
+  Collection c("cells", params);
+  Rng rng(5);
+  for (uint64_t i = 0; i < 300; ++i) {
+    Vec v(16);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto target = c.Get(42).MoveValue();
+  auto hits = c.Search(target->vector, 3, /*ef=*/8).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 42u);
+}
+
+TEST(CollectionTest, PqSubquantizersAutoAdjustToDim) {
+  CollectionParams params;
+  params.index_kind = IndexKind::kHnswPq;
+  params.pq_subquantizers = 16;  // dim 6 is not divisible by 16
+  Collection c("cells", params);
+  Rng rng(4);
+  for (uint64_t i = 0; i < 50; ++i) {
+    Vec v(6);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v)).ok());
+  }
+  EXPECT_TRUE(c.BuildIndex().ok());  // must not fail
+}
+
+// ---------- VectorDb ----------
+
+TEST(VectorDbTest, CollectionRegistry) {
+  VectorDb db;
+  ASSERT_TRUE(db.CreateCollection("a", {}).ok());
+  ASSERT_TRUE(db.CreateCollection("b", {}).ok());
+  EXPECT_TRUE(db.CreateCollection("a", {}).status().IsAlreadyExists());
+  EXPECT_EQ(db.num_collections(), 2u);
+  EXPECT_TRUE(db.GetCollection("a").ok());
+  EXPECT_TRUE(db.GetCollection("zzz").status().IsNotFound());
+  ASSERT_TRUE(db.DropCollection("a").ok());
+  EXPECT_TRUE(db.DropCollection("a").IsNotFound());
+  auto names = db.ListCollections();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "b");
+}
+
+TEST(VectorDbTest, SnapshotRoundTrip) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "mira_vectordb_snapshot_test.bin";
+  {
+    VectorDb db;
+    CollectionParams params;
+    params.index_kind = IndexKind::kFlat;
+    auto* c = db.CreateCollection("cells", params).MoveValue();
+    c->CreatePayloadIndex("rel");
+    ASSERT_TRUE(c->Upsert(MakePoint(1, {1, 0}, 10, "region")).ok());
+    ASSERT_TRUE(c->Upsert(MakePoint(2, {0, 1}, 20, "date")).ok());
+    Point with_double;
+    with_double.id = 3;
+    with_double.vector = {0.5f, 0.5f};
+    with_double.payload.SetDouble("score", 0.75);
+    ASSERT_TRUE(c->Upsert(std::move(with_double)).ok());
+    ASSERT_TRUE(c->BuildIndex().ok());
+    ASSERT_TRUE(db.SaveSnapshot(path).ok());
+  }
+  auto db = VectorDb::LoadSnapshot(path).MoveValue();
+  auto* c = db.GetCollection("cells").MoveValue();
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_TRUE(c->built());
+  auto p1 = c->Get(1).MoveValue();
+  EXPECT_EQ(p1->payload.GetInt("rel"), 10);
+  EXPECT_EQ(p1->payload.GetString("attr"), "region");
+  auto p3 = c->Get(3).MoveValue();
+  EXPECT_EQ(p3->payload.GetDouble("score"), 0.75);
+  // Search works after reload; payload index restored.
+  Filter f;
+  f.must.push_back(Condition::Equals("rel", int64_t{20}));
+  auto hits = c->Search({0, 1}, 1, 0, f).MoveValue();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(VectorDbTest, LoadMissingFileFails) {
+  EXPECT_TRUE(VectorDb::LoadSnapshot("/nonexistent/path/snap.bin")
+                  .status()
+                  .IsIoError());
+}
+
+TEST(VectorDbTest, LoadCorruptFileFails) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "mira_vectordb_corrupt_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a snapshot";
+  }
+  EXPECT_TRUE(VectorDb::LoadSnapshot(path).status().IsIoError());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mira::vectordb
