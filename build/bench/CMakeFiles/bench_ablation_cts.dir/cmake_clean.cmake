@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cts.dir/bench_ablation_cts.cc.o"
+  "CMakeFiles/bench_ablation_cts.dir/bench_ablation_cts.cc.o.d"
+  "bench_ablation_cts"
+  "bench_ablation_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_edp_quality.cc" "bench/CMakeFiles/bench_edp_quality.dir/bench_edp_quality.cc.o" "gcc" "bench/CMakeFiles/bench_edp_quality.dir/bench_edp_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mira_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mira_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/mira_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimred/CMakeFiles/mira_dimred.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectordb/CMakeFiles/mira_vectordb.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mira_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mira_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mira_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mira_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mira_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mira_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/mira_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edp_quality.dir/bench_edp_quality.cc.o"
+  "CMakeFiles/bench_edp_quality.dir/bench_edp_quality.cc.o.d"
+  "bench_edp_quality"
+  "bench_edp_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edp_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_quality_long.dir/bench_table1_quality_long.cc.o"
+  "CMakeFiles/bench_table1_quality_long.dir/bench_table1_quality_long.cc.o.d"
+  "bench_table1_quality_long"
+  "bench_table1_quality_long.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_quality_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

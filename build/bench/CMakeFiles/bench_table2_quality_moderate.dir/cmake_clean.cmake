@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quality_moderate.dir/bench_table2_quality_moderate.cc.o"
+  "CMakeFiles/bench_table2_quality_moderate.dir/bench_table2_quality_moderate.cc.o.d"
+  "bench_table2_quality_moderate"
+  "bench_table2_quality_moderate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quality_moderate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_quality_short.dir/bench_table3_quality_short.cc.o"
+  "CMakeFiles/bench_table3_quality_short.dir/bench_table3_quality_short.cc.o.d"
+  "bench_table3_quality_short"
+  "bench_table3_quality_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_quality_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/mira_bench_harness.dir/harness.cc.o.d"
+  "libmira_bench_harness.a"
+  "libmira_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

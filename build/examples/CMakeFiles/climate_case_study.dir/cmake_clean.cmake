@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_case_study.dir/climate_case_study.cpp.o"
+  "CMakeFiles/climate_case_study.dir/climate_case_study.cpp.o.d"
+  "climate_case_study"
+  "climate_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_federation.dir/covid_federation.cpp.o"
+  "CMakeFiles/covid_federation.dir/covid_federation.cpp.o.d"
+  "covid_federation"
+  "covid_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

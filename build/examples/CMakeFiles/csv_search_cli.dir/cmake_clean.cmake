@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_search_cli.dir/csv_search_cli.cpp.o"
+  "CMakeFiles/csv_search_cli.dir/csv_search_cli.cpp.o.d"
+  "csv_search_cli"
+  "csv_search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

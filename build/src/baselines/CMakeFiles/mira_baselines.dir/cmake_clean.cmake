@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_baselines.dir/adh.cc.o"
+  "CMakeFiles/mira_baselines.dir/adh.cc.o.d"
+  "CMakeFiles/mira_baselines.dir/baseline_common.cc.o"
+  "CMakeFiles/mira_baselines.dir/baseline_common.cc.o.d"
+  "CMakeFiles/mira_baselines.dir/mdr.cc.o"
+  "CMakeFiles/mira_baselines.dir/mdr.cc.o.d"
+  "CMakeFiles/mira_baselines.dir/tcs.cc.o"
+  "CMakeFiles/mira_baselines.dir/tcs.cc.o.d"
+  "CMakeFiles/mira_baselines.dir/tml.cc.o"
+  "CMakeFiles/mira_baselines.dir/tml.cc.o.d"
+  "CMakeFiles/mira_baselines.dir/ws.cc.o"
+  "CMakeFiles/mira_baselines.dir/ws.cc.o.d"
+  "libmira_baselines.a"
+  "libmira_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

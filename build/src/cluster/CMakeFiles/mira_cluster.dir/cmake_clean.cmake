@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_cluster.dir/hdbscan.cc.o"
+  "CMakeFiles/mira_cluster.dir/hdbscan.cc.o.d"
+  "CMakeFiles/mira_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/mira_cluster.dir/kmeans.cc.o.d"
+  "libmira_cluster.a"
+  "libmira_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_common.dir/logging.cc.o"
+  "CMakeFiles/mira_common.dir/logging.cc.o.d"
+  "CMakeFiles/mira_common.dir/rng.cc.o"
+  "CMakeFiles/mira_common.dir/rng.cc.o.d"
+  "CMakeFiles/mira_common.dir/status.cc.o"
+  "CMakeFiles/mira_common.dir/status.cc.o.d"
+  "CMakeFiles/mira_common.dir/string_util.cc.o"
+  "CMakeFiles/mira_common.dir/string_util.cc.o.d"
+  "CMakeFiles/mira_common.dir/threadpool.cc.o"
+  "CMakeFiles/mira_common.dir/threadpool.cc.o.d"
+  "libmira_common.a"
+  "libmira_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

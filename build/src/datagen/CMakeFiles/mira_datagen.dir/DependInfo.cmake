@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/concept_bank.cc" "src/datagen/CMakeFiles/mira_datagen.dir/concept_bank.cc.o" "gcc" "src/datagen/CMakeFiles/mira_datagen.dir/concept_bank.cc.o.d"
+  "/root/repo/src/datagen/corpus_generator.cc" "src/datagen/CMakeFiles/mira_datagen.dir/corpus_generator.cc.o" "gcc" "src/datagen/CMakeFiles/mira_datagen.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/datagen/export.cc" "src/datagen/CMakeFiles/mira_datagen.dir/export.cc.o" "gcc" "src/datagen/CMakeFiles/mira_datagen.dir/export.cc.o.d"
+  "/root/repo/src/datagen/query_generator.cc" "src/datagen/CMakeFiles/mira_datagen.dir/query_generator.cc.o" "gcc" "src/datagen/CMakeFiles/mira_datagen.dir/query_generator.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/datagen/CMakeFiles/mira_datagen.dir/workload.cc.o" "gcc" "src/datagen/CMakeFiles/mira_datagen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mira_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/mira_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mira_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_datagen.dir/concept_bank.cc.o"
+  "CMakeFiles/mira_datagen.dir/concept_bank.cc.o.d"
+  "CMakeFiles/mira_datagen.dir/corpus_generator.cc.o"
+  "CMakeFiles/mira_datagen.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/mira_datagen.dir/export.cc.o"
+  "CMakeFiles/mira_datagen.dir/export.cc.o.d"
+  "CMakeFiles/mira_datagen.dir/query_generator.cc.o"
+  "CMakeFiles/mira_datagen.dir/query_generator.cc.o.d"
+  "CMakeFiles/mira_datagen.dir/workload.cc.o"
+  "CMakeFiles/mira_datagen.dir/workload.cc.o.d"
+  "libmira_datagen.a"
+  "libmira_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

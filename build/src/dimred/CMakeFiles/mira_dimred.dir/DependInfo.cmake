@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dimred/pca.cc" "src/dimred/CMakeFiles/mira_dimred.dir/pca.cc.o" "gcc" "src/dimred/CMakeFiles/mira_dimred.dir/pca.cc.o.d"
+  "/root/repo/src/dimred/umap.cc" "src/dimred/CMakeFiles/mira_dimred.dir/umap.cc.o" "gcc" "src/dimred/CMakeFiles/mira_dimred.dir/umap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mira_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mira_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_dimred.dir/pca.cc.o"
+  "CMakeFiles/mira_dimred.dir/pca.cc.o.d"
+  "CMakeFiles/mira_dimred.dir/umap.cc.o"
+  "CMakeFiles/mira_dimred.dir/umap.cc.o.d"
+  "libmira_dimred.a"
+  "libmira_dimred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_dimred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

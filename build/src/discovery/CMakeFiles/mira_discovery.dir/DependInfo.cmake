@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/anns_search.cc" "src/discovery/CMakeFiles/mira_discovery.dir/anns_search.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/anns_search.cc.o.d"
+  "/root/repo/src/discovery/corpus_embeddings.cc" "src/discovery/CMakeFiles/mira_discovery.dir/corpus_embeddings.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/corpus_embeddings.cc.o.d"
+  "/root/repo/src/discovery/cts_search.cc" "src/discovery/CMakeFiles/mira_discovery.dir/cts_search.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/cts_search.cc.o.d"
+  "/root/repo/src/discovery/dataset_ranking.cc" "src/discovery/CMakeFiles/mira_discovery.dir/dataset_ranking.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/dataset_ranking.cc.o.d"
+  "/root/repo/src/discovery/engine.cc" "src/discovery/CMakeFiles/mira_discovery.dir/engine.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/engine.cc.o.d"
+  "/root/repo/src/discovery/exhaustive_search.cc" "src/discovery/CMakeFiles/mira_discovery.dir/exhaustive_search.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/exhaustive_search.cc.o.d"
+  "/root/repo/src/discovery/match.cc" "src/discovery/CMakeFiles/mira_discovery.dir/match.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/match.cc.o.d"
+  "/root/repo/src/discovery/types.cc" "src/discovery/CMakeFiles/mira_discovery.dir/types.cc.o" "gcc" "src/discovery/CMakeFiles/mira_discovery.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mira_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/mira_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mira_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mira_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimred/CMakeFiles/mira_dimred.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectordb/CMakeFiles/mira_vectordb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mira_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

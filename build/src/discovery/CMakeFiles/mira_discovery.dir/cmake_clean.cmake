@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_discovery.dir/anns_search.cc.o"
+  "CMakeFiles/mira_discovery.dir/anns_search.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/corpus_embeddings.cc.o"
+  "CMakeFiles/mira_discovery.dir/corpus_embeddings.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/cts_search.cc.o"
+  "CMakeFiles/mira_discovery.dir/cts_search.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/dataset_ranking.cc.o"
+  "CMakeFiles/mira_discovery.dir/dataset_ranking.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/engine.cc.o"
+  "CMakeFiles/mira_discovery.dir/engine.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/exhaustive_search.cc.o"
+  "CMakeFiles/mira_discovery.dir/exhaustive_search.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/match.cc.o"
+  "CMakeFiles/mira_discovery.dir/match.cc.o.d"
+  "CMakeFiles/mira_discovery.dir/types.cc.o"
+  "CMakeFiles/mira_discovery.dir/types.cc.o.d"
+  "libmira_discovery.a"
+  "libmira_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/encoder.cc" "src/embed/CMakeFiles/mira_embed.dir/encoder.cc.o" "gcc" "src/embed/CMakeFiles/mira_embed.dir/encoder.cc.o.d"
+  "/root/repo/src/embed/lexicon.cc" "src/embed/CMakeFiles/mira_embed.dir/lexicon.cc.o" "gcc" "src/embed/CMakeFiles/mira_embed.dir/lexicon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mira_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

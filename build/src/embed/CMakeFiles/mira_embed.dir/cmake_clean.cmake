@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_embed.dir/encoder.cc.o"
+  "CMakeFiles/mira_embed.dir/encoder.cc.o.d"
+  "CMakeFiles/mira_embed.dir/lexicon.cc.o"
+  "CMakeFiles/mira_embed.dir/lexicon.cc.o.d"
+  "libmira_embed.a"
+  "libmira_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/flat_index.cc" "src/index/CMakeFiles/mira_index.dir/flat_index.cc.o" "gcc" "src/index/CMakeFiles/mira_index.dir/flat_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "src/index/CMakeFiles/mira_index.dir/hnsw_index.cc.o" "gcc" "src/index/CMakeFiles/mira_index.dir/hnsw_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/index/CMakeFiles/mira_index.dir/ivf_index.cc.o" "gcc" "src/index/CMakeFiles/mira_index.dir/ivf_index.cc.o.d"
+  "/root/repo/src/index/pq_flat_index.cc" "src/index/CMakeFiles/mira_index.dir/pq_flat_index.cc.o" "gcc" "src/index/CMakeFiles/mira_index.dir/pq_flat_index.cc.o.d"
+  "/root/repo/src/index/product_quantizer.cc" "src/index/CMakeFiles/mira_index.dir/product_quantizer.cc.o" "gcc" "src/index/CMakeFiles/mira_index.dir/product_quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mira_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

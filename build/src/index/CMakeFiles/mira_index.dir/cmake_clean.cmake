@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_index.dir/flat_index.cc.o"
+  "CMakeFiles/mira_index.dir/flat_index.cc.o.d"
+  "CMakeFiles/mira_index.dir/hnsw_index.cc.o"
+  "CMakeFiles/mira_index.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/mira_index.dir/ivf_index.cc.o"
+  "CMakeFiles/mira_index.dir/ivf_index.cc.o.d"
+  "CMakeFiles/mira_index.dir/pq_flat_index.cc.o"
+  "CMakeFiles/mira_index.dir/pq_flat_index.cc.o.d"
+  "CMakeFiles/mira_index.dir/product_quantizer.cc.o"
+  "CMakeFiles/mira_index.dir/product_quantizer.cc.o.d"
+  "libmira_index.a"
+  "libmira_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

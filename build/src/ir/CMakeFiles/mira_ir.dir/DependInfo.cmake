@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/metrics.cc" "src/ir/CMakeFiles/mira_ir.dir/metrics.cc.o" "gcc" "src/ir/CMakeFiles/mira_ir.dir/metrics.cc.o.d"
+  "/root/repo/src/ir/significance.cc" "src/ir/CMakeFiles/mira_ir.dir/significance.cc.o" "gcc" "src/ir/CMakeFiles/mira_ir.dir/significance.cc.o.d"
+  "/root/repo/src/ir/trec_io.cc" "src/ir/CMakeFiles/mira_ir.dir/trec_io.cc.o" "gcc" "src/ir/CMakeFiles/mira_ir.dir/trec_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

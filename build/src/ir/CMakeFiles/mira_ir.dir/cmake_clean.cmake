@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_ir.dir/metrics.cc.o"
+  "CMakeFiles/mira_ir.dir/metrics.cc.o.d"
+  "CMakeFiles/mira_ir.dir/significance.cc.o"
+  "CMakeFiles/mira_ir.dir/significance.cc.o.d"
+  "CMakeFiles/mira_ir.dir/trec_io.cc.o"
+  "CMakeFiles/mira_ir.dir/trec_io.cc.o.d"
+  "libmira_ir.a"
+  "libmira_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

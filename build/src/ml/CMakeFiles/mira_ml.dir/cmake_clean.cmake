@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/mira_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/mira_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/mira_ml.dir/linear_regression.cc.o.d"
+  "libmira_ml.a"
+  "libmira_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_table.dir/csv_reader.cc.o"
+  "CMakeFiles/mira_table.dir/csv_reader.cc.o.d"
+  "CMakeFiles/mira_table.dir/relation.cc.o"
+  "CMakeFiles/mira_table.dir/relation.cc.o.d"
+  "libmira_table.a"
+  "libmira_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

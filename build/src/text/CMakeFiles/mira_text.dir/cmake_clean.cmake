@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_text.dir/corpus_stats.cc.o"
+  "CMakeFiles/mira_text.dir/corpus_stats.cc.o.d"
+  "CMakeFiles/mira_text.dir/tokenizer.cc.o"
+  "CMakeFiles/mira_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/mira_text.dir/vocab.cc.o"
+  "CMakeFiles/mira_text.dir/vocab.cc.o.d"
+  "libmira_text.a"
+  "libmira_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

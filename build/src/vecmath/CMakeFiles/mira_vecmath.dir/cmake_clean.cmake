@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_vecmath.dir/distance.cc.o"
+  "CMakeFiles/mira_vecmath.dir/distance.cc.o.d"
+  "CMakeFiles/mira_vecmath.dir/vector_ops.cc.o"
+  "CMakeFiles/mira_vecmath.dir/vector_ops.cc.o.d"
+  "libmira_vecmath.a"
+  "libmira_vecmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vectordb/collection.cc" "src/vectordb/CMakeFiles/mira_vectordb.dir/collection.cc.o" "gcc" "src/vectordb/CMakeFiles/mira_vectordb.dir/collection.cc.o.d"
+  "/root/repo/src/vectordb/filter.cc" "src/vectordb/CMakeFiles/mira_vectordb.dir/filter.cc.o" "gcc" "src/vectordb/CMakeFiles/mira_vectordb.dir/filter.cc.o.d"
+  "/root/repo/src/vectordb/payload.cc" "src/vectordb/CMakeFiles/mira_vectordb.dir/payload.cc.o" "gcc" "src/vectordb/CMakeFiles/mira_vectordb.dir/payload.cc.o.d"
+  "/root/repo/src/vectordb/vector_db.cc" "src/vectordb/CMakeFiles/mira_vectordb.dir/vector_db.cc.o" "gcc" "src/vectordb/CMakeFiles/mira_vectordb.dir/vector_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/mira_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mira_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mira_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

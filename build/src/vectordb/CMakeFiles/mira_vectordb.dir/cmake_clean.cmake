@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_vectordb.dir/collection.cc.o"
+  "CMakeFiles/mira_vectordb.dir/collection.cc.o.d"
+  "CMakeFiles/mira_vectordb.dir/filter.cc.o"
+  "CMakeFiles/mira_vectordb.dir/filter.cc.o.d"
+  "CMakeFiles/mira_vectordb.dir/payload.cc.o"
+  "CMakeFiles/mira_vectordb.dir/payload.cc.o.d"
+  "CMakeFiles/mira_vectordb.dir/vector_db.cc.o"
+  "CMakeFiles/mira_vectordb.dir/vector_db.cc.o.d"
+  "libmira_vectordb.a"
+  "libmira_vectordb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_vectordb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

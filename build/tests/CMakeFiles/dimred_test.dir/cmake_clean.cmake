@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimred_test.dir/dimred_test.cc.o"
+  "CMakeFiles/dimred_test.dir/dimred_test.cc.o.d"
+  "dimred_test"
+  "dimred_test.pdb"
+  "dimred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

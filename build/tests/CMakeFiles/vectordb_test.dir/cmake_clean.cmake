@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_test.dir/vectordb_test.cc.o"
+  "CMakeFiles/vectordb_test.dir/vectordb_test.cc.o.d"
+  "vectordb_test"
+  "vectordb_test.pdb"
+  "vectordb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
