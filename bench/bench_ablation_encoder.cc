@@ -17,12 +17,12 @@ namespace {
 using namespace mira;
 
 const datagen::ConceptBank& Bank() {
-  static const datagen::ConceptBank* bank = [] {
+  static const datagen::ConceptBank bank = [] {
     datagen::ConceptBankOptions options;
     options.num_topics = 16;
-    return new datagen::ConceptBank(datagen::ConceptBank::Generate(options));
+    return datagen::ConceptBank::Generate(options);
   }();
-  return *bank;
+  return bank;
 }
 
 std::string RandomSentence(Rng* rng, size_t words) {

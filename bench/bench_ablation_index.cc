@@ -24,9 +24,9 @@ constexpr size_t kClusters = 64;
 constexpr size_t kK = 10;
 
 const vecmath::Matrix& Data() {
-  static const vecmath::Matrix* data = [] {
+  static const vecmath::Matrix data = [] {
     Rng rng(1234);
-    auto* m = new vecmath::Matrix(kN, kDim);
+    vecmath::Matrix m(kN, kDim);
     vecmath::Matrix centers(kClusters, kDim);
     for (size_t c = 0; c < kClusters; ++c) {
       for (size_t j = 0; j < kDim; ++j) {
@@ -37,26 +37,26 @@ const vecmath::Matrix& Data() {
     for (size_t i = 0; i < kN; ++i) {
       size_t c = i % kClusters;
       for (size_t j = 0; j < kDim; ++j) {
-        m->At(i, j) =
+        m.At(i, j) =
             centers.At(c, j) + 0.3f * static_cast<float>(rng.NextGaussian());
       }
-      vecmath::NormalizeInPlace(m->Row(i), kDim);
+      vecmath::NormalizeInPlace(m.Row(i), kDim);
     }
     return m;
   }();
-  return *data;
+  return data;
 }
 
 const index::FlatIndex& Oracle() {
-  static const index::FlatIndex* oracle = [] {
-    auto* flat = new index::FlatIndex(vecmath::Metric::kCosine);
+  static const index::FlatIndex& oracle = []() -> index::FlatIndex& {
+    static index::FlatIndex flat(vecmath::Metric::kCosine);
     for (size_t i = 0; i < kN; ++i) {
-      flat->Add(i, Data().RowVec(i)).Abort("oracle add");
+      flat.Add(i, Data().RowVec(i)).Abort("oracle add");
     }
-    flat->Build().Abort("oracle build");
+    flat.Build().Abort("oracle build");
     return flat;
   }();
-  return *oracle;
+  return oracle;
 }
 
 double RecallOf(const std::vector<vecmath::ScoredId>& hits,

@@ -39,7 +39,7 @@ class AdhSearcher final : public discovery::Searcher {
               std::shared_ptr<const embed::SemanticEncoder> encoder,
               AdhOptions options = {});
 
-  Result<discovery::Ranking> Search(
+  [[nodiscard]] Result<discovery::Ranking> Search(
       const std::string& query,
       const discovery::DiscoveryOptions& options) const override;
   std::string name() const override { return "AdH"; }

@@ -31,7 +31,7 @@ class MdrSearcher final : public discovery::Searcher {
   MdrSearcher(std::shared_ptr<const CorpusFieldStats> stats,
               MdrOptions options = {});
 
-  Result<discovery::Ranking> Search(
+  [[nodiscard]] Result<discovery::Ranking> Search(
       const std::string& query,
       const discovery::DiscoveryOptions& options) const override;
   std::string name() const override { return "MDR"; }

@@ -31,13 +31,13 @@ struct TcsOptions {
 /// embeddings.
 class TcsSearcher final : public discovery::Searcher {
  public:
-  static Result<std::unique_ptr<TcsSearcher>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<TcsSearcher>> Build(
       std::shared_ptr<const CorpusFieldStats> stats,
       std::shared_ptr<const embed::SemanticEncoder> encoder,
       const table::Federation& federation,
       const std::vector<TrainingPair>& training, TcsOptions options = {});
 
-  Result<discovery::Ranking> Search(
+  [[nodiscard]] Result<discovery::Ranking> Search(
       const std::string& query,
       const discovery::DiscoveryOptions& options) const override;
   std::string name() const override { return "TCS"; }

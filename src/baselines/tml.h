@@ -43,7 +43,7 @@ class TmlSearcher final : public discovery::Searcher {
               std::shared_ptr<const embed::SemanticEncoder> encoder,
               TmlOptions options = {});
 
-  Result<discovery::Ranking> Search(
+  [[nodiscard]] Result<discovery::Ranking> Search(
       const std::string& query,
       const discovery::DiscoveryOptions& options) const override;
   std::string name() const override { return "TML"; }

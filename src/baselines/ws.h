@@ -20,11 +20,11 @@ namespace mira::baselines {
 class WsSearcher final : public discovery::Searcher {
  public:
   /// Trains the linear model on `training` and retains the field stats.
-  static Result<std::unique_ptr<WsSearcher>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<WsSearcher>> Build(
       std::shared_ptr<const CorpusFieldStats> stats,
       const std::vector<TrainingPair>& training);
 
-  Result<discovery::Ranking> Search(
+  [[nodiscard]] Result<discovery::Ranking> Search(
       const std::string& query,
       const discovery::DiscoveryOptions& options) const override;
   std::string name() const override { return "WS"; }

@@ -47,7 +47,7 @@ struct HdbscanResult {
 /// -> MST (Prim, O(n^2) on the implicit complete graph) -> single-linkage
 /// dendrogram -> condensed tree (min_cluster_size) -> excess-of-mass cluster
 /// selection. Deterministic.
-Result<HdbscanResult> Hdbscan(const vecmath::Matrix& data,
+[[nodiscard]] Result<HdbscanResult> Hdbscan(const vecmath::Matrix& data,
                               const HdbscanOptions& options);
 
 /// Medoid (member minimizing total intra-cluster distance) of each cluster;

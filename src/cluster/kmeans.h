@@ -30,7 +30,7 @@ struct KMeansResult {
 
 /// Clusters the rows of `data`. Fails if data is empty or has fewer rows than
 /// clusters requested.
-Result<KMeansResult> KMeans(const vecmath::Matrix& data,
+[[nodiscard]] Result<KMeansResult> KMeans(const vecmath::Matrix& data,
                             const KMeansOptions& options);
 
 }  // namespace mira::cluster

@@ -16,8 +16,11 @@ namespace mira {
 ///
 ///     Result<Index> BuildIndex(...);
 ///     MIRA_ASSIGN_OR_RETURN(Index idx, BuildIndex(...));
+///
+/// Marked [[nodiscard]] at class level (see Status): dropping a returned
+/// Result silently loses both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -36,10 +39,10 @@ class Result {
   Result& operator=(const Result&) = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status; Status::OK() if a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 

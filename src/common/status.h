@@ -32,7 +32,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A Status is cheap to pass around: the OK state is represented by a null
 /// pointer, so success carries no allocation.
-class Status {
+///
+/// Marked [[nodiscard]] at class level: every function returning a Status by
+/// value warns if the caller drops it. Intentional drops must be explicit
+/// (assign to a named variable or cast to void) — tools/mira_lint.py enforces
+/// that the attribute stays.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -56,8 +61,10 @@ class Status {
   static Status NotImplemented(std::string msg);
   static Status Cancelled(std::string msg);
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return ok() ? StatusCode::kOk : state_->code;
+  }
   /// Message text; empty for OK.
   const std::string& message() const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace mira {
 
@@ -50,6 +52,8 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      // The pop and the in-flight increment happen under one lock so WaitIdle
+      // never observes a task that is neither queued nor counted as running.
       ++in_flight_;
     }
     task();
@@ -61,24 +65,82 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Per-call state shared between the caller and its chunk tasks. Owning a copy
+// of `body` here (rather than capturing the caller's reference) keeps the
+// tasks valid even if the caller's frame unwinds before they run.
+struct ParallelForState {
+  std::function<void(size_t)> body;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  size_t end = 0;
+  size_t chunk = 0;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done_chunks = 0;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
   if (begin >= end) return;
   const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
   const size_t num_workers = pool->num_threads();
   const size_t chunk = std::max<size_t>(1, n / (num_workers * 4));
-  std::atomic<size_t> next{begin};
-  std::atomic<size_t> done_chunks{0};
-  size_t total_chunks = (n + chunk - 1) / chunk;
-  for (size_t c = 0; c < total_chunks; ++c) {
-    pool->Submit([&next, &done_chunks, end, chunk, &body] {
-      size_t start = next.fetch_add(chunk);
-      size_t stop = std::min(end, start + chunk);
-      for (size_t i = start; i < stop; ++i) body(i);
-      done_chunks.fetch_add(1);
-    });
+  const size_t total_chunks = (n + chunk - 1) / chunk;
+
+  auto state = std::make_shared<ParallelForState>();
+  state->body = body;
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->chunk = chunk;
+
+  size_t submitted = 0;
+  try {
+    for (size_t c = 0; c < total_chunks; ++c) {
+      pool->Submit([state] {
+        const size_t start =
+            state->next.fetch_add(state->chunk, std::memory_order_relaxed);
+        const size_t stop = std::min(state->end, start + state->chunk);
+        if (!state->cancelled.load(std::memory_order_acquire)) {
+          try {
+            for (size_t i = start; i < stop; ++i) state->body(i);
+          } catch (...) {
+            state->cancelled.store(true, std::memory_order_release);
+            std::unique_lock<std::mutex> lock(state->mu);
+            if (!state->first_error) state->first_error = std::current_exception();
+          }
+        }
+        std::unique_lock<std::mutex> lock(state->mu);
+        ++state->done_chunks;
+        state->done_cv.notify_all();
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    // Submit failed (e.g. allocation). Wait for whatever was queued, then
+    // surface the submission failure.
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock,
+                        [&] { return state->done_chunks == submitted; });
+    throw;
   }
-  pool->WaitIdle();
+
+  // Wait on this call's own completion count, not ThreadPool::WaitIdle():
+  // unrelated tasks and concurrent ParallelFor calls must not stall us, and
+  // WaitIdle could otherwise block forever on work that never drains.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace mira

@@ -11,8 +11,21 @@
 
 namespace mira {
 
-/// Fixed-size worker pool with a simple FIFO queue. Destruction waits for all
-/// queued work to finish.
+/// Fixed-size worker pool with a simple FIFO queue.
+///
+/// Thread-safety contract:
+///  - Submit() may be called concurrently from any thread.
+///  - Tasks must not throw. An exception escaping a task terminates the
+///    process (workers run tasks without a handler). Wrap fallible work and
+///    route errors through Status instead; ParallelFor does this for you.
+///  - Destruction drains the queue: every task submitted before the
+///    destructor starts is executed before the workers join. Submitting
+///    concurrently with destruction is a caller lifetime bug.
+///  - WaitIdle() blocks until the queue is empty and no task is executing.
+///    It is only a meaningful barrier when the caller knows no other thread
+///    is still submitting; with concurrent producers it can wake late (new
+///    work arrived) — never early. Prefer ParallelFor, which tracks its own
+///    completion and is safe under concurrent callers.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>=1). 0 means hardware concurrency.
@@ -42,8 +55,22 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Runs body(i) for i in [begin, end) across the pool, blocking until done.
-/// Chunks statically; `body` must be safe to call concurrently.
+/// Runs body(i) for i in [begin, end) across the pool, blocking until every
+/// index has been processed.
+///
+/// Contract:
+///  - `body` must be safe to call concurrently from multiple threads.
+///  - `body` is copied into shared per-call state, so the chunk tasks never
+///    dangle even if the caller's frame unwinds; the call still does not
+///    return before all submitted chunks have finished.
+///  - Completion is tracked per call with a dedicated condition variable
+///    (not ThreadPool::WaitIdle), so concurrent ParallelFor calls on the
+///    same pool do not block on each other's work.
+///  - If `body` throws, remaining chunks are skipped (indices already
+///    claimed by a running chunk still complete), the call waits for all
+///    in-flight chunks, and the first exception is rethrown in the caller.
+///  - Runs inline on the calling thread when `pool` is null, has a single
+///    worker, or the range is a single index.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 

@@ -15,7 +15,7 @@ namespace mira::datagen {
 ///   <dir>/qrels.txt                   trec_eval qrels (qid 0 docid grade)
 ///   <dir>/ground_truth.tsv            table id, topic, aspect, is_stub
 /// Existing files are overwritten. The directory is created if needed.
-Status ExportWorkload(const Workload& workload, const std::string& dir);
+[[nodiscard]] Status ExportWorkload(const Workload& workload, const std::string& dir);
 
 }  // namespace mira::datagen
 

@@ -34,7 +34,7 @@ struct PcaModel {
 
 /// Fits PCA on the rows of `data`. target_dim must be <= input dim and
 /// data must have >= 2 rows.
-Result<PcaModel> FitPca(const vecmath::Matrix& data, const PcaOptions& options);
+[[nodiscard]] Result<PcaModel> FitPca(const vecmath::Matrix& data, const PcaOptions& options);
 
 }  // namespace mira::dimred
 

@@ -43,7 +43,7 @@ struct UmapModel {
 
 /// Reduces the rows of `data`. Requires data.rows() >= 4 and target_dim <=
 /// data.cols().
-Result<UmapModel> FitUmap(const vecmath::Matrix& data, const UmapOptions& options);
+[[nodiscard]] Result<UmapModel> FitUmap(const vecmath::Matrix& data, const UmapOptions& options);
 
 /// Least-squares fit of a, b in phi(x) = 1 / (1 + a x^(2b)) to the target
 /// membership curve defined by (min_dist, spread). Exposed for tests.

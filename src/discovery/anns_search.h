@@ -40,13 +40,13 @@ struct AnnsOptions {
 class AnnsSearcher final : public Searcher {
  public:
   /// Builds the vector database from pre-computed corpus embeddings.
-  static Result<std::unique_ptr<AnnsSearcher>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<AnnsSearcher>> Build(
       const table::Federation& federation,
       std::shared_ptr<const CorpusEmbeddings> corpus,
       std::shared_ptr<const embed::SemanticEncoder> encoder,
       const AnnsOptions& options = {});
 
-  Result<Ranking> Search(const std::string& query,
+  [[nodiscard]] Result<Ranking> Search(const std::string& query,
                          const DiscoveryOptions& options) const override;
   std::string name() const override { return "ANNS"; }
 

@@ -37,17 +37,17 @@ struct CorpusEmbeddings {
 
   /// Embeds every attribute value of every relation. With a thread pool the
   /// work is parallelized over relations (the encoder is thread-safe).
-  static Result<CorpusEmbeddings> Build(const table::Federation& federation,
+  [[nodiscard]] static Result<CorpusEmbeddings> Build(const table::Federation& federation,
                                         const embed::SemanticEncoder& encoder,
                                         ThreadPool* pool = nullptr);
 
   /// Persists the embeddings to a binary file. Embedding is the dominant
   /// indexing cost, so caching it lets a federation be re-opened in seconds
   /// (the derived ANN/cluster structures are rebuilt).
-  Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
 
   /// Restores embeddings written by Save().
-  static Result<CorpusEmbeddings> Load(const std::string& path);
+  [[nodiscard]] static Result<CorpusEmbeddings> Load(const std::string& path);
 };
 
 }  // namespace mira::discovery

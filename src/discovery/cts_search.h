@@ -50,13 +50,13 @@ struct CtsOptions {
 /// the average similarity of their retrieved cells.
 class CtsSearcher final : public Searcher {
  public:
-  static Result<std::unique_ptr<CtsSearcher>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<CtsSearcher>> Build(
       const table::Federation& federation,
       std::shared_ptr<const CorpusEmbeddings> corpus,
       std::shared_ptr<const embed::SemanticEncoder> encoder,
       const CtsOptions& options = {});
 
-  Result<Ranking> Search(const std::string& query,
+  [[nodiscard]] Result<Ranking> Search(const std::string& query,
                          const DiscoveryOptions& options) const override;
   std::string name() const override { return "CTS"; }
 

@@ -45,7 +45,8 @@ DatasetRanking AggregateByDataset(const Ranking& ranking,
         hit.score = best;
         break;
       case DatasetAggregation::kMean:
-        hit.score = static_cast<float>(total / hit.members.size());
+        hit.score =
+            static_cast<float>(total / static_cast<double>(hit.members.size()));
         break;
       case DatasetAggregation::kSum:
         hit.score = static_cast<float>(total);

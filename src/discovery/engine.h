@@ -45,7 +45,7 @@ class DiscoveryEngine {
  public:
   /// Builds every enabled search structure over `federation`. The federation
   /// is copied into the engine (it must outlive nothing).
-  static Result<std::unique_ptr<DiscoveryEngine>> Build(
+  [[nodiscard]] static Result<std::unique_ptr<DiscoveryEngine>> Build(
       table::Federation federation,
       std::shared_ptr<const embed::Lexicon> lexicon,
       const EngineOptions& options = {});
@@ -55,13 +55,13 @@ class DiscoveryEngine {
   /// federation must be the one the corpus was embedded from and the encoder
   /// options must match the original build (ExS re-encodes at query time and
   /// its scores would drift otherwise).
-  static Result<std::unique_ptr<DiscoveryEngine>> BuildWithCorpus(
+  [[nodiscard]] static Result<std::unique_ptr<DiscoveryEngine>> BuildWithCorpus(
       table::Federation federation,
       std::shared_ptr<const embed::Lexicon> lexicon, CorpusEmbeddings corpus,
       const EngineOptions& options = {});
 
   /// Answers a keyword query with the chosen method.
-  Result<Ranking> Search(Method method, const std::string& query,
+  [[nodiscard]] Result<Ranking> Search(Method method, const std::string& query,
                          const DiscoveryOptions& options) const;
 
   /// Access to an individual searcher (null if not built).
@@ -75,7 +75,7 @@ class DiscoveryEngine {
   DiscoveryEngine() = default;
 
   /// Builds the three searchers once corpus embeddings exist.
-  Status FinishBuild(const EngineOptions& options);
+  [[nodiscard]] Status FinishBuild(const EngineOptions& options);
 
   table::Federation federation_;
   std::shared_ptr<const embed::SemanticEncoder> encoder_;

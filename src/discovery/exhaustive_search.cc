@@ -43,7 +43,8 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
     // the relations are partitioned across workers (scores are per-relation
     // sums, so partitioning by relation needs no synchronization).
     auto scan_relation = [&](size_t rid) {
-      const table::Relation& relation = federation_->relation(rid);
+      const table::Relation& relation =
+          federation_->relation(static_cast<table::RelationId>(rid));
       double sum = 0.0;
       for (const auto& row : relation.rows) {
         for (const auto& cell : row) {

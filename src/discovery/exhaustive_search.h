@@ -43,7 +43,7 @@ class ExhaustiveSearcher final : public Searcher {
                      std::shared_ptr<const embed::SemanticEncoder> encoder,
                      ExsOptions options = {});
 
-  Result<Ranking> Search(const std::string& query,
+  [[nodiscard]] Result<Ranking> Search(const std::string& query,
                          const DiscoveryOptions& options) const override;
   std::string name() const override { return "ExS"; }
 

@@ -19,7 +19,8 @@ float MatchScore(const table::Relation& relation, const std::string& query,
       ++cells;
     }
   }
-  return cells == 0 ? 0.f : static_cast<float>(total / cells);
+  return cells == 0 ? 0.f
+                    : static_cast<float>(total / static_cast<double>(cells));
 }
 
 }  // namespace mira::discovery

@@ -34,7 +34,7 @@ class Searcher {
   virtual ~Searcher() = default;
 
   /// Returns the top-k relations related to the keyword query.
-  virtual Result<Ranking> Search(const std::string& query,
+  [[nodiscard]] virtual Result<Ranking> Search(const std::string& query,
                                  const DiscoveryOptions& options) const = 0;
 
   /// Short method tag ("ExS", "ANNS", "CTS", ...).

@@ -43,6 +43,7 @@ float HnswIndex::OutputSimilarity(float internal_distance) const {
 }
 
 Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
+  std::lock_guard<std::mutex> lock(add_mu_);
   if (built_) return Status::FailedPrecondition("hnsw: index already built");
   if (!vectors_.empty() && vector.size() != vectors_.cols()) {
     return Status::InvalidArgument(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,13 +37,18 @@ struct HnswOptions {
   std::optional<PqOptions> quantization;
 };
 
+/// Thread-safety: Add() may be called concurrently (appends are serialized
+/// internally). Build() must be called exactly once after all Adds have
+/// completed — the caller provides that ordering. After Build() returns,
+/// Search() and the const accessors may be called concurrently; nothing
+/// mutates post-build state.
 class HnswIndex final : public VectorIndex {
  public:
   explicit HnswIndex(HnswOptions options = {});
 
-  Status Add(uint64_t id, const vecmath::Vec& vector) override;
-  Status Build() override;
-  Result<std::vector<vecmath::ScoredId>> Search(
+  [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  [[nodiscard]] Status Build() override;
+  [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;
 
   size_t size() const override { return ids_.size(); }
@@ -102,6 +108,9 @@ class HnswIndex final : public VectorIndex {
   HnswOptions options_;
   double level_mult_ = 0.0;
   uint64_t rng_state_ = 0;
+
+  /// Serializes concurrent Add() calls (vectors_/ids_ appends).
+  std::mutex add_mu_;
 
   vecmath::Matrix vectors_;
   std::vector<uint64_t> ids_;

@@ -28,10 +28,10 @@ class IvfIndex final : public VectorIndex {
  public:
   explicit IvfIndex(IvfOptions options = {});
 
-  Status Add(uint64_t id, const vecmath::Vec& vector) override;
-  Status Build() override;
+  [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  [[nodiscard]] Status Build() override;
   /// SearchParams::ef, when non-zero, overrides nprobe.
-  Result<std::vector<vecmath::ScoredId>> Search(
+  [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;
 
   size_t size() const override { return ids_.size(); }

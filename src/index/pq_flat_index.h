@@ -28,9 +28,9 @@ class PqFlatIndex final : public VectorIndex {
  public:
   explicit PqFlatIndex(PqFlatOptions options = {});
 
-  Status Add(uint64_t id, const vecmath::Vec& vector) override;
-  Status Build() override;
-  Result<std::vector<vecmath::ScoredId>> Search(
+  [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  [[nodiscard]] Status Build() override;
+  [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;
 
   size_t size() const override { return ids_.size(); }

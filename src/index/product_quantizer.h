@@ -33,7 +33,7 @@ struct PqOptions {
 class ProductQuantizer {
  public:
   /// Trains codebooks on the rows of `training_data` (>= 2^nbits rows).
-  static Result<ProductQuantizer> Train(const vecmath::Matrix& training_data,
+  [[nodiscard]] static Result<ProductQuantizer> Train(const vecmath::Matrix& training_data,
                                         const PqOptions& options);
 
   /// Quantizes a vector to m one-byte codes.

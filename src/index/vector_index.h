@@ -33,13 +33,13 @@ class VectorIndex {
 
   /// Registers a vector under an external id. Ids must be unique; dimensions
   /// must agree across calls. Fails after Build().
-  virtual Status Add(uint64_t id, const vecmath::Vec& vector) = 0;
+  [[nodiscard]] virtual Status Add(uint64_t id, const vecmath::Vec& vector) = 0;
 
   /// Finalizes the index (graph construction, quantizer training, ...).
-  virtual Status Build() = 0;
+  [[nodiscard]] virtual Status Build() = 0;
 
   /// k-nearest search. Fails before Build().
-  virtual Result<std::vector<vecmath::ScoredId>> Search(
+  [[nodiscard]] virtual Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const = 0;
 
   virtual size_t size() const = 0;

@@ -35,7 +35,7 @@ struct SignificanceResult {
 /// Paired Fisher randomization test comparing run A against run B on the
 /// qrels' query set. `permutations` sign-flips are drawn with the given
 /// seed (deterministic). Fails when the qrels contain no queries.
-Result<SignificanceResult> PairedRandomizationTest(
+[[nodiscard]] Result<SignificanceResult> PairedRandomizationTest(
     const Qrels& qrels, const std::unordered_map<QueryId, std::vector<DocId>>& run_a,
     const std::unordered_map<QueryId, std::vector<DocId>>& run_b,
     PerQueryMetric metric = PerQueryMetric::kAveragePrecision,

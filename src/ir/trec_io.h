@@ -28,17 +28,17 @@ struct ScoredRun {
 /// Writes a run in the classic trec_eval format:
 ///   <qid> Q0 <docid> <rank> <score> <tag>
 /// Queries are emitted in ascending id order, documents in rank order.
-Status WriteRunFile(const std::string& path, const ScoredRun& run,
+[[nodiscard]] Status WriteRunFile(const std::string& path, const ScoredRun& run,
                     const std::string& tag);
 
 /// Parses a trec_eval run file (whitespace-separated, 6 columns).
-Result<ScoredRun> ReadRunFile(const std::string& path);
+[[nodiscard]] Result<ScoredRun> ReadRunFile(const std::string& path);
 
 /// Writes qrels in the standard format: `<qid> 0 <docid> <grade>`.
-Status WriteQrelsFile(const std::string& path, const Qrels& qrels);
+[[nodiscard]] Status WriteQrelsFile(const std::string& path, const Qrels& qrels);
 
 /// Parses a standard qrels file.
-Result<Qrels> ReadQrelsFile(const std::string& path);
+[[nodiscard]] Result<Qrels> ReadQrelsFile(const std::string& path);
 
 }  // namespace mira::ir
 

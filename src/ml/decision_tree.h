@@ -24,7 +24,7 @@ struct TreeOptions {
 class DecisionTree {
  public:
   /// Fits on the rows of `data` selected by `sample_indices` (empty = all).
-  static Result<DecisionTree> Fit(const RegressionData& data,
+  [[nodiscard]] static Result<DecisionTree> Fit(const RegressionData& data,
                                   const TreeOptions& options,
                                   const std::vector<size_t>& sample_indices = {});
 
@@ -63,7 +63,7 @@ struct ForestOptions {
 
 class RandomForest {
  public:
-  static Result<RandomForest> Fit(const RegressionData& data,
+  [[nodiscard]] static Result<RandomForest> Fit(const RegressionData& data,
                                   const ForestOptions& options = {});
 
   double Predict(const std::vector<double>& x) const;

@@ -13,7 +13,7 @@ struct RegressionData {
   std::vector<std::vector<double>> features;
   std::vector<double> targets;
 
-  Status Add(std::vector<double> x, double y);
+  [[nodiscard]] Status Add(std::vector<double> x, double y);
   size_t size() const { return targets.size(); }
 };
 
@@ -27,7 +27,7 @@ struct RidgeOptions {
 
 class LinearRegression {
  public:
-  static Result<LinearRegression> Fit(const RegressionData& data,
+  [[nodiscard]] static Result<LinearRegression> Fit(const RegressionData& data,
                                       const RidgeOptions& options = {});
 
   double Predict(const std::vector<double>& x) const;
@@ -42,7 +42,7 @@ class LinearRegression {
 
 /// Solves A x = b in place (A is n x n row-major) by Gaussian elimination
 /// with partial pivoting. Fails on (near-)singular systems.
-Status SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
+[[nodiscard]] Status SolveLinearSystem(std::vector<double>* a, std::vector<double>* b,
                          size_t n);
 
 }  // namespace mira::ml

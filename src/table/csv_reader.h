@@ -21,11 +21,11 @@ struct CsvOptions {
 /// Parses CSV text into a Relation. Supports quoted fields with embedded
 /// delimiters, doubled quotes ("") and embedded newlines. Rows with a cell
 /// count differing from the header are rejected.
-Result<Relation> ParseCsv(std::string_view text, std::string relation_name,
+[[nodiscard]] Result<Relation> ParseCsv(std::string_view text, std::string relation_name,
                           const CsvOptions& options = {});
 
 /// Reads and parses a CSV file; the relation is named after the file stem.
-Result<Relation> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options = {});
 
 }  // namespace mira::table

@@ -31,7 +31,7 @@ struct Relation {
   size_t num_cells() const { return rows.size() * schema.size(); }
 
   /// Appends a row; fails unless it has exactly one cell per schema column.
-  Status AddRow(std::vector<std::string> row);
+  [[nodiscard]] Status AddRow(std::vector<std::string> row);
 
   /// Cell accessor (row-major); aborts out of range.
   const std::string& Cell(size_t row, size_t col) const;
@@ -71,7 +71,7 @@ class Federation {
   DatasetId AddDataset(std::string name);
 
   /// Assigns a relation to a dataset; fails on invalid ids.
-  Status AssignToDataset(RelationId relation, DatasetId dataset);
+  [[nodiscard]] Status AssignToDataset(RelationId relation, DatasetId dataset);
 
   /// Dataset of a relation; kNoDataset when unassigned (singleton).
   DatasetId DatasetOf(RelationId relation) const;

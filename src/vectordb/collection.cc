@@ -1,6 +1,8 @@
 #include "vectordb/collection.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "index/flat_index.h"
@@ -15,6 +17,7 @@ Collection::Collection(std::string name, CollectionParams params)
     : name_(std::move(name)), params_(params) {}
 
 Status Collection::Upsert(Point point) {
+  std::unique_lock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': upsert after BuildIndex", name_.c_str()));
@@ -37,6 +40,7 @@ Status Collection::Upsert(Point point) {
 }
 
 void Collection::CreatePayloadIndex(std::string field) {
+  std::unique_lock lock(mu_);
   if (std::find(indexed_fields_.begin(), indexed_fields_.end(), field) ==
       indexed_fields_.end()) {
     indexed_fields_.push_back(std::move(field));
@@ -52,6 +56,7 @@ std::string Collection::PayloadKeyOf(const PayloadValue& value) const {
 }
 
 Status Collection::BuildIndex() {
+  std::unique_lock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': BuildIndex called twice", name_.c_str()));
@@ -143,6 +148,7 @@ std::optional<std::vector<size_t>> Collection::PreFilterCandidates(
 Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
                                                   size_t k, size_t ef,
                                                   const Filter& filter) const {
+  std::shared_lock lock(mu_);
   if (!built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': BuildIndex not called", name_.c_str()));
@@ -196,6 +202,7 @@ Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
 }
 
 Result<const Point*> Collection::Get(uint64_t id) const {
+  std::shared_lock lock(mu_);
   auto it = id_to_offset_.find(id);
   if (it == id_to_offset_.end()) {
     return Status::NotFound(
@@ -206,6 +213,7 @@ Result<const Point*> Collection::Get(uint64_t id) const {
 }
 
 std::vector<const Point*> Collection::Scroll(const Filter& filter) const {
+  std::shared_lock lock(mu_);
   std::vector<const Point*> out;
   for (const Point& p : points_) {
     if (filter.Matches(p.payload)) out.push_back(&p);
@@ -216,6 +224,7 @@ std::vector<const Point*> Collection::Scroll(const Filter& filter) const {
 }
 
 size_t Collection::IndexMemoryBytes() const {
+  std::shared_lock lock(mu_);
   return index_ ? index_->MemoryBytes() : 0;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,36 +68,50 @@ struct SearchHit {
 /// Payload-filtered search uses the payload inverted index when every filter
 /// field is indexed (exact pre-filtering), and oversampled ANN post-filtering
 /// otherwise.
+///
+/// Thread-safety: Upsert/CreatePayloadIndex/BuildIndex take an exclusive
+/// lock; Search/Get/Scroll/IndexMemoryBytes/size/built take a shared lock,
+/// so any mix of these calls is free of data races (out-of-phase calls fail
+/// cleanly with FailedPrecondition instead). Pointers returned by
+/// Search/Get/Scroll remain valid only until the next successful Upsert.
+/// The reference-returning accessors (name, params, points, indexed_fields)
+/// are unsynchronized: callers must ensure no concurrent writer.
 class Collection {
  public:
   Collection(std::string name, CollectionParams params);
 
   /// Inserts a point; replaces an existing point with the same id (before
   /// BuildIndex only).
-  Status Upsert(Point point);
+  [[nodiscard]] Status Upsert(Point point);
 
   /// Finalizes the collection: trains/builds the configured vector index and
   /// the payload indexes.
-  Status BuildIndex();
+  [[nodiscard]] Status BuildIndex();
 
   /// Marks a payload field for inverted indexing (call before BuildIndex).
   void CreatePayloadIndex(std::string field);
 
   /// k-NN search; `filter` restricts candidates by payload.
-  Result<std::vector<SearchHit>> Search(const vecmath::Vec& query, size_t k,
+  [[nodiscard]] Result<std::vector<SearchHit>> Search(const vecmath::Vec& query, size_t k,
                                         size_t ef = 0,
                                         const Filter& filter = {}) const;
 
   /// Point lookup by id.
-  Result<const Point*> Get(uint64_t id) const;
+  [[nodiscard]] Result<const Point*> Get(uint64_t id) const;
 
   /// All points matching `filter`, in id order.
   std::vector<const Point*> Scroll(const Filter& filter = {}) const;
 
   const std::string& name() const { return name_; }
   const CollectionParams& params() const { return params_; }
-  size_t size() const { return points_.size(); }
-  bool built() const { return built_; }
+  size_t size() const {
+    std::shared_lock lock(mu_);
+    return points_.size();
+  }
+  bool built() const {
+    std::shared_lock lock(mu_);
+    return built_;
+  }
   const std::vector<Point>& points() const { return points_; }
   const std::vector<std::string>& indexed_fields() const {
     return indexed_fields_;
@@ -111,6 +126,9 @@ class Collection {
   /// when not all fields are indexed.
   std::optional<std::vector<size_t>> PreFilterCandidates(
       const Filter& filter) const;
+
+  /// Guards all mutable state below; see the class comment for the contract.
+  mutable std::shared_mutex mu_;
 
   std::string name_;
   CollectionParams params_;

@@ -23,24 +23,24 @@ class VectorDb {
   VectorDb& operator=(VectorDb&&) = default;
 
   /// Creates a collection; fails if the name exists.
-  Result<Collection*> CreateCollection(const std::string& name,
+  [[nodiscard]] Result<Collection*> CreateCollection(const std::string& name,
                                        CollectionParams params);
 
   /// Looks up a collection.
-  Result<Collection*> GetCollection(const std::string& name);
-  Result<const Collection*> GetCollection(const std::string& name) const;
+  [[nodiscard]] Result<Collection*> GetCollection(const std::string& name);
+  [[nodiscard]] Result<const Collection*> GetCollection(const std::string& name) const;
 
-  Status DropCollection(const std::string& name);
+  [[nodiscard]] Status DropCollection(const std::string& name);
 
   std::vector<std::string> ListCollections() const;
   size_t num_collections() const { return collections_.size(); }
 
   /// Serializes every collection's points and parameters to a binary
   /// snapshot file. Indexes are rebuilt on load (they are derived state).
-  Status SaveSnapshot(const std::string& path) const;
+  [[nodiscard]] Status SaveSnapshot(const std::string& path) const;
 
   /// Restores a database from a snapshot and rebuilds all indexes.
-  static Result<VectorDb> LoadSnapshot(const std::string& path);
+  [[nodiscard]] static Result<VectorDb> LoadSnapshot(const std::string& path);
 
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;

@@ -1,0 +1,18 @@
+// Negative compile test: silently dropping a Status must NOT compile when
+// warnings are errors. tests/CMakeLists.txt registers a ctest case that
+// compiles this file with -Werror=unused-result and expects FAILURE
+// (WILL_FAIL). If Status ever loses its class-level [[nodiscard]], this file
+// starts compiling and the test suite goes red.
+
+#include "common/status.h"
+
+namespace {
+
+mira::Status Fallible() { return mira::Status::NotFound("dropped"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // discarded Status — must be rejected by -Werror=unused-result
+  return 0;
+}

@@ -1,0 +1,274 @@
+// Concurrency stress tests for the parallel substrate: ThreadPool /
+// ParallelFor, Collection under concurrent upserts+searches, and HnswIndex
+// under parallel insert/query. Designed to run under ThreadSanitizer (the
+// `tsan` preset registers this binary); sizes are chosen so a TSan run on a
+// small machine stays in the seconds range while still crossing well over
+// 10k scheduled tasks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "index/hnsw_index.h"
+#include "vecmath/vector_ops.h"
+#include "vectordb/collection.h"
+
+namespace mira {
+namespace {
+
+constexpr size_t kPoolThreads = 4;
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolStressTest, TenThousandTasksFromManyProducers) {
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kProducers = 4;
+  constexpr size_t kTasksPerProducer = 2500;
+  std::atomic<size_t> executed{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (size_t i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, WaitIdleFromManyThreadsObservesCompletion) {
+  ThreadPool pool(kPoolThreads);
+  std::atomic<size_t> executed{0};
+  constexpr size_t kTasks = 2000;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit(
+        [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // All producers are done before the waiters start, so WaitIdle's contract
+  // (meaningful barrier once submissions have stopped) applies.
+  std::vector<std::thread> waiters;
+  for (size_t w = 0; w < 3; ++w) {
+    waiters.emplace_back([&pool, &executed, kTasks] {
+      pool.WaitIdle();
+      EXPECT_EQ(executed.load(), kTasks);
+    });
+  }
+  for (auto& t : waiters) t.join();
+}
+
+TEST(ThreadPoolStressTest, DestructionUnderLoadDrainsQueue) {
+  std::atomic<size_t> executed{0};
+  constexpr size_t kTasks = 5000;
+  {
+    ThreadPool pool(kPoolThreads);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor runs with most of the queue still pending.
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+// ---------- ParallelFor ----------
+
+TEST(ParallelForStressTest, ConcurrentCallersDoNotBlockEachOther) {
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kRange = 2000;
+  std::vector<std::vector<uint8_t>> touched(kCallers,
+                                            std::vector<uint8_t>(kRange, 0));
+
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &touched, c] {
+      ParallelFor(&pool, 0, kRange, [&touched, c](size_t i) {
+        // Each caller owns its row, so plain writes are race-free iff
+        // ParallelFor tracks its own completion correctly.
+        touched[c][i] = 1;
+      });
+      for (size_t i = 0; i < kRange; ++i) {
+        ASSERT_EQ(touched[c][i], 1) << "caller " << c << " index " << i;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+}
+
+TEST(ParallelForStressTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kRange = 10000;
+  std::vector<std::atomic<uint32_t>> counts(kRange);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(&pool, 0, kRange, [&counts](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kRange; ++i) {
+    ASSERT_EQ(counts[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ParallelForStressTest, BodyExceptionRethrownInCallerAndPoolSurvives) {
+  ThreadPool pool(kPoolThreads);
+  std::atomic<size_t> visited{0};
+  auto run = [&] {
+    ParallelFor(&pool, 0, 1000, [&visited](size_t i) {
+      visited.fetch_add(1, std::memory_order_relaxed);
+      if (i == 137) throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The pool must stay usable after a failed ParallelFor.
+  std::atomic<size_t> after{0};
+  ParallelFor(&pool, 0, 500, [&after](size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 500u);
+}
+
+// ---------- Collection ----------
+
+vecmath::Vec RandomVec(Rng* rng, size_t dim) {
+  vecmath::Vec v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+TEST(CollectionStressTest, ConcurrentUpsertsThenConcurrentSearches) {
+  constexpr size_t kDim = 8;
+  constexpr size_t kPoints = 1000;
+  constexpr size_t kWriters = 4;
+
+  vectordb::CollectionParams params;
+  params.dim = kDim;
+  params.index_kind = vectordb::IndexKind::kHnsw;
+  params.hnsw_m = 8;
+  params.hnsw_ef_construction = 40;
+  params.hnsw_ef_search = 32;
+  vectordb::Collection collection("stress", params);
+
+  // Phase 1: concurrent upserts racing with searches. Searches before
+  // BuildIndex must fail cleanly (FailedPrecondition), never crash or race.
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    workers.emplace_back([&collection, w] {
+      Rng rng(1000 + w);
+      for (size_t i = w; i < kPoints; i += kWriters) {
+        vectordb::Point p;
+        p.id = i;
+        p.vector = RandomVec(&rng, kDim);
+        p.payload.SetInt("shard", static_cast<int64_t>(w));
+        Status st = collection.Upsert(std::move(p));
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+    });
+  }
+  workers.emplace_back([&collection] {
+    Rng rng(77);
+    for (size_t i = 0; i < 200; ++i) {
+      auto hits = collection.Search(RandomVec(&rng, kDim), 5);
+      if (!hits.ok()) {
+        EXPECT_TRUE(hits.status().IsFailedPrecondition()) << hits.status();
+      }
+      (void)collection.size();
+      (void)collection.built();
+    }
+  });
+  for (auto& t : workers) t.join();
+  workers.clear();
+
+  ASSERT_EQ(collection.size(), kPoints);
+  Status built = collection.BuildIndex();
+  ASSERT_TRUE(built.ok()) << built.ToString();
+
+  // Phase 2: concurrent searches racing with (now-rejected) upserts and
+  // point lookups.
+  std::atomic<size_t> total_hits{0};
+  for (size_t w = 0; w < 4; ++w) {
+    workers.emplace_back([&collection, &total_hits, w] {
+      Rng rng(500 + w);
+      for (size_t i = 0; i < 250; ++i) {
+        auto hits = collection.Search(RandomVec(&rng, kDim), 5);
+        ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+        ASSERT_LE(hits->size(), 5u);
+        total_hits.fetch_add(hits->size(), std::memory_order_relaxed);
+        auto point = collection.Get(i % kPoints);
+        ASSERT_TRUE(point.ok()) << point.status().ToString();
+      }
+    });
+  }
+  workers.emplace_back([&collection] {
+    Rng rng(9);
+    for (size_t i = 0; i < 100; ++i) {
+      vectordb::Point p;
+      p.id = kPoints + i;
+      p.vector = RandomVec(&rng, kDim);
+      Status st = collection.Upsert(std::move(p));
+      EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+    }
+  });
+  for (auto& t : workers) t.join();
+  EXPECT_GT(total_hits.load(), 0u);
+}
+
+// ---------- HnswIndex ----------
+
+TEST(HnswStressTest, ParallelInsertBuildParallelQuery) {
+  constexpr size_t kDim = 8;
+  constexpr size_t kVectors = 1000;
+  constexpr size_t kQueries = 500;
+
+  index::HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 40;
+  options.ef_search = 32;
+  index::HnswIndex index(options);
+
+  ThreadPool pool(kPoolThreads);
+  // Parallel insert: Add() serializes appends internally.
+  ParallelFor(&pool, 0, kVectors, [&index](size_t i) {
+    Rng rng(i + 1);
+    vecmath::Vec v(kDim);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    Status st = index.Add(i, v);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  });
+  ASSERT_EQ(index.size(), kVectors);
+
+  Status built = index.Build();
+  ASSERT_TRUE(built.ok()) << built.ToString();
+
+  // Parallel query: Search is const over immutable post-build state. Late
+  // Add() calls must fail cleanly without corrupting the graph.
+  std::atomic<size_t> ok_queries{0};
+  ParallelFor(&pool, 0, kQueries, [&index, &ok_queries](size_t i) {
+    Rng rng(9000 + i);
+    vecmath::Vec q(kDim);
+    for (auto& x : q) x = static_cast<float>(rng.NextGaussian());
+    if (i % 97 == 0) {
+      Status late = index.Add(12345678 + i, q);
+      ASSERT_TRUE(late.IsFailedPrecondition()) << late.ToString();
+    }
+    auto hits = index.Search(q, {10, 0});
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    ASSERT_EQ(hits->size(), 10u);
+    ok_queries.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ok_queries.load(), kQueries);
+}
+
+}  // namespace
+}  // namespace mira

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""MIRA project-invariant linter — checks clang-tidy can't express.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
+
+  endl          no std::endl in first-party code (src/, bench/, examples/):
+                it forces a flush on every use; use '\\n'.
+  guard         every header under src/ uses include guards named
+                MIRA_<PATH>_H_ (e.g. src/index/hnsw_index.h ->
+                MIRA_INDEX_HNSW_INDEX_H_), with matching #define and a
+                commented #endif.
+  naked-new     no naked new/delete outside src/common. `new` is allowed when
+                ownership is taken on the same statement by unique_ptr/
+                shared_ptr construction or .reset(...) — the private-ctor
+                factory idiom make_unique cannot serve.
+  nodiscard     function declarations in src/ headers returning Status or
+                Result<T> by value carry [[nodiscard]], and the class-level
+                [[nodiscard]] markers on Status/Result stay in place.
+  bare-nolint   clang-tidy suppressions must name a check and justify it:
+                `// NOLINT(check) -- reason`; bare `// NOLINT` is rejected.
+
+Usage: tools/mira_lint.py [paths...]   (defaults to the whole tree)
+Exit:  0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+FINDINGS: list[str] = []
+
+
+def report(path: Path, lineno: int, rule: str, msg: str) -> None:
+    FINDINGS.append(f"{path.as_posix()}:{lineno}: [{rule}] {msg}")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so rules don't fire inside comments/strings."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    line = re.sub(r"//.*$", "", line)
+    return line
+
+
+def tracked_files(args: list[str]) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--", *args] if args else ["git", "ls-files"],
+        cwd=REPO, capture_output=True, text=True, check=True).stdout
+    return [REPO / p for p in out.splitlines() if p]
+
+
+def check_endl(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith(("src/", "bench/", "examples/")):
+        return
+    for i, raw in enumerate(lines, 1):
+        if "std::endl" in strip_comments_and_strings(raw):
+            report(path, i, "endl", "std::endl flushes; use '\\n'")
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO).as_posix()
+    stem = rel[len("src/"):]
+    return "MIRA_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def check_guard(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") and rel.endswith(".h")):
+        return
+    guard = expected_guard(path)
+    text = "".join(lines)
+    if f"#ifndef {guard}" not in text:
+        report(path, 1, "guard", f"missing '#ifndef {guard}'")
+        return
+    if f"#define {guard}" not in text:
+        report(path, 1, "guard", f"missing '#define {guard}'")
+    if f"#endif  // {guard}" not in text:
+        report(path, len(lines), "guard",
+               f"closing line must be '#endif  // {guard}'")
+
+
+NEW_RE = re.compile(r"\bnew\b")  # includes placement `new (ptr) T`
+OWNED_NEW_RE = re.compile(
+    r"(unique_ptr\s*<[^;]*>\s*\w*\s*\(\s*new\b"   # unique_ptr<T> p(new T...)
+    r"|shared_ptr\s*<[^;]*>\s*\w*\s*\(\s*new\b"
+    r"|\.reset\s*\(\s*new\b)")
+DELETE_RE = re.compile(r"\bdelete\s*(\[\s*\])?\s+\w")
+
+
+def check_naked_new(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith(("src/", "bench/", "examples/")):
+        return
+    if rel.startswith("src/common/"):
+        return  # common may build owning primitives
+    for i, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if re.search(r"=\s*delete\b", line):
+            continue
+        # The owning construct may sit on the previous line
+        # (`unique_ptr<T> p(\n    new T(...))`), so test the joined pair.
+        prev = strip_comments_and_strings(lines[i - 2]) if i >= 2 else ""
+        joined = prev.rstrip("\n") + " " + line
+        if NEW_RE.search(line) and not OWNED_NEW_RE.search(joined):
+            report(path, i, "naked-new",
+                   "naked new: take ownership on the same statement "
+                   "(make_unique, unique_ptr<T> p(new T...), or .reset(new ...))")
+        if DELETE_RE.search(line):
+            report(path, i, "naked-new", "naked delete: use owning types")
+
+
+DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?(?:Status|Result<[^;=]*>)\s+"
+    r"[A-Za-z_][A-Za-z0-9_]*\s*\(")
+
+
+def check_nodiscard(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") and rel.endswith(".h")):
+        return
+    if rel == "src/common/status.h":
+        if not any("class [[nodiscard]] Status" in ln for ln in lines):
+            report(path, 1, "nodiscard",
+                   "Status must stay 'class [[nodiscard]] Status'")
+        return
+    if rel == "src/common/result.h":
+        if not any("class [[nodiscard]] Result" in ln for ln in lines):
+            report(path, 1, "nodiscard",
+                   "Result must stay 'class [[nodiscard]] Result'")
+        return
+    for i, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if DECL_RE.match(line) and "[[nodiscard]]" not in raw:
+            prev = lines[i - 2] if i >= 2 else ""
+            if "[[nodiscard]]" not in prev:
+                report(path, i, "nodiscard",
+                       "Status/Result-returning declaration needs [[nodiscard]]")
+
+
+BARE_NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?\b(?!\()")
+
+
+def check_bare_nolint(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith(("src/", "tests/", "bench/", "examples/")):
+        return
+    for i, raw in enumerate(lines, 1):
+        if BARE_NOLINT_RE.search(raw):
+            report(path, i, "bare-nolint",
+                   "suppressions must name the check: // NOLINT(check-name)")
+
+
+CHECKS = [check_endl, check_guard, check_naked_new, check_nodiscard,
+          check_bare_nolint]
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    try:
+        files = tracked_files(argv)
+    except subprocess.CalledProcessError as e:
+        print(f"mira_lint: git ls-files failed: {e}", file=sys.stderr)
+        return 2
+    scanned = 0
+    for path in files:
+        if path.suffix not in (".h", ".cc"):
+            continue
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        except (OSError, UnicodeDecodeError) as e:
+            print(f"mira_lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        scanned += 1
+        for check in CHECKS:
+            check(path, lines)
+    if FINDINGS:
+        print("\n".join(sorted(FINDINGS)))
+        print(f"mira_lint: {len(FINDINGS)} finding(s) in {scanned} files",
+              file=sys.stderr)
+        return 1
+    print(f"mira_lint: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

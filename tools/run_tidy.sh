@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over MIRA's first-party sources against a build tree's
+# compile_commands.json.
+#
+# Usage:
+#   tools/run_tidy.sh [BUILD_DIR] [-- file1.cc file2.cc ...]
+#
+# With no file list, lints every git-tracked first-party translation unit.
+# A file list after `--` restricts the run (CI's diff gate uses this).
+# BUILD_DIR defaults to the first of build, build/release, build/asan that
+# contains compile_commands.json. Produce one with any preset, e.g.:
+#   cmake --preset release
+#
+# Exit codes: 0 = clean (or clang-tidy unavailable, reported as SKIPPED so
+# environments without LLVM — like this container — don't hard-fail; CI
+# installs clang-tidy and treats findings as errors via WarningsAsErrors).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_tidy: SKIPPED — clang-tidy not found on PATH (set CLANG_TIDY=...)" >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ -n "$build_dir" && "$build_dir" != "--" ]]; then
+  shift
+else
+  for cand in build build/release build/asan build/tsan; do
+    if [[ -f "$cand/compile_commands.json" ]]; then
+      build_dir="$cand"
+      break
+    fi
+  done
+fi
+if [[ "${1:-}" == "--" ]]; then shift; fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy: no compile_commands.json found; configure a build first:" >&2
+  echo "  cmake --preset release" >&2
+  exit 2
+fi
+
+if [[ $# -gt 0 ]]; then
+  sources=("$@")
+else
+  mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
+fi
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_tidy: no sources found" >&2
+  exit 2
+fi
+
+echo "run_tidy: $tidy_bin, ${#sources[@]} files, compile db: $build_dir"
+
+jobs="$(nproc 2>/dev/null || echo 1)"
+fail=0
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -n 8 "$tidy_bin" -p "$build_dir" --quiet || fail=1
+
+if [[ $fail -ne 0 ]]; then
+  echo "run_tidy: FAILED — findings above (policy: .clang-tidy, docs/STATIC_ANALYSIS.md)" >&2
+  exit 1
+fi
+echo "run_tidy: clean"
