@@ -11,7 +11,9 @@
 #include "discovery/anns_search.h"
 #include "discovery/cts_search.h"
 #include "discovery/engine.h"
+#include "harness.h"
 #include "ir/metrics.h"
+#include "vecmath/simd.h"
 
 namespace {
 
@@ -76,6 +78,21 @@ int main() {
   std::printf("CTS/ANNS design ablations (600 tables, %zu cells, dim 160)\n\n",
               fx.corpus->num_cells());
 
+  bench::BenchJsonWriter json("ablation_cts");
+  json.SetMeta("tables", 600.0);
+  json.SetMeta("dim", 160.0);
+  json.SetMeta("cells", static_cast<double>(fx.corpus->num_cells()));
+  json.SetMeta("simd_tier", std::string(vecmath::SimdTierName(
+                                vecmath::ActiveSimdTier())));
+  auto record = [&json](const std::string& sweep, double value,
+                        const Outcome& out) {
+    json.AddRow();
+    json.Set("sweep", sweep);
+    json.Set("value", value);
+    json.Set("map", out.map);
+    json.Set("mean_query_ms", out.mean_ms);
+  };
+
   // --- cluster_candidates sweep ---
   std::printf("%-34s %8s %10s %10s\n", "configuration", "MAP", "ms/query",
               "clusters");
@@ -88,6 +105,7 @@ int main() {
     Outcome out = Evaluate(fx, *cts);
     std::printf("CTS cluster_candidates=%-12zu %8.3f %10.3f %10zu\n",
                 candidates, out.map, out.mean_ms, cts->num_clusters());
+    record("cluster_candidates", static_cast<double>(candidates), out);
   }
   std::printf("\n");
 
@@ -101,6 +119,7 @@ int main() {
     Outcome out = Evaluate(fx, *cts);
     std::printf("CTS umap_dim=%-21zu %8.3f %10.3f %10zu\n", dim, out.map,
                 out.mean_ms, cts->num_clusters());
+    record("umap_dim", static_cast<double>(dim), out);
   }
   std::printf("\n");
 
@@ -114,6 +133,7 @@ int main() {
     Outcome out = Evaluate(fx, *cts);
     std::printf("CTS min_cluster_size=%-13zu %8.3f %10.3f %10zu\n", mcs,
                 out.map, out.mean_ms, cts->num_clusters());
+    record("min_cluster_size", static_cast<double>(mcs), out);
   }
   std::printf("\n");
 
@@ -128,6 +148,7 @@ int main() {
     std::printf("ANNS pq=%-26s %8.3f %10.3f %9.1fMB\n",
                 use_pq ? "on (paper config)" : "off", out.map, out.mean_ms,
                 static_cast<double>(anns->IndexMemoryBytes()) / (1 << 20));
+    record("anns_pq", use_pq ? 1.0 : 0.0, out);
   }
   std::printf("\n");
 
@@ -141,6 +162,8 @@ int main() {
     std::printf("ExS %-30s %8.3f %10.3f\n",
                 cached ? "cached embeddings (ablation)" : "per-query embedding",
                 out.map, out.mean_ms);
+    record("exs_cached", cached ? 1.0 : 0.0, out);
   }
+  json.Write().Abort("bench json");
   return 0;
 }

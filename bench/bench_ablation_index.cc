@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -160,4 +164,33 @@ BENCHMARK(BM_PqFlatSearch)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+
+// Replaces BENCHMARK_MAIN(): unless the caller passed --benchmark_out, the
+// suite writes BENCH_ablation_index.json (into $MIRA_BENCH_JSON_DIR, or the
+// working directory) so every bench binary leaves a machine-readable trace.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    const char* dir = std::getenv("MIRA_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/BENCH_ablation_index.json"
+                           : "BENCH_ablation_index.json";
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "datagen/concept_bank.h"
 #include "discovery/engine.h"
+#include "harness.h"
+#include "vecmath/simd.h"
 
 namespace {
 
@@ -148,6 +150,12 @@ int main() {
   const std::string query = "climate-change effects europe 2020";
   std::printf("Case study (5.3): query \"%s\"\n\n", query.c_str());
 
+  bench::BenchJsonWriter json("case_study");
+  json.SetMeta("query", query);
+  json.SetMeta("tables", static_cast<double>(cs.federation.size()));
+  json.SetMeta("simd_tier", std::string(vecmath::SimdTierName(
+                                vecmath::ActiveSimdTier())));
+
   for (auto method : {discovery::Method::kExhaustive, discovery::Method::kAnns,
                       discovery::Method::kCts}) {
     discovery::DiscoveryOptions search;
@@ -168,7 +176,15 @@ int main() {
       }
     }
     std::printf("      first Europe-2020-specific table at rank %zu\n", rank);
+    json.AddRow();
+    json.Set("method", std::string(discovery::MethodToString(method)));
+    json.Set("first_specific_rank", static_cast<double>(rank));
+    if (!ranking.empty()) {
+      json.Set("top1", cs.names[ranking.front().relation]);
+      json.Set("top1_score", static_cast<double>(ranking.front().score));
+    }
   }
+  json.Write().Abort("bench json");
   std::printf(
       "\nExpected shape (paper 5.3): CTS places the Europe-2020-specific\n"
       "tables first, while ExS/ANNS are drawn toward broad or wrong-year\n"

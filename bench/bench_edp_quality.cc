@@ -15,5 +15,6 @@ int main() {
   harness.PrintQualityTable(
       "EDP-flavored corpus: quality of long query results",
       mira::datagen::QueryClass::kLong);
+  harness.WriteJson("edp_quality").Abort("bench json");
   return 0;
 }

@@ -10,5 +10,6 @@
 int main() {
   mira::bench::Harness harness;
   harness.PrintPerformanceFigure();
+  harness.WriteJson("figure3_performance").Abort("bench json");
   return 0;
 }

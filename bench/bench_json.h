@@ -1,0 +1,53 @@
+#ifndef MIRA_BENCH_BENCH_JSON_H_
+#define MIRA_BENCH_BENCH_JSON_H_
+
+// Machine-readable results alongside the text tables: every bench binary
+// writes a `BENCH_<name>.json` file (into $MIRA_BENCH_JSON_DIR, or the
+// working directory when unset) so perf trajectories can be tracked across
+// commits. Layout:
+//
+//   {"bench": "<name>",
+//    "meta": {"key": value, ...},           // config, dispatch tier, ...
+//    "rows": [{"key": value, ...}, ...]}    // one object per measurement
+//
+// Values are strings or doubles (non-finite doubles serialize as null).
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mira::bench {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMeta(const std::string& key, double value);
+
+  /// Starts a new row; subsequent Set() calls fill it.
+  void AddRow();
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, double value);
+
+  /// Serializes the document (pretty-printed, one row per line).
+  std::string Render() const;
+
+  /// Writes BENCH_<name>.json; the directory is $MIRA_BENCH_JSON_DIR or cwd.
+  [[nodiscard]] Status Write() const;
+
+ private:
+  using Value = std::variant<std::string, double>;
+  using Fields = std::vector<std::pair<std::string, Value>>;
+
+  std::string bench_name_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
+
+}  // namespace mira::bench
+
+#endif  // MIRA_BENCH_BENCH_JSON_H_

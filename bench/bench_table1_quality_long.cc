@@ -7,5 +7,6 @@ int main() {
   mira::bench::Harness harness;
   harness.PrintQualityTable("Table 1: Quality of long query results",
                             mira::datagen::QueryClass::kLong);
+  harness.WriteJson("table1_quality_long").Abort("bench json");
   return 0;
 }

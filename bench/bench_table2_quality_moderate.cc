@@ -6,5 +6,6 @@ int main() {
   mira::bench::Harness harness;
   harness.PrintQualityTable("Table 2: Quality of moderate query results",
                             mira::datagen::QueryClass::kModerate);
+  harness.WriteJson("table2_quality_moderate").Abort("bench json");
   return 0;
 }

@@ -6,5 +6,6 @@ int main() {
   mira::bench::Harness harness;
   harness.PrintQualityTable("Table 3: Quality of short query results",
                             mira::datagen::QueryClass::kShort);
+  harness.WriteJson("table3_quality_short").Abort("bench json");
   return 0;
 }

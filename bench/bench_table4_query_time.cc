@@ -6,5 +6,6 @@
 int main() {
   mira::bench::Harness harness;
   harness.PrintQueryTimeTable();
+  harness.WriteJson("table4_query_time").Abort("bench json");
   return 0;
 }

@@ -1,8 +1,14 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "vecmath/simd.h"
 
 namespace mira::bench {
 
@@ -15,7 +21,112 @@ size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonValue(const std::variant<std::string, double>& value,
+                     std::string* out) {
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    AppendJsonString(*s, out);
+  } else {
+    double d = std::get<double>(value);
+    // JSON has no Inf/NaN literals.
+    *out += std::isfinite(d) ? StrFormat("%.12g", d) : "null";
+  }
+}
+
+void AppendJsonObject(
+    const std::vector<std::pair<std::string, std::variant<std::string, double>>>&
+        fields,
+    std::string* out) {
+  out->push_back('{');
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendJsonString(fields[i].first, out);
+    *out += ": ";
+    AppendJsonValue(fields[i].second, out);
+  }
+  out->push_back('}');
+}
+
 }  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJsonWriter::SetMeta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+void BenchJsonWriter::SetMeta(const std::string& key, double value) {
+  meta_.emplace_back(key, value);
+}
+
+void BenchJsonWriter::AddRow() { rows_.emplace_back(); }
+
+void BenchJsonWriter::Set(const std::string& key, const std::string& value) {
+  MIRA_CHECK(!rows_.empty());
+  rows_.back().emplace_back(key, value);
+}
+
+void BenchJsonWriter::Set(const std::string& key, double value) {
+  MIRA_CHECK(!rows_.empty());
+  rows_.back().emplace_back(key, value);
+}
+
+std::string BenchJsonWriter::Render() const {
+  std::string out = "{\n  \"bench\": ";
+  AppendJsonString(bench_name_, &out);
+  out += ",\n  \"meta\": ";
+  AppendJsonObject(meta_, &out);
+  out += ",\n  \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out += i > 0 ? ",\n    " : "\n    ";
+    AppendJsonObject(rows_[i], &out);
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Status BenchJsonWriter::Write() const {
+  const char* dir = std::getenv("MIRA_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + bench_name_ + ".json"
+                         : "BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << Render();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  return Status::OK();
+}
 
 HarnessConfig HarnessConfig::FromEnv() {
   HarnessConfig config;
@@ -194,9 +305,37 @@ std::vector<MethodRun> Harness::RunClass(const Partition& partition,
     result.method = method;
     result.quality = ir::Evaluate(qrels, run);
     result.mean_query_ms = latency.mean_millis();
+    recorded_.push_back(
+        {partition.name, std::string(datagen::QueryClassToString(cls)), result});
     runs.push_back(std::move(result));
   }
   return runs;
+}
+
+Status Harness::WriteJson(const std::string& bench_name) const {
+  BenchJsonWriter writer(bench_name);
+  writer.SetMeta("ld_tables", static_cast<double>(config_.ld_tables));
+  writer.SetMeta("dim", static_cast<double>(config_.encoder_dim));
+  writer.SetMeta("queries_per_class",
+                 static_cast<double>(config_.queries_per_class));
+  writer.SetMeta("eval_depth", static_cast<double>(config_.eval_depth));
+  writer.SetMeta("corpus", config_.edp_flavor ? "edp" : "wikitables");
+  writer.SetMeta("simd_tier",
+                 std::string(vecmath::SimdTierName(vecmath::ActiveSimdTier())));
+  for (const RecordedRun& rec : recorded_) {
+    writer.AddRow();
+    writer.Set("partition", rec.partition);
+    writer.Set("class", rec.cls);
+    writer.Set("method", rec.run.method);
+    writer.Set("map", rec.run.quality.map);
+    writer.Set("mrr", rec.run.quality.mrr);
+    auto ndcg10 = rec.run.quality.ndcg.find(10);
+    if (ndcg10 != rec.run.quality.ndcg.end()) {
+      writer.Set("ndcg@10", ndcg10->second);
+    }
+    writer.Set("mean_query_ms", rec.run.mean_query_ms);
+  }
+  return writer.Write();
 }
 
 void Harness::PrintQualityTable(const std::string& title,

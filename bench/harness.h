@@ -17,6 +17,7 @@
 #include "baselines/tcs.h"
 #include "baselines/tml.h"
 #include "baselines/ws.h"
+#include "bench_json.h"
 #include "common/timer.h"
 #include "datagen/workload.h"
 #include "discovery/engine.h"
@@ -122,7 +123,17 @@ class Harness {
   /// Evaluation queries (the non-training split) of one class.
   std::vector<datagen::GeneratedQuery> EvalQueries(datagen::QueryClass cls) const;
 
+  /// Writes BENCH_<bench_name>.json containing the harness config plus one
+  /// row per (partition, class, method) measured by RunClass so far.
+  [[nodiscard]] Status WriteJson(const std::string& bench_name) const;
+
  private:
+  struct RecordedRun {
+    std::string partition;
+    std::string cls;
+    MethodRun run;
+  };
+
   MethodStack* StackFor(const Partition& partition);
   const datagen::Workload::View& ViewFor(const Partition& partition);
 
@@ -130,6 +141,7 @@ class Harness {
   datagen::Workload workload_;
   std::map<std::string, datagen::Workload::View> views_;
   std::map<std::string, std::unique_ptr<MethodStack>> stacks_;
+  std::vector<RecordedRun> recorded_;
 };
 
 }  // namespace mira::bench

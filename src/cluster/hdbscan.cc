@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::cluster {
@@ -43,8 +44,10 @@ std::vector<double> CoreDistances(const vecmath::Matrix& data, size_t k) {
     dists.clear();
     for (size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      dists.push_back(std::sqrt(
-          static_cast<double>(vecmath::SquaredL2(data.Row(i), data.Row(j), d))));
+      // Scalar-reference distances: clustering must be bit-reproducible
+      // across SIMD tiers (see vecmath/simd.h).
+      dists.push_back(std::sqrt(static_cast<double>(
+          vecmath::ScalarSquaredL2(data.Row(i), data.Row(j), d))));
     }
     std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
     core[i] = dists[k - 1];
@@ -72,7 +75,7 @@ std::vector<MstEdge> MutualReachabilityMst(const vecmath::Matrix& data,
     for (size_t j = 0; j < n; ++j) {
       if (in_tree[j]) continue;
       double dist = std::sqrt(static_cast<double>(
-          vecmath::SquaredL2(data.Row(current), data.Row(j), d)));
+          vecmath::ScalarSquaredL2(data.Row(current), data.Row(j), d)));
       double mr = std::max({core[current], core[j], dist});
       if (mr < best[j]) {
         best[j] = mr;
@@ -360,7 +363,7 @@ std::vector<size_t> ComputeMedoids(const vecmath::Matrix& data,
       for (size_t j : cluster.members) {
         if (i == j) continue;
         total += std::sqrt(static_cast<double>(
-            vecmath::SquaredL2(data.Row(i), data.Row(j), d)));
+            vecmath::ScalarSquaredL2(data.Row(i), data.Row(j), d)));
       }
       if (total < best_total) {
         best_total = total;

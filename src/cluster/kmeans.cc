@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::cluster {
@@ -23,12 +24,19 @@ std::vector<size_t> PlusPlusSeeds(const vecmath::Matrix& data, size_t k,
   seeds.push_back(static_cast<size_t>(rng->NextBounded(n)));
 
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  std::vector<float> dist(n);
   while (seeds.size() < k) {
     size_t last = seeds.back();
     double total = 0.0;
+    // One batched sweep of the new seed against every row (the data slab is
+    // contiguous); the kernel is symmetric in its arguments. Clustering uses
+    // the scalar-reference kernels throughout: k-means amplifies any rounding
+    // difference across iterations, so tier-dependent summation would make
+    // codebooks and medoids machine-dependent.
+    vecmath::ScalarSquaredL2Batch(data.Row(last), data.Row(0), n, data.cols(),
+                                  dist.data());
     for (size_t i = 0; i < n; ++i) {
-      double d = vecmath::SquaredL2(data.Row(i), data.Row(last), data.cols());
-      min_dist[i] = std::min(min_dist[i], d);
+      min_dist[i] = std::min(min_dist[i], static_cast<double>(dist[i]));
       total += min_dist[i];
     }
     if (total <= 0.0) {
@@ -75,20 +83,23 @@ Result<KMeansResult> KMeans(const vecmath::Matrix& data,
 
   result.assignments.assign(n, -1);
   std::vector<size_t> counts(k, 0);
+  std::vector<float> cdist(k);
   vecmath::Matrix sums(k, dim);
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: the centroid matrix is one contiguous slab, so each
+    // point resolves its nearest centroid with a single batched sweep.
     bool changed = false;
     result.inertia = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
+      vecmath::ScalarSquaredL2Batch(data.Row(i), result.centroids.Row(0), k,
+                                    dim, cdist.data());
+      float best = std::numeric_limits<float>::max();
       int32_t best_c = 0;
       for (size_t c = 0; c < k; ++c) {
-        double d = vecmath::SquaredL2(data.Row(i), result.centroids.Row(c), dim);
-        if (d < best) {
-          best = d;
+        if (cdist[c] < best) {
+          best = cdist[c];
           best_c = static_cast<int32_t>(c);
         }
       }
@@ -96,7 +107,7 @@ Result<KMeansResult> KMeans(const vecmath::Matrix& data,
         result.assignments[i] = best_c;
         changed = true;
       }
-      result.inertia += best;
+      result.inertia += static_cast<double>(best);
     }
 
     // Update step.
@@ -115,14 +126,15 @@ Result<KMeansResult> KMeans(const vecmath::Matrix& data,
         double far_d = -1.0;
         for (size_t i = 0; i < n; ++i) {
           size_t ci = static_cast<size_t>(result.assignments[i]);
-          double d = vecmath::SquaredL2(data.Row(i), result.centroids.Row(ci), dim);
+          double d = vecmath::ScalarSquaredL2(data.Row(i),
+                                              result.centroids.Row(ci), dim);
           if (d > far_d) {
             far_d = d;
             farthest = i;
           }
         }
-        movement += vecmath::SquaredL2(result.centroids.Row(c),
-                                       data.Row(farthest), dim);
+        movement += vecmath::ScalarSquaredL2(result.centroids.Row(c),
+                                             data.Row(farthest), dim);
         std::copy(data.Row(farthest), data.Row(farthest) + dim,
                   result.centroids.Row(c));
         continue;

@@ -42,7 +42,9 @@ class LatencyRecorder {
 
   int64_t count() const { return count_; }
   double total_millis() const { return total_; }
-  double mean_millis() const { return count_ ? total_ / count_ : 0.0; }
+  double mean_millis() const {
+    return count_ ? total_ / static_cast<double>(count_) : 0.0;
+  }
   double min_millis() const { return min_; }
   double max_millis() const { return max_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::dimred {
@@ -15,7 +16,9 @@ vecmath::Vec PcaModel::Transform(const vecmath::Vec& input) const {
   for (size_t j = 0; j < in_dim; ++j) centered[j] = input[j] - mean[j];
   vecmath::Vec out(out_dim);
   for (size_t c = 0; c < out_dim; ++c) {
-    out[c] = vecmath::Dot(centered.data(), components.Row(c), in_dim);
+    // Scalar-reference projection: the reduced vectors feed clustering,
+    // which must be bit-reproducible across SIMD tiers (see vecmath/simd.h).
+    out[c] = vecmath::ScalarDot(centered.data(), components.Row(c), in_dim);
   }
   return out;
 }

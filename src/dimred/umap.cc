@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "dimred/pca.h"
 #include "index/hnsw_index.h"
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::dimred {
@@ -153,6 +154,10 @@ Result<UmapModel> FitUmap(const vecmath::Matrix& data,
   hnsw_opts.M = 16;
   hnsw_opts.ef_construction = std::max<size_t>(100, 2 * k);
   hnsw_opts.seed = options.seed ^ 0xA11CE;
+  // The embedding feeds clustering, which must be bit-reproducible across
+  // SIMD tiers (see vecmath/simd.h) — tier-dependent rounding in the kNN
+  // graph would cascade through the whole layout.
+  hnsw_opts.deterministic = true;
   index::HnswIndex knn_index(hnsw_opts);
   for (size_t i = 0; i < n; ++i) {
     MIRA_RETURN_NOT_OK(knn_index.Add(i, data.RowVec(i)));
@@ -248,7 +253,7 @@ Result<UmapModel> FitUmap(const vecmath::Matrix& data,
       float* yi = model.embedding.Row(edges[e].from);
       float* yj = model.embedding.Row(edges[e].to);
 
-      float dist_sq = vecmath::SquaredL2(yi, yj, dim);
+      float dist_sq = vecmath::ScalarSquaredL2(yi, yj, dim);
       if (dist_sq > 0.f) {
         float pd = std::pow(dist_sq, b);
         float coef = (-2.0f * a * b * pd / dist_sq) / (1.0f + a * pd);
@@ -263,7 +268,7 @@ Result<UmapModel> FitUmap(const vecmath::Matrix& data,
         uint32_t other = static_cast<uint32_t>(rng.NextBounded(n));
         if (other == edges[e].from) continue;
         float* yk = model.embedding.Row(other);
-        float nd = vecmath::SquaredL2(yi, yk, dim);
+        float nd = vecmath::ScalarSquaredL2(yi, yk, dim);
         if (nd <= 0.f) nd = 1e-3f;
         float pd = std::pow(nd, b);
         float coef = (2.0f * b) / ((0.001f + nd) * (1.0f + a * pd));

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::discovery {
@@ -18,15 +19,22 @@ std::string ClusterCollectionName(size_t cluster) {
   return StrFormat("cluster_%zu", cluster);
 }
 
-// Nearest medoid (in the reduced space) of a reduced point.
+// Nearest medoid (in the reduced space) of a reduced point. `dist` is a
+// caller-owned scratch buffer (resized to the medoid count) so the per-cell
+// assignment loop doesn't allocate per call.
 size_t NearestMedoid(const vecmath::Matrix& medoid_reduced, const float* point,
-                     size_t dim) {
+                     size_t dim, std::vector<float>* dist) {
+  const size_t rows = medoid_reduced.rows();
+  dist->resize(rows);
+  // Scalar-reference kernels: cluster assignment is part of the build and
+  // must be bit-reproducible across SIMD tiers (see vecmath/simd.h).
+  vecmath::ScalarSquaredL2Batch(point, medoid_reduced.Row(0), rows, dim,
+                                dist->data());
   size_t best = 0;
   float best_d = std::numeric_limits<float>::max();
-  for (size_t m = 0; m < medoid_reduced.rows(); ++m) {
-    float d = vecmath::SquaredL2(point, medoid_reduced.Row(m), dim);
-    if (d < best_d) {
-      best_d = d;
+  for (size_t m = 0; m < rows; ++m) {
+    if ((*dist)[m] < best_d) {
+      best_d = (*dist)[m];
       best = m;
     }
   }
@@ -103,13 +111,14 @@ Result<std::unique_ptr<CtsSearcher>> CtsSearcher::Build(
       for (size_t i = 0; i < sample_rows.size(); ++i) {
         sample_label_of_row[sample_rows[i]] = clustering.labels[i];
       }
+      std::vector<float> medoid_dist;
       for (size_t i = 0; i < n; ++i) {
         int32_t label = sample_label_of_row[i];
         cell_cluster[i] =
             label != cluster::kNoise
                 ? label
-                : static_cast<int32_t>(
-                      NearestMedoid(medoid_reduced, reduced.Row(i), rd));
+                : static_cast<int32_t>(NearestMedoid(
+                      medoid_reduced, reduced.Row(i), rd, &medoid_dist));
       }
     }
   }
@@ -122,13 +131,14 @@ Result<std::unique_ptr<CtsSearcher>> CtsSearcher::Build(
       vecmath::AddInPlace(centroid.data(), corpus->vectors.Row(i), corpus->dim());
     }
     vecmath::ScaleInPlace(&centroid, 1.0f / static_cast<float>(n));
+    std::vector<float> dist(n);
+    vecmath::ScalarSquaredL2Batch(centroid.data(), corpus->vectors.Row(0), n,
+                                  corpus->dim(), dist.data());
     size_t best = 0;
     float best_d = std::numeric_limits<float>::max();
     for (size_t i = 0; i < n; ++i) {
-      float d = vecmath::SquaredL2(centroid.data(), corpus->vectors.Row(i),
-                                   corpus->dim());
-      if (d < best_d) {
-        best_d = d;
+      if (dist[i] < best_d) {
+        best_d = dist[i];
         best = i;
       }
     }

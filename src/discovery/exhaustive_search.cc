@@ -1,7 +1,9 @@
 #include "discovery/exhaustive_search.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::discovery {
@@ -31,11 +33,40 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
   std::vector<double> score_sum(corpus_->num_relations, 0.0);
 
   if (options_.reuse_corpus_embeddings) {
-    // "ExS-cached" ablation: score against the pre-built corpus matrix.
+    // "ExS-cached" ablation: score against the pre-built corpus matrix with
+    // the batched dot kernel, one block of rows at a time (q and the rows
+    // are unit-normalized, so the dot *is* the cosine — no norms needed).
+    // Above kParallelThreshold cells the blocks are partitioned across the
+    // pool; each worker folds into a local per-relation sum merged once
+    // under a mutex, so scores stay independent of the partitioning.
     const size_t n = corpus_->num_cells();
-    for (size_t i = 0; i < n; ++i) {
-      float s = vecmath::Dot(q.data(), corpus_->vectors.Row(i), d);
-      score_sum[corpus_->refs[i].relation] += s;
+    constexpr size_t kBlock = 1024;
+    constexpr size_t kParallelThreshold = 8192;
+    const size_t num_blocks = (n + kBlock - 1) / kBlock;
+    auto scan_block = [&](std::vector<double>& sums, size_t block) {
+      const size_t start = block * kBlock;
+      const size_t count = std::min(kBlock, n - start);
+      float scores[kBlock];
+      vecmath::DotBatch(q.data(), corpus_->vectors.Row(start), count, d,
+                        scores);
+      for (size_t j = 0; j < count; ++j) {
+        sums[corpus_->refs[start + j].relation] += scores[j];
+      }
+    };
+    if (pool_ != nullptr && n >= kParallelThreshold) {
+      std::mutex merge_mu;
+      ParallelFor(pool_.get(), 0, num_blocks, [&](size_t block) {
+        std::vector<double> local(score_sum.size(), 0.0);
+        scan_block(local, block);
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (size_t rid = 0; rid < local.size(); ++rid) {
+          score_sum[rid] += local[rid];
+        }
+      });
+    } else {
+      for (size_t block = 0; block < num_blocks; ++block) {
+        scan_block(score_sum, block);
+      }
     }
   } else {
     // Faithful Algorithm 1: every attribute value is embedded inside the

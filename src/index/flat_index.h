@@ -16,6 +16,7 @@ class FlatIndex final : public VectorIndex {
   explicit FlatIndex(vecmath::Metric metric = vecmath::Metric::kCosine);
 
   [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  void Reserve(size_t expected_rows) override;
   [[nodiscard]] Status Build() override;
   [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "vecmath/simd.h"
 
 namespace mira::index {
 
@@ -22,9 +22,11 @@ float HnswIndex::ExactDistance(const float* query, uint32_t node) const {
   switch (options_.metric) {
     case vecmath::Metric::kCosine:
     case vecmath::Metric::kL2:
-      return vecmath::SquaredL2(query, v, d);
+      return options_.deterministic ? vecmath::ScalarSquaredL2(query, v, d)
+                                    : vecmath::SquaredL2(query, v, d);
     case vecmath::Metric::kDot:
-      return -vecmath::Dot(query, v, d);
+      return options_.deterministic ? -vecmath::ScalarDot(query, v, d)
+                                    : -vecmath::Dot(query, v, d);
   }
   return 0.f;
 }
@@ -59,6 +61,40 @@ Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
   return Status::OK();
 }
 
+void HnswIndex::Reserve(size_t expected_rows) {
+  std::lock_guard<std::mutex> lock(add_mu_);
+  vectors_.Reserve(expected_rows);
+  ids_.reserve(expected_rows);
+}
+
+void HnswIndex::SearchScratch::BeginQuery(size_t num_nodes) {
+  if (visited.size() < num_nodes) visited.resize(num_nodes, 0);
+  ++epoch;
+  if (epoch == 0) {
+    // Epoch wrapped: stamps from 2^32 queries ago would read as visited.
+    std::fill(visited.begin(), visited.end(), 0u);
+    epoch = 1;
+  }
+  frontier.clear();
+  best.clear();
+  beam.clear();
+}
+
+std::unique_ptr<HnswIndex::SearchScratch> HnswIndex::AcquireScratch() const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (!scratch_pool_.empty()) {
+    std::unique_ptr<SearchScratch> scratch = std::move(scratch_pool_.back());
+    scratch_pool_.pop_back();
+    return scratch;
+  }
+  return std::make_unique<SearchScratch>();
+}
+
+void HnswIndex::ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
 int HnswIndex::DrawLevel() {
   rng_state_ = SplitMix64(rng_state_);
   double u = static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
@@ -85,41 +121,47 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
   return current;
 }
 
-std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
-                                                         uint32_t entry,
-                                                         size_t ef,
-                                                         int level) const {
-  // Min-heap of frontier candidates, max-heap of current best ef results.
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> frontier;
-  std::priority_queue<Candidate> best;
-  std::unordered_set<uint32_t> visited;
+void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
+                            int level, SearchScratch* scratch) const {
+  // Min-heap of frontier candidates, max-heap of current best ef results,
+  // both living in the scratch's reused storage; visited marks are epoch
+  // stamps, so resetting them costs one increment instead of a hash-set
+  // rebuild.
+  scratch->BeginQuery(links_.size());
+  std::vector<Candidate>& frontier = scratch->frontier;
+  std::vector<Candidate>& best = scratch->best;
+  std::vector<uint32_t>& visited = scratch->visited;
+  const uint32_t epoch = scratch->epoch;
 
   float d0 = ExactDistance(query, entry);
-  frontier.push({d0, entry});
-  best.push({d0, entry});
-  visited.insert(entry);
+  frontier.push_back({d0, entry});
+  best.push_back({d0, entry});
+  visited[entry] = epoch;
 
   while (!frontier.empty()) {
-    Candidate c = frontier.top();
-    frontier.pop();
-    if (best.size() >= ef && c.distance > best.top().distance) break;
+    Candidate c = frontier.front();
+    if (best.size() >= ef && c.distance > best.front().distance) break;
+    std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
+    frontier.pop_back();
     for (uint32_t nb : links_[c.node][level]) {
-      if (!visited.insert(nb).second) continue;
+      if (visited[nb] == epoch) continue;
+      visited[nb] = epoch;
       float d = ExactDistance(query, nb);
-      if (best.size() < ef || d < best.top().distance) {
-        frontier.push({d, nb});
-        best.push({d, nb});
-        if (best.size() > ef) best.pop();
+      if (best.size() < ef || d < best.front().distance) {
+        frontier.push_back({d, nb});
+        std::push_heap(frontier.begin(), frontier.end(), std::greater<>());
+        best.push_back({d, nb});
+        std::push_heap(best.begin(), best.end());
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end());
+          best.pop_back();
+        }
       }
     }
   }
 
-  std::vector<Candidate> out(best.size());
-  for (size_t i = best.size(); i > 0; --i) {
-    out[i - 1] = best.top();
-    best.pop();
-  }
-  return out;
+  scratch->beam.assign(best.begin(), best.end());
+  std::sort(scratch->beam.begin(), scratch->beam.end());
 }
 
 uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
@@ -145,43 +187,48 @@ uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
   return current;
 }
 
-std::vector<HnswIndex::Candidate> HnswIndex::SearchLayerAdc(
-    const std::vector<float>& table, uint32_t entry, size_t ef,
-    int level) const {
+void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
+                               size_t ef, int level,
+                               SearchScratch* scratch) const {
   const size_t bytes = pq_->code_bytes();
   auto dist = [&](uint32_t node) {
     return pq_->AdcDistance(table, codes_.data() + node * bytes);
   };
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> frontier;
-  std::priority_queue<Candidate> best;
-  std::unordered_set<uint32_t> visited;
+  scratch->BeginQuery(links_.size());
+  std::vector<Candidate>& frontier = scratch->frontier;
+  std::vector<Candidate>& best = scratch->best;
+  std::vector<uint32_t>& visited = scratch->visited;
+  const uint32_t epoch = scratch->epoch;
 
   float d0 = dist(entry);
-  frontier.push({d0, entry});
-  best.push({d0, entry});
-  visited.insert(entry);
+  frontier.push_back({d0, entry});
+  best.push_back({d0, entry});
+  visited[entry] = epoch;
 
   while (!frontier.empty()) {
-    Candidate c = frontier.top();
-    frontier.pop();
-    if (best.size() >= ef && c.distance > best.top().distance) break;
+    Candidate c = frontier.front();
+    if (best.size() >= ef && c.distance > best.front().distance) break;
+    std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
+    frontier.pop_back();
     for (uint32_t nb : links_[c.node][level]) {
-      if (!visited.insert(nb).second) continue;
+      if (visited[nb] == epoch) continue;
+      visited[nb] = epoch;
       float d = dist(nb);
-      if (best.size() < ef || d < best.top().distance) {
-        frontier.push({d, nb});
-        best.push({d, nb});
-        if (best.size() > ef) best.pop();
+      if (best.size() < ef || d < best.front().distance) {
+        frontier.push_back({d, nb});
+        std::push_heap(frontier.begin(), frontier.end(), std::greater<>());
+        best.push_back({d, nb});
+        std::push_heap(best.begin(), best.end());
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end());
+          best.pop_back();
+        }
       }
     }
   }
 
-  std::vector<Candidate> out(best.size());
-  for (size_t i = best.size(); i > 0; --i) {
-    out[i - 1] = best.top();
-    best.pop();
-  }
-  return out;
+  scratch->beam.assign(best.begin(), best.end());
+  std::sort(scratch->beam.begin(), scratch->beam.end());
 }
 
 std::vector<uint32_t> HnswIndex::SelectNeighbors(
@@ -234,7 +281,7 @@ void HnswIndex::Connect(uint32_t from, uint32_t to, int level) {
   list = SelectNeighbors(from, candidates, cap);
 }
 
-void HnswIndex::InsertNode(uint32_t node) {
+void HnswIndex::InsertNode(uint32_t node, SearchScratch* scratch) {
   int level = levels_[node];
   if (max_level_ < 0) {
     entry_point_ = node;
@@ -248,15 +295,14 @@ void HnswIndex::InsertNode(uint32_t node) {
     ep = GreedyClosest(query, ep, l);
   }
   for (int l = std::min(level, max_level_); l >= 0; --l) {
-    std::vector<Candidate> beam =
-        SearchLayer(query, ep, options_.ef_construction, l);
+    SearchLayer(query, ep, options_.ef_construction, l, scratch);
     std::vector<uint32_t> neighbors =
-        SelectNeighbors(node, beam, options_.M);
+        SelectNeighbors(node, scratch->beam, options_.M);
     for (uint32_t nb : neighbors) {
       Connect(node, nb, l);
       Connect(nb, node, l);
     }
-    if (!beam.empty()) ep = beam.front().node;
+    if (!scratch->beam.empty()) ep = scratch->beam.front().node;
   }
   if (level > max_level_) {
     max_level_ = level;
@@ -275,8 +321,11 @@ Status HnswIndex::Build() {
     levels_[i] = DrawLevel();
     links_[i].resize(levels_[i] + 1);
   }
+  // Build is single-threaded; one scratch serves every insertion, so the
+  // whole construction reuses the same visited/heap storage.
+  SearchScratch scratch;
   for (size_t i = 0; i < n; ++i) {
-    InsertNode(static_cast<uint32_t>(i));
+    InsertNode(static_cast<uint32_t>(i), &scratch);
   }
 
   if (options_.quantization.has_value()) {
@@ -308,32 +357,34 @@ Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
                        : query;
   size_t ef = std::max(params.ef == 0 ? options_.ef_search : params.ef, params.k);
 
-  std::vector<Candidate> beam;
+  std::unique_ptr<SearchScratch> scratch = AcquireScratch();
   if (pq_.has_value()) {
-    std::vector<float> table = pq_->ComputeDistanceTable(q);
+    pq_->ComputeDistanceTable(q, &scratch->table);
     uint32_t ep = entry_point_;
     for (int l = max_level_; l >= 1; --l) {
-      ep = GreedyClosestAdc(table, ep, l);
+      ep = GreedyClosestAdc(scratch->table, ep, l);
     }
-    beam = SearchLayerAdc(table, ep, ef, 0);
+    SearchLayerAdc(scratch->table, ep, ef, 0, scratch.get());
     // Rescore the beam with exact distances.
-    for (Candidate& c : beam) {
+    for (Candidate& c : scratch->beam) {
       c.distance = ExactDistance(q.data(), c.node);
     }
-    std::sort(beam.begin(), beam.end());
+    std::sort(scratch->beam.begin(), scratch->beam.end());
   } else {
     uint32_t ep = entry_point_;
     for (int l = max_level_; l >= 1; --l) {
       ep = GreedyClosest(q.data(), ep, l);
     }
-    beam = SearchLayer(q.data(), ep, ef, 0);
+    SearchLayer(q.data(), ep, ef, 0, scratch.get());
   }
 
+  const std::vector<Candidate>& beam = scratch->beam;
   std::vector<vecmath::ScoredId> out;
   out.reserve(std::min(params.k, beam.size()));
   for (size_t i = 0; i < beam.size() && i < params.k; ++i) {
     out.push_back({ids_[beam[i].node], OutputSimilarity(beam[i].distance)});
   }
+  ReleaseScratch(std::move(scratch));
   return out;
 }
 

@@ -35,6 +35,13 @@ struct HnswOptions {
   /// beam rescored against the exact vectors (Qdrant-style quantized search
   /// with rescoring). kDot is not supported with quantization.
   std::optional<PqOptions> quantization;
+  /// Compute distances with the scalar-reference kernels instead of the
+  /// active SIMD tier, making graph construction and traversal
+  /// bit-reproducible across CPUs. Set by build-pipeline consumers whose
+  /// output feeds clustering (UMAP's kNN graph); leave off for serving
+  /// indexes, where tier speed matters and near-tie neighbor flips are
+  /// harmless.
+  bool deterministic = false;
 };
 
 /// Thread-safety: Add() may be called concurrently (appends are serialized
@@ -47,6 +54,7 @@ class HnswIndex final : public VectorIndex {
   explicit HnswIndex(HnswOptions options = {});
 
   [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  void Reserve(size_t expected_rows) override;
   [[nodiscard]] Status Build() override;
   [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;
@@ -76,6 +84,24 @@ class HnswIndex final : public VectorIndex {
     bool operator>(const Candidate& other) const { return other < *this; }
   };
 
+  /// Reusable per-query search state: epoch-stamped visited marks (reset in
+  /// O(1) by bumping the epoch instead of clearing a hash set), raw vectors
+  /// driven as heaps for the frontier/result beams, and the ADC table
+  /// buffer. After a few queries warm the buffers, Search() allocates
+  /// nothing.
+  struct SearchScratch {
+    std::vector<uint32_t> visited;  // visited[node] == epoch -> seen
+    uint32_t epoch = 0;
+    std::vector<Candidate> frontier;  // min-heap (std::greater)
+    std::vector<Candidate> best;      // max-heap (default less)
+    std::vector<Candidate> beam;      // SearchLayer output, ascending
+    std::vector<float> table;         // ADC distance table
+
+    /// Grows `visited` to cover `num_nodes`, advances the epoch, and clears
+    /// the heap buffers. Call once per SearchLayer invocation.
+    void BeginQuery(size_t num_nodes);
+  };
+
   /// Internal distance (lower = closer): squared L2 for kCosine (vectors
   /// normalized at Add) and kL2, negative dot for kDot.
   float ExactDistance(const float* query, uint32_t node) const;
@@ -85,21 +111,27 @@ class HnswIndex final : public VectorIndex {
   /// Greedy hill-climb toward the query on one layer; returns the local
   /// minimum node.
   uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const;
-  /// Beam search on one layer; returns candidates sorted by distance.
-  std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
-                                     size_t ef, int level) const;
+  /// Beam search on one layer; leaves the candidates sorted by distance in
+  /// scratch->beam.
+  void SearchLayer(const float* query, uint32_t entry, size_t ef, int level,
+                   SearchScratch* scratch) const;
   /// ADC variants used for quantized search.
   uint32_t GreedyClosestAdc(const std::vector<float>& table, uint32_t entry,
                             int level) const;
-  std::vector<Candidate> SearchLayerAdc(const std::vector<float>& table,
-                                        uint32_t entry, size_t ef,
-                                        int level) const;
+  void SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
+                      size_t ef, int level, SearchScratch* scratch) const;
+
+  /// Scratch pool so concurrent Search() calls each get warm buffers without
+  /// sharing state; returned scratches keep their capacity for the next
+  /// query.
+  std::unique_ptr<SearchScratch> AcquireScratch() const;
+  void ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const;
   /// Diversifying neighbor selection (Algorithm 4 of [29]).
   std::vector<uint32_t> SelectNeighbors(uint32_t base,
                                         const std::vector<Candidate>& candidates,
                                         size_t max_neighbors) const;
   void Connect(uint32_t from, uint32_t to, int level);
-  void InsertNode(uint32_t node);
+  void InsertNode(uint32_t node, SearchScratch* scratch);
 
   size_t MaxDegree(int level) const {
     return level == 0 ? options_.M * 2 : options_.M;
@@ -123,6 +155,9 @@ class HnswIndex final : public VectorIndex {
 
   std::optional<ProductQuantizer> pq_;
   std::vector<uint8_t> codes_;  // size() * code_bytes when quantized
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
 };
 
 }  // namespace mira::index

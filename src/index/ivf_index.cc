@@ -26,6 +26,11 @@ Status IvfIndex::Add(uint64_t id, const vecmath::Vec& vector) {
   return Status::OK();
 }
 
+void IvfIndex::Reserve(size_t expected_rows) {
+  vectors_.Reserve(expected_rows);
+  ids_.reserve(expected_rows);
+}
+
 Status IvfIndex::Build() {
   if (built_) return Status::FailedPrecondition("ivf: Build called twice");
   if (ids_.empty()) return Status::FailedPrecondition("ivf: no vectors added");

@@ -29,6 +29,7 @@ class IvfIndex final : public VectorIndex {
   explicit IvfIndex(IvfOptions options = {});
 
   [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  void Reserve(size_t expected_rows) override;
   [[nodiscard]] Status Build() override;
   /// SearchParams::ef, when non-zero, overrides nprobe.
   [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(

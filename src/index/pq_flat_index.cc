@@ -28,6 +28,11 @@ Status PqFlatIndex::Add(uint64_t id, const vecmath::Vec& vector) {
   return Status::OK();
 }
 
+void PqFlatIndex::Reserve(size_t expected_rows) {
+  originals_.Reserve(expected_rows);
+  ids_.reserve(expected_rows);
+}
+
 Status PqFlatIndex::Build() {
   if (built_) return Status::FailedPrecondition("pq-flat: Build called twice");
   if (ids_.empty()) return Status::FailedPrecondition("pq-flat: no vectors");
@@ -66,11 +71,18 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
           : std::min(n, params.k * options_.rescore_factor);
 
   // ADC scan keeping the `shortlist` nearest codes. TopK keeps the *highest*
-  // scores, so negate distances.
+  // scores, so negate distances. The scan runs through the batched ADC
+  // kernel in blocks so the codes stream through cache once.
   vecmath::TopK adc_top(shortlist);
-  for (size_t i = 0; i < n; ++i) {
-    float d = pq_->AdcDistance(table, codes_.data() + i * bytes);
-    adc_top.Push(i, -d);  // id slot reused as internal row number
+  constexpr size_t kBlock = 1024;
+  std::vector<float> dist(std::min(kBlock, n));
+  for (size_t start = 0; start < n; start += kBlock) {
+    const size_t count = std::min(kBlock, n - start);
+    pq_->AdcDistanceBatch(table, codes_.data() + start * bytes, count,
+                          dist.data());
+    for (size_t j = 0; j < count; ++j) {
+      adc_top.Push(start + j, -dist[j]);  // id slot reused as internal row
+    }
   }
   std::vector<vecmath::ScoredId> shortlist_rows = adc_top.Take();
 

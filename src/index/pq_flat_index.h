@@ -29,6 +29,7 @@ class PqFlatIndex final : public VectorIndex {
   explicit PqFlatIndex(PqFlatOptions options = {});
 
   [[nodiscard]] Status Add(uint64_t id, const vecmath::Vec& vector) override;
+  void Reserve(size_t expected_rows) override;
   [[nodiscard]] Status Build() override;
   [[nodiscard]] Result<std::vector<vecmath::ScoredId>> Search(
       const vecmath::Vec& query, const SearchParams& params) const override;

@@ -46,10 +46,22 @@ class ProductQuantizer {
   /// L2 distance between query subvector s and centroid c of subquantizer s.
   std::vector<float> ComputeDistanceTable(const vecmath::Vec& query) const;
 
+  /// Same, writing into a caller-owned buffer (resized to m * ksub). Lets
+  /// query loops reuse one allocation across queries.
+  void ComputeDistanceTable(const vecmath::Vec& query,
+                            std::vector<float>* table) const;
+
   /// Squared L2 distance between the query (via its distance table) and an
   /// encoded vector: the ADC sum of m table lookups.
   float AdcDistance(const std::vector<float>& table,
                     const uint8_t* codes) const;
+
+  /// Batched ADC over `num_codes` contiguous m-byte codes starting at
+  /// `codes`: out[i] = AdcDistance(table, codes + i * code_bytes()). Walks
+  /// eight codes per iteration with independent accumulators and prefetches
+  /// upcoming code blocks — the hot loop of PqFlatIndex::Search.
+  void AdcDistanceBatch(const std::vector<float>& table, const uint8_t* codes,
+                        size_t num_codes, float* out) const;
 
   size_t dim() const { return dim_; }
   size_t num_subquantizers() const { return m_; }

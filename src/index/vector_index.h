@@ -35,6 +35,11 @@ class VectorIndex {
   /// must agree across calls. Fails after Build().
   [[nodiscard]] virtual Status Add(uint64_t id, const vecmath::Vec& vector) = 0;
 
+  /// Capacity hint: the caller expects about this many Add() calls in total.
+  /// Lets implementations pre-allocate storage instead of reallocating per
+  /// row. Optional — the default is a no-op.
+  virtual void Reserve(size_t expected_rows) { (void)expected_rows; }
+
   /// Finalizes the index (graph construction, quantizer training, ...).
   [[nodiscard]] virtual Status Build() = 0;
 

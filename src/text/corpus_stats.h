@@ -46,7 +46,8 @@ class CorpusStats {
 
   int64_t num_documents() const { return num_documents_; }
   double average_document_length() const {
-    return num_documents_ ? static_cast<double>(total_length_) / num_documents_
+    return num_documents_ ? static_cast<double>(total_length_) /
+                                static_cast<double>(num_documents_)
                           : 0.0;
   }
 

@@ -53,10 +53,27 @@ class Matrix {
 
   /// Appends a row (grows the matrix by one).
   void AppendRow(const Vec& v) {
-    if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+    if (rows_ == 0 && cols_ == 0) {
+      cols_ = v.size();
+      if (pending_reserve_rows_ > 0) {
+        data_.reserve(pending_reserve_rows_ * cols_);
+        pending_reserve_rows_ = 0;
+      }
+    }
     MIRA_DCHECK(v.size() == cols_);
     data_.insert(data_.end(), v.begin(), v.end());
     ++rows_;
+  }
+
+  /// Pre-allocates storage for `rows` total rows so repeated AppendRow calls
+  /// don't reallocate per row. If the column width isn't known yet (empty
+  /// matrix), the reservation is deferred until the first AppendRow fixes it.
+  void Reserve(size_t rows) {
+    if (cols_ > 0) {
+      data_.reserve(rows * cols_);
+    } else {
+      pending_reserve_rows_ = rows;
+    }
   }
 
   const std::vector<float>& data() const { return data_; }
@@ -65,6 +82,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
+  size_t pending_reserve_rows_ = 0;
   std::vector<float> data_;
 };
 

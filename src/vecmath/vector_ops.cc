@@ -2,41 +2,20 @@
 
 #include <cmath>
 
+#include "vecmath/simd.h"
+
 namespace mira::vecmath {
 
+// The element-wise kernels live in simd.cc behind a per-tier dispatch table
+// (scalar / AVX2 / NEON, resolved once per process). This file keeps the
+// public API and the cheap derived operations.
+
 float Dot(const float* a, const float* b, size_t n) {
-  // Four partial accumulators give the compiler room to vectorize without
-  // reassociation flags.
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
+  return simd_internal::ActiveKernels().dot(a, b, n);
 }
 
 float SquaredL2(const float* a, const float* b, size_t n) {
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    float d0 = a[i] - b[i];
-    float d1 = a[i + 1] - b[i + 1];
-    float d2 = a[i + 2] - b[i + 2];
-    float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    float d = a[i] - b[i];
-    s0 += d * d;
-  }
-  return (s0 + s1) + (s2 + s3);
+  return simd_internal::ActiveKernels().squared_l2(a, b, n);
 }
 
 float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
@@ -59,7 +38,7 @@ void AddInPlace(float* a, const float* b, size_t n) {
 }
 
 void AxpyInPlace(float* a, const float* b, float scale, size_t n) {
-  for (size_t i = 0; i < n; ++i) a[i] += scale * b[i];
+  simd_internal::ActiveKernels().axpy(a, b, scale, n);
 }
 
 void ScaleInPlace(float* a, float scale, size_t n) {
@@ -67,11 +46,7 @@ void ScaleInPlace(float* a, float scale, size_t n) {
 }
 
 float CosineSimilarity(const float* a, const float* b, size_t n) {
-  float dot = Dot(a, b, n);
-  float na = Norm(a, n);
-  float nb = Norm(b, n);
-  if (na <= 0.f || nb <= 0.f) return 0.f;
-  return dot / (na * nb);
+  return simd_internal::ActiveKernels().cosine_similarity(a, b, n);
 }
 
 }  // namespace mira::vecmath

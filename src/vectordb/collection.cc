@@ -99,6 +99,7 @@ Status Collection::BuildIndex() {
       break;
     }
   }
+  index_->Reserve(points_.size());
   for (const Point& p : points_) {
     MIRA_RETURN_NOT_OK(index_->Add(p.id, p.vector));
   }

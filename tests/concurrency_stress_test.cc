@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "index/flat_index.h"
 #include "index/hnsw_index.h"
 #include "vecmath/vector_ops.h"
 #include "vectordb/collection.h"
@@ -268,6 +269,94 @@ TEST(HnswStressTest, ParallelInsertBuildParallelQuery) {
     ok_queries.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(ok_queries.load(), kQueries);
+}
+
+// ---------- Batched scans ----------
+
+TEST(BatchedScanStressTest, ConcurrentFlatSearchesMatchSerialReference) {
+  // FlatIndex::Search runs the SIMD-batched block scan over shared immutable
+  // rows; concurrent const searches must be race-free and return exactly what
+  // a single-threaded scan returns.
+  constexpr size_t kDim = 24;
+  constexpr size_t kVectors = 3000;
+  constexpr size_t kQueries = 64;
+
+  index::FlatIndex flat(vecmath::Metric::kCosine);
+  flat.Reserve(kVectors);
+  {
+    Rng rng(42);
+    for (size_t i = 0; i < kVectors; ++i) {
+      ASSERT_TRUE(flat.Add(i, RandomVec(&rng, kDim)).ok());
+    }
+  }
+  ASSERT_TRUE(flat.Build().ok());
+
+  std::vector<vecmath::Vec> queries;
+  Rng qrng(4242);
+  for (size_t q = 0; q < kQueries; ++q) queries.push_back(RandomVec(&qrng, kDim));
+
+  std::vector<std::vector<vecmath::ScoredId>> reference;
+  reference.reserve(kQueries);
+  for (const auto& q : queries) {
+    reference.push_back(flat.Search(q, {10, 0}).MoveValue());
+  }
+
+  ThreadPool pool(kPoolThreads);
+  // Each query is searched repeatedly from many threads at once.
+  ParallelFor(&pool, 0, kQueries * 4, [&](size_t task) {
+    const size_t qi = task % kQueries;
+    auto hits = flat.Search(queries[qi], {10, 0});
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    ASSERT_EQ(hits->size(), reference[qi].size());
+    for (size_t i = 0; i < hits->size(); ++i) {
+      ASSERT_EQ((*hits)[i].id, reference[qi][i].id) << "query " << qi;
+      ASSERT_EQ((*hits)[i].score, reference[qi][i].score) << "query " << qi;
+    }
+  });
+}
+
+TEST(BatchedScanStressTest, ConcurrentHnswSearchesMatchSerialReference) {
+  // HnswIndex::Search draws SearchScratch from a shared pool; concurrent
+  // queries must neither race on scratch state nor perturb results.
+  constexpr size_t kDim = 16;
+  constexpr size_t kVectors = 1200;
+  constexpr size_t kQueries = 32;
+
+  index::HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 40;
+  options.ef_search = 48;
+  index::HnswIndex index(options);
+  index.Reserve(kVectors);
+  {
+    Rng rng(7);
+    for (size_t i = 0; i < kVectors; ++i) {
+      ASSERT_TRUE(index.Add(i, RandomVec(&rng, kDim)).ok());
+    }
+  }
+  ASSERT_TRUE(index.Build().ok());
+
+  std::vector<vecmath::Vec> queries;
+  Rng qrng(77);
+  for (size_t q = 0; q < kQueries; ++q) queries.push_back(RandomVec(&qrng, kDim));
+
+  std::vector<std::vector<vecmath::ScoredId>> reference;
+  reference.reserve(kQueries);
+  for (const auto& q : queries) {
+    reference.push_back(index.Search(q, {10, 0}).MoveValue());
+  }
+
+  ThreadPool pool(kPoolThreads);
+  ParallelFor(&pool, 0, kQueries * 8, [&](size_t task) {
+    const size_t qi = task % kQueries;
+    auto hits = index.Search(queries[qi], {10, 0});
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    ASSERT_EQ(hits->size(), reference[qi].size());
+    for (size_t i = 0; i < hits->size(); ++i) {
+      ASSERT_EQ((*hits)[i].id, reference[qi][i].id) << "query " << qi;
+      ASSERT_EQ((*hits)[i].score, reference[qi][i].score) << "query " << qi;
+    }
+  });
 }
 
 }  // namespace

@@ -299,6 +299,37 @@ TEST(HnswIndexTest, DeterministicGivenSeed) {
   for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i].id, hb[i].id);
 }
 
+TEST(HnswIndexTest, ScratchReuseKeepsRepeatedQueriesIdentical) {
+  // Search reuses pooled SearchScratch (epoch-stamped visited array, reused
+  // heap storage); repeating and interleaving queries must give bit-identical
+  // rankings to the first pass — any stale scratch state would perturb them.
+  const size_t n = 600;
+  Matrix data = MakeClusteredData(n, 16, 8, 29);
+  HnswIndex index;
+  for (size_t i = 0; i < n; ++i) ASSERT_TRUE(index.Add(i, data.RowVec(i)).ok());
+  ASSERT_TRUE(index.Build().ok());
+
+  std::vector<Vec> queries;
+  for (size_t q = 0; q < 8; ++q) queries.push_back(data.RowVec(q * 37));
+  std::vector<std::vector<vecmath::ScoredId>> first;
+  for (const Vec& q : queries) {
+    first.push_back(index.Search(q, {10, 48}).MoveValue());
+  }
+  // Three more passes, interleaved in different orders, all through the same
+  // scratch pool.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      size_t pick = (pass % 2 == 0) ? qi : queries.size() - 1 - qi;
+      auto again = index.Search(queries[pick], {10, 48}).MoveValue();
+      ASSERT_EQ(again.size(), first[pick].size());
+      for (size_t i = 0; i < again.size(); ++i) {
+        EXPECT_EQ(again[i].id, first[pick][i].id) << "pass=" << pass;
+        EXPECT_EQ(again[i].score, first[pick][i].score) << "pass=" << pass;
+      }
+    }
+  }
+}
+
 TEST(HnswIndexTest, QuantizedSearchWithRescoringKeepsRecall) {
   const size_t n = 1500, dim = 32, k = 10;
   Matrix data = MakeClusteredData(n, dim, 15, 21);

@@ -18,6 +18,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 [[nodiscard]] markers on Status/Result stay in place.
   bare-nolint   clang-tidy suppressions must name a check and justify it:
                 `// NOLINT(check) -- reason`; bare `// NOLINT` is rejected.
+  intrinsics    raw SIMD intrinsic headers (<immintrin.h>, <arm_neon.h>, ...)
+                are confined to src/vecmath/ — everything else goes through
+                the dispatched kernels in vecmath/simd.h, so portability and
+                the scalar fallback stay in one place.
 
 Usage: tools/mira_lint.py [paths...]   (defaults to the whole tree)
 Exit:  0 clean, 1 findings, 2 usage/environment error.
@@ -156,8 +160,27 @@ def check_bare_nolint(path: Path, lines: list[str]) -> None:
                    "suppressions must name the check: // NOLINT(check-name)")
 
 
+INTRINSIC_HEADER_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|xmmintrin|emmintrin|smmintrin"
+    r"|tmmintrin|nmmintrin|pmmintrin|wmmintrin|avxintrin|avx2intrin"
+    r"|arm_neon|arm_sve)\.h>")
+
+
+def check_intrinsics(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith(("src/", "tests/", "bench/", "examples/")):
+        return
+    if rel.startswith("src/vecmath/"):
+        return  # the dispatch layer is the one home for raw intrinsics
+    for i, raw in enumerate(lines, 1):
+        if INTRINSIC_HEADER_RE.search(strip_comments_and_strings(raw)):
+            report(path, i, "intrinsics",
+                   "raw SIMD intrinsic headers are confined to src/vecmath/; "
+                   "use the dispatched kernels in vecmath/simd.h")
+
+
 CHECKS = [check_endl, check_guard, check_naked_new, check_nodiscard,
-          check_bare_nolint]
+          check_bare_nolint, check_intrinsics]
 
 
 def main(argv: list[str]) -> int:
