@@ -13,6 +13,7 @@
 #include "discovery/engine.h"
 #include "harness.h"
 #include "ir/metrics.h"
+#include "obs/metrics.h"
 #include "vecmath/simd.h"
 
 namespace {
@@ -52,13 +53,15 @@ Fixture MakeFixture() {
 struct Outcome {
   double map;
   double mean_ms;
+  double p50_ms;
+  double p99_ms;
 };
 
 Outcome Evaluate(const Fixture& fx, const discovery::Searcher& searcher) {
   discovery::DiscoveryOptions options;
   options.top_k = 100;
   std::unordered_map<ir::QueryId, std::vector<ir::DocId>> run;
-  LatencyRecorder latency;
+  obs::Histogram latency;
   searcher.Search(fx.workload.queries.front().text, options).MoveValue();
   for (const auto& query : fx.workload.queries) {
     WallTimer timer;
@@ -68,7 +71,9 @@ Outcome Evaluate(const Fixture& fx, const discovery::Searcher& searcher) {
     for (const auto& hit : ranking) docs.push_back(hit.relation);
     run[query.id] = std::move(docs);
   }
-  return {ir::Evaluate(fx.workload.qrels, run).map, latency.mean_millis()};
+  obs::Histogram::Snapshot snapshot = latency.TakeSnapshot();
+  return {ir::Evaluate(fx.workload.qrels, run).map, snapshot.mean(),
+          snapshot.p50(), snapshot.p99()};
 }
 
 }  // namespace
@@ -91,6 +96,8 @@ int main() {
     json.Set("value", value);
     json.Set("map", out.map);
     json.Set("mean_query_ms", out.mean_ms);
+    json.Set("p50_ms", out.p50_ms);
+    json.Set("p99_ms", out.p99_ms);
   };
 
   // --- cluster_candidates sweep ---

@@ -4,6 +4,7 @@
 // tables to the top.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "datagen/concept_bank.h"
 #include "discovery/engine.h"
 #include "harness.h"
+#include "obs/metrics.h"
 #include "vecmath/simd.h"
 
 namespace {
@@ -185,6 +187,31 @@ int main() {
     }
   }
   json.Write().Abort("bench json");
+
+  // One traced CTS query: the span tree shows what the cluster-targeted
+  // search actually did for the case-study query.
+  {
+    discovery::DiscoveryOptions search;
+    search.top_k = 5;
+    auto traced =
+        engine->SearchTraced(discovery::Method::kCts, query, search).MoveValue();
+    if (!traced.trace.empty()) {
+      std::printf("\nCTS query trace:\n%s", traced.trace.ToString().c_str());
+    }
+  }
+
+  // Dump the process metric registry (query counters/latency histograms,
+  // build gauges) next to the bench JSON; CI validates its shape with
+  // tools/check_metrics_json.py.
+  {
+    const char* dir = std::getenv("MIRA_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/METRICS_case_study.json"
+                           : "METRICS_case_study.json";
+    obs::MetricRegistry::Global().WriteJsonFile(path).Abort("metrics json");
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+
   std::printf(
       "\nExpected shape (paper 5.3): CTS places the Europe-2020-specific\n"
       "tables first, while ExS/ANNS are drawn toward broad or wrong-year\n"

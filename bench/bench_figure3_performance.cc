@@ -3,13 +3,17 @@
 // narrative numbers on the full dataset with long queries are ExS 1650 ms >
 // TCS 1400 > TML 1200 > AdH 1000 > WS 900 > MDR 800 >> ANNS/CTS <= 150; the
 // reproduction target is the split between index-backed methods (ANNS, CTS)
-// and linear scans, and CTS < ANNS.
+// and linear scans, and CTS < ANNS. The trailing span breakdown attributes
+// the proposed methods' time to pipeline stages.
 
+#include "datagen/workload.h"
 #include "harness.h"
 
 int main() {
   mira::bench::Harness harness;
   harness.PrintPerformanceFigure();
+  harness.PrintSpanBreakdown(mira::bench::Partitions().front(),
+                             mira::datagen::QueryClass::kLong);
   harness.WriteJson("figure3_performance").Abort("bench json");
   return 0;
 }

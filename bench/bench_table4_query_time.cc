@@ -1,11 +1,16 @@
 // Reproduces Table 4: query time (milliseconds) for CTS vs. ANNS across the
-// three partitions and three query-length classes.
+// three partitions and three query-length classes, then shows where those
+// milliseconds go: a per-span breakdown of the traced search pipeline on the
+// LD partition.
 
+#include "datagen/workload.h"
 #include "harness.h"
 
 int main() {
   mira::bench::Harness harness;
   harness.PrintQueryTimeTable();
+  harness.PrintSpanBreakdown(mira::bench::Partitions().front(),
+                             mira::datagen::QueryClass::kLong);
   harness.WriteJson("table4_query_time").Abort("bench json");
   return 0;
 }

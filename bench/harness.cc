@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 
 namespace mira::bench {
@@ -289,7 +291,7 @@ std::vector<MethodRun> Harness::RunClass(const Partition& partition,
   for (const std::string& method : MethodStack::MethodNames()) {
     const discovery::Searcher* searcher = stack->Get(method);
     std::unordered_map<ir::QueryId, std::vector<ir::DocId>> run;
-    LatencyRecorder latency;
+    obs::Histogram latency;
     // Warm-up query (cache fills, first-touch effects).
     searcher->Search(queries.front().text, options).MoveValue();
     for (const auto& query : queries) {
@@ -301,10 +303,14 @@ std::vector<MethodRun> Harness::RunClass(const Partition& partition,
       for (const auto& hit : ranking) docs.push_back(hit.relation);
       run[query.id] = std::move(docs);
     }
+    obs::Histogram::Snapshot snapshot = latency.TakeSnapshot();
     MethodRun result;
     result.method = method;
     result.quality = ir::Evaluate(qrels, run);
-    result.mean_query_ms = latency.mean_millis();
+    result.mean_query_ms = snapshot.mean();
+    result.p50_ms = snapshot.p50();
+    result.p90_ms = snapshot.p90();
+    result.p99_ms = snapshot.p99();
     recorded_.push_back(
         {partition.name, std::string(datagen::QueryClassToString(cls)), result});
     runs.push_back(std::move(result));
@@ -334,6 +340,9 @@ Status Harness::WriteJson(const std::string& bench_name) const {
       writer.Set("ndcg@10", ndcg10->second);
     }
     writer.Set("mean_query_ms", rec.run.mean_query_ms);
+    writer.Set("p50_ms", rec.run.p50_ms);
+    writer.Set("p90_ms", rec.run.p90_ms);
+    writer.Set("p99_ms", rec.run.p99_ms);
   }
   return writer.Write();
 }
@@ -413,6 +422,65 @@ void Harness::PrintPerformanceFigure() {
         for (const MethodRun& run : runs) {
           if (run.method == name) std::printf(" %9.2f", run.mean_query_ms);
         }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+void Harness::PrintSpanBreakdown(const Partition& partition,
+                                 datagen::QueryClass cls) {
+  if (!obs::kObsEnabled) {
+    std::printf("(span breakdown unavailable: built with MIRA_OBS=OFF)\n\n");
+    return;
+  }
+  MethodStack* stack = StackFor(partition);
+  std::vector<datagen::GeneratedQuery> queries = EvalQueries(cls);
+  discovery::DiscoveryOptions options;
+  options.top_k = config_.eval_depth;
+
+  std::printf("Span breakdown (%s partition, %s queries; mean over %zu runs)\n",
+              partition.name.c_str(),
+              std::string(datagen::QueryClassToString(cls)).c_str(),
+              queries.size());
+  const double denom = static_cast<double>(queries.size());
+  struct SpanAgg {
+    int32_t depth = 0;
+    double total_ms = 0.0;
+    std::map<std::string, int64_t> counters;  // summed over queries
+  };
+  for (const char* method_name : {"CTS", "ANNS", "ExS"}) {
+    discovery::Method method = std::string(method_name) == "CTS"
+                                   ? discovery::Method::kCts
+                               : std::string(method_name) == "ANNS"
+                                   ? discovery::Method::kAnns
+                                   : discovery::Method::kExhaustive;
+    std::vector<std::string> order;  // first-occurrence span order
+    std::map<std::string, SpanAgg> spans;
+    for (const auto& query : queries) {
+      auto traced =
+          stack->engine().SearchTraced(method, query.text, options).MoveValue();
+      for (const obs::SpanRecord& span : traced.trace.spans()) {
+        auto [it, inserted] = spans.try_emplace(span.name);
+        if (inserted) {
+          order.push_back(span.name);
+          it->second.depth = span.depth;
+        }
+        it->second.total_ms += span.duration_ms;
+        for (const obs::SpanCounter& counter : span.counters) {
+          it->second.counters[counter.key] += counter.value;
+        }
+      }
+    }
+    std::printf("  %s\n", method_name);
+    for (const std::string& name : order) {
+      const SpanAgg& agg = spans.at(name);
+      std::printf("    %*s%-28s %9.3f ms", agg.depth * 2, "", name.c_str(),
+                  agg.total_ms / denom);
+      for (const auto& [key, value] : agg.counters) {
+        std::printf("  %s=%.1f", key.c_str(),
+                    static_cast<double>(value) / denom);
       }
       std::printf("\n");
     }

@@ -53,11 +53,16 @@ struct HarnessConfig {
   static HarnessConfig FromEnv();
 };
 
-/// One evaluated method on one partition/class.
+/// One evaluated method on one partition/class. Latency fields come from an
+/// obs::Histogram over the per-query wall times (bucket-interpolated
+/// percentiles; see src/obs/metrics.h).
 struct MethodRun {
   std::string method;
   ir::EvalResult quality;
   double mean_query_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 /// The three partitions of §5 [Datasets].
@@ -116,6 +121,12 @@ class Harness {
 
   /// Prints Figure 3's data: query time of all methods across partitions.
   void PrintPerformanceFigure();
+
+  /// Runs the evaluation queries of `cls` through SearchTraced for the three
+  /// proposed methods and prints the per-span mean time and counter averages
+  /// (where the milliseconds of Table 4 / Figure 3 actually go). No-op with a
+  /// note when tracing is compiled out (MIRA_OBS=OFF).
+  void PrintSpanBreakdown(const Partition& partition, datagen::QueryClass cls);
 
   const datagen::Workload& workload() const { return workload_; }
   const HarnessConfig& config() const { return config_; }

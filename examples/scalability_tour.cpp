@@ -14,6 +14,7 @@
 #include "discovery/anns_search.h"
 #include "discovery/cts_search.h"
 #include "discovery/engine.h"
+#include "obs/metrics.h"
 
 using namespace mira;
 
@@ -67,16 +68,17 @@ int main(int argc, char** argv) {
       search.top_k = 20;
       // Warm-up, then time all queries.
       engine->Search(method, workload.queries.front().text, search).MoveValue();
-      LatencyRecorder latency;
+      obs::Histogram latency;
       for (const auto& query : workload.queries) {
         WallTimer timer;
         engine->Search(method, query.text, search).MoveValue();
         latency.Record(timer.ElapsedMillis());
       }
-      std::printf("  %-4s %8.2f ms/query (min %.2f, max %.2f)\n",
+      obs::Histogram::Snapshot snapshot = latency.TakeSnapshot();
+      std::printf("  %-4s %8.2f ms/query (p50 %.2f, p99 %.2f, max %.2f)\n",
                   std::string(discovery::MethodToString(method)).c_str(),
-                  latency.mean_millis(), latency.min_millis(),
-                  latency.max_millis());
+                  snapshot.mean(), snapshot.p50(), snapshot.p99(),
+                  snapshot.max);
     }
     std::printf("\n");
   }

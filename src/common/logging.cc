@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace mira {
@@ -8,6 +9,7 @@ namespace mira {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_log_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,6 +27,12 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+std::chrono::steady_clock::time_point LogOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,23 +43,75 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+LogSink* SetLogSink(LogSink* sink) {
+  return g_log_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void CapturingLogSink::Write(LogLevel /*level*/, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> CapturingLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+bool CapturingLogSink::Contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CapturingLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+double LogUptimeMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - LogOrigin())
+      .count();
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
       enabled_(static_cast<int>(level) >=
                g_log_level.load(std::memory_order_relaxed)) {
-  if (enabled_ && level_ >= LogLevel::kWarning) {
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-  } else if (enabled_) {
-    stream_ << "[" << LevelName(level) << "] ";
+  if (!enabled_) return;
+  // Prefix: monotonic millis since logging init + small sequential thread id,
+  // so interleaved multi-threaded output stays ordered and attributable.
+  char prefix[96];
+  if (level_ >= LogLevel::kWarning) {
+    std::snprintf(prefix, sizeof(prefix), "[%11.3f t%02d %s %s:%d] ",
+                  LogUptimeMillis(), LogThreadId(), LevelName(level), file,
+                  line);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[%11.3f t%02d %s] ",
+                  LogUptimeMillis(), LogThreadId(), LevelName(level));
   }
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
     std::string line = stream_.str();
-    std::fprintf(stderr, "%s\n", line.c_str());
+    LogSink* sink = g_log_sink.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+      sink->Write(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

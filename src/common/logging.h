@@ -2,8 +2,11 @@
 #define MIRA_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace mira {
 
@@ -21,6 +24,45 @@ enum class LogLevel : int {
 /// kInfo. Thread-safe (relaxed atomic).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Destination for formatted log lines. The default sink writes to stderr;
+/// tests install a CapturingLogSink to assert on emitted warnings instead of
+/// scraping stderr. Implementations must be safe to call from any thread.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is the fully formatted line (prefix included, no newline).
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Replaces the global sink and returns the previous one (nullptr means the
+/// built-in stderr sink). Callers restore the previous sink when done;
+/// swapping sinks while other threads are logging is the caller's race.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Thread-safe in-memory sink for tests.
+class CapturingLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& line) override;
+
+  std::vector<std::string> lines() const;
+  /// True if any captured line contains `needle`.
+  bool Contains(std::string_view needle) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// Small sequential id of the calling thread (1 = first thread that logged).
+/// Stable for the thread's lifetime; used in log prefixes so interleaved
+/// multi-threaded output stays attributable.
+int LogThreadId();
+
+/// Monotonic milliseconds since logging initialized (first use in the
+/// process). The same clock stamps every log-line prefix.
+double LogUptimeMillis();
 
 namespace internal {
 

@@ -29,32 +29,6 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-/// Accumulates elapsed milliseconds of repeated timed sections and reports
-/// simple aggregate statistics. Used by the benchmark harness.
-class LatencyRecorder {
- public:
-  void Record(double millis) {
-    ++count_;
-    total_ += millis;
-    if (count_ == 1 || millis < min_) min_ = millis;
-    if (count_ == 1 || millis > max_) max_ = millis;
-  }
-
-  int64_t count() const { return count_; }
-  double total_millis() const { return total_; }
-  double mean_millis() const {
-    return count_ ? total_ / static_cast<double>(count_) : 0.0;
-  }
-  double min_millis() const { return min_; }
-  double max_millis() const { return max_; }
-
- private:
-  int64_t count_ = 0;
-  double total_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
-
 }  // namespace mira
 
 #endif  // MIRA_COMMON_TIMER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "vecmath/vector_ops.h"
 
 namespace mira::discovery {
@@ -59,16 +60,28 @@ Result<std::unique_ptr<AnnsSearcher>> AnnsSearcher::Build(
 
 Result<Ranking> AnnsSearcher::Search(const std::string& query,
                                      const DiscoveryOptions& options) const {
-  vecmath::Vec q = encoder_->EncodeText(query);
-  vecmath::NormalizeInPlace(&q);
+  vecmath::Vec q;
+  {
+    obs::TraceSpan span("embed_query");
+    q = encoder_->EncodeText(query);
+    vecmath::NormalizeInPlace(&q);
+  }
 
   MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* cells,
                         db_.GetCollection(kCellCollection));
-  MIRA_ASSIGN_OR_RETURN(
-      auto hits, cells->Search(q, options_.cell_candidates, options_.ef_search));
+  std::vector<vectordb::SearchHit> hits;
+  {
+    obs::TraceSpan span("anns.hnsw_search");
+    MIRA_ASSIGN_OR_RETURN(
+        hits, cells->Search(q, options_.cell_candidates, options_.ef_search));
+    span.AddCounter("candidates_requested",
+                    static_cast<int64_t>(options_.cell_candidates));
+    span.AddCounter("hits", static_cast<int64_t>(hits.size()));
+  }
 
   // Step 2 of Algorithm 2: the relation score is the average similarity of
   // the relation's vectors among the approximate nearest neighbors.
+  obs::TraceSpan rank_span("anns.group_relations");
   std::unordered_map<table::RelationId, std::pair<double, uint32_t>> grouped;
   for (const auto& hit : hits) {
     auto rel = hit.payload->GetInt("rel");
@@ -77,6 +90,7 @@ Result<Ranking> AnnsSearcher::Search(const std::string& query,
     sum += hit.score;
     ++count;
   }
+  rank_span.AddCounter("relations", static_cast<int64_t>(grouped.size()));
 
   Ranking ranking;
   ranking.reserve(grouped.size());

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
@@ -213,19 +214,33 @@ Result<std::unique_ptr<CtsSearcher>> CtsSearcher::Build(
 
 Result<Ranking> CtsSearcher::Search(const std::string& query,
                                     const DiscoveryOptions& options) const {
-  vecmath::Vec q = encoder_->EncodeText(query);
-  vecmath::NormalizeInPlace(&q);
+  vecmath::Vec q;
+  {
+    obs::TraceSpan span("embed_query");
+    q = encoder_->EncodeText(query);
+    vecmath::NormalizeInPlace(&q);
+  }
 
   // Match the query against the cluster medoids and keep the top clusters.
+  obs::TraceSpan medoid_span("cts.medoid_match");
   MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* medoids,
                         db_.GetCollection(kMedoidCollection));
   MIRA_ASSIGN_OR_RETURN(auto medoid_hits,
                         medoids->Search(q, options_.cluster_candidates));
+  medoid_span.AddCounter("clusters_total", static_cast<int64_t>(num_clusters_));
+  medoid_span.AddCounter("clusters_selected",
+                         static_cast<int64_t>(medoid_hits.size()));
+  medoid_span.AddCounter(
+      "clusters_pruned",
+      static_cast<int64_t>(num_clusters_ - medoid_hits.size()));
+  medoid_span.Finish();
 
   // Targeted ANN search inside the selected clusters only.
+  obs::TraceSpan cluster_span("cts.cluster_search");
   size_t per_cluster =
       std::max<size_t>(16, options_.cell_candidates /
                                std::max<size_t>(1, medoid_hits.size()));
+  size_t cell_hits = 0;
   std::unordered_map<table::RelationId, std::pair<double, uint32_t>> grouped;
   for (const auto& medoid_hit : medoid_hits) {
     auto cluster_id = medoid_hit.payload->GetInt("cluster");
@@ -235,6 +250,7 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
         db_.GetCollection(
             ClusterCollectionName(static_cast<size_t>(*cluster_id))));
     MIRA_ASSIGN_OR_RETURN(auto hits, cells->Search(q, per_cluster));
+    cell_hits += hits.size();
     for (const auto& hit : hits) {
       auto rel = hit.payload->GetInt("rel");
       if (!rel.has_value()) continue;
@@ -243,6 +259,12 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
       ++count;
     }
   }
+  cluster_span.AddCounter("clusters_searched",
+                          static_cast<int64_t>(medoid_hits.size()));
+  cluster_span.AddCounter("per_cluster_k", static_cast<int64_t>(per_cluster));
+  cluster_span.AddCounter("cell_hits", static_cast<int64_t>(cell_hits));
+  cluster_span.AddCounter("relations", static_cast<int64_t>(grouped.size()));
+  cluster_span.Finish();
 
   Ranking ranking;
   ranking.reserve(grouped.size());

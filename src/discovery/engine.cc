@@ -1,5 +1,9 @@
 #include "discovery/engine.h"
 
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
 namespace mira::discovery {
 
 std::string_view MethodToString(Method method) {
@@ -12,6 +16,28 @@ std::string_view MethodToString(Method method) {
       return "CTS";
   }
   return "?";
+}
+
+std::string BuildReport::ToString() const {
+  return StrFormat(
+      "relations=%zu cells=%zu dim=%zu embed=%.1fms%s anns=%.1fms (%.1f MiB) "
+      "cts=%.1fms (%.1f MiB, %zu clusters) total=%.1fms",
+      num_relations, num_cells, dim, embed_ms,
+      reused_corpus ? " (cached corpus)" : "", anns_build_ms,
+      static_cast<double>(anns_index_bytes) / (1024.0 * 1024.0), cts_build_ms,
+      static_cast<double>(cts_index_bytes) / (1024.0 * 1024.0), cts_clusters,
+      total_ms);
+}
+
+std::string BuildReport::ToJson() const {
+  return StrFormat(
+      "{\"num_relations\": %zu, \"num_cells\": %zu, \"dim\": %zu, "
+      "\"reused_corpus\": %s, \"embed_ms\": %.3f, \"anns_build_ms\": %.3f, "
+      "\"cts_build_ms\": %.3f, \"total_ms\": %.3f, \"anns_index_bytes\": %zu, "
+      "\"cts_index_bytes\": %zu, \"cts_clusters\": %zu}",
+      num_relations, num_cells, dim, reused_corpus ? "true" : "false",
+      embed_ms, anns_build_ms, cts_build_ms, total_ms, anns_index_bytes,
+      cts_index_bytes, cts_clusters);
 }
 
 namespace {
@@ -33,6 +59,28 @@ std::shared_ptr<embed::SemanticEncoder> MakeEngineEncoder(
   return encoder;
 }
 
+// Mirrors the build report into registry gauges so a metrics scrape sees the
+// cost of the most recent build alongside the query-time series.
+void PublishBuildMetrics(const BuildReport& report) {
+  if constexpr (obs::kObsEnabled) {
+    auto& registry = obs::MetricRegistry::Global();
+    registry.GetGauge("mira.build.relations")
+        .Set(static_cast<double>(report.num_relations));
+    registry.GetGauge("mira.build.cells")
+        .Set(static_cast<double>(report.num_cells));
+    registry.GetGauge("mira.build.embed_ms").Set(report.embed_ms);
+    registry.GetGauge("mira.build.anns_ms").Set(report.anns_build_ms);
+    registry.GetGauge("mira.build.cts_ms").Set(report.cts_build_ms);
+    registry.GetGauge("mira.build.total_ms").Set(report.total_ms);
+    registry.GetGauge("mira.build.anns_index_bytes")
+        .Set(static_cast<double>(report.anns_index_bytes));
+    registry.GetGauge("mira.build.cts_index_bytes")
+        .Set(static_cast<double>(report.cts_index_bytes));
+    registry.GetGauge("mira.build.cts_clusters")
+        .Set(static_cast<double>(report.cts_clusters));
+  }
+}
+
 }  // namespace
 
 Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Build(
@@ -41,6 +89,7 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Build(
   if (lexicon == nullptr) {
     return Status::InvalidArgument("engine: null lexicon");
   }
+  WallTimer total_timer;
   std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
   engine->federation_ = std::move(federation);
   engine->encoder_ =
@@ -50,12 +99,17 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Build(
   if (options.embed_threads != 1) {
     pool = std::make_unique<ThreadPool>(options.embed_threads);
   }
+  WallTimer embed_timer;
   MIRA_ASSIGN_OR_RETURN(
       CorpusEmbeddings corpus,
       CorpusEmbeddings::Build(engine->federation_, *engine->encoder_,
                               pool.get()));
+  engine->build_report_.embed_ms = embed_timer.ElapsedMillis();
   engine->corpus_ = std::make_shared<const CorpusEmbeddings>(std::move(corpus));
   MIRA_RETURN_NOT_OK(engine->FinishBuild(options));
+  engine->build_report_.total_ms = total_timer.ElapsedMillis();
+  PublishBuildMetrics(engine->build_report_);
+  MIRA_LOG_INFO() << "engine build: " << engine->build_report_.ToString();
   return engine;
 }
 
@@ -73,26 +127,55 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::BuildWithCorpus(
     return Status::InvalidArgument(
         "engine: cached corpus dimension does not match encoder options");
   }
+  WallTimer total_timer;
   std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
   engine->federation_ = std::move(federation);
   engine->encoder_ =
       MakeEngineEncoder(engine->federation_, std::move(lexicon), options);
   engine->corpus_ = std::make_shared<const CorpusEmbeddings>(std::move(corpus));
+  engine->build_report_.reused_corpus = true;
   MIRA_RETURN_NOT_OK(engine->FinishBuild(options));
+  engine->build_report_.total_ms = total_timer.ElapsedMillis();
+  PublishBuildMetrics(engine->build_report_);
+  MIRA_LOG_INFO() << "engine build: " << engine->build_report_.ToString();
   return engine;
 }
 
 Status DiscoveryEngine::FinishBuild(const EngineOptions& options) {
+  build_report_.num_relations = federation_.size();
+  build_report_.num_cells = corpus_->num_cells();
+  build_report_.dim = corpus_->dim();
+
   exhaustive_ = std::make_unique<ExhaustiveSearcher>(&federation_, corpus_,
                                                      encoder_, options.exs);
   if (options.build_anns) {
+    WallTimer timer;
     MIRA_ASSIGN_OR_RETURN(
         anns_, AnnsSearcher::Build(federation_, corpus_, encoder_,
                                    options.anns));
+    build_report_.anns_build_ms = timer.ElapsedMillis();
+    build_report_.anns_index_bytes = anns_->IndexMemoryBytes();
   }
   if (options.build_cts) {
+    WallTimer timer;
     MIRA_ASSIGN_OR_RETURN(
         cts_, CtsSearcher::Build(federation_, corpus_, encoder_, options.cts));
+    build_report_.cts_build_ms = timer.ElapsedMillis();
+    build_report_.cts_index_bytes = cts_->IndexMemoryBytes();
+    build_report_.cts_clusters = cts_->num_clusters();
+  }
+
+  if constexpr (obs::kObsEnabled) {
+    auto& registry = obs::MetricRegistry::Global();
+    for (Method method :
+         {Method::kExhaustive, Method::kAnns, Method::kCts}) {
+      const std::string suffix = ToLower(MethodToString(method));
+      MethodMetrics& metrics = method_metrics_[static_cast<size_t>(method)];
+      metrics.queries = &registry.GetCounter("mira.query.count." + suffix);
+      metrics.errors = &registry.GetCounter("mira.query.errors." + suffix);
+      metrics.latency_ms =
+          &registry.GetHistogram("mira.query.latency_ms." + suffix);
+    }
   }
   return Status::OK();
 }
@@ -109,6 +192,22 @@ const Searcher* DiscoveryEngine::searcher(Method method) const {
   return nullptr;
 }
 
+void DiscoveryEngine::RecordQueryMetrics(Method method, double millis,
+                                         bool ok) const {
+  if constexpr (obs::kObsEnabled) {
+    const MethodMetrics& metrics =
+        method_metrics_[static_cast<size_t>(method)];
+    if (metrics.queries == nullptr) return;
+    metrics.queries->Increment();
+    if (!ok) metrics.errors->Increment();
+    metrics.latency_ms->Record(millis);
+  } else {
+    (void)method;
+    (void)millis;
+    (void)ok;
+  }
+}
+
 Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
                                         const DiscoveryOptions& options) const {
   const Searcher* searcher = this->searcher(method);
@@ -116,7 +215,36 @@ Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
     return Status::FailedPrecondition(
         std::string(MethodToString(method)) + " searcher was not built");
   }
-  return searcher->Search(query, options);
+  WallTimer timer;
+  Result<Ranking> result = searcher->Search(query, options);
+  RecordQueryMetrics(method, timer.ElapsedMillis(), result.ok());
+  return result;
+}
+
+Result<TracedRanking> DiscoveryEngine::SearchTraced(
+    Method method, const std::string& query,
+    const DiscoveryOptions& options) const {
+  const Searcher* searcher = this->searcher(method);
+  if (searcher == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(MethodToString(method)) + " searcher was not built");
+  }
+  TracedRanking out;
+  WallTimer timer;
+  {
+    obs::ScopedTrace collect(&out.trace);
+    obs::TraceSpan root("query");
+    root.SetLabel(MethodToString(method));
+    Result<Ranking> result = searcher->Search(query, options);
+    if (!result.ok()) {
+      RecordQueryMetrics(method, timer.ElapsedMillis(), false);
+      return result.status();
+    }
+    out.ranking = result.MoveValue();
+    root.AddCounter("results", static_cast<int64_t>(out.ranking.size()));
+  }
+  RecordQueryMetrics(method, timer.ElapsedMillis(), true);
+  return out;
 }
 
 }  // namespace mira::discovery

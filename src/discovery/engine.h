@@ -1,6 +1,7 @@
 #ifndef MIRA_DISCOVERY_ENGINE_H_
 #define MIRA_DISCOVERY_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -10,6 +11,8 @@
 #include "discovery/exhaustive_search.h"
 #include "discovery/types.h"
 #include "embed/encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/relation.h"
 
 namespace mira::discovery {
@@ -18,6 +21,36 @@ namespace mira::discovery {
 enum class Method { kExhaustive, kAnns, kCts };
 
 std::string_view MethodToString(Method method);
+
+/// Structured summary of what Build() did: stage wall times, corpus shape,
+/// and the size of every index the build produced. Logged once at kInfo when
+/// the engine finishes building and mirrored into `mira.build.*` gauges.
+struct BuildReport {
+  size_t num_relations = 0;
+  size_t num_cells = 0;
+  size_t dim = 0;
+  /// True for BuildWithCorpus (the embedding pass was skipped).
+  bool reused_corpus = false;
+  double embed_ms = 0.0;
+  double anns_build_ms = 0.0;
+  double cts_build_ms = 0.0;
+  double total_ms = 0.0;
+  size_t anns_index_bytes = 0;
+  size_t cts_index_bytes = 0;
+  size_t cts_clusters = 0;
+
+  /// Compact one-line summary for logs.
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// Result of SearchTraced: the ranking plus the query's span tree. The trace
+/// is empty when tracing is compiled out (MIRA_OBS=OFF) or the query was not
+/// sampled (obs::SetTraceSampling).
+struct TracedRanking {
+  Ranking ranking;
+  obs::QueryTrace trace;
+};
 
 /// Engine-level configuration.
 struct EngineOptions {
@@ -64,8 +97,19 @@ class DiscoveryEngine {
   [[nodiscard]] Result<Ranking> Search(Method method, const std::string& query,
                          const DiscoveryOptions& options) const;
 
+  /// Like Search(), but also collects the per-query span tree (wall time plus
+  /// method-specific counters for every instrumented stage). Subject to the
+  /// runtime sampling knob; see docs/OBSERVABILITY.md.
+  [[nodiscard]] Result<TracedRanking> SearchTraced(
+      Method method, const std::string& query,
+      const DiscoveryOptions& options) const;
+
   /// Access to an individual searcher (null if not built).
   const Searcher* searcher(Method method) const;
+
+  /// What the build did and what it cost (populated by Build /
+  /// BuildWithCorpus).
+  const BuildReport& build_report() const { return build_report_; }
 
   const table::Federation& federation() const { return federation_; }
   const embed::SemanticEncoder& encoder() const { return *encoder_; }
@@ -77,12 +121,25 @@ class DiscoveryEngine {
   /// Builds the three searchers once corpus embeddings exist.
   [[nodiscard]] Status FinishBuild(const EngineOptions& options);
 
+  /// Bumps the per-method query counters / latency histograms.
+  void RecordQueryMetrics(Method method, double millis, bool ok) const;
+
+  /// Registry metrics cached once per engine so the per-query fast path is
+  /// pure atomics. Indexed by Method's enumerator order.
+  struct MethodMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
+
   table::Federation federation_;
   std::shared_ptr<const embed::SemanticEncoder> encoder_;
   std::shared_ptr<const CorpusEmbeddings> corpus_;
   std::unique_ptr<ExhaustiveSearcher> exhaustive_;
   std::unique_ptr<AnnsSearcher> anns_;
   std::unique_ptr<CtsSearcher> cts_;
+  BuildReport build_report_;
+  std::array<MethodMetrics, 3> method_metrics_{};
 };
 
 }  // namespace mira::discovery

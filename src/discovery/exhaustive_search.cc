@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
@@ -26,11 +28,20 @@ ExhaustiveSearcher::ExhaustiveSearcher(
 Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
                                            const DiscoveryOptions& options) const {
   // Embed Q -> q' (Algorithm 1, line 1).
-  vecmath::Vec q = encoder_->EncodeText(query);
-  vecmath::NormalizeInPlace(&q);
+  vecmath::Vec q;
+  {
+    obs::TraceSpan span("embed_query");
+    q = encoder_->EncodeText(query);
+    vecmath::NormalizeInPlace(&q);
+  }
 
   const size_t d = corpus_->dim();
   std::vector<double> score_sum(corpus_->num_relations, 0.0);
+
+  // Scan counters are recorded here at the call site rather than inside the
+  // loop bodies: pool workers do not carry the caller's thread-local trace
+  // context, and every cell is visited exactly once either way.
+  obs::TraceSpan scan_span("exs.scan");
 
   if (options_.reuse_corpus_embeddings) {
     // "ExS-cached" ablation: score against the pre-built corpus matrix with
@@ -94,6 +105,18 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
         scan_relation(rid);
       }
     }
+  }
+
+  const size_t cells_scanned = corpus_->num_cells();
+  scan_span.AddCounter("cells_scanned", static_cast<int64_t>(cells_scanned));
+  scan_span.AddCounter("dist_comps", static_cast<int64_t>(cells_scanned));
+  scan_span.AddCounter("reused_embeddings",
+                       options_.reuse_corpus_embeddings ? 1 : 0);
+  scan_span.Finish();
+  if constexpr (obs::kObsEnabled) {
+    static obs::Counter& cells_metric =
+        obs::MetricRegistry::Global().GetCounter("mira.exs.cells_scanned");
+    cells_metric.Add(cells_scanned);
   }
 
   // avg_s per relation, then sort / threshold / top-k (lines 10-13).

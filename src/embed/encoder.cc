@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mira::embed {
 
@@ -162,6 +164,16 @@ vecmath::Vec SemanticEncoder::EncodeToken(const std::string& token) const {
 
 vecmath::Vec SemanticEncoder::EncodeTokens(
     const std::vector<std::string>& tokens) const {
+  // Registry counters only — no spans: the faithful ExS path calls the
+  // encoder once per cell, and a span per cell would blow up the trace.
+  if constexpr (obs::kObsEnabled) {
+    static obs::Counter& calls_metric =
+        obs::MetricRegistry::Global().GetCounter("mira.embed.encode_calls");
+    static obs::Counter& tokens_metric =
+        obs::MetricRegistry::Global().GetCounter("mira.embed.tokens_encoded");
+    calls_metric.Increment();
+    tokens_metric.Add(tokens.size());
+  }
   vecmath::Vec acc(options_.dim, 0.f);
   if (tokens.empty()) return acc;
   float total_weight = 0.f;

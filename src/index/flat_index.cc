@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 
 namespace mira::index {
@@ -48,6 +49,8 @@ Result<std::vector<vecmath::ScoredId>> FlatIndex::Search(
   vecmath::TopK top(params.k);
   const size_t n = ids_.size();
   const size_t d = vectors_.cols();
+  obs::TraceSpan span("flat.scan");
+  span.AddCounter("rows_scanned", static_cast<int64_t>(n));
   // Blocked batched scan: the kernels stream 4 rows per iteration with
   // prefetch; a stack block keeps the score spill out of the heap. For cosine
   // the rows and query are pre-normalized, so similarity is a plain dot.

@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 
 namespace mira::index {
@@ -103,14 +105,16 @@ int HnswIndex::DrawLevel() {
 }
 
 uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
-                                  int level) const {
+                                  int level, uint64_t* cost) const {
   uint32_t current = entry;
   float current_dist = ExactDistance(query, current);
+  if (cost != nullptr) ++*cost;
   bool improved = true;
   while (improved) {
     improved = false;
     for (uint32_t nb : links_[current][level]) {
       float d = ExactDistance(query, nb);
+      if (cost != nullptr) ++*cost;
       if (d < current_dist) {
         current = nb;
         current_dist = d;
@@ -134,6 +138,7 @@ void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
   const uint32_t epoch = scratch->epoch;
 
   float d0 = ExactDistance(query, entry);
+  ++scratch->stat_dist_comps;
   frontier.push_back({d0, entry});
   best.push_back({d0, entry});
   visited[entry] = epoch;
@@ -143,10 +148,12 @@ void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
     if (best.size() >= ef && c.distance > best.front().distance) break;
     std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
     frontier.pop_back();
+    ++scratch->stat_popped;
     for (uint32_t nb : links_[c.node][level]) {
       if (visited[nb] == epoch) continue;
       visited[nb] = epoch;
       float d = ExactDistance(query, nb);
+      ++scratch->stat_dist_comps;
       if (best.size() < ef || d < best.front().distance) {
         frontier.push_back({d, nb});
         std::push_heap(frontier.begin(), frontier.end(), std::greater<>());
@@ -165,18 +172,21 @@ void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
 }
 
 uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
-                                     uint32_t entry, int level) const {
+                                     uint32_t entry, int level,
+                                     uint64_t* cost) const {
   const size_t bytes = pq_->code_bytes();
   auto dist = [&](uint32_t node) {
     return pq_->AdcDistance(table, codes_.data() + node * bytes);
   };
   uint32_t current = entry;
   float current_dist = dist(current);
+  if (cost != nullptr) ++*cost;
   bool improved = true;
   while (improved) {
     improved = false;
     for (uint32_t nb : links_[current][level]) {
       float d = dist(nb);
+      if (cost != nullptr) ++*cost;
       if (d < current_dist) {
         current = nb;
         current_dist = d;
@@ -201,6 +211,7 @@ void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
   const uint32_t epoch = scratch->epoch;
 
   float d0 = dist(entry);
+  ++scratch->stat_adc_decoded;
   frontier.push_back({d0, entry});
   best.push_back({d0, entry});
   visited[entry] = epoch;
@@ -210,10 +221,12 @@ void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
     if (best.size() >= ef && c.distance > best.front().distance) break;
     std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
     frontier.pop_back();
+    ++scratch->stat_popped;
     for (uint32_t nb : links_[c.node][level]) {
       if (visited[nb] == epoch) continue;
       visited[nb] = epoch;
       float d = dist(nb);
+      ++scratch->stat_adc_decoded;
       if (best.size() < ef || d < best.front().distance) {
         frontier.push_back({d, nb});
         std::push_heap(frontier.begin(), frontier.end(), std::greater<>());
@@ -357,25 +370,52 @@ Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
                        : query;
   size_t ef = std::max(params.ef == 0 ? options_.ef_search : params.ef, params.k);
 
+  obs::TraceSpan span("hnsw.search");
   std::unique_ptr<SearchScratch> scratch = AcquireScratch();
+  scratch->stat_dist_comps = 0;
+  scratch->stat_adc_decoded = 0;
+  scratch->stat_popped = 0;
   if (pq_.has_value()) {
+    // Quantized traversal: greedy descent and the layer-0 beam both run on
+    // ADC lookups; only the final beam is rescored exactly.
+    obs::TraceSpan adc_span("anns.pq_adc");
     pq_->ComputeDistanceTable(q, &scratch->table);
     uint32_t ep = entry_point_;
     for (int l = max_level_; l >= 1; --l) {
-      ep = GreedyClosestAdc(scratch->table, ep, l);
+      ep = GreedyClosestAdc(scratch->table, ep, l, &scratch->stat_adc_decoded);
     }
     SearchLayerAdc(scratch->table, ep, ef, 0, scratch.get());
+    adc_span.AddCounter("codes_decoded",
+                        static_cast<int64_t>(scratch->stat_adc_decoded));
+    adc_span.Finish();
     // Rescore the beam with exact distances.
     for (Candidate& c : scratch->beam) {
       c.distance = ExactDistance(q.data(), c.node);
     }
+    scratch->stat_dist_comps += scratch->beam.size();
     std::sort(scratch->beam.begin(), scratch->beam.end());
+    span.AddCounter("rescored", static_cast<int64_t>(scratch->beam.size()));
   } else {
     uint32_t ep = entry_point_;
     for (int l = max_level_; l >= 1; --l) {
-      ep = GreedyClosest(q.data(), ep, l);
+      ep = GreedyClosest(q.data(), ep, l, &scratch->stat_dist_comps);
     }
     SearchLayer(q.data(), ep, ef, 0, scratch.get());
+  }
+  span.AddCounter("ef", static_cast<int64_t>(ef));
+  span.AddCounter("dist_comps", static_cast<int64_t>(scratch->stat_dist_comps));
+  if (pq_.has_value()) {
+    span.AddCounter("adc_decoded",
+                    static_cast<int64_t>(scratch->stat_adc_decoded));
+  }
+  span.AddCounter("popped", static_cast<int64_t>(scratch->stat_popped));
+  if constexpr (obs::kObsEnabled) {
+    static obs::Counter& searches_metric =
+        obs::MetricRegistry::Global().GetCounter("mira.hnsw.searches");
+    static obs::Counter& dist_metric =
+        obs::MetricRegistry::Global().GetCounter("mira.hnsw.dist_comps");
+    searches_metric.Increment();
+    dist_metric.Add(scratch->stat_dist_comps + scratch->stat_adc_decoded);
   }
 
   const std::vector<Candidate>& beam = scratch->beam;

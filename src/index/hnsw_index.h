@@ -97,6 +97,13 @@ class HnswIndex final : public VectorIndex {
     std::vector<Candidate> beam;      // SearchLayer output, ascending
     std::vector<float> table;         // ADC distance table
 
+    /// Per-query effort counters, reset by Search() and reported on its
+    /// trace span. Plain integers: bumping them inside the traversal loops
+    /// is noise next to the distance computations they count.
+    uint64_t stat_dist_comps = 0;   // exact distance evaluations
+    uint64_t stat_adc_decoded = 0;  // ADC table lookups (quantized search)
+    uint64_t stat_popped = 0;       // beam-search frontier pops
+
     /// Grows `visited` to cover `num_nodes`, advances the epoch, and clears
     /// the heap buffers. Call once per SearchLayer invocation.
     void BeginQuery(size_t num_nodes);
@@ -109,15 +116,16 @@ class HnswIndex final : public VectorIndex {
 
   int DrawLevel();
   /// Greedy hill-climb toward the query on one layer; returns the local
-  /// minimum node.
-  uint32_t GreedyClosest(const float* query, uint32_t entry, int level) const;
+  /// minimum node. `cost` (optional) accumulates distance evaluations.
+  uint32_t GreedyClosest(const float* query, uint32_t entry, int level,
+                         uint64_t* cost = nullptr) const;
   /// Beam search on one layer; leaves the candidates sorted by distance in
   /// scratch->beam.
   void SearchLayer(const float* query, uint32_t entry, size_t ef, int level,
                    SearchScratch* scratch) const;
   /// ADC variants used for quantized search.
   uint32_t GreedyClosestAdc(const std::vector<float>& table, uint32_t entry,
-                            int level) const;
+                            int level, uint64_t* cost = nullptr) const;
   void SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
                       size_t ef, int level, SearchScratch* scratch) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace mira::index {
 
@@ -73,6 +74,10 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
   // ADC scan keeping the `shortlist` nearest codes. TopK keeps the *highest*
   // scores, so negate distances. The scan runs through the batched ADC
   // kernel in blocks so the codes stream through cache once.
+  obs::TraceSpan span("pq.adc_scan");
+  span.AddCounter("codes_decoded", static_cast<int64_t>(n));
+  span.AddCounter("rescored", static_cast<int64_t>(
+                                  options_.rescore_factor == 0 ? 0 : shortlist));
   vecmath::TopK adc_top(shortlist);
   constexpr size_t kBlock = 1024;
   std::vector<float> dist(std::min(kBlock, n));

@@ -1,0 +1,166 @@
+#ifndef MIRA_OBS_METRICS_H_
+#define MIRA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace mira::obs {
+
+/// Monotonically increasing event count. All mutators are lock-free relaxed
+/// atomics — safe to hammer from any number of threads.
+class Counter {
+ public:
+  void Increment() noexcept { Add(1); }
+  void Add(uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (index sizes, cluster counts, ...).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed latency/value histogram with a lock-free, sharded fast path.
+///
+/// Buckets are geometric: each power-of-two octave is split into
+/// kSubBucketsPerOctave linear sub-buckets, so the relative width of any
+/// bucket is at most 25% and bucket-interpolated quantiles land within ~12%
+/// of the exact value. Record() touches only the calling thread's shard
+/// (relaxed atomics, shard picked by a thread-local round-robin id), so
+/// concurrent writers never contend on a cache line by construction.
+///
+/// Values are unit-agnostic; query-latency histograms in this codebase
+/// record milliseconds (and say so in the metric name).
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 4;
+  /// Smallest/largest representable octave: 2^-20 (~1e-6) .. 2^30 (~1e9).
+  /// Out-of-range and non-positive values clamp to the edge buckets.
+  static constexpr int kMinExponent = -20;
+  static constexpr int kMaxExponent = 30;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
+  static constexpr size_t kShards = 8;
+
+  /// Point-in-time aggregate of every shard. Cheap plain data; all quantile
+  /// math happens here rather than on the live (concurrently written) state.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// Bucket-interpolated quantile, clamped to [min, max]. q in [0, 1].
+    double Percentile(double q) const;
+    double p50() const { return Percentile(0.50); }
+    double p90() const { return Percentile(0.90); }
+    double p99() const { return Percentile(0.99); }
+  };
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value) noexcept;
+  Snapshot TakeSnapshot() const;
+  void Reset() noexcept;
+
+  /// Bucket math, exposed for tests: which bucket a value lands in and the
+  /// half-open [lower, upper) range that bucket covers. Bucket 0's lower
+  /// bound is reported as 0 (it absorbs everything below the smallest
+  /// octave, including non-positive values).
+  static size_t BucketIndex(double value) noexcept;
+  static double BucketLowerBound(size_t bucket) noexcept;
+  static double BucketUpperBound(size_t bucket) noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Process-wide directory of named metrics. Get*() registers on first use and
+/// returns a reference that stays valid for the registry's lifetime, so hot
+/// paths look a metric up once and then touch only its atomics:
+///
+///     static obs::Counter& searches =
+///         obs::MetricRegistry::Global().GetCounter("mira.hnsw.searches");
+///     searches.Increment();
+///
+/// Names use dotted lowercase ("mira.<subsystem>.<what>[_<unit>]", see
+/// docs/OBSERVABILITY.md); the text exporter maps them to Prometheus-legal
+/// underscores. A name identifies exactly one metric kind — asking for an
+/// existing name with a different kind is a programming error and aborts.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition: "# TYPE" lines, cumulative
+  /// `_bucket{le="..."}` series (non-empty buckets only), `_sum`/`_count`.
+  std::string ExportText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
+  /// histogram entries carry count/sum/min/max/mean/p50/p90/p99 plus
+  /// non-empty [upper_bound, count] bucket pairs. Keys are sorted, so equal
+  /// registry states export byte-identical documents.
+  std::string ExportJson() const;
+  [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every registered metric without unregistering it — references
+  /// handed out earlier stay valid. Intended for test isolation.
+  void ResetValues();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_METRICS_H_

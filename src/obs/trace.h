@@ -1,0 +1,165 @@
+#ifndef MIRA_OBS_TRACE_H_
+#define MIRA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time observability toggle: building with -DMIRA_OBS_DISABLED (the
+// CMake option MIRA_OBS=OFF) turns TraceSpan/ScopedTrace into empty inline
+// no-ops. The QueryTrace container and the metrics layer stay compiled either
+// way, so code that *reads* traces keeps building.
+#if defined(MIRA_OBS_DISABLED)
+#define MIRA_OBS_ENABLED 0
+#else
+#define MIRA_OBS_ENABLED 1
+#endif
+
+namespace mira::obs {
+
+inline constexpr bool kObsEnabled = MIRA_OBS_ENABLED != 0;
+
+/// One named integer attached to a span ("cells_scanned", "dist_comps", ...).
+/// Keys are string literals with static storage — spans never copy them.
+struct SpanCounter {
+  const char* key;
+  int64_t value;
+};
+
+/// One timed section of a query. Spans form a tree via parent indices into
+/// QueryTrace::spans(); preorder in the vector matches start order.
+struct SpanRecord {
+  const char* name = "";
+  std::string label;  ///< Optional dynamic detail (e.g. collection name).
+  int32_t parent = -1;
+  int32_t depth = 0;
+  double start_ms = 0.0;  ///< Offset from the trace's start.
+  double duration_ms = 0.0;
+  std::vector<SpanCounter> counters;
+};
+
+/// The span tree collected for a single query. Owned by the caller of
+/// DiscoveryEngine::SearchTraced; populated through a thread-local context
+/// installed by ScopedTrace, so instrumented callees need no extra
+/// parameters. Not thread-safe: one trace belongs to one query thread
+/// (parallel sections report aggregate counters at their call site instead —
+/// see docs/OBSERVABILITY.md).
+class QueryTrace {
+ public:
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  void Clear() { spans_.clear(); }
+
+  /// First span with this name, or nullptr.
+  const SpanRecord* Find(std::string_view name) const;
+  /// Sum of `key` over every span named `span_name` (0 when absent).
+  int64_t CounterValue(std::string_view span_name, std::string_view key) const;
+  /// Sum of durations over every span with this name.
+  double SpanMillis(std::string_view name) const;
+  /// Duration of the root (first) span; 0 for an empty trace.
+  double TotalMillis() const;
+
+  /// Indented human-readable tree with counters, one span per line.
+  std::string ToString() const;
+  /// JSON array of span objects (name/label/parent/depth/times/counters).
+  std::string ToJson() const;
+
+  /// Span bookkeeping used by TraceSpan — not meant for direct calls.
+  int32_t StartSpan(const char* name, int32_t parent, double start_ms);
+  void FinishSpan(int32_t index, double duration_ms);
+  void AddCounter(int32_t index, const char* key, int64_t value);
+  void SetLabel(int32_t index, std::string_view label);
+
+ private:
+  std::vector<SpanRecord> spans_;
+};
+
+/// Runtime sampling knob for ScopedTrace: collect every Nth installed trace
+/// (1 = every query, the default; 0 = never arm). Applies process-wide.
+void SetTraceSampling(uint32_t sample_every);
+uint32_t GetTraceSampling();
+
+namespace internal {
+
+/// Thread-local collection state. `trace == nullptr` (the steady state) makes
+/// every TraceSpan constructor a single TLS load and branch.
+struct TraceContext {
+  QueryTrace* trace = nullptr;
+  int32_t current = -1;  ///< Innermost open span, -1 at the root.
+  std::chrono::steady_clock::time_point origin{};
+};
+
+#if MIRA_OBS_ENABLED
+inline thread_local TraceContext g_trace_context;
+#endif
+
+}  // namespace internal
+
+#if MIRA_OBS_ENABLED
+
+/// Arms span collection into `sink` for the current thread and scope (subject
+/// to SetTraceSampling). Restores the previous context on destruction, so
+/// traced sections nest safely.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(QueryTrace* sink);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  bool armed() const { return armed_; }
+
+ private:
+  internal::TraceContext saved_;
+  bool armed_ = false;
+};
+
+/// RAII span: records itself into the thread's active QueryTrace, or does
+/// nothing (one TLS load) when no trace is armed. Construct with a string
+/// literal; the name is stored by pointer.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddCounter(const char* key, int64_t value);
+  void SetLabel(std::string_view label);
+  /// Ends the span now instead of at destruction (idempotent). Useful when a
+  /// span should exclude tail work in the same scope.
+  void Finish();
+  bool active() const { return index_ >= 0; }
+
+ private:
+  int32_t index_ = -1;
+  int32_t saved_current_ = -1;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#else  // !MIRA_OBS_ENABLED
+
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(QueryTrace* /*sink*/) {}
+  bool armed() const { return false; }
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* /*name*/) {}
+  void AddCounter(const char* /*key*/, int64_t /*value*/) {}
+  void SetLabel(std::string_view /*label*/) {}
+  void Finish() {}
+  bool active() const { return false; }
+};
+
+#endif  // MIRA_OBS_ENABLED
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "index/flat_index.h"
+#include "obs/trace.h"
 #include "index/hnsw_index.h"
 #include "index/ivf_index.h"
 #include "vecmath/top_k.h"
@@ -149,6 +150,9 @@ std::optional<std::vector<size_t>> Collection::PreFilterCandidates(
 Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
                                                   size_t k, size_t ef,
                                                   const Filter& filter) const {
+  obs::TraceSpan span("vdb.search");
+  span.SetLabel(name_);
+  span.AddCounter("k", static_cast<int64_t>(k));
   std::shared_lock lock(mu_);
   if (!built_) {
     return Status::FailedPrecondition(

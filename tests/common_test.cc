@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/result.h"
@@ -342,22 +343,71 @@ TEST(TimerTest, ElapsedIsMonotonic) {
   EXPECT_GE(first, 0.0);
 }
 
-TEST(LatencyRecorderTest, Aggregates) {
-  LatencyRecorder rec;
-  rec.Record(1.0);
-  rec.Record(3.0);
-  rec.Record(2.0);
-  EXPECT_EQ(rec.count(), 3);
-  EXPECT_DOUBLE_EQ(rec.mean_millis(), 2.0);
-  EXPECT_DOUBLE_EQ(rec.min_millis(), 1.0);
-  EXPECT_DOUBLE_EQ(rec.max_millis(), 3.0);
-  EXPECT_DOUBLE_EQ(rec.total_millis(), 6.0);
+// ---------- Logging ----------
+
+/// Installs a CapturingLogSink for the test body and restores the previous
+/// sink (and log level) afterwards.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = GetLogLevel();
+    previous_sink_ = SetLogSink(&sink_);
+  }
+  void TearDown() override {
+    SetLogSink(previous_sink_);
+    SetLogLevel(previous_level_);
+  }
+
+  CapturingLogSink sink_;
+  LogSink* previous_sink_ = nullptr;
+  LogLevel previous_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, SinkCapturesWarning) {
+  MIRA_LOG_WARNING() << "cluster count suspiciously low: " << 3;
+  EXPECT_TRUE(sink_.Contains("cluster count suspiciously low: 3"));
+  ASSERT_EQ(sink_.lines().size(), 1u);
 }
 
-TEST(LatencyRecorderTest, EmptyIsZero) {
-  LatencyRecorder rec;
-  EXPECT_EQ(rec.count(), 0);
-  EXPECT_DOUBLE_EQ(rec.mean_millis(), 0.0);
+TEST_F(LoggingTest, PrefixCarriesLevelFileAndThreadId) {
+  MIRA_LOG_WARNING() << "prefixed";
+  ASSERT_EQ(sink_.lines().size(), 1u);
+  // lines() returns a copy; take the string by value, not by reference.
+  const std::string line = sink_.lines().front();
+  // "[<uptime> t<NN> WARN common_test.cc:<line>] prefixed"
+  EXPECT_NE(line.find(" t"), std::string::npos);
+  EXPECT_NE(line.find(" WARN "), std::string::npos);
+  EXPECT_NE(line.find("common_test.cc:"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelThresholdFilters) {
+  SetLogLevel(LogLevel::kError);
+  MIRA_LOG_WARNING() << "dropped";
+  MIRA_LOG_ERROR() << "kept";
+  EXPECT_FALSE(sink_.Contains("dropped"));
+  EXPECT_TRUE(sink_.Contains("kept"));
+}
+
+TEST_F(LoggingTest, ThreadIdsAreSmallAndStable) {
+  int id1 = LogThreadId();
+  int id2 = LogThreadId();
+  EXPECT_EQ(id1, id2);
+  EXPECT_GE(id1, 1);
+  std::thread([&] { EXPECT_NE(LogThreadId(), id1); }).join();
+}
+
+TEST_F(LoggingTest, UptimeIsMonotonic) {
+  double first = LogUptimeMillis();
+  double second = LogUptimeMillis();
+  EXPECT_GE(second, first);
+  EXPECT_GE(first, 0.0);
+}
+
+TEST_F(LoggingTest, ClearEmptiesCapturedLines) {
+  MIRA_LOG_WARNING() << "one";
+  sink_.Clear();
+  EXPECT_TRUE(sink_.lines().empty());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "common/threadpool.h"
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
+#include "obs/metrics.h"
 #include "vecmath/vector_ops.h"
 #include "vectordb/collection.h"
 
@@ -269,6 +270,55 @@ TEST(HnswStressTest, ParallelInsertBuildParallelQuery) {
     ok_queries.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(ok_queries.load(), kQueries);
+}
+
+// ---------- Metrics ----------
+
+TEST(ObsStressTest, CounterAndHistogramUnderTenThousandPoolTasks) {
+  // One shared Counter and Histogram hammered from >10k pool tasks: the
+  // lock-free fast paths must lose no increments and no histogram samples
+  // (TSan runs this via the `tsan` preset's test regex).
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kTasks = 12000;
+  obs::Counter counter;
+  obs::Histogram histogram;
+  ParallelFor(&pool, 0, kTasks, [&counter, &histogram](size_t i) {
+    counter.Increment();
+    histogram.Record(static_cast<double>(i % 251) + 0.25);
+  });
+  EXPECT_EQ(counter.value(), kTasks);
+  obs::Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, kTasks);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTasks);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 250.25);
+}
+
+TEST(ObsStressTest, RegistryLookupsRaceFree) {
+  // Concurrent Get* calls on overlapping names must return stable references
+  // and register each name exactly once.
+  ThreadPool pool(kPoolThreads);
+  obs::MetricRegistry registry;
+  constexpr size_t kTasks = 2000;
+  std::atomic<uint64_t> recorded{0};
+  ParallelFor(&pool, 0, kTasks, [&registry, &recorded](size_t i) {
+    obs::Counter& c = registry.GetCounter(
+        "mira.stress.counter." + std::to_string(i % 7));
+    c.Increment();
+    registry.GetHistogram("mira.stress.hist").Record(1.0);
+    recorded.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(recorded.load(), kTasks);
+  uint64_t total = 0;
+  for (int n = 0; n < 7; ++n) {
+    total += registry.GetCounter("mira.stress.counter." + std::to_string(n))
+                 .value();
+  }
+  EXPECT_EQ(total, kTasks);
+  EXPECT_EQ(registry.GetHistogram("mira.stress.hist").TakeSnapshot().count,
+            kTasks);
 }
 
 // ---------- Batched scans ----------

@@ -16,6 +16,8 @@
 #include "discovery/exhaustive_search.h"
 #include "discovery/match.h"
 #include "discovery/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mira::discovery {
 namespace {
@@ -432,6 +434,133 @@ TEST_F(GeneratedWorkloadTest, AnnsReportsIndexMemory) {
       static_cast<const AnnsSearcher*>(engine_->searcher(Method::kAnns));
   ASSERT_NE(anns, nullptr);
   EXPECT_GT(anns->IndexMemoryBytes(), 0u);
+}
+
+// ---------- Observability integration ----------
+
+TEST_F(GeneratedWorkloadTest, BuildReportPopulated) {
+  const BuildReport& report = engine_->build_report();
+  EXPECT_EQ(report.num_relations, workload_->corpus.federation.size());
+  EXPECT_GT(report.num_cells, 0u);
+  EXPECT_GT(report.dim, 0u);
+  EXPECT_FALSE(report.reused_corpus);
+  EXPECT_GT(report.embed_ms, 0.0);
+  EXPECT_GT(report.total_ms, 0.0);
+  EXPECT_GE(report.total_ms, report.embed_ms);
+  EXPECT_GT(report.anns_index_bytes, 0u);
+  EXPECT_GT(report.cts_index_bytes, 0u);
+  EXPECT_GT(report.cts_clusters, 0u);
+  EXPECT_NE(report.ToString().find("relations="), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"num_cells\""), std::string::npos);
+}
+
+TEST_F(GeneratedWorkloadTest, SearchTracedMatchesSearch) {
+  DiscoveryOptions options;
+  options.top_k = 10;
+  const auto& q = workload_->queries.front();
+  auto plain = engine_->Search(Method::kExhaustive, q.text, options).MoveValue();
+  auto traced =
+      engine_->SearchTraced(Method::kExhaustive, q.text, options).MoveValue();
+  ASSERT_EQ(plain.size(), traced.ranking.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].relation, traced.ranking[i].relation);
+    EXPECT_EQ(plain[i].score, traced.ranking[i].score);
+  }
+}
+
+TEST_F(GeneratedWorkloadTest, TracedExhaustiveSearchPopulatesSpans) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  DiscoveryOptions options;
+  options.top_k = 10;
+  const auto& q = workload_->queries.front();
+  auto traced =
+      engine_->SearchTraced(Method::kExhaustive, q.text, options).MoveValue();
+  const obs::QueryTrace& trace = traced.trace;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_STREQ(trace.spans().front().name, "query");
+  EXPECT_EQ(trace.spans().front().label, "ExS");
+  EXPECT_GT(trace.TotalMillis(), 0.0);
+  ASSERT_NE(trace.Find("embed_query"), nullptr);
+  ASSERT_NE(trace.Find("exs.scan"), nullptr);
+  EXPECT_GT(trace.SpanMillis("exs.scan"), 0.0);
+  EXPECT_EQ(trace.CounterValue("exs.scan", "cells_scanned"),
+            static_cast<int64_t>(engine_->corpus().num_cells()));
+  EXPECT_GT(trace.CounterValue("exs.scan", "dist_comps"), 0);
+}
+
+TEST_F(GeneratedWorkloadTest, TracedAnnsSearchPopulatesSpans) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  DiscoveryOptions options;
+  options.top_k = 10;
+  const auto& q = workload_->queries.front();
+  auto traced =
+      engine_->SearchTraced(Method::kAnns, q.text, options).MoveValue();
+  const obs::QueryTrace& trace = traced.trace;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.spans().front().label, "ANNS");
+  EXPECT_GT(trace.TotalMillis(), 0.0);
+  ASSERT_NE(trace.Find("embed_query"), nullptr);
+  ASSERT_NE(trace.Find("anns.hnsw_search"), nullptr);
+  EXPECT_GT(trace.SpanMillis("anns.hnsw_search"), 0.0);
+  EXPECT_GT(trace.CounterValue("anns.hnsw_search", "hits"), 0);
+  // The vector-database and index layers contribute nested spans.
+  ASSERT_NE(trace.Find("vdb.search"), nullptr);
+  ASSERT_NE(trace.Find("hnsw.search"), nullptr);
+  EXPECT_GT(trace.CounterValue("hnsw.search", "dist_comps") +
+                trace.CounterValue("hnsw.search", "adc_decoded"),
+            0);
+  EXPECT_GT(trace.CounterValue("hnsw.search", "popped"), 0);
+}
+
+TEST_F(GeneratedWorkloadTest, TracedCtsSearchPopulatesSpans) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  DiscoveryOptions options;
+  options.top_k = 10;
+  const auto& q = workload_->queries.front();
+  auto traced =
+      engine_->SearchTraced(Method::kCts, q.text, options).MoveValue();
+  const obs::QueryTrace& trace = traced.trace;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.spans().front().label, "CTS");
+  EXPECT_GT(trace.TotalMillis(), 0.0);
+  ASSERT_NE(trace.Find("embed_query"), nullptr);
+  ASSERT_NE(trace.Find("cts.medoid_match"), nullptr);
+  ASSERT_NE(trace.Find("cts.cluster_search"), nullptr);
+  EXPECT_GT(trace.SpanMillis("cts.cluster_search"), 0.0);
+  EXPECT_GT(trace.CounterValue("cts.medoid_match", "clusters_total"), 0);
+  EXPECT_GT(trace.CounterValue("cts.medoid_match", "clusters_selected"), 0);
+  EXPECT_GT(trace.CounterValue("cts.cluster_search", "clusters_searched"), 0);
+  EXPECT_GT(trace.CounterValue("cts.cluster_search", "relations"), 0);
+}
+
+TEST_F(GeneratedWorkloadTest, QueryMetricsRecorded) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  auto& registry = obs::MetricRegistry::Global();
+  uint64_t before = registry.GetCounter("mira.query.count.cts").value();
+  uint64_t hist_before =
+      registry.GetHistogram("mira.query.latency_ms.cts").TakeSnapshot().count;
+  DiscoveryOptions options;
+  options.top_k = 5;
+  engine_->Search(Method::kCts, workload_->queries.front().text, options)
+      .MoveValue();
+  EXPECT_EQ(registry.GetCounter("mira.query.count.cts").value(), before + 1);
+  EXPECT_EQ(
+      registry.GetHistogram("mira.query.latency_ms.cts").TakeSnapshot().count,
+      hist_before + 1);
+}
+
+TEST_F(GeneratedWorkloadTest, TraceSamplingZeroDisablesCollection) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  obs::SetTraceSampling(0);
+  DiscoveryOptions options;
+  options.top_k = 5;
+  auto traced = engine_
+                    ->SearchTraced(Method::kExhaustive,
+                                   workload_->queries.front().text, options)
+                    .MoveValue();
+  obs::SetTraceSampling(1);
+  EXPECT_TRUE(traced.trace.empty());
+  EXPECT_FALSE(traced.ranking.empty());
 }
 
 // ---------- Corpus persistence & BuildWithCorpus ----------

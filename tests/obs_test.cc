@@ -1,0 +1,373 @@
+// Unit tests for src/obs: metric registry semantics, histogram bucket math
+// against exact quantiles, exporter output, span-tree collection, and the
+// runtime sampling knob.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mira::obs {
+namespace {
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ---------- Histogram bucket math ----------
+
+TEST(HistogramTest, BucketBoundsBracketTheValue) {
+  for (double value : {1e-9, 0.001, 0.37, 1.0, 1.5, 2.0, 3.99, 100.0, 7.7e8}) {
+    size_t bucket = Histogram::BucketIndex(value);
+    ASSERT_LT(bucket, Histogram::kNumBuckets) << value;
+    EXPECT_LE(Histogram::BucketLowerBound(bucket), value) << value;
+    if (bucket + 1 < Histogram::kNumBuckets) {
+      EXPECT_GT(Histogram::BucketUpperBound(bucket), value) << value;
+    }
+  }
+}
+
+TEST(HistogramTest, BucketsAreContiguous) {
+  for (size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(b),
+                     Histogram::BucketLowerBound(b + 1))
+        << "bucket " << b;
+    EXPECT_LT(Histogram::BucketLowerBound(b), Histogram::BucketUpperBound(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, BucketRelativeWidthAtMost25Percent) {
+  // Geometric buckets with 4 linear sub-buckets per octave: width <= 25% of
+  // the lower bound — the bound the quantile-error guarantee rests on.
+  for (size_t b = 1; b + 1 < Histogram::kNumBuckets; ++b) {
+    double lo = Histogram::BucketLowerBound(b);
+    double hi = Histogram::BucketUpperBound(b);
+    EXPECT_LE((hi - lo) / lo, 0.25 + 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, NonPositiveValuesLandInBucketZero) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-3.5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-300), 0u);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST(HistogramTest, SnapshotAggregates) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(2.0);
+  Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 6.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+}
+
+TEST(HistogramTest, QuantilesTrackExactValuesWithinBucketError) {
+  // Deterministic skewed distribution: values v_i = 0.1 * 1.01^i, i < 2000.
+  Histogram h;
+  std::vector<double> values;
+  double v = 0.1;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(v);
+    h.Record(v);
+    v *= 1.01;
+  }
+  std::sort(values.begin(), values.end());
+  Histogram::Snapshot snap = h.TakeSnapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (double q : {0.50, 0.90, 0.99}) {
+    double exact = values[static_cast<size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    double approx = snap.Percentile(q);
+    // A bucket is at most 25% wide, so interpolation stays within ~12.5%.
+    EXPECT_NEAR(approx, exact, exact * 0.13) << "q=" << q;
+  }
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+  EXPECT_LE(snap.p99(), snap.max);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.TakeSnapshot().count, 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  Histogram h;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(i % 100) + 0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TakeSnapshot().count, kThreads * kPerThread);
+}
+
+// ---------- MetricRegistry ----------
+
+TEST(MetricRegistryTest, SameNameReturnsSameInstance) {
+  MetricRegistry registry;
+  Counter& a = registry.GetCounter("mira.test.counter");
+  Counter& b = registry.GetCounter("mira.test.counter");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("mira.test.hist_ms");
+  Histogram& h2 = registry.GetHistogram("mira.test.hist_ms");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricRegistryTest, ResetValuesKeepsReferencesValid) {
+  MetricRegistry registry;
+  Counter& c = registry.GetCounter("mira.test.counter");
+  c.Add(7);
+  registry.ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  EXPECT_EQ(registry.GetCounter("mira.test.counter").value(), 1u);
+}
+
+TEST(MetricRegistryTest, ExportTextIsPrometheusShaped) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.queries").Add(3);
+  registry.GetGauge("mira.test.size_bytes").Set(128.0);
+  Histogram& h = registry.GetHistogram("mira.test.latency_ms");
+  h.Record(1.0);
+  h.Record(2.0);
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("# TYPE mira_test_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("mira_test_queries 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mira_test_size_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mira_test_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mira_test_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mira_test_latency_ms_count 2"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ExportJsonRoundTripsValues) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.queries").Add(42);
+  registry.GetGauge("mira.test.clusters").Set(17.0);
+  Histogram& h = registry.GetHistogram("mira.test.latency_ms");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  std::string json = registry.ExportJson();
+
+  // Lightweight round-trip: the exporter sorts keys and emits plain numbers,
+  // so exact substrings pin both structure and values.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"mira.test.queries\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"mira.test.clusters\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"mira.test.latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  for (const char* field : {"\"sum\"", "\"min\"", "\"max\"", "\"mean\"",
+                            "\"p50\"", "\"p90\"", "\"p99\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // Identical registry state exports byte-identical documents.
+  EXPECT_EQ(json, registry.ExportJson());
+}
+
+// ---------- Tracing ----------
+
+#if MIRA_OBS_ENABLED
+
+TEST(TraceTest, SpansNestIntoATree) {
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    ASSERT_TRUE(collect.armed());
+    TraceSpan root("query");
+    root.SetLabel("CTS");
+    {
+      TraceSpan child("embed_query");
+      child.AddCounter("tokens", 4);
+    }
+    {
+      TraceSpan child("cts.cluster_search");
+      TraceSpan grandchild("vdb.search");
+      grandchild.AddCounter("k", 10);
+    }
+  }
+  ASSERT_EQ(trace.spans().size(), 4u);
+  const SpanRecord& root = trace.spans()[0];
+  EXPECT_STREQ(root.name, "query");
+  EXPECT_EQ(root.label, "CTS");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_EQ(root.depth, 0);
+
+  const SpanRecord* embed = trace.Find("embed_query");
+  ASSERT_NE(embed, nullptr);
+  EXPECT_EQ(embed->parent, 0);
+  EXPECT_EQ(embed->depth, 1);
+
+  const SpanRecord* vdb = trace.Find("vdb.search");
+  ASSERT_NE(vdb, nullptr);
+  EXPECT_EQ(vdb->depth, 2);
+  EXPECT_STREQ(trace.spans()[static_cast<size_t>(vdb->parent)].name,
+               "cts.cluster_search");
+
+  EXPECT_EQ(trace.CounterValue("embed_query", "tokens"), 4);
+  EXPECT_EQ(trace.CounterValue("vdb.search", "k"), 10);
+  EXPECT_GE(trace.TotalMillis(), 0.0);
+  // Children complete before the root's destructor samples the clock.
+  EXPECT_LE(trace.SpanMillis("embed_query"), trace.TotalMillis() + 1e-6);
+}
+
+TEST(TraceTest, SpanWithoutScopedTraceIsInert) {
+  TraceSpan span("orphan");
+  span.AddCounter("ignored", 1);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TraceTest, FinishIsIdempotentAndEndsTiming) {
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+    inner.Finish();
+    inner.Finish();  // second call is a no-op
+    EXPECT_FALSE(inner.active());
+    // After inner.Finish(), new spans attach to `outer` again.
+    TraceSpan sibling("sibling");
+  }
+  const SpanRecord* sibling = trace.Find("sibling");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_STREQ(trace.spans()[static_cast<size_t>(sibling->parent)].name,
+               "outer");
+  ASSERT_EQ(trace.spans().size(), 3u);
+}
+
+TEST(TraceTest, ScopedTraceClearsStaleSink) {
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan span("first");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan span("second");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_STREQ(trace.spans()[0].name, "second");
+}
+
+TEST(TraceTest, NestedScopedTraceRestoresOuterContext) {
+  QueryTrace outer_trace;
+  QueryTrace inner_trace;
+  {
+    ScopedTrace outer(&outer_trace);
+    TraceSpan before("before");
+    before.Finish();
+    {
+      ScopedTrace inner(&inner_trace);
+      TraceSpan span("inner_only");
+    }
+    TraceSpan after("after");
+  }
+  EXPECT_NE(outer_trace.Find("before"), nullptr);
+  EXPECT_NE(outer_trace.Find("after"), nullptr);
+  EXPECT_EQ(outer_trace.Find("inner_only"), nullptr);
+  ASSERT_EQ(inner_trace.spans().size(), 1u);
+  EXPECT_STREQ(inner_trace.spans()[0].name, "inner_only");
+}
+
+TEST(TraceTest, ToStringAndToJsonCoverEverySpan) {
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan root("query");
+    TraceSpan child("exs.scan");
+    child.AddCounter("cells_scanned", 123);
+  }
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("exs.scan"), std::string::npos);
+  EXPECT_NE(text.find("cells_scanned=123"), std::string::npos);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"exs.scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells_scanned\": 123"), std::string::npos);
+}
+
+TEST(TraceTest, SamplingZeroNeverArms) {
+  SetTraceSampling(0);
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    EXPECT_FALSE(collect.armed());
+    TraceSpan span("dropped");
+  }
+  EXPECT_TRUE(trace.empty());
+  SetTraceSampling(1);
+}
+
+TEST(TraceTest, SamplingEveryOtherArmsHalfTheTraces) {
+  SetTraceSampling(2);
+  int armed = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueryTrace trace;
+    ScopedTrace collect(&trace);
+    if (collect.armed()) ++armed;
+  }
+  SetTraceSampling(1);
+  EXPECT_EQ(armed, 5);
+  EXPECT_EQ(GetTraceSampling(), 1u);
+}
+
+TEST(TraceTest, SamplingOneArmsEveryTrace) {
+  SetTraceSampling(1);
+  for (int i = 0; i < 5; ++i) {
+    QueryTrace trace;
+    ScopedTrace collect(&trace);
+    EXPECT_TRUE(collect.armed());
+  }
+}
+
+#endif  // MIRA_OBS_ENABLED
+
+}  // namespace
+}  // namespace mira::obs

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validates the shape of a MetricRegistry::ExportJson document.
+
+Used by the perf-smoke CI job against METRICS_case_study.json (written by
+bench_case_study) and usable against any metrics dump:
+
+    tools/check_metrics_json.py METRICS_case_study.json
+
+Checks:
+  * top level is an object with "counters" / "gauges" / "histograms" dicts;
+  * counters are non-negative integers, gauges are finite numbers;
+  * every histogram carries count/sum/min/max/mean/p50/p90/p99/buckets;
+  * bucket entries are [upper_bound, count] pairs with ascending bounds
+    whose counts sum to the histogram's count;
+  * quantiles are ordered (min <= p50 <= p90 <= p99 <= max) when count > 0;
+  * when --expect-queries is passed, the per-method query metrics the engine
+    publishes (mira.query.count.* / mira.query.latency_ms.*) are present and
+    populated.
+
+Exit: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+ERRORS: list[str] = []
+
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+                    "buckets")
+QUERY_METHODS = ("exs", "anns", "cts")
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def check_counters(counters: object) -> None:
+    if not isinstance(counters, dict):
+        fail("'counters' is not an object")
+        return
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"counter {name!r}: expected non-negative integer, "
+                 f"got {value!r}")
+
+
+def check_gauges(gauges: object) -> None:
+    if not isinstance(gauges, dict):
+        fail("'gauges' is not an object")
+        return
+    for name, value in gauges.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            fail(f"gauge {name!r}: expected finite number, got {value!r}")
+
+
+def check_histogram(name: str, hist: object) -> None:
+    if not isinstance(hist, dict):
+        fail(f"histogram {name!r}: not an object")
+        return
+    for field in HISTOGRAM_FIELDS:
+        if field not in hist:
+            fail(f"histogram {name!r}: missing field {field!r}")
+    count = hist.get("count")
+    if not isinstance(count, int) or count < 0:
+        fail(f"histogram {name!r}: bad count {count!r}")
+        return
+    buckets = hist.get("buckets")
+    if not isinstance(buckets, list):
+        fail(f"histogram {name!r}: 'buckets' is not a list")
+        return
+    bucket_total = 0
+    previous_bound = -math.inf
+    for entry in buckets:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], (int, float))
+                or not isinstance(entry[1], int) or entry[1] <= 0):
+            fail(f"histogram {name!r}: bucket entry {entry!r} is not "
+                 "[upper_bound, positive_count]")
+            return
+        if entry[0] <= previous_bound:
+            fail(f"histogram {name!r}: bucket bounds not ascending at "
+                 f"{entry[0]!r}")
+        previous_bound = entry[0]
+        bucket_total += entry[1]
+    if bucket_total != count:
+        fail(f"histogram {name!r}: bucket counts sum to {bucket_total}, "
+             f"count says {count}")
+    if count > 0:
+        ordered = (hist["min"], hist["p50"], hist["p90"], hist["p99"],
+                   hist["max"])
+        for lo, hi, what in zip(ordered, ordered[1:],
+                                ("min<=p50", "p50<=p90", "p90<=p99",
+                                 "p99<=max")):
+            if lo > hi + 1e-9:
+                fail(f"histogram {name!r}: quantile order violated "
+                     f"({what}: {lo} > {hi})")
+        if hist["sum"] < 0 and hist["min"] >= 0:
+            fail(f"histogram {name!r}: negative sum with non-negative min")
+
+
+def check_query_metrics(doc: dict) -> None:
+    counters = doc.get("counters", {})
+    histograms = doc.get("histograms", {})
+    for method in QUERY_METHODS:
+        count_name = f"mira.query.count.{method}"
+        latency_name = f"mira.query.latency_ms.{method}"
+        if counters.get(count_name, 0) <= 0:
+            fail(f"expected populated counter {count_name!r}")
+        hist = histograms.get(latency_name)
+        if not isinstance(hist, dict) or hist.get("count", 0) <= 0:
+            fail(f"expected populated histogram {latency_name!r}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="metrics JSON file to validate")
+    parser.add_argument("--expect-queries", action="store_true",
+                        help="require populated mira.query.* metrics for "
+                             "ExS/ANNS/CTS")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_metrics_json: cannot load {args.path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in doc:
+                fail(f"missing top-level section {section!r}")
+        check_counters(doc.get("counters", {}))
+        check_gauges(doc.get("gauges", {}))
+        histograms = doc.get("histograms", {})
+        if isinstance(histograms, dict):
+            for name, hist in histograms.items():
+                check_histogram(name, hist)
+        else:
+            fail("'histograms' is not an object")
+        if args.expect_queries:
+            check_query_metrics(doc)
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_metrics_json: {err}", file=sys.stderr)
+        return 1
+    counters = len(doc.get("counters", {}))
+    gauges = len(doc.get("gauges", {}))
+    histograms = len(doc.get("histograms", {}))
+    print(f"ok: {counters} counters, {gauges} gauges, "
+          f"{histograms} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,11 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 are confined to src/vecmath/ — everything else goes through
                 the dispatched kernels in vecmath/simd.h, so portability and
                 the scalar fallback stay in one place.
+  obs-in-kernels no observability in src/vecmath/ (no "obs/..." includes, no
+                TraceSpan/MetricRegistry use): the SIMD kernels are the
+                innermost hot loops, and even a no-op span constructor or a
+                relaxed atomic bump is measurable there. Instrument the
+                callers (index/discovery layers) instead.
 
 Usage: tools/mira_lint.py [paths...]   (defaults to the whole tree)
 Exit:  0 clean, 1 findings, 2 usage/environment error.
@@ -179,8 +184,23 @@ def check_intrinsics(path: Path, lines: list[str]) -> None:
                    "use the dispatched kernels in vecmath/simd.h")
 
 
+OBS_USE_RE = re.compile(
+    r"#\s*include\s*\"obs/|\bTraceSpan\b|\bScopedTrace\b|\bMetricRegistry\b")
+
+
+def check_obs_in_kernels(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith("src/vecmath/"):
+        return
+    for i, raw in enumerate(lines, 1):
+        if OBS_USE_RE.search(strip_comments_and_strings(raw)):
+            report(path, i, "obs-in-kernels",
+                   "no spans/metrics inside src/vecmath/ — instrument the "
+                   "calling layer (see docs/OBSERVABILITY.md)")
+
+
 CHECKS = [check_endl, check_guard, check_naked_new, check_nodiscard,
-          check_bare_nolint, check_intrinsics]
+          check_bare_nolint, check_intrinsics, check_obs_in_kernels]
 
 
 def main(argv: list[str]) -> int:
