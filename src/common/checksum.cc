@@ -1,0 +1,139 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace mira {
+
+namespace {
+
+// xxHash64 prime constants (public-domain algorithm specification).
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Read64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Read32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t lane) {
+  acc ^= Round(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+inline uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+Checksum64::Checksum64(uint64_t seed) : seed_(seed) {
+  acc_[0] = seed + kPrime1 + kPrime2;
+  acc_[1] = seed + kPrime2;
+  acc_[2] = seed;
+  acc_[3] = seed - kPrime1;
+}
+
+void Checksum64::Update(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_len_ += len;
+
+  // Top up a partially filled stripe first.
+  if (buffered_ > 0) {
+    size_t take = len < (32 - buffered_) ? len : (32 - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ < 32) return;
+    acc_[0] = Round(acc_[0], Read64(buffer_));
+    acc_[1] = Round(acc_[1], Read64(buffer_ + 8));
+    acc_[2] = Round(acc_[2], Read64(buffer_ + 16));
+    acc_[3] = Round(acc_[3], Read64(buffer_ + 24));
+    buffered_ = 0;
+  }
+
+  while (len >= 32) {
+    acc_[0] = Round(acc_[0], Read64(p));
+    acc_[1] = Round(acc_[1], Read64(p + 8));
+    acc_[2] = Round(acc_[2], Read64(p + 16));
+    acc_[3] = Round(acc_[3], Read64(p + 24));
+    p += 32;
+    len -= 32;
+  }
+
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffered_ = len;
+  }
+}
+
+uint64_t Checksum64::Digest() const {
+  uint64_t h;
+  if (total_len_ >= 32) {
+    h = Rotl64(acc_[0], 1) + Rotl64(acc_[1], 7) + Rotl64(acc_[2], 12) +
+        Rotl64(acc_[3], 18);
+    h = MergeRound(h, acc_[0]);
+    h = MergeRound(h, acc_[1]);
+    h = MergeRound(h, acc_[2]);
+    h = MergeRound(h, acc_[3]);
+  } else {
+    h = seed_ + kPrime5;
+  }
+  h += total_len_;
+
+  // Tail: whatever is sitting in the stripe buffer.
+  const unsigned char* p = buffer_;
+  size_t len = buffered_;
+  while (len >= 8) {
+    h ^= Round(0, Read64(p));
+    h = Rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = Rotl64(h, 11) * kPrime1;
+    ++p;
+    --len;
+  }
+  return Avalanche(h);
+}
+
+uint64_t Checksum64::Hash(const void* data, size_t len, uint64_t seed) {
+  Checksum64 hasher(seed);
+  hasher.Update(data, len);
+  return hasher.Digest();
+}
+
+}  // namespace mira

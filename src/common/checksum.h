@@ -1,0 +1,46 @@
+#ifndef MIRA_COMMON_CHECKSUM_H_
+#define MIRA_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mira {
+
+/// Streaming 64-bit non-cryptographic checksum in the xxHash64 style: four
+/// interleaved 64-bit lanes over 32-byte stripes, merged and avalanched at
+/// the end. Local implementation (no third-party dependency) used to detect
+/// truncation/corruption of persisted artifacts (CorpusEmbeddings files);
+/// NOT a defense against adversarial inputs.
+///
+/// Deterministic across platforms for the same byte stream and seed, and
+/// independent of Update() call granularity: hashing a buffer in one call or
+/// byte-by-byte yields the same digest.
+class Checksum64 {
+ public:
+  explicit Checksum64(uint64_t seed = 0);
+
+  /// Feeds `len` bytes into the running hash.
+  void Update(const void* data, size_t len);
+
+  /// Digest of everything fed so far. Does not consume: more Update() calls
+  /// may follow, and Digest() may be called repeatedly.
+  uint64_t Digest() const;
+
+  /// Total bytes fed so far.
+  uint64_t length() const { return total_len_; }
+
+  /// One-shot convenience.
+  static uint64_t Hash(const void* data, size_t len, uint64_t seed = 0);
+
+ private:
+  uint64_t acc_[4];
+  /// Carry for input not yet forming a full 32-byte stripe.
+  unsigned char buffer_[32];
+  size_t buffered_ = 0;
+  uint64_t total_len_ = 0;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_CHECKSUM_H_

@@ -1,0 +1,152 @@
+#ifndef MIRA_COMMON_DEADLINE_H_
+#define MIRA_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "common/status.h"
+
+namespace mira {
+
+/// A point in monotonic time by which an operation must finish, plus the
+/// moment the budget was granted (so consumers can reason about the fraction
+/// of the budget already spent, not just the absolute remainder).
+///
+/// The default-constructed Deadline is infinite: expired() is always false
+/// and every accessor returns the "no budget" value, so carrying a Deadline
+/// by value costs nothing on the common no-deadline path.
+///
+/// Deadlines are checked *cooperatively*: long-running loops test expired()
+/// at amortized intervals (every N blocks / beam pops, never per cell — see
+/// docs/ROBUSTNESS.md) and return StatusCode::kDeadlineExceeded. Nothing is
+/// preempted, so a response can overshoot the budget by at most one check
+/// interval.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline (never expires).
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `budget_ms` milliseconds from now.
+  static Deadline After(double budget_ms) {
+    Deadline d;
+    d.start_ = Clock::now();
+    d.point_ = d.start_ + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  budget_ms < 0.0 ? 0.0 : budget_ms));
+    d.infinite_ = false;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= point_; }
+
+  /// Milliseconds until expiry; +inf when infinite, 0 when already expired.
+  double remaining_ms() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    double ms =
+        std::chrono::duration<double, std::milli>(point_ - Clock::now())
+            .count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+  /// Total granted budget in milliseconds; +inf when infinite.
+  double budget_ms() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(point_ - start_).count();
+  }
+
+  /// Fraction of the budget still unspent, in [0, 1]; 1 when infinite (or
+  /// the budget was zero). Degradation policies key off this: it is
+  /// comparable across queries with different absolute budgets.
+  double FractionRemaining() const {
+    if (infinite_) return 1.0;
+    double budget = budget_ms();
+    if (budget <= 0.0) return 0.0;
+    double fraction = remaining_ms() / budget;
+    return fraction > 1.0 ? 1.0 : fraction;
+  }
+
+ private:
+  Clock::time_point start_{};
+  Clock::time_point point_{};
+  bool infinite_ = true;
+};
+
+/// Cooperative cancellation flag with shared-handle semantics: every copy of
+/// a token observes the same underlying flag, so the caller keeps one copy
+/// and hands another to the query. The default-constructed token is *null* —
+/// never cancelled, not cancellable — so DiscoveryOptions can carry one by
+/// value for free.
+///
+/// Thread-safe: RequestCancel()/cancelled() may race freely (single relaxed
+/// atomic; cancellation needs no ordering beyond the flag itself).
+class CancellationToken {
+ public:
+  /// Null token: cancelled() is always false.
+  CancellationToken() = default;
+
+  /// A live token whose flag can be raised with RequestCancel().
+  static CancellationToken Make() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// True for tokens created with Make() (copies included).
+  bool valid() const { return flag_ != nullptr; }
+
+  /// Raises the flag; every copy of the token observes it. No-op on a null
+  /// token.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The pair every cooperative check tests: a time budget and a cancel flag,
+/// carried by value in DiscoveryOptions and by pointer through the index
+/// layers (index::SearchParams::control). Cancellation outranks the
+/// deadline: a query that is both cancelled and over budget reports
+/// kCancelled.
+struct QueryControl {
+  Deadline deadline;
+  CancellationToken cancel;
+
+  /// False for the default instance — callers skip all budget bookkeeping on
+  /// the common uncontrolled path, which keeps results bit-identical to a
+  /// build without this layer.
+  bool active() const { return cancel.valid() || !deadline.infinite(); }
+
+  /// Cheap interrupt test for amortized loop checks.
+  bool ShouldStop() const { return cancel.cancelled() || deadline.expired(); }
+
+  /// kCancelled / kDeadlineExceeded / OK. `where` names the checking stage
+  /// for the error message ("exs.scan", "hnsw.search", ...).
+  [[nodiscard]] Status Check(const char* where) const {
+    if (cancel.cancelled()) {
+      return Status::Cancelled(std::string(where) + ": query cancelled");
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(std::string(where) +
+                                      ": query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_DEADLINE_H_

@@ -1,0 +1,53 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace mira {
+
+RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {}
+
+bool RetryPolicy::IsTransient(const Status& status) {
+  return status.IsIoError() || status.IsUnavailable();
+}
+
+bool RetryPolicy::KeepTrying(int attempts_made,
+                             const QueryControl* control) const {
+  if (attempts_made >= options_.max_attempts) return false;
+  if (control != nullptr && control->ShouldStop()) return false;
+  return true;
+}
+
+void RetryPolicy::Backoff(int attempts_made) const {
+  double backoff = options_.initial_backoff_ms;
+  for (int i = 1; i < attempts_made; ++i) {
+    backoff *= options_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  // Jitter stream forked per retry index so concurrent Run() calls stay
+  // independent without shared mutable state.
+  Rng rng(SplitMix64(options_.seed + static_cast<uint64_t>(attempts_made)));
+  double jitter = 1.0 + options_.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+  double sleep_ms = std::max(0.0, backoff * jitter);
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        const QueryControl* control) const {
+  Status status = op();
+  int attempt = 1;
+  while (!status.ok() && IsTransient(status) && KeepTrying(attempt, control)) {
+    Backoff(attempt);
+    status = op();
+    ++attempt;
+  }
+  return status;
+}
+
+}  // namespace mira

@@ -1,0 +1,80 @@
+#ifndef MIRA_COMMON_RETRY_H_
+#define MIRA_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mira {
+
+/// Bounded exponential backoff with jitter for transient failures.
+struct RetryOptions {
+  /// Total tries including the first (so 4 = one call + up to 3 retries).
+  int max_attempts = 4;
+  /// Sleep before the first retry.
+  double initial_backoff_ms = 2.0;
+  /// Backoff growth per retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  double max_backoff_ms = 200.0;
+  /// Uniform jitter applied to each sleep: the actual sleep is
+  /// backoff * (1 ± jitter_fraction), drawn from common/rng so retry storms
+  /// de-synchronize deterministically per seed.
+  double jitter_fraction = 0.25;
+  /// Seed of the jitter stream (reproducible tests).
+  uint64_t seed = 0x5EEDBACCULL;
+};
+
+/// Wraps an operation in a retry loop: transient failures (kIoError,
+/// kUnavailable by default) are retried with exponential backoff + jitter;
+/// anything else — success, or a non-retryable error such as kDataLoss —
+/// returns immediately. A QueryControl can bound the whole loop: once the
+/// deadline expires or the token fires, the last transient error is
+/// returned without further sleeping.
+///
+/// Thread-safety: each Run() call owns its jitter RNG state; a single
+/// RetryPolicy value may be used concurrently.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = {});
+
+  /// Default transience test: kIoError or kUnavailable.
+  static bool IsTransient(const Status& status);
+
+  /// Runs `op` until it succeeds, fails non-transiently, or attempts/budget
+  /// run out. Returns the last status.
+  [[nodiscard]] Status Run(const std::function<Status()>& op,
+                           const QueryControl* control = nullptr) const;
+
+  /// Result-returning variant.
+  template <typename T>
+  [[nodiscard]] Result<T> RunResult(const std::function<Result<T>()>& op,
+                                    const QueryControl* control = nullptr) const {
+    Result<T> result = op();
+    int attempt = 1;
+    while (!result.ok() && IsTransient(result.status()) &&
+           KeepTrying(attempt, control)) {
+      Backoff(attempt);
+      result = op();
+      ++attempt;
+    }
+    return result;
+  }
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  /// True when attempt (1-based count of calls made so far) leaves room for
+  /// another try and the control has budget left.
+  bool KeepTrying(int attempts_made, const QueryControl* control) const;
+  /// Sleeps the jittered backoff for the given 1-based retry index.
+  void Backoff(int attempts_made) const;
+
+  RetryOptions options_;
+};
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_RETRY_H_

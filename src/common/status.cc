@@ -10,6 +10,9 @@ const std::string kEmptyMessage;
 }  // namespace
 
 std::string_view StatusCodeToString(StatusCode code) {
+  // Exhaustive over StatusCode (no default:) so -Werror=switch flags a new
+  // enumerator that is missing its name; the return after the switch only
+  // covers out-of-range integers cast into the enum.
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -31,6 +34,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -80,6 +89,15 @@ Status Status::NotImplemented(std::string msg) {
 }
 Status Status::Cancelled(std::string msg) {
   return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 const std::string& Status::message() const {

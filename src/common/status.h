@@ -23,6 +23,16 @@ enum class StatusCode : int {
   kIoError = 7,
   kNotImplemented = 8,
   kCancelled = 9,
+  /// A query's time budget elapsed before the operation finished. Callers
+  /// can usually retry with a larger budget; the discovery engine instead
+  /// degrades (see docs/ROBUSTNESS.md).
+  kDeadlineExceeded = 10,
+  /// A transient condition (resource briefly missing, injected outage).
+  /// Safe to retry with backoff — see common/retry.h.
+  kUnavailable = 11,
+  /// Persisted bytes are corrupt or truncated (checksum mismatch, short
+  /// read). Retrying will not help; the artifact must be rebuilt.
+  kDataLoss = 12,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -60,6 +70,9 @@ class [[nodiscard]] Status {
   static Status IoError(std::string msg);
   static Status NotImplemented(std::string msg);
   static Status Cancelled(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status DataLoss(std::string msg);
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -77,6 +90,11 @@ class [[nodiscard]] Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

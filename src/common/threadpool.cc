@@ -143,4 +143,102 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
+namespace {
+
+// Shared state for ParallelForCancellable. Same ownership story as
+// ParallelForState, but errors travel as Status values (first one wins)
+// instead of exception_ptr.
+struct CancellableForState {
+  std::function<Status(size_t)> body;
+  const QueryControl* control = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  size_t end = 0;
+  size_t chunk = 0;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done_chunks = 0;
+  Status first_error;  // OK until the first non-OK invocation.
+
+  // Records the first non-OK status and stops further chunk scheduling.
+  // Later errors are discarded ("first non-OK wins" is temporal order).
+  void RecordError(Status status) {
+    cancelled.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = std::move(status);
+  }
+};
+
+}  // namespace
+
+Status ParallelForCancellable(ThreadPool* pool, size_t begin, size_t end,
+                              const QueryControl* control,
+                              const std::function<Status(size_t)>& body) {
+  if (begin >= end) return Status::OK();
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    // Inline path: the control is consulted per index. Callers hand us
+    // block-granular bodies, so this is already amortized work.
+    for (size_t i = begin; i < end; ++i) {
+      if (control != nullptr) {
+        Status budget = control->Check("ParallelForCancellable");
+        if (!budget.ok()) return budget;
+      }
+      Status status = body(i);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  const size_t num_workers = pool->num_threads();
+  const size_t chunk = std::max<size_t>(1, n / (num_workers * 4));
+  const size_t total_chunks = (n + chunk - 1) / chunk;
+
+  auto state = std::make_shared<CancellableForState>();
+  state->body = body;
+  state->control = control;
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->chunk = chunk;
+
+  size_t submitted = 0;
+  for (size_t c = 0; c < total_chunks; ++c) {
+    pool->Submit([state] {
+      const size_t start =
+          state->next.fetch_add(state->chunk, std::memory_order_relaxed);
+      const size_t stop = std::min(state->end, start + state->chunk);
+      if (!state->cancelled.load(std::memory_order_acquire)) {
+        // Budget check once per chunk, not per index: chunks are the
+        // amortization unit of this loop.
+        Status budget = state->control != nullptr
+                            ? state->control->Check("ParallelForCancellable")
+                            : Status::OK();
+        if (!budget.ok()) {
+          state->RecordError(std::move(budget));
+        } else {
+          for (size_t i = start; i < stop; ++i) {
+            Status status = state->body(i);
+            if (!status.ok()) {
+              state->RecordError(std::move(status));
+              break;
+            }
+          }
+        }
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      ++state->done_chunks;
+      state->done_cv.notify_all();
+    });
+    ++submitted;
+    // Stop scheduling new chunks once an error or the control fired;
+    // already-queued chunks complete as no-ops.
+    if (state->cancelled.load(std::memory_order_acquire)) break;
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  return state->first_error;
+}
+
 }  // namespace mira

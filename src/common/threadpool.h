@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
+
 namespace mira {
 
 /// Fixed-size worker pool with a simple FIFO queue.
@@ -73,6 +76,27 @@ class ThreadPool {
 ///    worker, or the range is a single index.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
+
+/// Cancellable, Status-returning variant of ParallelFor: runs body(i) for i
+/// in [begin, end) across the pool and returns the first non-OK status any
+/// invocation produced (first temporally; later errors are discarded), or
+/// the control's kCancelled/kDeadlineExceeded when it fires mid-loop.
+///
+/// Contract (on top of the ParallelFor contract):
+///  - Once an invocation returns non-OK or `control` fires, already-queued
+///    chunks become no-ops (they complete without calling `body`) and no
+///    index not yet claimed by a running chunk is processed. Indices inside
+///    a chunk that has already started still run to the chunk boundary.
+///  - `control` (nullable) is tested at chunk boundaries on the pool path
+///    and per index on the inline path — callers amortize by giving `body`
+///    block-granular work, never per-cell work.
+///  - The call never returns before every submitted chunk has completed, so
+///    `body` may capture the caller's frame by reference.
+///  - A non-OK return does not say which indices ran: partial side effects
+///    are the caller's to tolerate (the ExS partial scan counts them).
+[[nodiscard]] Status ParallelForCancellable(
+    ThreadPool* pool, size_t begin, size_t end, const QueryControl* control,
+    const std::function<Status(size_t)>& body);
 
 }  // namespace mira
 

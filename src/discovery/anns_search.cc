@@ -69,13 +69,36 @@ Result<Ranking> AnnsSearcher::Search(const std::string& query,
 
   MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* cells,
                         db_.GetCollection(kCellCollection));
+
+  // Graceful degradation under a deadline: shrink the HNSW beam as the
+  // budget drains (full ef above 50% remaining, half above 25%, quarter
+  // below that — floored so the beam still covers the candidate ask). An
+  // inactive control leaves ef untouched, keeping that path bit-identical.
+  const QueryControl& control = options.control;
+  size_t ef = options_.ef_search;
+  bool degraded = false;
+  if (control.active()) {
+    double fraction = control.deadline.FractionRemaining();
+    if (fraction < 0.25) {
+      ef /= 4;
+      degraded = true;
+    } else if (fraction < 0.5) {
+      ef /= 2;
+      degraded = true;
+    }
+    ef = std::max(ef, std::max(options_.cell_candidates, size_t{16}));
+    degraded = degraded && ef < options_.ef_search;
+  }
+
   std::vector<vectordb::SearchHit> hits;
   {
     obs::TraceSpan span("anns.hnsw_search");
     MIRA_ASSIGN_OR_RETURN(
-        hits, cells->Search(q, options_.cell_candidates, options_.ef_search));
+        hits, cells->Search(q, options_.cell_candidates, ef, {},
+                            control.active() ? &control : nullptr));
     span.AddCounter("candidates_requested",
                     static_cast<int64_t>(options_.cell_candidates));
+    span.AddCounter("ef", static_cast<int64_t>(ef));
     span.AddCounter("hits", static_cast<int64_t>(hits.size()));
   }
 
@@ -104,6 +127,7 @@ Result<Ranking> AnnsSearcher::Search(const std::string& query,
               return a.relation < b.relation;
             });
   ApplyThresholdAndTopK(&ranking, options);
+  ranking.degraded = degraded;
   return ranking;
 }
 

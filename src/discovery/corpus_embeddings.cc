@@ -1,9 +1,15 @@
 #include "discovery/corpus_embeddings.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#include "common/checksum.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "vecmath/vector_ops.h"
 
@@ -44,69 +50,166 @@ Result<CorpusEmbeddings> CorpusEmbeddings::Build(
   corpus.vectors = vecmath::Matrix(pending.size(), encoder.dim());
   corpus.refs.resize(pending.size());
 
-  auto embed_one = [&](size_t i) {
+  // Cancellable loop (runs inline when pool is null) so an injected encode
+  // failure aborts the build with a typed Status instead of finishing with a
+  // silently wrong row — first non-OK wins, remaining cells are skipped.
+  auto embed_one = [&](size_t i) -> Status {
+    MIRA_FAILPOINT("embed.encode");
     vecmath::Vec v = encoder.EncodeText(*pending[i].text);
     vecmath::NormalizeInPlace(&v);
     corpus.vectors.SetRow(i, v);
     corpus.refs[i] = pending[i].ref;
+    return Status::OK();
   };
-
-  if (pool != nullptr) {
-    ParallelFor(pool, 0, pending.size(), embed_one);
-  } else {
-    for (size_t i = 0; i < pending.size(); ++i) embed_one(i);
-  }
+  MIRA_RETURN_NOT_OK(
+      ParallelForCancellable(pool, 0, pending.size(), nullptr, embed_one));
   return corpus;
 }
 
 namespace {
-constexpr char kCorpusMagic[8] = {'M', 'I', 'R', 'A', 'C', 'O', 'R', '1'};
+
+// Format v2 ("MIRACOR2"): magic, then five little-endian uint64 header
+// words {num_relations, rows, cols, payload_checksum, header_checksum},
+// then the payload (vectors, refs, cells_per_relation). header_checksum
+// covers the magic + the first four words; payload_checksum covers every
+// payload byte in file order. v1 files (no checksums) are not readable —
+// Load reports them as kDataLoss with the version in the message.
+constexpr char kCorpusMagic[8] = {'M', 'I', 'R', 'A', 'C', 'O', 'R', '2'};
+constexpr size_t kHeaderWords = 5;
+
 }  // namespace
 
 Status CorpusEmbeddings::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
-  out.write(kCorpusMagic, sizeof(kCorpusMagic));
-  uint64_t header[3] = {num_relations, vectors.rows(), vectors.cols()};
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(vectors.data().data()),
-            static_cast<std::streamsize>(vectors.data().size() * sizeof(float)));
-  out.write(reinterpret_cast<const char*>(refs.data()),
-            static_cast<std::streamsize>(refs.size() * sizeof(CellRef)));
-  out.write(reinterpret_cast<const char*>(cells_per_relation.data()),
-            static_cast<std::streamsize>(cells_per_relation.size() *
-                                         sizeof(uint32_t)));
-  if (!out.good()) return Status::IoError("corpus embeddings write failed");
+  MIRA_FAILPOINT("corpus.save");
+
+  const size_t vectors_bytes = vectors.data().size() * sizeof(float);
+  const size_t refs_bytes = refs.size() * sizeof(CellRef);
+  const size_t counts_bytes = cells_per_relation.size() * sizeof(uint32_t);
+
+  uint64_t header[kHeaderWords] = {num_relations, vectors.rows(),
+                                   vectors.cols(), 0, 0};
+  Checksum64 payload_sum;
+  payload_sum.Update(vectors.data().data(), vectors_bytes);
+  payload_sum.Update(refs.data(), refs_bytes);
+  payload_sum.Update(cells_per_relation.data(), counts_bytes);
+  header[3] = payload_sum.Digest();
+  Checksum64 header_sum;
+  header_sum.Update(kCorpusMagic, sizeof(kCorpusMagic));
+  header_sum.Update(header, 4 * sizeof(uint64_t));
+  header[4] = header_sum.Digest();
+
+  // Write to a sibling tmp file, fsync, then atomically rename into place:
+  // a crash (or injected fault) at any point leaves either the old good
+  // file or no file at `path` — never a torn one. The interrupted tmp is
+  // deliberately left behind for post-mortem inspection.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError(
+        StrFormat("corpus save: cannot open '%s'", tmp_path.c_str()));
+  }
+
+  // Byte budget the partial-write failpoint can lower to simulate a writer
+  // dying mid-stream (ENOSPC, power cut); unlimited when disarmed.
+  size_t write_budget = SIZE_MAX;
+  MIRA_FAILPOINT_PARTIAL("corpus.save.partial", write_budget);
+  auto write_chunk = [&](const void* data, size_t len) {
+    const size_t take = len < write_budget ? len : write_budget;
+    const size_t written = std::fwrite(data, 1, take, out);
+    write_budget -= written;
+    return written == len;
+  };
+
+  bool ok = write_chunk(kCorpusMagic, sizeof(kCorpusMagic)) &&
+            write_chunk(header, sizeof(header)) &&
+            write_chunk(vectors.data().data(), vectors_bytes) &&
+            write_chunk(refs.data(), refs_bytes) &&
+            write_chunk(cells_per_relation.data(), counts_bytes);
+  // fsync before close: rename-over is only atomic-durable if the tmp's
+  // bytes reached the device first.
+  if (ok) ok = std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
+  const bool closed = std::fclose(out) == 0;
+  if (!ok || !closed) {
+    return Status::IoError(StrFormat(
+        "corpus save: short write to '%s' (target untouched)",
+        tmp_path.c_str()));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError(StrFormat("corpus save: rename to '%s' failed",
+                                     path.c_str()));
+  }
   return Status::OK();
 }
 
 Result<CorpusEmbeddings> CorpusEmbeddings::Load(const std::string& path) {
+  MIRA_FAILPOINT("corpus.load");
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  if (!in) {
+    return Status::IoError(
+        StrFormat("corpus load: cannot open '%s'", path.c_str()));
+  }
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kCorpusMagic, sizeof(kCorpusMagic)) != 0) {
-    return Status::IoError("bad corpus embeddings magic");
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kCorpusMagic, sizeof(kCorpusMagic)) != 0) {
+    return Status::DataLoss(StrFormat(
+        "corpus load: '%s' is not a MIRACOR2 file (corrupt, truncated, or "
+        "pre-checksum format)",
+        path.c_str()));
   }
-  uint64_t header[3];
+  uint64_t header[kHeaderWords];
   in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in.good()) return Status::IoError("truncated corpus embeddings");
+  if (in.gcount() != sizeof(header)) {
+    return Status::DataLoss(
+        StrFormat("corpus load: '%s' truncated in header", path.c_str()));
+  }
+  Checksum64 header_sum;
+  header_sum.Update(kCorpusMagic, sizeof(kCorpusMagic));
+  header_sum.Update(header, 4 * sizeof(uint64_t));
+  if (header_sum.Digest() != header[4]) {
+    return Status::DataLoss(
+        StrFormat("corpus load: '%s' header checksum mismatch", path.c_str()));
+  }
 
   CorpusEmbeddings corpus;
   corpus.num_relations = header[0];
   corpus.vectors = vecmath::Matrix(header[1], header[2]);
-  in.read(reinterpret_cast<char*>(corpus.vectors.data().data()),
-          static_cast<std::streamsize>(corpus.vectors.data().size() *
-                                       sizeof(float)));
   corpus.refs.resize(header[1]);
-  in.read(reinterpret_cast<char*>(corpus.refs.data()),
-          static_cast<std::streamsize>(corpus.refs.size() * sizeof(CellRef)));
   corpus.cells_per_relation.resize(corpus.num_relations);
-  in.read(reinterpret_cast<char*>(corpus.cells_per_relation.data()),
-          static_cast<std::streamsize>(corpus.cells_per_relation.size() *
-                                       sizeof(uint32_t)));
-  if (!in.good()) return Status::IoError("truncated corpus embeddings");
+
+  const size_t vectors_bytes = corpus.vectors.data().size() * sizeof(float);
+  const size_t refs_bytes = corpus.refs.size() * sizeof(CellRef);
+  const size_t counts_bytes =
+      corpus.cells_per_relation.size() * sizeof(uint32_t);
+  auto read_chunk = [&](void* data, size_t len) {
+    in.read(reinterpret_cast<char*>(data),
+            static_cast<std::streamsize>(len));
+    return static_cast<size_t>(in.gcount()) == len;
+  };
+  if (!read_chunk(corpus.vectors.data().data(), vectors_bytes) ||
+      !read_chunk(corpus.refs.data(), refs_bytes) ||
+      !read_chunk(corpus.cells_per_relation.data(), counts_bytes)) {
+    return Status::DataLoss(
+        StrFormat("corpus load: '%s' truncated in payload", path.c_str()));
+  }
+  Checksum64 payload_sum;
+  payload_sum.Update(corpus.vectors.data().data(), vectors_bytes);
+  payload_sum.Update(corpus.refs.data(), refs_bytes);
+  payload_sum.Update(corpus.cells_per_relation.data(), counts_bytes);
+  if (payload_sum.Digest() != header[3]) {
+    return Status::DataLoss(StrFormat(
+        "corpus load: '%s' payload checksum mismatch (flipped or torn bytes)",
+        path.c_str()));
+  }
   return corpus;
+}
+
+Result<CorpusEmbeddings> CorpusEmbeddings::LoadWithRetry(
+    const std::string& path, const RetryOptions& retry,
+    const QueryControl* control) {
+  RetryPolicy policy(retry);
+  return policy.RunResult<CorpusEmbeddings>(
+      [&path]() { return Load(path); }, control);
 }
 
 }  // namespace mira::discovery

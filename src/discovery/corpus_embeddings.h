@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/threadpool.h"
 #include "embed/encoder.h"
 #include "table/relation.h"
@@ -44,10 +45,27 @@ struct CorpusEmbeddings {
   /// Persists the embeddings to a binary file. Embedding is the dominant
   /// indexing cost, so caching it lets a federation be re-opened in seconds
   /// (the derived ANN/cluster structures are rebuilt).
+  ///
+  /// Crash-safe: the bytes go to `path + ".tmp"`, are fsync'd, and the tmp
+  /// file is atomically renamed over `path` — a crash or failure mid-write
+  /// never clobbers an existing good file (the interrupted tmp is left
+  /// behind for post-mortem). The header carries checksums of itself and of
+  /// the payload so Load can tell corruption from format drift.
   [[nodiscard]] Status Save(const std::string& path) const;
 
-  /// Restores embeddings written by Save().
+  /// Restores embeddings written by Save(). Distinguishes failure classes:
+  /// a file that cannot be opened is kIoError (possibly transient); one
+  /// that opens but is truncated, corrupted, or checksum-mismatched is
+  /// kDataLoss (retrying cannot help — re-embed or restore from backup).
   [[nodiscard]] static Result<CorpusEmbeddings> Load(const std::string& path);
+
+  /// Load() wrapped in RetryPolicy: transient errors (kIoError,
+  /// kUnavailable) retry with jittered exponential backoff; kDataLoss and
+  /// other typed failures return immediately. `control` (nullable) bounds
+  /// the whole loop.
+  [[nodiscard]] static Result<CorpusEmbeddings> LoadWithRetry(
+      const std::string& path, const RetryOptions& retry = {},
+      const QueryControl* control = nullptr);
 };
 
 }  // namespace mira::discovery

@@ -221,12 +221,16 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
     vecmath::NormalizeInPlace(&q);
   }
 
+  const QueryControl& control = options.control;
+  const QueryControl* control_ptr = control.active() ? &control : nullptr;
+
   // Match the query against the cluster medoids and keep the top clusters.
   obs::TraceSpan medoid_span("cts.medoid_match");
   MIRA_ASSIGN_OR_RETURN(const vectordb::Collection* medoids,
                         db_.GetCollection(kMedoidCollection));
-  MIRA_ASSIGN_OR_RETURN(auto medoid_hits,
-                        medoids->Search(q, options_.cluster_candidates));
+  MIRA_ASSIGN_OR_RETURN(
+      auto medoid_hits,
+      medoids->Search(q, options_.cluster_candidates, 0, {}, control_ptr));
   medoid_span.AddCounter("clusters_total", static_cast<int64_t>(num_clusters_));
   medoid_span.AddCounter("clusters_selected",
                          static_cast<int64_t>(medoid_hits.size()));
@@ -241,15 +245,36 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
       std::max<size_t>(16, options_.cell_candidates /
                                std::max<size_t>(1, medoid_hits.size()));
   size_t cell_hits = 0;
+  size_t clusters_searched = 0;
+  bool degraded = false;
   std::unordered_map<table::RelationId, std::pair<double, uint32_t>> grouped;
   for (const auto& medoid_hit : medoid_hits) {
+    // Degradation point: once at least one cluster has been probed, a spent
+    // budget shrinks the probe set instead of failing the query. Scores stay
+    // real (per-cluster searches are exact within their cluster); only
+    // cluster coverage shrinks, so the ranking is flagged degraded+partial.
+    if (clusters_searched > 0 && control.ShouldStop()) {
+      degraded = true;
+      break;
+    }
     auto cluster_id = medoid_hit.payload->GetInt("cluster");
     if (!cluster_id.has_value()) continue;
     MIRA_ASSIGN_OR_RETURN(
         const vectordb::Collection* cells,
         db_.GetCollection(
             ClusterCollectionName(static_cast<size_t>(*cluster_id))));
-    MIRA_ASSIGN_OR_RETURN(auto hits, cells->Search(q, per_cluster));
+    auto hits_result = cells->Search(q, per_cluster, 0, {}, control_ptr);
+    if (!hits_result.ok()) {
+      // A deadline firing mid-probe degrades to the clusters already
+      // covered; cancellation and real errors always propagate.
+      if (hits_result.status().IsDeadlineExceeded() && !grouped.empty()) {
+        degraded = true;
+        break;
+      }
+      return hits_result.status();
+    }
+    const auto& hits = *hits_result;
+    ++clusters_searched;
     cell_hits += hits.size();
     for (const auto& hit : hits) {
       auto rel = hit.payload->GetInt("rel");
@@ -260,7 +285,7 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
     }
   }
   cluster_span.AddCounter("clusters_searched",
-                          static_cast<int64_t>(medoid_hits.size()));
+                          static_cast<int64_t>(clusters_searched));
   cluster_span.AddCounter("per_cluster_k", static_cast<int64_t>(per_cluster));
   cluster_span.AddCounter("cell_hits", static_cast<int64_t>(cell_hits));
   cluster_span.AddCounter("relations", static_cast<int64_t>(grouped.size()));
@@ -278,6 +303,8 @@ Result<Ranking> CtsSearcher::Search(const std::string& query,
               return a.relation < b.relation;
             });
   ApplyThresholdAndTopK(&ranking, options);
+  ranking.degraded = degraded;
+  ranking.partial = degraded;  // skipped clusters = candidates never seen
   return ranking;
 }
 

@@ -148,6 +148,12 @@ Status DiscoveryEngine::FinishBuild(const EngineOptions& options) {
 
   exhaustive_ = std::make_unique<ExhaustiveSearcher>(&federation_, corpus_,
                                                      encoder_, options.exs);
+  ExsOptions fallback_exs;
+  fallback_exs.reuse_corpus_embeddings = true;  // index-speed, shares corpus_
+  fallback_exs.num_threads = 1;                 // partial mode runs serially
+  fallback_exs.allow_partial = true;
+  fallback_exs_ = std::make_unique<ExhaustiveSearcher>(&federation_, corpus_,
+                                                       encoder_, fallback_exs);
   if (options.build_anns) {
     WallTimer timer;
     MIRA_ASSIGN_OR_RETURN(
@@ -176,6 +182,12 @@ Status DiscoveryEngine::FinishBuild(const EngineOptions& options) {
       metrics.latency_ms =
           &registry.GetHistogram("mira.query.latency_ms." + suffix);
     }
+    degraded_metrics_.count =
+        &registry.GetCounter("mira.query.degraded.count");
+    degraded_metrics_.partial =
+        &registry.GetCounter("mira.query.degraded.partial");
+    degraded_metrics_.fallback =
+        &registry.GetCounter("mira.query.degraded.fallback");
   }
   return Status::OK();
 }
@@ -208,15 +220,71 @@ void DiscoveryEngine::RecordQueryMetrics(Method method, double millis,
   }
 }
 
-Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
-                                        const DiscoveryOptions& options) const {
-  const Searcher* searcher = this->searcher(method);
-  if (searcher == nullptr) {
+void DiscoveryEngine::RecordDegradation(const Ranking& ranking,
+                                        bool fell_back) const {
+  if constexpr (obs::kObsEnabled) {
+    if (degraded_metrics_.count == nullptr) return;
+    if (ranking.degraded) degraded_metrics_.count->Increment();
+    if (ranking.partial) degraded_metrics_.partial->Increment();
+    if (fell_back) degraded_metrics_.fallback->Increment();
+  } else {
+    (void)ranking;
+    (void)fell_back;
+  }
+}
+
+Result<Ranking> DiscoveryEngine::SearchWithFallback(
+    Method method, const std::string& query,
+    const DiscoveryOptions& options) const {
+  const Searcher* primary = this->searcher(method);
+  if (primary == nullptr) {
     return Status::FailedPrecondition(
         std::string(MethodToString(method)) + " searcher was not built");
   }
+  Result<Ranking> result = primary->Search(query, options);
+  if (result.ok()) {
+    RecordDegradation(*result, /*fell_back=*/false);
+    return result;
+  }
+  // Only a deadline miss under an active control degrades; everything else
+  // — including kCancelled, where the caller has walked away and any further
+  // work is wasted — propagates as-is.
+  if (!options.control.active() || !result.status().IsDeadlineExceeded()) {
+    return result;
+  }
+
+  // Fallback ladder, cheapest first. Each rung still runs under the expired
+  // budget, so it answers only if it can finish between two of its own
+  // amortized checks (plausible for the pruned methods on modest corpora).
+  constexpr Method kLadder[] = {Method::kCts, Method::kAnns};
+  for (Method fb_method : kLadder) {
+    if (fb_method == method) continue;
+    const Searcher* fb = this->searcher(fb_method);
+    if (fb == nullptr) continue;
+    Result<Ranking> fb_result = fb->Search(query, options);
+    if (fb_result.ok()) {
+      fb_result->degraded = true;
+      RecordDegradation(*fb_result, /*fell_back=*/true);
+      return fb_result;
+    }
+    // Another deadline miss descends the ladder; anything else stops it.
+    if (!fb_result.status().IsDeadlineExceeded()) return fb_result;
+  }
+
+  // Last resort: the partial exhaustive scan. Scans at least one block
+  // regardless of budget, so it returns a (partial) ranking rather than an
+  // error — the "always answer" floor of the ladder.
+  Result<Ranking> partial = fallback_exs_->Search(query, options);
+  if (!partial.ok()) return partial;
+  partial->degraded = true;
+  RecordDegradation(*partial, /*fell_back=*/true);
+  return partial;
+}
+
+Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
+                                        const DiscoveryOptions& options) const {
   WallTimer timer;
-  Result<Ranking> result = searcher->Search(query, options);
+  Result<Ranking> result = SearchWithFallback(method, query, options);
   RecordQueryMetrics(method, timer.ElapsedMillis(), result.ok());
   return result;
 }
@@ -224,24 +292,20 @@ Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
 Result<TracedRanking> DiscoveryEngine::SearchTraced(
     Method method, const std::string& query,
     const DiscoveryOptions& options) const {
-  const Searcher* searcher = this->searcher(method);
-  if (searcher == nullptr) {
-    return Status::FailedPrecondition(
-        std::string(MethodToString(method)) + " searcher was not built");
-  }
   TracedRanking out;
   WallTimer timer;
   {
     obs::ScopedTrace collect(&out.trace);
     obs::TraceSpan root("query");
     root.SetLabel(MethodToString(method));
-    Result<Ranking> result = searcher->Search(query, options);
+    Result<Ranking> result = SearchWithFallback(method, query, options);
     if (!result.ok()) {
       RecordQueryMetrics(method, timer.ElapsedMillis(), false);
       return result.status();
     }
     out.ranking = result.MoveValue();
     root.AddCounter("results", static_cast<int64_t>(out.ranking.size()));
+    root.AddCounter("degraded", out.ranking.degraded ? 1 : 0);
   }
   RecordQueryMetrics(method, timer.ElapsedMillis(), true);
   return out;

@@ -74,6 +74,16 @@ struct EngineOptions {
 ///
 ///     auto engine = DiscoveryEngine::Build(federation, lexicon, options);
 ///     auto ranking = engine->Search(Method::kCts, "covid vaccine", {});
+///
+/// Deadline behavior (DiscoveryOptions::control): searchers first
+/// self-degrade (ANNS shrinks ef, CTS probes fewer clusters). If the primary
+/// method still runs out of budget, the engine walks a fallback ladder —
+/// CTS, then ANNS (each skipped when it is the failed primary or was not
+/// built), then a partial exhaustive scan that always produces a ranking —
+/// so a deadline-bounded query returns a flagged, degraded ranking instead
+/// of an error whenever any method can answer at all. Cancellation is
+/// different: kCancelled means the caller walked away, so it propagates
+/// immediately with no fallback. See docs/ROBUSTNESS.md.
 class DiscoveryEngine {
  public:
   /// Builds every enabled search structure over `federation`. The federation
@@ -121,8 +131,16 @@ class DiscoveryEngine {
   /// Builds the three searchers once corpus embeddings exist.
   [[nodiscard]] Status FinishBuild(const EngineOptions& options);
 
+  /// Search + the deadline fallback ladder; shared by Search/SearchTraced.
+  [[nodiscard]] Result<Ranking> SearchWithFallback(
+      Method method, const std::string& query,
+      const DiscoveryOptions& options) const;
+
   /// Bumps the per-method query counters / latency histograms.
   void RecordQueryMetrics(Method method, double millis, bool ok) const;
+
+  /// Bumps the mira.query.degraded.* counters for a returned ranking.
+  void RecordDegradation(const Ranking& ranking, bool fell_back) const;
 
   /// Registry metrics cached once per engine so the per-query fast path is
   /// pure atomics. Indexed by Method's enumerator order.
@@ -132,14 +150,27 @@ class DiscoveryEngine {
     obs::Histogram* latency_ms = nullptr;
   };
 
+  /// mira.query.degraded.* counters, cached like MethodMetrics.
+  struct DegradedMetrics {
+    obs::Counter* count = nullptr;     ///< rankings returned degraded
+    obs::Counter* partial = nullptr;   ///< ... of which partial-coverage
+    obs::Counter* fallback = nullptr;  ///< ... answered by a fallback method
+  };
+
   table::Federation federation_;
   std::shared_ptr<const embed::SemanticEncoder> encoder_;
   std::shared_ptr<const CorpusEmbeddings> corpus_;
   std::unique_ptr<ExhaustiveSearcher> exhaustive_;
   std::unique_ptr<AnnsSearcher> anns_;
   std::unique_ptr<CtsSearcher> cts_;
+  /// Last rung of the deadline ladder: a serial cached-corpus exhaustive
+  /// scanner in allow_partial mode. Construction is cheap (it shares
+  /// corpus_), and it always returns *something* — even a pre-expired
+  /// budget scans one block.
+  std::unique_ptr<ExhaustiveSearcher> fallback_exs_;
   BuildReport build_report_;
   std::array<MethodMetrics, 3> method_metrics_{};
+  DegradedMetrics degraded_metrics_{};
 };
 
 }  // namespace mira::discovery

@@ -35,8 +35,15 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
     vecmath::NormalizeInPlace(&q);
   }
 
+  const QueryControl& control = options.control;
   const size_t d = corpus_->dim();
   std::vector<double> score_sum(corpus_->num_relations, 0.0);
+  // Per-relation scanned-cell counts, tracked only on the partial path so
+  // truncated relations average over what was actually seen.
+  std::vector<uint32_t> cells_seen;
+  const bool track_partial = control.active() && options_.allow_partial;
+  bool partial = false;
+  size_t cells_scanned = corpus_->num_cells();
 
   // Scan counters are recorded here at the call site rather than inside the
   // loop bodies: pool workers do not carry the caller's thread-local trace
@@ -64,7 +71,44 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
         sums[corpus_->refs[start + j].relation] += scores[j];
       }
     };
-    if (pool_ != nullptr && n >= kParallelThreshold) {
+    if (track_partial) {
+      // Partial mode runs serially so "everything before the cut" is well
+      // defined: block 0 always runs (a pre-expired budget still yields
+      // hits), later blocks only while budget remains.
+      cells_seen.assign(corpus_->num_relations, 0);
+      size_t scanned = 0;
+      for (size_t block = 0; block < num_blocks; ++block) {
+        if (block > 0 && control.ShouldStop()) break;
+        const size_t start = block * kBlock;
+        const size_t count = std::min(kBlock, n - start);
+        scan_block(score_sum, block);
+        for (size_t j = 0; j < count; ++j) {
+          ++cells_seen[corpus_->refs[start + j].relation];
+        }
+        scanned += count;
+      }
+      partial = scanned < n;
+      cells_scanned = scanned;
+    } else if (control.active()) {
+      if (pool_ != nullptr && n >= kParallelThreshold) {
+        std::mutex merge_mu;
+        MIRA_RETURN_NOT_OK(ParallelForCancellable(
+            pool_.get(), 0, num_blocks, &control, [&](size_t block) {
+              std::vector<double> local(score_sum.size(), 0.0);
+              scan_block(local, block);
+              std::lock_guard<std::mutex> lock(merge_mu);
+              for (size_t rid = 0; rid < local.size(); ++rid) {
+                score_sum[rid] += local[rid];
+              }
+              return Status::OK();
+            }));
+      } else {
+        for (size_t block = 0; block < num_blocks; ++block) {
+          MIRA_RETURN_NOT_OK(control.Check("exs.scan"));
+          scan_block(score_sum, block);
+        }
+      }
+    } else if (pool_ != nullptr && n >= kParallelThreshold) {
       std::mutex merge_mu;
       ParallelFor(pool_.get(), 0, num_blocks, [&](size_t block) {
         std::vector<double> local(score_sum.size(), 0.0);
@@ -98,7 +142,34 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
       }
       score_sum[rid] = sum;
     };
-    if (pool_ != nullptr) {
+    if (track_partial) {
+      // Serial with a per-relation budget check; relation 0 always runs.
+      cells_seen.assign(corpus_->num_relations, 0);
+      size_t scanned = 0;
+      for (size_t rid = 0; rid < federation_->size(); ++rid) {
+        if (rid > 0 && control.ShouldStop()) {
+          partial = true;
+          break;
+        }
+        scan_relation(rid);
+        cells_seen[rid] = corpus_->cells_per_relation[rid];
+        scanned += cells_seen[rid];
+      }
+      cells_scanned = scanned;
+    } else if (control.active()) {
+      if (pool_ != nullptr) {
+        MIRA_RETURN_NOT_OK(ParallelForCancellable(
+            pool_.get(), 0, federation_->size(), &control, [&](size_t rid) {
+              scan_relation(rid);
+              return Status::OK();
+            }));
+      } else {
+        for (size_t rid = 0; rid < federation_->size(); ++rid) {
+          MIRA_RETURN_NOT_OK(control.Check("exs.scan"));
+          scan_relation(rid);
+        }
+      }
+    } else if (pool_ != nullptr) {
       ParallelFor(pool_.get(), 0, federation_->size(), scan_relation);
     } else {
       for (size_t rid = 0; rid < federation_->size(); ++rid) {
@@ -107,7 +178,6 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
     }
   }
 
-  const size_t cells_scanned = corpus_->num_cells();
   scan_span.AddCounter("cells_scanned", static_cast<int64_t>(cells_scanned));
   scan_span.AddCounter("dist_comps", static_cast<int64_t>(cells_scanned));
   scan_span.AddCounter("reused_embeddings",
@@ -119,11 +189,14 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
     cells_metric.Add(cells_scanned);
   }
 
-  // avg_s per relation, then sort / threshold / top-k (lines 10-13).
+  // avg_s per relation, then sort / threshold / top-k (lines 10-13). On the
+  // partial path the denominator is the scanned-cell count, so relations the
+  // cut truncated still score as the average of what was seen.
   Ranking ranking;
   ranking.reserve(corpus_->num_relations);
   for (table::RelationId rid = 0; rid < corpus_->num_relations; ++rid) {
-    uint32_t cells = corpus_->cells_per_relation[rid];
+    uint32_t cells = track_partial ? cells_seen[rid]
+                                   : corpus_->cells_per_relation[rid];
     if (cells == 0) continue;
     ranking.push_back(
         {rid, static_cast<float>(score_sum[rid] / static_cast<double>(cells))});
@@ -134,6 +207,8 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
               return a.relation < b.relation;
             });
   ApplyThresholdAndTopK(&ranking, options);
+  ranking.partial = partial;
+  ranking.degraded = partial;
   return ranking;
 }
 

@@ -25,6 +25,15 @@ struct ExsOptions {
   /// >1 partitions relations across a thread pool — an engineering extension
   /// that preserves scores exactly).
   size_t num_threads = 1;
+  /// How an active DiscoveryOptions::control firing mid-scan is handled.
+  /// false (default): the scan aborts and Search returns
+  /// kDeadlineExceeded/kCancelled. true: the scan stops where it is —
+  /// after at least one block/relation, so even a pre-expired deadline
+  /// yields hits — and Search returns the relations scanned so far with
+  /// `partial` and `degraded` set, averaging each relation over its
+  /// *scanned* cells only. The engine's last-resort fallback uses this
+  /// mode; see docs/ROBUSTNESS.md.
+  bool allow_partial = false;
 };
 
 /// Exhaustive Search — Algorithm 1 (§4.1).

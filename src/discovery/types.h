@@ -1,9 +1,12 @@
 #ifndef MIRA_DISCOVERY_TYPES_H_
 #define MIRA_DISCOVERY_TYPES_H_
 
+#include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "table/relation.h"
 
@@ -16,6 +19,11 @@ struct DiscoveryOptions {
   /// Minimum relation score; relations below are filtered out. The paper's
   /// cosine scores live in [-1, 1]; 0 disables filtering in practice.
   float threshold = -1.0f;
+  /// Deadline + cancellation budget for the query. Default-constructed =
+  /// unbounded, which keeps the uncontrolled path bit-identical to builds
+  /// without this field. See docs/ROBUSTNESS.md for the degradation ladder
+  /// the engine walks when the budget fires mid-query.
+  QueryControl control;
 };
 
 /// One discovered dataset with its match score.
@@ -25,7 +33,45 @@ struct DiscoveryHit {
 };
 
 /// Ranked list of related datasets, best first.
-using Ranking = std::vector<DiscoveryHit>;
+///
+/// Grew out of `std::vector<DiscoveryHit>` when deadlines landed; it still
+/// exposes the vector surface (iteration, indexing, size/empty, push_back)
+/// so ranking consumers read unchanged, plus two quality flags:
+///  - `degraded`: the engine reduced effort to meet the budget (lower ef,
+///    fewer probed clusters, or a fallback method). Scores are real but the
+///    ranking may differ from an unbounded run.
+///  - `partial`: stronger — the scan did not cover the whole corpus, so
+///    relations may be missing entirely (partial ExS fallback).
+/// `partial` implies `degraded` on every path the engine produces.
+struct Ranking {
+  std::vector<DiscoveryHit> hits;
+  bool degraded = false;
+  bool partial = false;
+
+  Ranking() = default;
+  Ranking(std::initializer_list<DiscoveryHit> init) : hits(init) {}
+
+  // Vector facade, const + mutable, so existing consumers compile as-is.
+  using value_type = DiscoveryHit;
+  using iterator = std::vector<DiscoveryHit>::iterator;
+  using const_iterator = std::vector<DiscoveryHit>::const_iterator;
+  iterator begin() { return hits.begin(); }
+  iterator end() { return hits.end(); }
+  const_iterator begin() const { return hits.begin(); }
+  const_iterator end() const { return hits.end(); }
+  size_t size() const { return hits.size(); }
+  bool empty() const { return hits.empty(); }
+  DiscoveryHit& operator[](size_t i) { return hits[i]; }
+  const DiscoveryHit& operator[](size_t i) const { return hits[i]; }
+  DiscoveryHit& front() { return hits.front(); }
+  const DiscoveryHit& front() const { return hits.front(); }
+  DiscoveryHit& back() { return hits.back(); }
+  const DiscoveryHit& back() const { return hits.back(); }
+  void push_back(const DiscoveryHit& hit) { hits.push_back(hit); }
+  void reserve(size_t n) { hits.reserve(n); }
+  void resize(size_t n) { hits.resize(n); }
+  void clear() { hits.clear(); }
+};
 
 /// Common interface of the three semantic search methods (and of the
 /// baseline rankers, which adapt to it for the evaluation harness).
@@ -33,7 +79,10 @@ class Searcher {
  public:
   virtual ~Searcher() = default;
 
-  /// Returns the top-k relations related to the keyword query.
+  /// Returns the top-k relations related to the keyword query. When
+  /// `options.control` is active, implementations honor it cooperatively:
+  /// they either self-degrade (and say so via the ranking flags) or return
+  /// kDeadlineExceeded/kCancelled.
   [[nodiscard]] virtual Result<Ranking> Search(const std::string& query,
                                  const DiscoveryOptions& options) const = 0;
 

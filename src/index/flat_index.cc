@@ -55,8 +55,16 @@ Result<std::vector<vecmath::ScoredId>> FlatIndex::Search(
   // prefetch; a stack block keeps the score spill out of the heap. For cosine
   // the rows and query are pre-normalized, so similarity is a plain dot.
   constexpr size_t kBlock = 256;
+  // Budget checks are amortized over whole blocks (4096 rows between
+  // checks) so an uncontrolled query pays nothing measurable.
+  constexpr size_t kControlStride = 16;
   float scores[kBlock];
-  for (size_t start = 0; start < n; start += kBlock) {
+  size_t block_idx = 0;
+  for (size_t start = 0; start < n; start += kBlock, ++block_idx) {
+    if (params.control != nullptr && block_idx % kControlStride == 0) {
+      Status budget = params.control->Check("flat.scan");
+      if (!budget.ok()) return budget;
+    }
     const size_t count = std::min(kBlock, n - start);
     if (metric_ == vecmath::Metric::kL2) {
       vecmath::SquaredL2Batch(q.data(), vectors_.Row(start), count, d, scores);

@@ -125,8 +125,9 @@ uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry,
   return current;
 }
 
-void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
-                            int level, SearchScratch* scratch) const {
+Status HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
+                              int level, const QueryControl* control,
+                              SearchScratch* scratch) const {
   // Min-heap of frontier candidates, max-heap of current best ef results,
   // both living in the scratch's reused storage; visited marks are epoch
   // stamps, so resetting them costs one increment instead of a hash-set
@@ -149,6 +150,10 @@ void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
     std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
     frontier.pop_back();
     ++scratch->stat_popped;
+    if (control != nullptr &&
+        scratch->stat_popped % kControlPopStride == 0) {
+      MIRA_RETURN_NOT_OK(control->Check("hnsw.search_layer"));
+    }
     for (uint32_t nb : links_[c.node][level]) {
       if (visited[nb] == epoch) continue;
       visited[nb] = epoch;
@@ -169,6 +174,7 @@ void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
 
   scratch->beam.assign(best.begin(), best.end());
   std::sort(scratch->beam.begin(), scratch->beam.end());
+  return Status::OK();
 }
 
 uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
@@ -197,9 +203,10 @@ uint32_t HnswIndex::GreedyClosestAdc(const std::vector<float>& table,
   return current;
 }
 
-void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
-                               size_t ef, int level,
-                               SearchScratch* scratch) const {
+Status HnswIndex::SearchLayerAdc(const std::vector<float>& table,
+                                 uint32_t entry, size_t ef, int level,
+                                 const QueryControl* control,
+                                 SearchScratch* scratch) const {
   const size_t bytes = pq_->code_bytes();
   auto dist = [&](uint32_t node) {
     return pq_->AdcDistance(table, codes_.data() + node * bytes);
@@ -222,6 +229,10 @@ void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
     std::pop_heap(frontier.begin(), frontier.end(), std::greater<>());
     frontier.pop_back();
     ++scratch->stat_popped;
+    if (control != nullptr &&
+        scratch->stat_popped % kControlPopStride == 0) {
+      MIRA_RETURN_NOT_OK(control->Check("hnsw.search_layer_adc"));
+    }
     for (uint32_t nb : links_[c.node][level]) {
       if (visited[nb] == epoch) continue;
       visited[nb] = epoch;
@@ -242,6 +253,7 @@ void HnswIndex::SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
 
   scratch->beam.assign(best.begin(), best.end());
   std::sort(scratch->beam.begin(), scratch->beam.end());
+  return Status::OK();
 }
 
 std::vector<uint32_t> HnswIndex::SelectNeighbors(
@@ -308,7 +320,11 @@ void HnswIndex::InsertNode(uint32_t node, SearchScratch* scratch) {
     ep = GreedyClosest(query, ep, l);
   }
   for (int l = std::min(level, max_level_); l >= 0; --l) {
-    SearchLayer(query, ep, options_.ef_construction, l, scratch);
+    // Null control: construction beams are never budget-bounded, so this
+    // cannot fail.
+    Status beam_status =
+        SearchLayer(query, ep, options_.ef_construction, l, nullptr, scratch);
+    MIRA_CHECK(beam_status.ok());
     std::vector<uint32_t> neighbors =
         SelectNeighbors(node, scratch->beam, options_.M);
     for (uint32_t nb : neighbors) {
@@ -365,6 +381,12 @@ Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
   if (query.size() != vectors_.cols()) {
     return Status::InvalidArgument("hnsw: query dim mismatch");
   }
+  // One unconditional entry check: the beam's amortized check fires only
+  // every kControlPopStride pops, which a small graph may never reach — a
+  // pre-expired budget must still surface before any traversal.
+  if (params.control != nullptr) {
+    MIRA_RETURN_NOT_OK(params.control->Check("hnsw.search"));
+  }
   vecmath::Vec q = options_.metric == vecmath::Metric::kCosine
                        ? vecmath::Normalized(query)
                        : query;
@@ -381,10 +403,17 @@ Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
     obs::TraceSpan adc_span("anns.pq_adc");
     pq_->ComputeDistanceTable(q, &scratch->table);
     uint32_t ep = entry_point_;
+    // Greedy upper-layer descent is O(log n) hops — below the amortization
+    // stride, so only the layer-0 beam is budget-checked.
     for (int l = max_level_; l >= 1; --l) {
       ep = GreedyClosestAdc(scratch->table, ep, l, &scratch->stat_adc_decoded);
     }
-    SearchLayerAdc(scratch->table, ep, ef, 0, scratch.get());
+    Status beam_status =
+        SearchLayerAdc(scratch->table, ep, ef, 0, params.control, scratch.get());
+    if (!beam_status.ok()) {
+      ReleaseScratch(std::move(scratch));
+      return beam_status;
+    }
     adc_span.AddCounter("codes_decoded",
                         static_cast<int64_t>(scratch->stat_adc_decoded));
     adc_span.Finish();
@@ -400,7 +429,12 @@ Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
     for (int l = max_level_; l >= 1; --l) {
       ep = GreedyClosest(q.data(), ep, l, &scratch->stat_dist_comps);
     }
-    SearchLayer(q.data(), ep, ef, 0, scratch.get());
+    Status beam_status =
+        SearchLayer(q.data(), ep, ef, 0, params.control, scratch.get());
+    if (!beam_status.ok()) {
+      ReleaseScratch(std::move(scratch));
+      return beam_status;
+    }
   }
   span.AddCounter("ef", static_cast<int64_t>(ef));
   span.AddCounter("dist_comps", static_cast<int64_t>(scratch->stat_dist_comps));

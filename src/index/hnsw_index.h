@@ -117,17 +117,33 @@ class HnswIndex final : public VectorIndex {
   int DrawLevel();
   /// Greedy hill-climb toward the query on one layer; returns the local
   /// minimum node. `cost` (optional) accumulates distance evaluations.
+  /// Deliberately not budget-checked: upper-layer descents touch a handful
+  /// of nodes (O(log n) hops), far below the amortization stride of the
+  /// layer-0 beam where the real work happens.
   uint32_t GreedyClosest(const float* query, uint32_t entry, int level,
                          uint64_t* cost = nullptr) const;
   /// Beam search on one layer; leaves the candidates sorted by distance in
-  /// scratch->beam.
-  void SearchLayer(const float* query, uint32_t entry, size_t ef, int level,
-                   SearchScratch* scratch) const;
+  /// scratch->beam. `control` (nullable) is consulted every
+  /// kControlPopStride frontier pops; when it fires the beam is abandoned
+  /// and kDeadlineExceeded/kCancelled is returned. With a null control the
+  /// call cannot fail.
+  [[nodiscard]] Status SearchLayer(const float* query, uint32_t entry,
+                                   size_t ef, int level,
+                                   const QueryControl* control,
+                                   SearchScratch* scratch) const;
   /// ADC variants used for quantized search.
   uint32_t GreedyClosestAdc(const std::vector<float>& table, uint32_t entry,
                             int level, uint64_t* cost = nullptr) const;
-  void SearchLayerAdc(const std::vector<float>& table, uint32_t entry,
-                      size_t ef, int level, SearchScratch* scratch) const;
+  [[nodiscard]] Status SearchLayerAdc(const std::vector<float>& table,
+                                      uint32_t entry, size_t ef, int level,
+                                      const QueryControl* control,
+                                      SearchScratch* scratch) const;
+
+  /// Beam pops between budget checks in SearchLayer/SearchLayerAdc. Each pop
+  /// expands up to 2M neighbors, so 64 pops ≈ 2k distance evaluations of
+  /// work between checks — amortized to nothing, responsive within
+  /// microseconds.
+  static constexpr uint64_t kControlPopStride = 64;
 
   /// Scratch pool so concurrent Search() calls each get warm buffers without
   /// sharing state; returned scratches keep their capacity for the next

@@ -77,9 +77,13 @@ Result<std::vector<vecmath::ScoredId>> IvfIndex::Search(
                                                centroids_.Row(c), d));
   }
 
-  // Exact scan of the selected inverted lists.
+  // Exact scan of the selected inverted lists. Budget checked once per
+  // probed list (~n/nlist rows of work between checks).
   vecmath::TopK top(params.k);
   for (const auto& cell : cell_top.Take()) {
+    if (params.control != nullptr) {
+      MIRA_RETURN_NOT_OK(params.control->Check("ivf.probe"));
+    }
     for (uint32_t row : lists_[cell.id]) {
       float sim;
       if (options_.metric == vecmath::Metric::kCosine) {

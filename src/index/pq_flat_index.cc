@@ -80,8 +80,15 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
                                   options_.rescore_factor == 0 ? 0 : shortlist));
   vecmath::TopK adc_top(shortlist);
   constexpr size_t kBlock = 1024;
+  // Amortized budget check: every 16 blocks = 16k codes between checks.
+  constexpr size_t kControlStride = 16;
   std::vector<float> dist(std::min(kBlock, n));
-  for (size_t start = 0; start < n; start += kBlock) {
+  size_t block_idx = 0;
+  for (size_t start = 0; start < n; start += kBlock, ++block_idx) {
+    if (params.control != nullptr && block_idx % kControlStride == 0) {
+      Status budget = params.control->Check("pq.adc_scan");
+      if (!budget.ok()) return budget;
+    }
     const size_t count = std::min(kBlock, n - start);
     pq_->AdcDistanceBatch(table, codes_.data() + start * bytes, count,
                           dist.data());

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "vecmath/distance.h"
@@ -19,6 +20,11 @@ struct SearchParams {
   size_t k = 10;
   /// Beam width for graph indexes (HNSW ef); 0 means the index default.
   size_t ef = 0;
+  /// Optional deadline/cancellation budget, not owned; null = unbounded.
+  /// Indexes check it cooperatively at amortized intervals (every N scan
+  /// blocks / beam pops, never per cell) and return kDeadlineExceeded or
+  /// kCancelled from Search() when it fires mid-scan.
+  const QueryControl* control = nullptr;
 };
 
 /// Common interface of MIRA's vector indexes (flat, PQ-flat, HNSW).

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -180,7 +181,10 @@ double Histogram::Snapshot::Percentile(double q) const {
 }
 
 MetricRegistry& MetricRegistry::Global() {
-  static MetricRegistry* registry = new MetricRegistry();
+  // Intentionally leaked so the registry outlives every static destructor
+  // that might still bump a cached counter reference.
+  static MetricRegistry* registry =
+      std::make_unique<MetricRegistry>().release();
   return *registry;
 }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "index/flat_index.h"
 #include "obs/trace.h"
@@ -18,6 +19,7 @@ Collection::Collection(std::string name, CollectionParams params)
     : name_(std::move(name)), params_(params) {}
 
 Status Collection::Upsert(Point point) {
+  MIRA_FAILPOINT("vectordb.upsert");
   std::unique_lock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
@@ -57,6 +59,7 @@ std::string Collection::PayloadKeyOf(const PayloadValue& value) const {
 }
 
 Status Collection::BuildIndex() {
+  MIRA_FAILPOINT("index.build");
   std::unique_lock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
@@ -147,9 +150,10 @@ std::optional<std::vector<size_t>> Collection::PreFilterCandidates(
   return candidates;
 }
 
-Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
-                                                  size_t k, size_t ef,
-                                                  const Filter& filter) const {
+Result<std::vector<SearchHit>> Collection::Search(
+    const vecmath::Vec& query, size_t k, size_t ef, const Filter& filter,
+    const QueryControl* control) const {
+  MIRA_FAILPOINT("vectordb.search");
   obs::TraceSpan span("vdb.search");
   span.SetLabel(name_);
   span.AddCounter("k", static_cast<int64_t>(k));
@@ -166,7 +170,7 @@ Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
 
   std::vector<SearchHit> hits;
   if (filter.empty()) {
-    index::SearchParams params{k, ef};
+    index::SearchParams params{k, ef, control};
     MIRA_ASSIGN_OR_RETURN(auto scored, index_->Search(query, params));
     hits.reserve(scored.size());
     for (const auto& s : scored) {
@@ -182,7 +186,13 @@ Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
                          ? vecmath::Normalized(query)
                          : query;
     vecmath::TopK top(k);
+    size_t scanned = 0;
     for (size_t offset : *candidates) {
+      // Amortized budget check: candidate sets are usually small, but a
+      // broad filter can match most of the collection.
+      if (control != nullptr && scanned++ % 4096 == 0) {
+        MIRA_RETURN_NOT_OK(control->Check("vdb.prefilter_scan"));
+      }
       float sim = vecmath::MetricSimilarity(params_.metric, q,
                                             points_[offset].vector);
       top.Push(offset, sim);
@@ -196,7 +206,8 @@ Result<std::vector<SearchHit>> Collection::Search(const vecmath::Vec& query,
 
   // Fallback: oversampled ANN search post-filtered on payload.
   constexpr size_t kOversample = 4;
-  index::SearchParams params{std::min(points_.size(), k * kOversample), ef};
+  index::SearchParams params{std::min(points_.size(), k * kOversample), ef,
+                             control};
   MIRA_ASSIGN_OR_RETURN(auto scored, index_->Search(query, params));
   for (const auto& s : scored) {
     if (hits.size() >= k) break;

@@ -91,10 +91,13 @@ class Collection {
   /// Marks a payload field for inverted indexing (call before BuildIndex).
   void CreatePayloadIndex(std::string field);
 
-  /// k-NN search; `filter` restricts candidates by payload.
-  [[nodiscard]] Result<std::vector<SearchHit>> Search(const vecmath::Vec& query, size_t k,
-                                        size_t ef = 0,
-                                        const Filter& filter = {}) const;
+  /// k-NN search; `filter` restricts candidates by payload. `control`
+  /// (nullable, not owned) bounds the query: when its deadline expires or
+  /// its token fires mid-scan, Search returns kDeadlineExceeded/kCancelled
+  /// instead of hits.
+  [[nodiscard]] Result<std::vector<SearchHit>> Search(
+      const vecmath::Vec& query, size_t k, size_t ef = 0,
+      const Filter& filter = {}, const QueryControl* control = nullptr) const;
 
   /// Point lookup by id.
   [[nodiscard]] Result<const Point*> Get(uint64_t id) const;

@@ -592,7 +592,9 @@ TEST(CorpusPersistenceTest, LoadRejectsGarbage) {
     std::ofstream out(path, std::ios::binary);
     out << "garbage";
   }
-  EXPECT_TRUE(CorpusEmbeddings::Load(path.string()).status().IsIoError());
+  // Unreadable content is kDataLoss (retrying cannot help); a missing file
+  // is kIoError (possibly transient).
+  EXPECT_TRUE(CorpusEmbeddings::Load(path.string()).status().IsDataLoss());
   std::remove(path.c_str());
   EXPECT_TRUE(CorpusEmbeddings::Load("/no/such/corpus").status().IsIoError());
 }

@@ -27,6 +27,11 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 innermost hot loops, and even a no-op span constructor or a
                 relaxed atomic bump is measurable there. Instrument the
                 callers (index/discovery layers) instead.
+  failpoint     MIRA_FAILPOINT macros live only in .cc files outside
+                src/vecmath/ (src/common/failpoint.h, which defines them, is
+                exempt). Headers would leak injection sites into every
+                includer, and the vecmath kernels are too hot for even a
+                compiled-out macro site (see docs/ROBUSTNESS.md).
 
 Usage: tools/mira_lint.py [paths...]   (defaults to the whole tree)
 Exit:  0 clean, 1 findings, 2 usage/environment error.
@@ -199,8 +204,31 @@ def check_obs_in_kernels(path: Path, lines: list[str]) -> None:
                    "calling layer (see docs/OBSERVABILITY.md)")
 
 
+FAILPOINT_USE_RE = re.compile(r"\bMIRA_FAILPOINT(_PARTIAL)?\b")
+
+
+def check_failpoint(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith("src/"):
+        return
+    if rel == "src/common/failpoint.h":
+        return  # the macro definitions themselves
+    in_header = rel.endswith(".h")
+    in_vecmath = rel.startswith("src/vecmath/")
+    if not (in_header or in_vecmath):
+        return
+    for i, raw in enumerate(lines, 1):
+        if FAILPOINT_USE_RE.search(strip_comments_and_strings(raw)):
+            where = ("src/vecmath/ is kernel-only"
+                     if in_vecmath else "headers leak sites into includers")
+            report(path, i, "failpoint",
+                   f"MIRA_FAILPOINT sites belong in non-vecmath .cc files "
+                   f"({where}; see docs/ROBUSTNESS.md)")
+
+
 CHECKS = [check_endl, check_guard, check_naked_new, check_nodiscard,
-          check_bare_nolint, check_intrinsics, check_obs_in_kernels]
+          check_bare_nolint, check_intrinsics, check_obs_in_kernels,
+          check_failpoint]
 
 
 def main(argv: list[str]) -> int:
