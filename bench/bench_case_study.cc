@@ -12,8 +12,11 @@
 #include "common/rng.h"
 #include "datagen/concept_bank.h"
 #include "discovery/engine.h"
+#include "discovery/exhaustive_search.h"
 #include "harness.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "vecmath/simd.h"
 
 namespace {
@@ -188,16 +191,76 @@ int main() {
   }
   json.Write().Abort("bench json");
 
-  // One traced CTS query: the span tree shows what the cluster-targeted
-  // search actually did for the case-study query.
+  // Traced queries: print the CTS span tree, and export all three methods
+  // (plus a deliberately large parallel ExS scan) as a Chrome trace_event
+  // file — load TRACE_case_study.json in chrome://tracing / ui.perfetto.dev.
+  // CI validates its shape with tools/check_trace_json.py.
   {
-    discovery::DiscoveryOptions search;
-    search.top_k = 5;
-    auto traced =
-        engine->SearchTraced(discovery::Method::kCts, query, search).MoveValue();
-    if (!traced.trace.empty()) {
-      std::printf("\nCTS query trace:\n%s", traced.trace.ToString().c_str());
+    obs::ChromeTraceWriter writer;
+    for (auto method :
+         {discovery::Method::kExhaustive, discovery::Method::kAnns,
+          discovery::Method::kCts}) {
+      discovery::DiscoveryOptions search;
+      search.top_k = 5;
+      auto traced = engine->SearchTraced(method, query, search).MoveValue();
+      if (method == discovery::Method::kCts && !traced.trace.empty()) {
+        std::printf("\nCTS query trace:\n%s", traced.trace.ToString().c_str());
+      }
+      obs::TraceAnnotations annotations;
+      annotations.method = std::string(discovery::MethodToString(method));
+      annotations.degraded = traced.ranking.degraded;
+      annotations.partial = traced.ranking.partial;
+      writer.AddQuery(traced.trace, annotations);
     }
+
+    // The case-study corpus is far below the scan's parallel threshold, so
+    // also trace one ExS-cached query over a synthetic 16k-cell corpus with
+    // a 4-thread scan pool: its exs.scan_block spans run on pool workers and
+    // exercise cross-thread trace propagation end to end (the CI check
+    // requires worker-lane spans in the exported file).
+    {
+      auto corpus = std::make_shared<discovery::CorpusEmbeddings>();
+      constexpr size_t kCells = 16384;
+      constexpr size_t kRelations = 64;
+      const size_t dim = engine->encoder().dim();
+      corpus->vectors = vecmath::Matrix(kCells, dim);
+      Rng rng(4242);
+      for (size_t i = 0; i < kCells; ++i) {
+        float* row = corpus->vectors.Row(i);
+        for (size_t j = 0; j < dim; ++j) row[j] = rng.NextFloat() - 0.5f;
+        corpus->refs.push_back(
+            {static_cast<table::RelationId>(i % kRelations), 0, 0});
+      }
+      corpus->num_relations = kRelations;
+      corpus->cells_per_relation.assign(
+          kRelations, static_cast<uint32_t>(kCells / kRelations));
+
+      discovery::ExsOptions exs;
+      exs.reuse_corpus_embeddings = true;
+      exs.num_threads = 4;
+      // Non-owning alias: `engine` outlives the scanner by scope.
+      std::shared_ptr<const embed::SemanticEncoder> encoder(
+          &engine->encoder(), [](const embed::SemanticEncoder*) {});
+      discovery::ExhaustiveSearcher scanner(nullptr, corpus, encoder, exs);
+      obs::QueryTrace trace;
+      {
+        obs::ScopedTrace collect(&trace);
+        obs::TraceSpan root("query");
+        root.SetLabel("ExS");
+        scanner.Search(query, {}).MoveValue();
+      }
+      obs::TraceAnnotations annotations;
+      annotations.method = "ExS";
+      writer.AddQuery(trace, annotations);
+    }
+
+    const char* dir = std::getenv("MIRA_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/TRACE_case_study.json"
+                           : "TRACE_case_study.json";
+    writer.WriteFile(path).Abort("trace json");
+    std::fprintf(stderr, "[bench] wrote %s (%zu queries, %zu events)\n",
+                 path.c_str(), writer.num_queries(), writer.num_events());
   }
 
   // Dump the process metric registry (query counters/latency histograms,

@@ -12,5 +12,9 @@ int main() {
   harness.PrintSpanBreakdown(mira::bench::Partitions().front(),
                              mira::datagen::QueryClass::kLong);
   harness.WriteJson("table4_query_time").Abort("bench json");
+  harness
+      .WriteChromeTrace("table4_query_time", mira::bench::Partitions().front(),
+                        mira::datagen::QueryClass::kLong)
+      .Abort("trace json");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "vecmath/simd.h"
 
 namespace mira::bench {
@@ -427,6 +428,41 @@ void Harness::PrintPerformanceFigure() {
     }
   }
   std::printf("\n");
+}
+
+Status Harness::WriteChromeTrace(const std::string& bench_name,
+                                 const Partition& partition,
+                                 datagen::QueryClass cls, size_t max_queries) {
+  if (!obs::kObsEnabled) return Status::OK();
+  MethodStack* stack = StackFor(partition);
+  std::vector<datagen::GeneratedQuery> queries = EvalQueries(cls);
+  if (queries.size() > max_queries) queries.resize(max_queries);
+  discovery::DiscoveryOptions options;
+  options.top_k = config_.eval_depth;
+
+  obs::ChromeTraceWriter writer;
+  for (discovery::Method method :
+       {discovery::Method::kCts, discovery::Method::kAnns,
+        discovery::Method::kExhaustive}) {
+    for (const auto& query : queries) {
+      auto traced =
+          stack->engine().SearchTraced(method, query.text, options).MoveValue();
+      obs::TraceAnnotations annotations;
+      annotations.method = std::string(discovery::MethodToString(method));
+      annotations.degraded = traced.ranking.degraded;
+      annotations.partial = traced.ranking.partial;
+      writer.AddQuery(traced.trace, annotations);
+    }
+  }
+
+  const char* dir = std::getenv("MIRA_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/TRACE_" + bench_name + ".json"
+                         : "TRACE_" + bench_name + ".json";
+  MIRA_RETURN_NOT_OK(writer.WriteFile(path));
+  std::fprintf(stderr, "[bench] wrote %s (%zu queries, %zu events)\n",
+               path.c_str(), writer.num_queries(), writer.num_events());
+  return Status::OK();
 }
 
 void Harness::PrintSpanBreakdown(const Partition& partition,

@@ -138,6 +138,16 @@ class Harness {
   /// row per (partition, class, method) measured by RunClass so far.
   [[nodiscard]] Status WriteJson(const std::string& bench_name) const;
 
+  /// Runs up to `max_queries` eval queries of `cls` through SearchTraced for
+  /// the three proposed methods and writes TRACE_<bench_name>.json (into
+  /// $MIRA_BENCH_JSON_DIR, or the working directory) in the Chrome
+  /// trace_event format — load it in chrome://tracing / ui.perfetto.dev.
+  /// No-op when tracing is compiled out (MIRA_OBS=OFF).
+  [[nodiscard]] Status WriteChromeTrace(const std::string& bench_name,
+                                        const Partition& partition,
+                                        datagen::QueryClass cls,
+                                        size_t max_queries = 4);
+
  private:
   struct RecordedRun {
     std::string partition;

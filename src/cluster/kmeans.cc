@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "vecmath/simd.h"
 #include "vecmath/vector_ops.h"
 
@@ -71,6 +72,10 @@ Result<KMeansResult> KMeans(const vecmath::Matrix& data,
     return Status::InvalidArgument(
         StrFormat("k-means: %zu rows < %zu clusters", n, k));
   }
+
+  obs::TraceSpan span("kmeans.lloyd");
+  span.AddCounter("n", static_cast<int64_t>(n));
+  span.AddCounter("k", static_cast<int64_t>(k));
 
   Rng rng(options.seed);
   KMeansResult result;
@@ -150,6 +155,7 @@ Result<KMeansResult> KMeans(const vecmath::Matrix& data,
 
     if (!changed || movement < options.tolerance) break;
   }
+  span.AddCounter("iterations", static_cast<int64_t>(result.iterations));
 
   return result;
 }

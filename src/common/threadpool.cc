@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/trace_propagation.h"
+
 namespace mira {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -37,6 +39,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return Stats{workers_.size(), tasks_.size(), in_flight_};
 }
 
 void ThreadPool::WorkerLoop() {
@@ -77,6 +84,10 @@ struct ParallelForState {
   size_t end = 0;
   size_t chunk = 0;
 
+  // Captures the forking thread's trace context so worker spans land in the
+  // caller's QueryTrace at the join (no-op when untraced or MIRA_OBS=OFF).
+  obs::CrossThreadTraceCapture trace;
+
   std::mutex mu;
   std::condition_variable done_cv;
   size_t done_chunks = 0;
@@ -112,6 +123,10 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
             state->next.fetch_add(state->chunk, std::memory_order_relaxed);
         const size_t stop = std::min(state->end, start + state->chunk);
         if (!state->cancelled.load(std::memory_order_acquire)) {
+          // The worker scope collects this chunk's spans into a private
+          // buffer; it must close (hand the buffer over) before the chunk is
+          // counted done, or the caller's merge could race the handoff.
+          obs::CrossThreadTraceCapture::WorkerScope trace_scope(&state->trace);
           try {
             for (size_t i = start; i < stop; ++i) state->body(i);
           } catch (...) {
@@ -129,17 +144,25 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   } catch (...) {
     // Submit failed (e.g. allocation). Wait for whatever was queued, then
     // surface the submission failure.
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock,
-                        [&] { return state->done_chunks == submitted; });
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done_cv.wait(lock,
+                          [&] { return state->done_chunks == submitted; });
+    }
+    state->trace.MergeIntoParent();
     throw;
   }
 
   // Wait on this call's own completion count, not ThreadPool::WaitIdle():
   // unrelated tasks and concurrent ParallelFor calls must not stall us, and
   // WaitIdle could otherwise block forever on work that never drains.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  }
+  // All chunks are done, so the worker buffers are complete: splice them into
+  // the caller's trace (even when rethrowing — a partial trace beats none).
+  state->trace.MergeIntoParent();
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
@@ -155,6 +178,9 @@ struct CancellableForState {
   std::atomic<bool> cancelled{false};
   size_t end = 0;
   size_t chunk = 0;
+
+  // Same cross-thread span plumbing as ParallelForState.
+  obs::CrossThreadTraceCapture trace;
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -209,6 +235,7 @@ Status ParallelForCancellable(ThreadPool* pool, size_t begin, size_t end,
           state->next.fetch_add(state->chunk, std::memory_order_relaxed);
       const size_t stop = std::min(state->end, start + state->chunk);
       if (!state->cancelled.load(std::memory_order_acquire)) {
+        obs::CrossThreadTraceCapture::WorkerScope trace_scope(&state->trace);
         // Budget check once per chunk, not per index: chunks are the
         // amortization unit of this loop.
         Status budget = state->control != nullptr
@@ -236,8 +263,11 @@ Status ParallelForCancellable(ThreadPool* pool, size_t begin, size_t end,
     if (state->cancelled.load(std::memory_order_acquire)) break;
   }
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+  }
+  state->trace.MergeIntoParent();
   return state->first_error;
 }
 

@@ -46,12 +46,22 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Point-in-time execution stats, feeding the `mira.pool.*` gauges
+  /// (queue depth / utilization — see docs/OBSERVABILITY.md). A consistent
+  /// snapshot (taken under the queue lock), already stale on return.
+  struct Stats {
+    size_t threads = 0;  ///< Worker count, fixed at construction.
+    size_t queued = 0;   ///< Tasks waiting in the FIFO.
+    size_t running = 0;  ///< Tasks currently executing.
+  };
+  Stats GetStats() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable idle_;
   size_t in_flight_ = 0;
@@ -74,6 +84,11 @@ class ThreadPool {
 ///    in-flight chunks, and the first exception is rethrown in the caller.
 ///  - Runs inline on the calling thread when `pool` is null, has a single
 ///    worker, or the range is a single index.
+///  - Trace propagation: when the caller has an obs trace armed, spans that
+///    `body` creates on worker threads are collected into per-task buffers
+///    and spliced into the caller's QueryTrace at the join, tagged with the
+///    worker's thread id and parented under the span open at the call site.
+///    (Raw Submit() has no join point and does not propagate traces.)
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 

@@ -136,4 +136,10 @@ size_t AnnsSearcher::IndexMemoryBytes() const {
   return cells.ok() ? (*cells)->IndexMemoryBytes() : 0;
 }
 
+vectordb::CollectionMemoryStats AnnsSearcher::MemoryUsage() const {
+  auto cells = db_.GetCollection(kCellCollection);
+  return cells.ok() ? (*cells)->MemoryUsage()
+                    : vectordb::CollectionMemoryStats{};
+}
+
 }  // namespace mira::discovery

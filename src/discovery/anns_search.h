@@ -52,6 +52,10 @@ class AnnsSearcher final : public Searcher {
 
   /// Resident bytes of the vector index (storage-reduction reporting).
   size_t IndexMemoryBytes() const;
+
+  /// Full resident-byte breakdown of the cell collection (points, payload
+  /// index, vector index) — feeds the `mira.mem.anns.*` gauges.
+  vectordb::CollectionMemoryStats MemoryUsage() const;
   const AnnsOptions& options() const { return options_; }
 
  private:

@@ -317,4 +317,20 @@ size_t CtsSearcher::IndexMemoryBytes() const {
   return total;
 }
 
+vectordb::CollectionMemoryStats CtsSearcher::MemoryUsage() const {
+  vectordb::CollectionMemoryStats total;
+  for (const auto& name : db_.ListCollections()) {
+    auto collection = db_.GetCollection(name);
+    if (!collection.ok()) continue;
+    const vectordb::CollectionMemoryStats stats = (*collection)->MemoryUsage();
+    total.points_bytes += stats.points_bytes;
+    total.payload_index_bytes += stats.payload_index_bytes;
+    total.index.vectors_bytes += stats.index.vectors_bytes;
+    total.index.ids_bytes += stats.index.ids_bytes;
+    total.index.graph_bytes += stats.index.graph_bytes;
+    total.index.codes_bytes += stats.index.codes_bytes;
+  }
+  return total;
+}
+
 }  // namespace mira::discovery

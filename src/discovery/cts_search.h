@@ -64,6 +64,9 @@ class CtsSearcher final : public Searcher {
   /// Fraction of cells assigned to the largest cluster (diagnostic).
   double largest_cluster_fraction() const { return largest_cluster_fraction_; }
   size_t IndexMemoryBytes() const;
+  /// Resident-byte breakdown summed over every cluster/medoid collection —
+  /// feeds the `mira.mem.cts.*` gauges.
+  vectordb::CollectionMemoryStats MemoryUsage() const;
   const CtsOptions& options() const { return options_; }
 
  private:

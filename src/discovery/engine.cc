@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/query_log.h"
 
 namespace mira::discovery {
 
@@ -233,6 +234,94 @@ void DiscoveryEngine::RecordDegradation(const Ranking& ranking,
   }
 }
 
+void DiscoveryEngine::RecordQueryLog(Method method,
+                                     const DiscoveryOptions& options,
+                                     double millis, const Ranking* ranking,
+                                     const obs::QueryTrace* trace) const {
+  if constexpr (obs::kObsEnabled) {
+    obs::QueryLogEntry entry;
+    entry.SetMethod(MethodToString(method));
+    entry.ok = ranking != nullptr;
+    entry.k = static_cast<uint32_t>(options.top_k);
+    entry.duration_ms = millis;
+    if (ranking != nullptr) {
+      entry.result_count = static_cast<uint32_t>(ranking->size());
+      entry.degraded = ranking->degraded;
+      entry.partial = ranking->partial;
+    }
+    if (!options.control.deadline.infinite()) {
+      entry.budget_consumed =
+          1.0 - options.control.deadline.FractionRemaining();
+    }
+    const bool traced = trace != nullptr && !trace->empty();
+    if (traced) {
+      entry.traced = true;
+      entry.SetTopSpans(*trace);
+    }
+    obs::QueryLog& log = obs::QueryLog::Global();
+    const uint64_t id = log.Record(entry);
+    if (traced && log.IsSlow(millis)) {
+      log.PromoteSlowTrace(id, millis, *trace);
+    }
+  } else {
+    (void)method;
+    (void)options;
+    (void)millis;
+    (void)ranking;
+    (void)trace;
+  }
+}
+
+void DiscoveryEngine::PublishResourceMetrics() const {
+  if constexpr (obs::kObsEnabled) {
+    auto& registry = obs::MetricRegistry::Global();
+    size_t total = 0;
+    if (corpus_ != nullptr) {
+      const size_t corpus_bytes =
+          corpus_->vectors.data().size() * sizeof(float) +
+          corpus_->refs.size() * sizeof(CellRef) +
+          corpus_->cells_per_relation.size() * sizeof(uint32_t);
+      registry.GetGauge("mira.mem.corpus_bytes")
+          .Set(static_cast<double>(corpus_bytes));
+      total += corpus_bytes;
+    }
+    const auto publish = [&registry, &total](
+                             const std::string& prefix,
+                             const vectordb::CollectionMemoryStats& stats) {
+      registry.GetGauge(prefix + ".points_bytes")
+          .Set(static_cast<double>(stats.points_bytes));
+      registry.GetGauge(prefix + ".payload_index_bytes")
+          .Set(static_cast<double>(stats.payload_index_bytes));
+      registry.GetGauge(prefix + ".index_graph_bytes")
+          .Set(static_cast<double>(stats.index.graph_bytes));
+      registry.GetGauge(prefix + ".index_codes_bytes")
+          .Set(static_cast<double>(stats.index.codes_bytes));
+      registry.GetGauge(prefix + ".total_bytes")
+          .Set(static_cast<double>(stats.total()));
+      total += stats.total();
+    };
+    if (anns_ != nullptr) publish("mira.mem.anns", anns_->MemoryUsage());
+    if (cts_ != nullptr) publish("mira.mem.cts", cts_->MemoryUsage());
+    registry.GetGauge("mira.mem.total_bytes").Set(static_cast<double>(total));
+
+    const ThreadPool* pool =
+        exhaustive_ != nullptr ? exhaustive_->pool() : nullptr;
+    if (pool != nullptr) {
+      const ThreadPool::Stats stats = pool->GetStats();
+      registry.GetGauge("mira.pool.exs.threads")
+          .Set(static_cast<double>(stats.threads));
+      registry.GetGauge("mira.pool.exs.queue_depth")
+          .Set(static_cast<double>(stats.queued));
+      registry.GetGauge("mira.pool.exs.running")
+          .Set(static_cast<double>(stats.running));
+      registry.GetGauge("mira.pool.exs.utilization")
+          .Set(stats.threads == 0 ? 0.0
+                                  : static_cast<double>(stats.running) /
+                                        static_cast<double>(stats.threads));
+    }
+  }
+}
+
 Result<Ranking> DiscoveryEngine::SearchWithFallback(
     Method method, const std::string& query,
     const DiscoveryOptions& options) const {
@@ -285,7 +374,10 @@ Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
                                         const DiscoveryOptions& options) const {
   WallTimer timer;
   Result<Ranking> result = SearchWithFallback(method, query, options);
-  RecordQueryMetrics(method, timer.ElapsedMillis(), result.ok());
+  const double millis = timer.ElapsedMillis();
+  RecordQueryMetrics(method, millis, result.ok());
+  RecordQueryLog(method, options, millis, result.ok() ? &*result : nullptr,
+                 /*trace=*/nullptr);
   return result;
 }
 
@@ -300,14 +392,20 @@ Result<TracedRanking> DiscoveryEngine::SearchTraced(
     root.SetLabel(MethodToString(method));
     Result<Ranking> result = SearchWithFallback(method, query, options);
     if (!result.ok()) {
-      RecordQueryMetrics(method, timer.ElapsedMillis(), false);
+      const double millis = timer.ElapsedMillis();
+      RecordQueryMetrics(method, millis, false);
+      RecordQueryLog(method, options, millis, nullptr, /*trace=*/nullptr);
       return result.status();
     }
     out.ranking = result.MoveValue();
     root.AddCounter("results", static_cast<int64_t>(out.ranking.size()));
     root.AddCounter("degraded", out.ranking.degraded ? 1 : 0);
   }
-  RecordQueryMetrics(method, timer.ElapsedMillis(), true);
+  // The ScopedTrace is closed: the trace is complete (including any worker
+  // spans merged at ParallelFor joins), so the log entry can summarize it.
+  const double millis = timer.ElapsedMillis();
+  RecordQueryMetrics(method, millis, true);
+  RecordQueryLog(method, options, millis, &out.ranking, &out.trace);
   return out;
 }
 

@@ -121,6 +121,13 @@ class DiscoveryEngine {
   /// BuildWithCorpus).
   const BuildReport& build_report() const { return build_report_; }
 
+  /// Refreshes the `mira.mem.*` (corpus / ANNS / CTS resident bytes, from
+  /// the Collection and index MemoryUsage() breakdowns) and `mira.pool.*`
+  /// (ExS scan-pool queue depth / utilization) gauges. Pull-style: call
+  /// before a scrape, or register as an obs::StatsReporter collector. No-op
+  /// when observability is compiled out.
+  void PublishResourceMetrics() const;
+
   const table::Federation& federation() const { return federation_; }
   const embed::SemanticEncoder& encoder() const { return *encoder_; }
   const CorpusEmbeddings& corpus() const { return *corpus_; }
@@ -141,6 +148,13 @@ class DiscoveryEngine {
 
   /// Bumps the mira.query.degraded.* counters for a returned ranking.
   void RecordDegradation(const Ranking& ranking, bool fell_back) const;
+
+  /// Appends one entry to obs::QueryLog::Global() (and promotes the full
+  /// trace when the query crossed the slow threshold). `ranking` is null for
+  /// failed queries, `trace` for untraced ones.
+  void RecordQueryLog(Method method, const DiscoveryOptions& options,
+                      double millis, const Ranking* ranking,
+                      const obs::QueryTrace* trace) const;
 
   /// Registry metrics cached once per engine so the per-query fast path is
   /// pure atomics. Indexed by Method's enumerator order.

@@ -45,9 +45,10 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
   bool partial = false;
   size_t cells_scanned = corpus_->num_cells();
 
-  // Scan counters are recorded here at the call site rather than inside the
-  // loop bodies: pool workers do not carry the caller's thread-local trace
-  // context, and every cell is visited exactly once either way.
+  // Aggregate scan counters live on this call-site span (every cell is
+  // visited exactly once either way); the pool paths additionally record
+  // per-chunk worker spans — ParallelFor propagates the trace context and
+  // splices them in under this span at the join.
   obs::TraceSpan scan_span("exs.scan");
 
   if (options_.reuse_corpus_embeddings) {
@@ -94,6 +95,10 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
         std::mutex merge_mu;
         MIRA_RETURN_NOT_OK(ParallelForCancellable(
             pool_.get(), 0, num_blocks, &control, [&](size_t block) {
+              obs::TraceSpan span("exs.scan_block");
+              span.AddCounter(
+                  "cells",
+                  static_cast<int64_t>(std::min(kBlock, n - block * kBlock)));
               std::vector<double> local(score_sum.size(), 0.0);
               scan_block(local, block);
               std::lock_guard<std::mutex> lock(merge_mu);
@@ -111,6 +116,10 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
     } else if (pool_ != nullptr && n >= kParallelThreshold) {
       std::mutex merge_mu;
       ParallelFor(pool_.get(), 0, num_blocks, [&](size_t block) {
+        obs::TraceSpan span("exs.scan_block");
+        span.AddCounter(
+            "cells",
+            static_cast<int64_t>(std::min(kBlock, n - block * kBlock)));
         std::vector<double> local(score_sum.size(), 0.0);
         scan_block(local, block);
         std::lock_guard<std::mutex> lock(merge_mu);
@@ -142,6 +151,15 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
       }
       score_sum[rid] = sum;
     };
+    // Pool paths wrap each relation in a worker span (serial paths stay
+    // covered by the call-site exs.scan span alone, keeping serial traces
+    // from growing one span per relation).
+    auto scan_relation_traced = [&](size_t rid) {
+      obs::TraceSpan span("exs.scan_relation");
+      span.AddCounter("cells",
+                      static_cast<int64_t>(corpus_->cells_per_relation[rid]));
+      scan_relation(rid);
+    };
     if (track_partial) {
       // Serial with a per-relation budget check; relation 0 always runs.
       cells_seen.assign(corpus_->num_relations, 0);
@@ -160,7 +178,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
       if (pool_ != nullptr) {
         MIRA_RETURN_NOT_OK(ParallelForCancellable(
             pool_.get(), 0, federation_->size(), &control, [&](size_t rid) {
-              scan_relation(rid);
+              scan_relation_traced(rid);
               return Status::OK();
             }));
       } else {
@@ -170,7 +188,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
         }
       }
     } else if (pool_ != nullptr) {
-      ParallelFor(pool_.get(), 0, federation_->size(), scan_relation);
+      ParallelFor(pool_.get(), 0, federation_->size(), scan_relation_traced);
     } else {
       for (size_t rid = 0; rid < federation_->size(); ++rid) {
         scan_relation(rid);

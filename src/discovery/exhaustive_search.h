@@ -56,6 +56,10 @@ class ExhaustiveSearcher final : public Searcher {
                          const DiscoveryOptions& options) const override;
   std::string name() const override { return "ExS"; }
 
+  /// The scan pool (null when num_threads <= 1). Resource-accounting gauges
+  /// read its queue stats.
+  const ThreadPool* pool() const { return pool_.get(); }
+
  private:
   const table::Federation* federation_;
   std::shared_ptr<const CorpusEmbeddings> corpus_;

@@ -81,9 +81,11 @@ Result<std::vector<vecmath::ScoredId>> FlatIndex::Search(
   return top.Take();
 }
 
-size_t FlatIndex::MemoryBytes() const {
-  return vectors_.data().size() * sizeof(float) +
-         ids_.size() * sizeof(uint64_t);
+MemoryStats FlatIndex::MemoryUsage() const {
+  MemoryStats stats;
+  stats.vectors_bytes = vectors_.data().size() * sizeof(float);
+  stats.ids_bytes = ids_.size() * sizeof(uint64_t);
+  return stats;
 }
 
 }  // namespace mira::index

@@ -25,7 +25,7 @@ class FlatIndex final : public VectorIndex {
   size_t dim() const override { return vectors_.cols(); }
   vecmath::Metric metric() const override { return metric_; }
   std::string name() const override { return "flat"; }
-  size_t MemoryBytes() const override;
+  MemoryStats MemoryUsage() const override;
 
   /// Direct access for callers that stream over all vectors (ExS).
   const vecmath::Matrix& vectors() const { return vectors_; }

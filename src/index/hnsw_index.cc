@@ -468,15 +468,17 @@ size_t HnswIndex::Degree(uint32_t node, int level) const {
   return links_[node][level].size();
 }
 
-size_t HnswIndex::MemoryBytes() const {
-  size_t bytes = vectors_.data().size() * sizeof(float) +
-                 ids_.size() * sizeof(uint64_t) + codes_.size();
+MemoryStats HnswIndex::MemoryUsage() const {
+  MemoryStats stats;
+  stats.vectors_bytes = vectors_.data().size() * sizeof(float);
+  stats.ids_bytes = ids_.size() * sizeof(uint64_t);
+  stats.codes_bytes = codes_.size();
   for (const auto& node : links_) {
     for (const auto& level : node) {
-      bytes += level.size() * sizeof(uint32_t);
+      stats.graph_bytes += level.size() * sizeof(uint32_t);
     }
   }
-  return bytes;
+  return stats;
 }
 
 }  // namespace mira::index

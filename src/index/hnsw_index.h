@@ -65,7 +65,7 @@ class HnswIndex final : public VectorIndex {
   std::string name() const override {
     return options_.quantization ? "hnsw+pq" : "hnsw";
   }
-  size_t MemoryBytes() const override;
+  MemoryStats MemoryUsage() const override;
 
   /// Max layer of the built graph (diagnostic).
   int max_level() const { return max_level_; }

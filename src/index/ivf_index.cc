@@ -105,12 +105,15 @@ std::vector<size_t> IvfIndex::ListSizes() const {
   return sizes;
 }
 
-size_t IvfIndex::MemoryBytes() const {
-  size_t bytes = vectors_.data().size() * sizeof(float) +
-                 centroids_.data().size() * sizeof(float) +
-                 ids_.size() * sizeof(uint64_t);
-  for (const auto& list : lists_) bytes += list.size() * sizeof(uint32_t);
-  return bytes;
+MemoryStats IvfIndex::MemoryUsage() const {
+  MemoryStats stats;
+  stats.vectors_bytes = vectors_.data().size() * sizeof(float) +
+                        centroids_.data().size() * sizeof(float);
+  stats.ids_bytes = ids_.size() * sizeof(uint64_t);
+  for (const auto& list : lists_) {
+    stats.graph_bytes += list.size() * sizeof(uint32_t);
+  }
+  return stats;
 }
 
 }  // namespace mira::index

@@ -39,7 +39,7 @@ class IvfIndex final : public VectorIndex {
   size_t dim() const override { return vectors_.cols(); }
   vecmath::Metric metric() const override { return options_.metric; }
   std::string name() const override { return "ivf-flat"; }
-  size_t MemoryBytes() const override;
+  MemoryStats MemoryUsage() const override;
 
   size_t num_lists() const { return centroids_.rows(); }
   /// Size of each inverted list (diagnostic).

@@ -125,12 +125,15 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
   return out;
 }
 
-size_t PqFlatIndex::MemoryBytes() const {
-  return codes_.size() + ids_.size() * sizeof(uint64_t) +
-         originals_.data().size() * sizeof(float) +
-         (pq_ ? pq_->num_subquantizers() * pq_->codebook_size() *
-                    pq_->sub_dim() * sizeof(float)
-              : 0);
+MemoryStats PqFlatIndex::MemoryUsage() const {
+  MemoryStats stats;
+  stats.vectors_bytes = originals_.data().size() * sizeof(float);
+  stats.ids_bytes = ids_.size() * sizeof(uint64_t);
+  stats.codes_bytes = codes_.size() +
+                      (pq_ ? pq_->num_subquantizers() * pq_->codebook_size() *
+                                 pq_->sub_dim() * sizeof(float)
+                           : 0);
+  return stats;
 }
 
 }  // namespace mira::index

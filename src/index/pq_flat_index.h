@@ -38,7 +38,7 @@ class PqFlatIndex final : public VectorIndex {
   size_t dim() const override { return dim_; }
   vecmath::Metric metric() const override { return options_.metric; }
   std::string name() const override { return "pq-flat"; }
-  size_t MemoryBytes() const override;
+  MemoryStats MemoryUsage() const override;
 
   const ProductQuantizer* quantizer() const {
     return pq_.has_value() ? &*pq_ : nullptr;

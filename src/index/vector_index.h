@@ -27,6 +27,19 @@ struct SearchParams {
   const QueryControl* control = nullptr;
 };
 
+/// Byte-level breakdown of an index's resident search structures. Feeds the
+/// `mira.mem.*` resource gauges (see docs/OBSERVABILITY.md); total() is what
+/// the storage-reduction experiments report as MemoryBytes().
+struct MemoryStats {
+  size_t vectors_bytes = 0;  ///< Raw float rows (plus centroids for IVF).
+  size_t ids_bytes = 0;      ///< External id arrays.
+  size_t graph_bytes = 0;    ///< HNSW link lists / IVF posting lists.
+  size_t codes_bytes = 0;    ///< PQ codes and codebooks.
+  size_t total() const {
+    return vectors_bytes + ids_bytes + graph_bytes + codes_bytes;
+  }
+};
+
 /// Common interface of MIRA's vector indexes (flat, PQ-flat, HNSW).
 ///
 /// Lifecycle: Add() all vectors, then Build() exactly once, then Search().
@@ -58,9 +71,13 @@ class VectorIndex {
   virtual vecmath::Metric metric() const = 0;
   virtual std::string name() const = 0;
 
+  /// Approximate resident bytes of the search structures, broken down by
+  /// what holds them (resource-accounting gauges read this).
+  virtual MemoryStats MemoryUsage() const = 0;
+
   /// Approximate resident bytes of the search structures (used by the
-  /// storage-reduction experiments).
-  virtual size_t MemoryBytes() const = 0;
+  /// storage-reduction experiments). Sum of the MemoryUsage() breakdown.
+  size_t MemoryBytes() const { return MemoryUsage().total(); }
 };
 
 }  // namespace mira::index

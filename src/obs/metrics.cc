@@ -44,14 +44,19 @@ size_t ThreadShard() noexcept {
   return shard;
 }
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the dots in
-/// our naming scheme, mostly) becomes '_'.
-std::string PrometheusName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) c = '_';
+/// "# HELP" payloads escape backslash and newline per the text exposition
+/// format; everything else passes through verbatim.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out.append("\\\\");
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -68,6 +73,18 @@ void AppendJsonKey(std::string* out, const std::string& key) {
 }
 
 }  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
 
 void Gauge::Add(double delta) noexcept { AtomicAdd(&value_, delta); }
 
@@ -215,23 +232,40 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name) {
   return *slot;
 }
 
+void MetricRegistry::SetHelp(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = std::move(help);
+}
+
 std::string MetricRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Help text falls back to the dotted name, which at least tells a scraper
+  // which subsystem a sanitized name came from.
+  const auto help_for = [this](const std::string& name) {
+    auto it = help_.find(name);
+    return EscapeHelp(it == help_.end() ? name : it->second);
+  };
   std::string out;
   for (const auto& [name, counter] : counters_) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
+    out.append(
+        StrFormat("# HELP %s %s\n", prom.c_str(), help_for(name).c_str()));
     out.append(StrFormat("# TYPE %s counter\n", prom.c_str()));
     out.append(StrFormat("%s %llu\n", prom.c_str(),
                          static_cast<unsigned long long>(counter->value())));
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
+    out.append(
+        StrFormat("# HELP %s %s\n", prom.c_str(), help_for(name).c_str()));
     out.append(StrFormat("# TYPE %s gauge\n", prom.c_str()));
     out.append(StrFormat("%s %.9g\n", prom.c_str(), gauge->value()));
   }
   for (const auto& [name, histogram] : histograms_) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
     const Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out.append(
+        StrFormat("# HELP %s %s\n", prom.c_str(), help_for(name).c_str()));
     out.append(StrFormat("# TYPE %s histogram\n", prom.c_str()));
     uint64_t cumulative = 0;
     for (size_t b = 0; b < snap.buckets.size(); ++b) {

@@ -139,9 +139,16 @@ class MetricRegistry {
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
-  /// Prometheus text exposition: "# TYPE" lines, cumulative
+  /// Prometheus text exposition: "# HELP" + "# TYPE" lines, cumulative
   /// `_bucket{le="..."}` series (non-empty buckets only), `_sum`/`_count`.
+  /// Names go through PrometheusMetricName(); help text defaults to the
+  /// dotted metric name unless SetHelp() provided something better.
   std::string ExportText() const;
+
+  /// Sets the "# HELP" text exported for `name` (the dotted name, not the
+  /// sanitized one). May be called before or after the metric is registered;
+  /// newlines and backslashes are escaped per the exposition format.
+  void SetHelp(const std::string& name, std::string help);
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
   /// histogram entries carry count/sum/min/max/mean/p50/p90/p99 plus
@@ -159,7 +166,15 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every character outside [a-zA-Z0-9_:] becomes
+/// '_', a leading digit gains a '_' prefix, and an empty name becomes "_".
+/// ExportText() applies this to every name; exposed so tests (and external
+/// scrapers building their own exposition) agree on the mapping.
+std::string PrometheusMetricName(const std::string& name);
 
 }  // namespace mira::obs
 

@@ -1,0 +1,177 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mira::obs {
+
+void QueryLogEntry::SetMethod(std::string_view name) {
+  const size_t n = std::min(name.size(), sizeof(method) - 1);
+  std::memcpy(method, name.data(), n);
+  method[n] = '\0';
+}
+
+void QueryLogEntry::SetTopSpans(const QueryTrace& trace) {
+  top_spans = {};
+  const std::vector<SpanRecord>& spans = trace.spans();
+  // Partial insertion sort into the three slots: the span inventory is a
+  // couple dozen records, no need for a real sort.
+  for (size_t i = 1; i < spans.size(); ++i) {  // skip the root span
+    QueryLogTopSpan candidate{spans[i].name, spans[i].duration_ms};
+    for (QueryLogTopSpan& slot : top_spans) {
+      if (slot.name == nullptr || candidate.duration_ms > slot.duration_ms) {
+        std::swap(slot, candidate);
+      }
+    }
+  }
+}
+
+QueryLog::QueryLog(size_t capacity) {
+  size_t rounded = 2;
+  while (rounded < capacity) rounded *= 2;
+  capacity_ = rounded;
+  mask_ = rounded - 1;
+  slots_ = std::make_unique<Slot[]>(rounded);
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog log;
+  return log;
+}
+
+uint64_t QueryLog::Record(QueryLogEntry entry) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  entry.id = ticket + 1;
+  Slot& slot = slots_[ticket & mask_];
+
+  // Claim the slot: its generation must advance to 2*ticket+1 (writing) and
+  // then 2*ticket+2 (complete). A slot still odd, or already carrying a
+  // *newer* generation, means a writer stalled for (at least) a full ring
+  // lap — drop this entry instead of blocking or corrupting the newer one.
+  const uint64_t claim = 2 * ticket + 1;
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((seq & 1) != 0 || seq > claim) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return entry.id;
+    }
+    if (slot.seq.compare_exchange_weak(seq, claim,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  // Store the payload as relaxed atomic words (raceless even against a
+  // concurrent reader; the seqlock check makes torn snapshots detectable).
+  uint64_t words[Slot::kWords] = {};
+  std::memcpy(words, &entry, sizeof(entry));
+  for (size_t w = 0; w < Slot::kWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(claim + 1, std::memory_order_release);
+  return entry.id;
+}
+
+void QueryLog::SetSlowThresholdMs(double ms) {
+  slow_threshold_ms_.store(ms, std::memory_order_relaxed);
+}
+
+double QueryLog::slow_threshold_ms() const {
+  return slow_threshold_ms_.load(std::memory_order_relaxed);
+}
+
+bool QueryLog::IsSlow(double duration_ms) const {
+  const double threshold = slow_threshold_ms();
+  return threshold > 0.0 && duration_ms >= threshold;
+}
+
+void QueryLog::PromoteSlowTrace(uint64_t id, double duration_ms,
+                                const QueryTrace& trace) {
+  std::string json = trace.ToJson();
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_traces_.push_back({id, duration_ms, std::move(json)});
+  while (slow_traces_.size() > kMaxSlowTraces) slow_traces_.pop_front();
+}
+
+std::vector<QueryLog::SlowTrace> QueryLog::SlowTraces() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_traces_.begin(), slow_traces_.end()};
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  const uint64_t next = next_.load(std::memory_order_acquire);
+  const uint64_t begin = next > capacity_ ? next - capacity_ : 0;
+  std::vector<QueryLogEntry> out;
+  out.reserve(static_cast<size_t>(next - begin));
+  for (uint64_t ticket = begin; ticket < next; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    const uint64_t want = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    uint64_t words[Slot::kWords];
+    for (size_t w = 0; w < Slot::kWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // Seqlock validation: if the generation moved while we copied, the words
+    // may mix two entries — discard them.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    QueryLogEntry entry;
+    std::memcpy(&entry, words, sizeof(entry));
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::string QueryLog::ExportJsonLines() const {
+  std::string out;
+  for (const QueryLogEntry& entry : Snapshot()) {
+    out.append(StrFormat(
+        "{\"id\": %llu, \"method\": \"%s\", \"ok\": %s, \"k\": %u, "
+        "\"results\": %u, \"duration_ms\": %.4f, \"degraded\": %s, "
+        "\"partial\": %s, \"traced\": %s",
+        static_cast<unsigned long long>(entry.id), entry.method,
+        entry.ok ? "true" : "false", entry.k, entry.result_count,
+        entry.duration_ms, entry.degraded ? "true" : "false",
+        entry.partial ? "true" : "false", entry.traced ? "true" : "false"));
+    if (entry.budget_consumed >= 0) {
+      out.append(StrFormat(", \"budget_consumed\": %.4f",
+                           entry.budget_consumed));
+    }
+    out.append(", \"top_spans\": [");
+    bool first = true;
+    for (const QueryLogTopSpan& span : entry.top_spans) {
+      if (span.name == nullptr) continue;
+      if (!first) out.append(", ");
+      first = false;
+      out.append(StrFormat("{\"name\": \"%s\", \"ms\": %.4f}", span.name,
+                           span.duration_ms));
+    }
+    out.append("]}\n");
+  }
+  return out;
+}
+
+Status QueryLog::WriteJsonLines(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("query log: cannot open " + path);
+  out << ExportJsonLines();
+  out.flush();
+  if (!out) return Status::IoError("query log: failed writing " + path);
+  return Status::OK();
+}
+
+void QueryLog::Clear() {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s < capacity_; ++s) {
+    slots_[s].seq.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_traces_.clear();
+}
+
+}  // namespace mira::obs

@@ -1,0 +1,144 @@
+#ifndef MIRA_OBS_QUERY_LOG_H_
+#define MIRA_OBS_QUERY_LOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace mira::obs {
+
+/// One of the up-to-three largest spans summarized on a query-log entry.
+/// `name` points at the span's static string literal (never owned).
+struct QueryLogTopSpan {
+  const char* name = nullptr;
+  double duration_ms = 0.0;
+};
+
+/// One compact, fixed-size record per query. Trivially copyable on purpose:
+/// entries are serialized word-by-word into the lock-free ring, so they must
+/// carry no owning pointers — the method is an inline char array and span
+/// names are static literals.
+struct QueryLogEntry {
+  uint64_t id = 0;  ///< Assigned by QueryLog::Record (1-based, monotonic).
+  char method[15] = {};  ///< NUL-terminated, truncated to fit.
+  bool ok = true;        ///< False when Search returned a non-OK status.
+  uint32_t k = 0;
+  uint32_t result_count = 0;
+  double duration_ms = 0.0;
+  bool degraded = false;
+  bool partial = false;
+  bool traced = false;  ///< A full span tree was collected for this query.
+  /// Fraction of the deadline budget spent when the query finished
+  /// (1 - Deadline::FractionRemaining()); negative when no deadline was set.
+  double budget_consumed = -1.0;
+  /// Largest spans by duration, excluding the root; unused slots have a
+  /// nullptr name.
+  std::array<QueryLogTopSpan, 3> top_spans{};
+
+  void SetMethod(std::string_view name);
+  /// Fills top_spans from the trace (largest non-root spans first).
+  void SetTopSpans(const QueryTrace& trace);
+};
+static_assert(std::is_trivially_copyable_v<QueryLogEntry>,
+              "entries are serialized into the ring word-by-word");
+
+/// Lock-free ring buffer of the most recent `capacity` query-log entries,
+/// plus a small mutex-guarded side store of promoted slow-query traces.
+///
+/// Writers (`Record`) never block and never allocate: a slot is claimed with
+/// one fetch_add + one CAS and the entry is stored as relaxed atomic words
+/// under a per-slot seqlock, so the hot path stays wait-free-ish and
+/// TSan-clean. If a writer stalls for a full ring lap, colliding entries are
+/// dropped (counted in `dropped()`) rather than blocking the query path.
+/// Readers (`Snapshot`/`ExportJsonLines`) skip slots that are mid-write or
+/// recycled during the read — a consistency check, not a lock.
+///
+/// Slow-query promotion: when `slow_threshold_ms` is set (> 0), callers that
+/// ran a traced query check `IsSlow(duration)` and hand the full trace to
+/// `PromoteSlowTrace`, which keeps the last kMaxSlowTraces outliers as JSON.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+  static constexpr size_t kMaxSlowTraces = 16;
+
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit QueryLog(size_t capacity = kDefaultCapacity);
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Process-wide log the engine records into.
+  static QueryLog& Global();
+
+  /// Stores the entry (assigning and returning its id). Lock-free.
+  uint64_t Record(QueryLogEntry entry);
+
+  /// Slow-query threshold; <= 0 (the default) disables promotion.
+  void SetSlowThresholdMs(double ms);
+  double slow_threshold_ms() const;
+  bool IsSlow(double duration_ms) const;
+
+  /// Keeps the full trace of a slow query (bounded: the oldest of more than
+  /// kMaxSlowTraces promotions is evicted).
+  void PromoteSlowTrace(uint64_t id, double duration_ms,
+                        const QueryTrace& trace);
+
+  struct SlowTrace {
+    uint64_t id = 0;
+    double duration_ms = 0.0;
+    std::string trace_json;  ///< QueryTrace::ToJson() of the outlier.
+  };
+  std::vector<SlowTrace> SlowTraces() const;
+
+  /// Consistent entries still resident in the ring, oldest first.
+  std::vector<QueryLogEntry> Snapshot() const;
+
+  /// JSON-lines export: one compact JSON object per entry, oldest first.
+  std::string ExportJsonLines() const;
+  [[nodiscard]] Status WriteJsonLines(const std::string& path) const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total entries ever recorded (ids run 1..total_recorded()).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Entries lost to writer collisions (a writer stalled a full ring lap).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Resets ids, entries, and promoted traces. Test isolation only — must
+  /// not run concurrently with writers.
+  void Clear();
+
+ private:
+  struct Slot {
+    static constexpr size_t kWords = (sizeof(QueryLogEntry) + 7) / 8;
+    /// Seqlock generation: 2*ticket+1 while the writer of `ticket` is
+    /// storing, 2*ticket+2 once its entry is complete, 0 when never written.
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kWords> words{};
+  };
+
+  size_t capacity_;  ///< Power of two.
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<double> slow_threshold_ms_{0.0};
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowTrace> slow_traces_;
+};
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_QUERY_LOG_H_

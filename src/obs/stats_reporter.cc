@@ -1,0 +1,120 @@
+#include "obs/stats_reporter.h"
+
+#include <fstream>
+#include <utility>
+
+namespace mira::obs {
+
+void FileStatsSink::Consume(const StatsSnapshot& snapshot) {
+  std::ofstream out(path_, std::ios::trunc);
+  Status result = Status::OK();
+  if (!out) {
+    result = Status::IoError("stats sink: cannot open " + path_);
+  } else {
+    out << snapshot.registry_json;
+    out.flush();
+    if (!out) result = Status::IoError("stats sink: failed writing " + path_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status_.ok()) status_ = std::move(result);
+}
+
+Status FileStatsSink::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void CapturingStatsSink::Consume(const StatsSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.push_back(snapshot);
+}
+
+std::vector<StatsSnapshot> CapturingStatsSink::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+StatsReporter::StatsReporter(StatsSink* sink, Options options)
+    : sink_(sink), options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricRegistry::Global();
+  }
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::AddCollector(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  started_ = std::chrono::steady_clock::now();
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool StatsReporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t StatsReporter::snapshots_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+void StatsReporter::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; });
+      if (stop_requested_) break;
+    }
+    TakeSnapshot();
+  }
+  // Final snapshot on shutdown: a short-lived process (or a test) still gets
+  // its state exported exactly once.
+  TakeSnapshot();
+}
+
+void StatsReporter::TakeSnapshot() {
+  std::vector<std::function<void()>> collectors;
+  uint64_t sequence = 0;
+  std::chrono::steady_clock::time_point started;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+    sequence = ++snapshots_;
+    started = started_;
+  }
+  // Collectors refresh pull-style gauges (memory, pool depth) outside the
+  // reporter lock — they may take other locks of their own.
+  for (const std::function<void()>& collector : collectors) collector();
+
+  StatsSnapshot snapshot;
+  snapshot.sequence = sequence;
+  snapshot.uptime_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  snapshot.registry_json = options_.registry->ExportJson();
+  sink_->Consume(snapshot);
+}
+
+}  // namespace mira::obs

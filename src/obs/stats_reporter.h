@@ -1,0 +1,113 @@
+#ifndef MIRA_OBS_STATS_REPORTER_H_
+#define MIRA_OBS_STATS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace mira::obs {
+
+/// One periodic registry snapshot handed to a StatsSink.
+struct StatsSnapshot {
+  uint64_t sequence = 0;    ///< 1-based snapshot counter.
+  double uptime_ms = 0.0;   ///< Since the reporter started.
+  std::string registry_json;  ///< MetricRegistry::ExportJson() document.
+};
+
+/// Destination for periodic snapshots. Consume() runs on the reporter's
+/// background thread; implementations must be safe to call from it.
+class StatsSink {
+ public:
+  virtual ~StatsSink() = default;
+  virtual void Consume(const StatsSnapshot& snapshot) = 0;
+};
+
+/// Sink that rewrites one JSON file per snapshot (scrape-file style: the
+/// file always holds the latest registry state).
+class FileStatsSink : public StatsSink {
+ public:
+  explicit FileStatsSink(std::string path) : path_(std::move(path)) {}
+  void Consume(const StatsSnapshot& snapshot) override;
+  /// Non-OK when any write so far failed (write errors never throw into the
+  /// reporter thread).
+  Status status() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  Status status_;
+};
+
+/// Sink that buffers snapshots in memory, for tests.
+class CapturingStatsSink : public StatsSink {
+ public:
+  void Consume(const StatsSnapshot& snapshot) override;
+  std::vector<StatsSnapshot> snapshots() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StatsSnapshot> snapshots_;
+};
+
+/// Background thread that snapshots a MetricRegistry to a sink on a fixed
+/// interval. Before each snapshot it runs the registered collectors —
+/// callbacks that refresh pull-style gauges (memory usage, pool queue depth)
+/// so the exported numbers are current rather than last-touched.
+///
+/// Lifecycle: construct → AddCollector()* → Start() → ... → Stop() (or let
+/// the destructor stop it). Stop() wakes the thread immediately, takes one
+/// final snapshot so short-lived processes still export, and joins — no
+/// detached threads, no sleeps on the shutdown path.
+class StatsReporter {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    /// The registry to snapshot (defaults to the process-global one).
+    MetricRegistry* registry = nullptr;
+  };
+
+  explicit StatsReporter(StatsSink* sink) : StatsReporter(sink, Options{}) {}
+  StatsReporter(StatsSink* sink, Options options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Registers a refresh callback. Must be called before Start().
+  void AddCollector(std::function<void()> collector);
+
+  void Start();
+  /// Idempotent; safe to call without Start().
+  void Stop();
+
+  bool running() const;
+  uint64_t snapshots_taken() const;
+
+ private:
+  void Loop();
+  void TakeSnapshot();
+
+  StatsSink* sink_;
+  Options options_;
+  std::vector<std::function<void()>> collectors_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  uint64_t snapshots_ = 0;
+  std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_STATS_REPORTER_H_

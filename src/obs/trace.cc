@@ -57,6 +57,9 @@ std::string QueryTrace::ToString() const {
   for (const SpanRecord& span : spans_) {
     std::string name = span.name;
     if (!span.label.empty()) name += "(" + span.label + ")";
+    // Worker-thread spans (merged at a ParallelFor join) are tagged with the
+    // thread they ran on; query-thread spans keep the seed format.
+    if (span.tid != 0) name += StrFormat(" [t%02d]", span.tid);
     out.append(StrFormat("%*s%-32s %9.3f ms", span.depth * 2, "", name.c_str(),
                          span.duration_ms));
     for (const SpanCounter& counter : span.counters) {
@@ -75,9 +78,10 @@ std::string QueryTrace::ToJson() const {
     out.append(i == 0 ? "\n  " : ",\n  ");
     out.append(StrFormat(
         "{\"name\": \"%s\", \"label\": \"%s\", \"parent\": %d, \"depth\": %d, "
-        "\"start_ms\": %.6f, \"duration_ms\": %.6f, \"counters\": {",
-        span.name, span.label.c_str(), span.parent, span.depth, span.start_ms,
-        span.duration_ms));
+        "\"tid\": %d, \"start_ms\": %.6f, \"duration_ms\": %.6f, "
+        "\"counters\": {",
+        span.name, span.label.c_str(), span.parent, span.depth, span.tid,
+        span.start_ms, span.duration_ms));
     for (size_t c = 0; c < span.counters.size(); ++c) {
       if (c > 0) out.append(", ");
       out.append(StrFormat("\"%s\": %lld", span.counters[c].key,

@@ -29,12 +29,16 @@ struct SpanCounter {
 };
 
 /// One timed section of a query. Spans form a tree via parent indices into
-/// QueryTrace::spans(); preorder in the vector matches start order.
+/// QueryTrace::spans(); spans recorded on the query thread appear in start
+/// order, worker-thread spans are spliced in at the ParallelFor join point.
 struct SpanRecord {
   const char* name = "";
   std::string label;  ///< Optional dynamic detail (e.g. collection name).
   int32_t parent = -1;
   int32_t depth = 0;
+  /// Thread the span ran on: 0 is the query thread, worker spans carry the
+  /// worker's mira::LogThreadId(). Feeds the tid lane in Chrome trace export.
+  int32_t tid = 0;
   double start_ms = 0.0;  ///< Offset from the trace's start.
   double duration_ms = 0.0;
   std::vector<SpanCounter> counters;
@@ -43,14 +47,36 @@ struct SpanRecord {
 /// The span tree collected for a single query. Owned by the caller of
 /// DiscoveryEngine::SearchTraced; populated through a thread-local context
 /// installed by ScopedTrace, so instrumented callees need no extra
-/// parameters. Not thread-safe: one trace belongs to one query thread
-/// (parallel sections report aggregate counters at their call site instead —
-/// see docs/OBSERVABILITY.md).
+/// parameters. Not thread-safe by itself: one trace belongs to one query
+/// thread. Parallel sections run their workers against private per-task
+/// buffer traces that ParallelFor/ParallelForCancellable splice back in at
+/// the join point via AdoptWorkerSpans (see obs/trace_propagation.h), so the
+/// owning thread never shares the trace with a running worker.
 class QueryTrace {
  public:
   const std::vector<SpanRecord>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }
   void Clear() { spans_.clear(); }
+
+  /// Splices the spans of a worker-side buffer trace under `parent` (an index
+  /// into this trace, or -1 for the root level), tagging them with the worker
+  /// thread id. Buffer-internal parent indices and depths are remapped.
+  /// Called at the ParallelFor join point, on the thread that owns this
+  /// trace. Inline because mira_common uses it without linking mira_obs.
+  void AdoptWorkerSpans(int32_t parent, int32_t tid,
+                        const QueryTrace& worker) {
+    const int32_t base = static_cast<int32_t>(spans_.size());
+    const int32_t depth_shift =
+        parent >= 0 ? spans_[static_cast<size_t>(parent)].depth + 1 : 0;
+    spans_.reserve(spans_.size() + worker.spans_.size());
+    for (const SpanRecord& span : worker.spans_) {
+      SpanRecord copy = span;
+      copy.parent = span.parent < 0 ? parent : base + span.parent;
+      copy.depth += depth_shift;
+      copy.tid = tid;
+      spans_.push_back(std::move(copy));
+    }
+  }
 
   /// First span with this name, or nullptr.
   const SpanRecord* Find(std::string_view name) const;
@@ -93,6 +119,15 @@ struct TraceContext {
 
 #if MIRA_OBS_ENABLED
 inline thread_local TraceContext g_trace_context;
+
+/// Reads / overwrites the calling thread's collection state. Only the
+/// cross-thread propagation scope (obs/trace_propagation.h) should touch
+/// these; everything else goes through ScopedTrace / TraceSpan.
+inline TraceContext CaptureContext() { return g_trace_context; }
+inline void InstallContext(const TraceContext& ctx) { g_trace_context = ctx; }
+#else
+inline TraceContext CaptureContext() { return {}; }
+inline void InstallContext(const TraceContext& /*ctx*/) {}
 #endif
 
 }  // namespace internal

@@ -1,0 +1,123 @@
+#ifndef MIRA_OBS_TRACE_PROPAGATION_H_
+#define MIRA_OBS_TRACE_PROPAGATION_H_
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+// Cross-thread trace propagation for ParallelFor-style fork/join sections.
+//
+// A QueryTrace belongs to one thread, so workers must never write into the
+// caller's trace directly. Instead the fork point captures the caller's
+// thread-local TraceContext once; each worker task then runs under a private
+// buffer QueryTrace sharing the caller's time origin, and the join point
+// splices the buffers back into the parent trace with thread-id-tagged spans
+// (QueryTrace::AdoptWorkerSpans). The caller is blocked at the join when the
+// merge happens, so the parent trace is never written concurrently.
+//
+// Everything here is header-only on purpose: mira_obs links mira_common, so
+// mira_common (threadpool.cc) uses these scopes without a link dependency on
+// mira_obs. When no trace is armed — the steady state — the capture is one
+// TLS load at the fork point and each worker task pays one member-pointer
+// branch; with -DMIRA_OBS=OFF the whole mechanism compiles to nothing.
+
+namespace mira::obs {
+
+#if MIRA_OBS_ENABLED
+
+/// Fork/join carrier for the caller's trace context. Construct on the thread
+/// that owns the (possibly armed) trace, hand a pointer to every worker task,
+/// and call MergeIntoParent() after the join barrier.
+class CrossThreadTraceCapture {
+ public:
+  CrossThreadTraceCapture() : parent_(internal::CaptureContext()) {}
+
+  CrossThreadTraceCapture(const CrossThreadTraceCapture&) = delete;
+  CrossThreadTraceCapture& operator=(const CrossThreadTraceCapture&) = delete;
+
+  /// True when the forking thread had a trace armed.
+  bool armed() const { return parent_.trace != nullptr; }
+
+  /// RAII worker-task scope: installs a thread-local context collecting into
+  /// a task-private buffer, and hands the buffer to the capture when the task
+  /// ends. Destroy *before* signalling task completion to the join point —
+  /// the merge must not race the buffer handoff.
+  class WorkerScope {
+   public:
+    explicit WorkerScope(CrossThreadTraceCapture* capture) {
+      if (capture == nullptr || !capture->armed()) return;
+      capture_ = capture;
+      saved_ = internal::CaptureContext();
+      internal::InstallContext({&buffer_, -1, capture->parent_.origin});
+    }
+
+    ~WorkerScope() {
+      if (capture_ == nullptr) return;
+      internal::InstallContext(saved_);
+      if (!buffer_.empty()) capture_->Collect(std::move(buffer_));
+    }
+
+    WorkerScope(const WorkerScope&) = delete;
+    WorkerScope& operator=(const WorkerScope&) = delete;
+
+   private:
+    CrossThreadTraceCapture* capture_ = nullptr;
+    QueryTrace buffer_;
+    internal::TraceContext saved_;
+  };
+
+  /// Splices every collected worker buffer into the parent trace, under the
+  /// span that was open at the fork point. Call on the forking thread after
+  /// all worker tasks have completed (and their WorkerScopes destructed);
+  /// safe to call when untraced or when no worker recorded a span.
+  void MergeIntoParent() {
+    if (!armed()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Buffer& buffer : buffers_) {
+      parent_.trace->AdoptWorkerSpans(parent_.current, buffer.tid,
+                                      buffer.trace);
+    }
+    buffers_.clear();
+  }
+
+ private:
+  friend class WorkerScope;
+
+  struct Buffer {
+    int32_t tid;
+    QueryTrace trace;
+  };
+
+  void Collect(QueryTrace buffer) {
+    // LogThreadId is the same compact per-thread id the log prefix prints,
+    // so trace lanes and log lines correlate directly.
+    const int32_t tid = LogThreadId();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back({tid, std::move(buffer)});
+  }
+
+  internal::TraceContext parent_;
+  std::mutex mu_;
+  std::vector<Buffer> buffers_;
+};
+
+#else  // !MIRA_OBS_ENABLED
+
+class CrossThreadTraceCapture {
+ public:
+  bool armed() const { return false; }
+  class WorkerScope {
+   public:
+    explicit WorkerScope(CrossThreadTraceCapture* /*capture*/) {}
+  };
+  void MergeIntoParent() {}
+};
+
+#endif  // MIRA_OBS_ENABLED
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_TRACE_PROPAGATION_H_

@@ -244,4 +244,37 @@ size_t Collection::IndexMemoryBytes() const {
   return index_ ? index_->MemoryBytes() : 0;
 }
 
+namespace {
+
+size_t PayloadValueBytes(const PayloadValue& value) {
+  if (const auto* text = std::get_if<std::string>(&value)) {
+    return sizeof(PayloadValue) + text->size();
+  }
+  return sizeof(PayloadValue);
+}
+
+}  // namespace
+
+CollectionMemoryStats Collection::MemoryUsage() const {
+  std::shared_lock lock(mu_);
+  CollectionMemoryStats stats;
+  for (const Point& point : points_) {
+    stats.points_bytes += sizeof(Point) + point.vector.size() * sizeof(float);
+    for (const auto& [key, value] : point.payload) {
+      stats.points_bytes += key.size() + PayloadValueBytes(value);
+    }
+  }
+  stats.points_bytes += id_to_offset_.size() *
+                        (sizeof(uint64_t) + sizeof(size_t));
+  for (const auto& [field, values] : payload_index_) {
+    stats.payload_index_bytes += field.size();
+    for (const auto& [key, offsets] : values) {
+      stats.payload_index_bytes += key.size() +
+                                   offsets.size() * sizeof(size_t);
+    }
+  }
+  if (index_) stats.index = index_->MemoryUsage();
+  return stats;
+}
+
 }  // namespace mira::vectordb

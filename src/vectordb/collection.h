@@ -61,6 +61,18 @@ struct SearchHit {
   const Payload* payload = nullptr;
 };
 
+/// Resident-byte breakdown of a collection, for the `mira.mem.*` gauges:
+/// stored points (vectors + payload estimate), the payload inverted index,
+/// and the vector index's own MemoryStats.
+struct CollectionMemoryStats {
+  size_t points_bytes = 0;         ///< Stored vectors + payload estimate.
+  size_t payload_index_bytes = 0;  ///< Inverted payload index.
+  index::MemoryStats index;        ///< Vector-index breakdown.
+  size_t total() const {
+    return points_bytes + payload_index_bytes + index.total();
+  }
+};
+
 /// A named set of points with payloads and a vector index — the unit of
 /// storage of the vector database (Qdrant's "collection").
 ///
@@ -122,6 +134,10 @@ class Collection {
 
   /// Resident bytes of index structures (storage-reduction reporting).
   size_t IndexMemoryBytes() const;
+
+  /// Full resident-byte breakdown (points, payload index, vector index).
+  /// Takes the shared lock, like IndexMemoryBytes.
+  CollectionMemoryStats MemoryUsage() const;
 
  private:
   std::string PayloadKeyOf(const PayloadValue& value) const;

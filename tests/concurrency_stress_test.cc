@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
 #include "vecmath/vector_ops.h"
 #include "vectordb/collection.h"
 
@@ -319,6 +322,141 @@ TEST(ObsStressTest, RegistryLookupsRaceFree) {
   EXPECT_EQ(total, kTasks);
   EXPECT_EQ(registry.GetHistogram("mira.stress.hist").TakeSnapshot().count,
             kTasks);
+}
+
+// ---------- Cross-thread trace merging ----------
+
+#if MIRA_OBS_ENABLED
+
+TEST(TraceMergeStressTest, TwelveThousandTasksUnderOneArmedTrace) {
+  // One armed trace, 12 sequential ParallelFor fan-outs of 1000 items each:
+  // every worker-side span must be spliced back exactly once with a worker
+  // tid, and the parent trace must never be written concurrently (this is
+  // the propagation test the `tsan` preset's regex runs).
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kRounds = 12;
+  constexpr size_t kItems = 1000;
+  obs::QueryTrace trace;
+  {
+    obs::ScopedTrace collect(&trace);
+    ASSERT_TRUE(collect.armed());
+    obs::TraceSpan root("stress_root");
+    for (size_t round = 0; round < kRounds; ++round) {
+      ParallelFor(&pool, 0, kItems, [](size_t i) {
+        obs::TraceSpan span("stress_item");
+        span.AddCounter("one", 1);
+        if (i % 97 == 0) {
+          obs::TraceSpan nested("stress_nested");
+        }
+      });
+    }
+  }
+  size_t items = 0;
+  size_t nested = 0;
+  for (const obs::SpanRecord& span : trace.spans()) {
+    std::string_view name(span.name);
+    if (name == "stress_item") {
+      ++items;
+      EXPECT_EQ(span.parent, 0);
+      EXPECT_GT(span.tid, 0);
+    } else if (name == "stress_nested") {
+      ++nested;
+      EXPECT_GT(span.tid, 0);
+      EXPECT_STREQ(trace.spans()[static_cast<size_t>(span.parent)].name,
+                   "stress_item");
+    }
+  }
+  EXPECT_EQ(items, kRounds * kItems);
+  EXPECT_EQ(nested, kRounds * ((kItems + 96) / 97));
+  EXPECT_EQ(trace.CounterValue("stress_item", "one"),
+            static_cast<int64_t>(kRounds * kItems));
+}
+
+TEST(TraceMergeStressTest, ConcurrentIndependentTracedSections) {
+  // Several threads each run their own armed trace over the same pool at
+  // once: buffers must never leak into the wrong trace.
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kItems = 400;
+  std::vector<obs::QueryTrace> traces(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &traces, c] {
+      obs::ScopedTrace collect(&traces[c]);
+      obs::TraceSpan root("caller_root");
+      ParallelFor(&pool, 0, kItems, [c](size_t) {
+        obs::TraceSpan span("caller_item");
+        span.AddCounter("caller", static_cast<int64_t>(c));
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    size_t items = 0;
+    for (const obs::SpanRecord& span : traces[c].spans()) {
+      if (std::string_view(span.name) == "caller_item") ++items;
+    }
+    EXPECT_EQ(items, kItems) << "caller " << c;
+    // Every adopted counter belongs to this caller.
+    EXPECT_EQ(traces[c].CounterValue("caller_item", "caller"),
+              static_cast<int64_t>(c * kItems));
+  }
+}
+
+#endif  // MIRA_OBS_ENABLED
+
+// ---------- Query log ----------
+
+TEST(QueryLogStressTest, ConcurrentWritersAndSnapshotReaders) {
+  // Writers hammer the lock-free ring from the pool while readers snapshot
+  // and export concurrently: no torn entries (method strings stay intact),
+  // every record accounted for as stored or dropped.
+  obs::QueryLog log(64);
+  ThreadPool pool(kPoolThreads);
+  constexpr size_t kWrites = 12000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&log, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const obs::QueryLogEntry& entry : log.Snapshot()) {
+        // A torn read would surface as a method that is neither value.
+        std::string_view method(entry.method);
+        ASSERT_TRUE(method == "ExS" || method == "CTS") << method;
+        ASSERT_EQ(entry.k, entry.result_count);
+      }
+      // Export under concurrency must stay well-formed line-structured text.
+      std::string lines = log.ExportJsonLines();
+      ASSERT_TRUE(lines.empty() || lines.back() == '\n');
+    }
+  });
+  ParallelFor(&pool, 0, kWrites, [&log](size_t i) {
+    obs::QueryLogEntry entry;
+    entry.SetMethod(i % 2 == 0 ? "ExS" : "CTS");
+    entry.k = static_cast<uint32_t>(i);
+    entry.result_count = static_cast<uint32_t>(i);
+    entry.duration_ms = 0.5;
+    log.Record(entry);
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(log.total_recorded(), kWrites);
+  // Entries still resident are consistent and at most `capacity` many.
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  EXPECT_LE(entries.size(), log.capacity());
+  EXPECT_LE(log.dropped(), kWrites);
+}
+
+TEST(QueryLogStressTest, ConcurrentSlowTracePromotion) {
+  obs::QueryLog log(64);
+  ThreadPool pool(kPoolThreads);
+  log.SetSlowThresholdMs(1.0);
+  obs::QueryTrace trace;
+  trace.FinishSpan(trace.StartSpan("slow_query", -1, 0.0), 5.0);
+  ParallelFor(&pool, 0, 500, [&log, &trace](size_t i) {
+    if (log.IsSlow(5.0)) {
+      log.PromoteSlowTrace(i + 1, 5.0, trace);
+    }
+  });
+  EXPECT_EQ(log.SlowTraces().size(), obs::QueryLog::kMaxSlowTraces);
 }
 
 // ---------- Batched scans ----------

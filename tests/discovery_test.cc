@@ -7,7 +7,10 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
+
+#include "common/rng.h"
 
 #include "datagen/workload.h"
 #include "discovery/anns_search.h"
@@ -17,6 +20,7 @@
 #include "discovery/match.h"
 #include "discovery/types.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace mira::discovery {
@@ -561,6 +565,139 @@ TEST_F(GeneratedWorkloadTest, TraceSamplingZeroDisablesCollection) {
   obs::SetTraceSampling(1);
   EXPECT_TRUE(traced.trace.empty());
   EXPECT_FALSE(traced.ranking.empty());
+}
+
+TEST(TracedScanTest, ParallelCachedScanEmitsWorkerSpans) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  // 8192 cells reach the cached scan's parallel threshold, so the blocks go
+  // through the pool and each chunk's exs.scan_block span must come back
+  // spliced under exs.scan with the worker's thread id.
+  auto corpus = std::make_shared<CorpusEmbeddings>();
+  constexpr size_t kCells = 8192;
+  constexpr size_t kRelations = 16;
+  constexpr size_t kDim = 32;
+  corpus->vectors = vecmath::Matrix(kCells, kDim);
+  Rng rng(99);
+  for (size_t i = 0; i < kCells; ++i) {
+    float* row = corpus->vectors.Row(i);
+    for (size_t j = 0; j < kDim; ++j) row[j] = rng.NextFloat() - 0.5f;
+    corpus->refs.push_back(
+        {static_cast<table::RelationId>(i % kRelations), 0, 0});
+  }
+  corpus->num_relations = kRelations;
+  corpus->cells_per_relation.assign(kRelations,
+                                    static_cast<uint32_t>(kCells / kRelations));
+
+  CovidFixture fx = MakeCovidFixture();
+  embed::EncoderOptions encoder_options;
+  encoder_options.dim = kDim;
+  auto encoder =
+      std::make_shared<embed::SemanticEncoder>(encoder_options, fx.lexicon);
+
+  ExsOptions exs;
+  exs.reuse_corpus_embeddings = true;
+  exs.num_threads = 4;
+  ExhaustiveSearcher scanner(nullptr, corpus, encoder, exs);
+
+  obs::QueryTrace trace;
+  {
+    obs::ScopedTrace collect(&trace);
+    ASSERT_TRUE(collect.armed());
+    auto ranking = scanner.Search("covid vaccine", {}).MoveValue();
+    EXPECT_FALSE(ranking.empty());
+  }
+  const obs::SpanRecord* scan = trace.Find("exs.scan");
+  ASSERT_NE(scan, nullptr);
+  const int32_t scan_index =
+      static_cast<int32_t>(scan - trace.spans().data());
+  size_t blocks = 0;
+  for (const obs::SpanRecord& span : trace.spans()) {
+    if (std::string_view(span.name) != "exs.scan_block") continue;
+    ++blocks;
+    EXPECT_EQ(span.parent, scan_index);
+    EXPECT_GT(span.tid, 0);
+  }
+  EXPECT_EQ(blocks, kCells / 1024);  // one span per 1024-cell block
+  EXPECT_EQ(trace.CounterValue("exs.scan_block", "cells"),
+            static_cast<int64_t>(kCells));
+  EXPECT_EQ(trace.CounterValue("exs.scan", "cells_scanned"),
+            static_cast<int64_t>(kCells));
+}
+
+TEST_F(GeneratedWorkloadTest, MemoryUsageBreakdownsArePopulated) {
+  const auto* anns =
+      static_cast<const AnnsSearcher*>(engine_->searcher(Method::kAnns));
+  ASSERT_NE(anns, nullptr);
+  vectordb::CollectionMemoryStats anns_stats = anns->MemoryUsage();
+  EXPECT_GT(anns_stats.points_bytes, 0u);
+  EXPECT_GT(anns_stats.index.total(), 0u);
+  EXPECT_GE(anns_stats.total(), anns_stats.points_bytes);
+  // The breakdown's index component is the same number IndexMemoryBytes()
+  // reported before the refactor.
+  EXPECT_EQ(anns_stats.index.total(), anns->IndexMemoryBytes());
+
+  const auto* cts =
+      static_cast<const CtsSearcher*>(engine_->searcher(Method::kCts));
+  ASSERT_NE(cts, nullptr);
+  vectordb::CollectionMemoryStats cts_stats = cts->MemoryUsage();
+  EXPECT_GT(cts_stats.points_bytes, 0u);
+  EXPECT_GT(cts_stats.total(), 0u);
+}
+
+TEST_F(GeneratedWorkloadTest, PublishResourceMetricsFillsGauges) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  engine_->PublishResourceMetrics();
+  auto& registry = obs::MetricRegistry::Global();
+  EXPECT_GT(registry.GetGauge("mira.mem.corpus_bytes").value(), 0.0);
+  EXPECT_GT(registry.GetGauge("mira.mem.anns.total_bytes").value(), 0.0);
+  EXPECT_GT(registry.GetGauge("mira.mem.cts.total_bytes").value(), 0.0);
+  EXPECT_GT(registry.GetGauge("mira.mem.total_bytes").value(),
+            registry.GetGauge("mira.mem.anns.total_bytes").value());
+}
+
+TEST_F(GeneratedWorkloadTest, SearchAppendsToTheGlobalQueryLog) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  auto& log = obs::QueryLog::Global();
+  const uint64_t before = log.total_recorded();
+  DiscoveryOptions options;
+  options.top_k = 5;
+  engine_->Search(Method::kCts, workload_->queries.front().text, options)
+      .MoveValue();
+  ASSERT_EQ(log.total_recorded(), before + 1);
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_FALSE(entries.empty());
+  const obs::QueryLogEntry& entry = entries.back();
+  EXPECT_STREQ(entry.method, "CTS");
+  EXPECT_TRUE(entry.ok);
+  EXPECT_EQ(entry.k, 5u);
+  EXPECT_GT(entry.duration_ms, 0.0);
+  EXPECT_FALSE(entry.traced);
+  EXPECT_LT(entry.budget_consumed, 0.0);  // no deadline was set
+}
+
+TEST_F(GeneratedWorkloadTest, SlowTracedQueryIsPromoted) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with MIRA_OBS=OFF";
+  auto& log = obs::QueryLog::Global();
+  log.SetSlowThresholdMs(0.0001);  // everything is slow
+  const size_t slow_before = log.SlowTraces().size();
+  DiscoveryOptions options;
+  options.top_k = 5;
+  auto traced =
+      engine_
+          ->SearchTraced(Method::kCts, workload_->queries.front().text, options)
+          .MoveValue();
+  log.SetSlowThresholdMs(0.0);
+  ASSERT_FALSE(traced.trace.empty());
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_TRUE(entries.back().traced);
+  // The top-span summary names real spans from the trace.
+  ASSERT_NE(entries.back().top_spans[0].name, nullptr);
+  EXPECT_NE(traced.trace.Find(entries.back().top_spans[0].name), nullptr);
+  std::vector<obs::QueryLog::SlowTrace> slow = log.SlowTraces();
+  ASSERT_GT(slow.size(), slow_before);
+  EXPECT_EQ(slow.back().id, entries.back().id);
+  EXPECT_NE(slow.back().trace_json.find("embed_query"), std::string::npos);
 }
 
 // ---------- Corpus persistence & BuildWithCorpus ----------

@@ -1,17 +1,27 @@
 // Unit tests for src/obs: metric registry semantics, histogram bucket math
-// against exact quantiles, exporter output, span-tree collection, and the
-// runtime sampling knob.
+// against exact quantiles, exporter output, span-tree collection, the runtime
+// sampling knob, cross-thread trace propagation, Chrome trace export, the
+// structured query log, and the background stats reporter.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/stats_reporter.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace mira::obs {
 namespace {
@@ -210,6 +220,386 @@ TEST(MetricRegistryTest, ExportJsonRoundTripsValues) {
   EXPECT_EQ(json, registry.ExportJson());
 }
 
+// ---------- Prometheus exposition ----------
+
+TEST(PrometheusNameTest, SanitizesIntoTheMetricGrammar) {
+  EXPECT_EQ(PrometheusMetricName("mira.query.count.exs"),
+            "mira_query_count_exs");
+  EXPECT_EQ(PrometheusMetricName("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(PrometheusMetricName("spaces and-dashes"), "spaces_and_dashes");
+  EXPECT_EQ(PrometheusMetricName("2xx.rate"), "_2xx_rate");
+  EXPECT_EQ(PrometheusMetricName(""), "_");
+  EXPECT_EQ(PrometheusMetricName("UPPER.ok"), "UPPER_ok");
+}
+
+TEST(MetricRegistryTest, ExportTextEmitsHelpLines) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.queries").Add(1);
+  registry.GetGauge("mira.test.bytes").Set(7.0);
+  std::string text = registry.ExportText();
+  // Default help is the dotted name, right above the TYPE line.
+  EXPECT_NE(text.find("# HELP mira_test_queries mira.test.queries\n"
+                      "# TYPE mira_test_queries counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP mira_test_bytes mira.test.bytes\n"
+                      "# TYPE mira_test_bytes gauge"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, SetHelpOverridesAndEscapes) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.queries");
+  registry.SetHelp("mira.test.queries", "Total queries\nback\\slash");
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("# HELP mira_test_queries Total queries\\nback\\\\slash"),
+            std::string::npos)
+      << text;
+  // Help set before registration still applies once the metric exists.
+  registry.SetHelp("mira.test.late", "registered later");
+  registry.GetGauge("mira.test.late").Set(1.0);
+  EXPECT_NE(registry.ExportText().find("# HELP mira_test_late registered"),
+            std::string::npos);
+}
+
+// ---------- Worker-span adoption ----------
+
+// Builds a trace by hand (StartSpan/FinishSpan are public bookkeeping), so
+// these tests hold with tracing compiled out too.
+TEST(AdoptWorkerSpansTest, RemapsParentsDepthsAndTids) {
+  QueryTrace parent;
+  int32_t root = parent.StartSpan("query", -1, 0.0);
+  int32_t scan = parent.StartSpan("exs.scan", root, 0.1);
+
+  QueryTrace worker;
+  int32_t outer = worker.StartSpan("exs.scan_block", -1, 0.2);
+  worker.StartSpan("inner_detail", outer, 0.3);
+
+  parent.AdoptWorkerSpans(scan, /*tid=*/7, worker);
+  ASSERT_EQ(parent.spans().size(), 4u);
+  const SpanRecord& adopted_outer = parent.spans()[2];
+  const SpanRecord& adopted_inner = parent.spans()[3];
+  EXPECT_STREQ(adopted_outer.name, "exs.scan_block");
+  EXPECT_EQ(adopted_outer.parent, scan);
+  EXPECT_EQ(adopted_outer.depth, 2);  // under query > exs.scan
+  EXPECT_EQ(adopted_outer.tid, 7);
+  EXPECT_EQ(adopted_inner.parent, 2);  // remapped into the parent's indices
+  EXPECT_EQ(adopted_inner.depth, 3);
+  EXPECT_EQ(adopted_inner.tid, 7);
+  // Query-thread spans keep tid 0.
+  EXPECT_EQ(parent.spans()[0].tid, 0);
+}
+
+TEST(AdoptWorkerSpansTest, RootLevelAdoptionAndSerialization) {
+  QueryTrace parent;
+  QueryTrace worker;
+  worker.StartSpan("chunk", -1, 1.0);
+  parent.AdoptWorkerSpans(-1, /*tid=*/3, worker);
+  ASSERT_EQ(parent.spans().size(), 1u);
+  EXPECT_EQ(parent.spans()[0].parent, -1);
+  EXPECT_EQ(parent.spans()[0].depth, 0);
+  EXPECT_NE(parent.ToString().find("[t03]"), std::string::npos);
+  EXPECT_NE(parent.ToJson().find("\"tid\": 3"), std::string::npos);
+}
+
+// ---------- Chrome trace export ----------
+
+namespace chrome_test {
+
+// parent trace: query(rooted, tid 0) > scan, plus one adopted worker span.
+QueryTrace MakeTrace() {
+  QueryTrace trace;
+  int32_t root = trace.StartSpan("query", -1, 0.0);
+  int32_t scan = trace.StartSpan("exs.scan", root, 0.5);
+  trace.AddCounter(scan, "cells_scanned", 42);
+  QueryTrace worker;
+  int32_t block = worker.StartSpan("exs.scan_block", -1, 0.6);
+  worker.FinishSpan(block, 1.0);
+  trace.AdoptWorkerSpans(scan, /*tid=*/2, worker);
+  trace.FinishSpan(scan, 2.0);
+  trace.FinishSpan(root, 3.0);
+  return trace;
+}
+
+}  // namespace chrome_test
+
+TEST(ChromeTraceWriterTest, EmitsMetadataAndCompleteEvents) {
+  ChromeTraceWriter writer;
+  TraceAnnotations annotations;
+  annotations.method = "ExS";
+  annotations.degraded = true;
+  annotations.budget_consumed = 0.25;
+  int pid = writer.AddQuery(chrome_test::MakeTrace(), annotations);
+  EXPECT_EQ(pid, 0);
+  EXPECT_EQ(writer.num_queries(), 1u);
+
+  std::string json = writer.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of('\n')], ']');
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("query thread"), std::string::npos);
+  EXPECT_NE(json.find("pool worker t02"), std::string::npos);
+  // Complete events with microsecond times: scan starts at 0.5 ms = 500 us.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 500"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_scanned\": 42"), std::string::npos);
+  // Root-span annotations.
+  EXPECT_NE(json.find("\"method\": \"ExS\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_consumed\": 0.25"), std::string::npos);
+}
+
+TEST(ChromeTraceWriterTest, BatchesQueriesIntoSeparateProcesses) {
+  ChromeTraceWriter writer;
+  EXPECT_EQ(writer.AddQuery(chrome_test::MakeTrace()), 0);
+  EXPECT_EQ(writer.AddQuery(chrome_test::MakeTrace()), 1);
+  std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_EQ(writer.num_queries(), 2u);
+}
+
+TEST(ChromeTraceWriterTest, EmptyTraceAndEmptyWriterAreValid) {
+  ChromeTraceWriter writer;
+  EXPECT_EQ(writer.ToJson(), "[]\n");
+  QueryTrace empty;
+  writer.AddQuery(empty);
+  EXPECT_EQ(writer.num_queries(), 0u);
+  EXPECT_EQ(writer.num_events(), 0u);
+}
+
+TEST(ChromeTraceWriterTest, EscapesLabelStrings) {
+  QueryTrace trace;
+  int32_t root = trace.StartSpan("query", -1, 0.0);
+  trace.SetLabel(root, "with \"quotes\"\nand\tcontrol");
+  trace.FinishSpan(root, 1.0);
+  std::string json = ChromeTraceJson(trace);
+  EXPECT_NE(json.find("with \\\"quotes\\\"\\nand\\tcontrol"),
+            std::string::npos)
+      << json;
+}
+
+// ---------- QueryLog ----------
+
+TEST(QueryLogTest, RecordAssignsMonotonicIdsAndSnapshotsInOrder) {
+  QueryLog log(8);
+  for (int i = 0; i < 3; ++i) {
+    QueryLogEntry entry;
+    entry.SetMethod("CTS");
+    entry.k = static_cast<uint32_t>(10 + i);
+    entry.duration_ms = 1.5;
+    EXPECT_EQ(log.Record(entry), static_cast<uint64_t>(i + 1));
+  }
+  std::vector<QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].id, i + 1);
+    EXPECT_STREQ(entries[i].method, "CTS");
+    EXPECT_EQ(entries[i].k, 10 + i);
+  }
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(QueryLogTest, WraparoundKeepsTheMostRecentEntries) {
+  QueryLog log(8);
+  EXPECT_EQ(log.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    QueryLogEntry entry;
+    entry.SetMethod("ExS");
+    entry.result_count = static_cast<uint32_t>(i);
+    log.Record(entry);
+  }
+  std::vector<QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 8u);
+  // Ring of 8 after 20 records: ids 13..20 survive, oldest first.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].id, 13 + i);
+    EXPECT_EQ(entries[i].result_count, 12 + i);
+  }
+  EXPECT_EQ(log.total_recorded(), 20u);
+}
+
+TEST(QueryLogTest, MethodNameTruncatesSafely) {
+  QueryLogEntry entry;
+  entry.SetMethod("a_very_long_method_name_indeed");
+  EXPECT_EQ(std::string(entry.method).size(), sizeof(entry.method) - 1);
+  EXPECT_EQ(std::string(entry.method), "a_very_long_me");
+}
+
+TEST(QueryLogTest, SetTopSpansPicksLargestNonRootSpans) {
+  QueryTrace trace;
+  int32_t root = trace.StartSpan("query", -1, 0.0);
+  const char* names[] = {"a", "b", "c", "d"};
+  double durations[] = {1.0, 4.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    int32_t span = trace.StartSpan(names[i], root, 0.0);
+    trace.FinishSpan(span, durations[i]);
+  }
+  trace.FinishSpan(root, 10.0);
+  QueryLogEntry entry;
+  entry.SetTopSpans(trace);
+  ASSERT_NE(entry.top_spans[0].name, nullptr);
+  EXPECT_STREQ(entry.top_spans[0].name, "b");
+  EXPECT_STREQ(entry.top_spans[1].name, "d");
+  EXPECT_STREQ(entry.top_spans[2].name, "c");
+}
+
+TEST(QueryLogTest, SlowThresholdPromotesTraces) {
+  QueryLog log(8);
+  EXPECT_FALSE(log.IsSlow(1000.0));  // disabled by default
+  log.SetSlowThresholdMs(5.0);
+  EXPECT_FALSE(log.IsSlow(4.9));
+  EXPECT_TRUE(log.IsSlow(5.0));
+
+  QueryTrace trace;
+  int32_t root = trace.StartSpan("query", -1, 0.0);
+  trace.FinishSpan(root, 9.0);
+  log.PromoteSlowTrace(17, 9.0, trace);
+  std::vector<QueryLog::SlowTrace> slow = log.SlowTraces();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].id, 17u);
+  EXPECT_DOUBLE_EQ(slow[0].duration_ms, 9.0);
+  EXPECT_NE(slow[0].trace_json.find("query"), std::string::npos);
+
+  // Bounded: only the most recent kMaxSlowTraces survive.
+  for (uint64_t i = 0; i < QueryLog::kMaxSlowTraces + 4; ++i) {
+    log.PromoteSlowTrace(100 + i, 10.0, trace);
+  }
+  slow = log.SlowTraces();
+  ASSERT_EQ(slow.size(), QueryLog::kMaxSlowTraces);
+  EXPECT_EQ(slow.front().id, 104u);
+}
+
+TEST(QueryLogTest, ExportJsonLinesShape) {
+  QueryLog log(8);
+  QueryLogEntry entry;
+  entry.SetMethod("ANNS");
+  entry.k = 20;
+  entry.result_count = 5;
+  entry.duration_ms = 1.25;
+  entry.degraded = true;
+  entry.budget_consumed = 0.42;
+  entry.top_spans[0] = {"anns.hnsw_search", 0.9};
+  log.Record(entry);
+  std::string lines = log.ExportJsonLines();
+  EXPECT_NE(lines.find("\"id\": 1"), std::string::npos);
+  EXPECT_NE(lines.find("\"method\": \"ANNS\""), std::string::npos);
+  EXPECT_NE(lines.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(lines.find("\"budget_consumed\": 0.4200"), std::string::npos);
+  EXPECT_NE(lines.find("{\"name\": \"anns.hnsw_search\", \"ms\": 0.9000}"),
+            std::string::npos);
+  EXPECT_EQ(lines.back(), '\n');
+
+  // An unbounded query omits budget_consumed entirely.
+  QueryLogEntry unbounded;
+  unbounded.SetMethod("CTS");
+  log.Record(unbounded);
+  std::string second_line = log.ExportJsonLines();
+  size_t newline = second_line.find('\n');
+  EXPECT_EQ(second_line.find("budget_consumed", newline), std::string::npos);
+}
+
+TEST(QueryLogTest, ClearResetsEverything) {
+  QueryLog log(8);
+  QueryLogEntry entry;
+  log.Record(entry);
+  QueryTrace trace;
+  log.PromoteSlowTrace(1, 10.0, trace);
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_TRUE(log.SlowTraces().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+  QueryLogEntry next;
+  EXPECT_EQ(log.Record(next), 1u);  // ids restart
+}
+
+// ---------- StatsReporter ----------
+
+TEST(StatsReporterTest, StopTakesAFinalSnapshot) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.events").Add(5);
+  CapturingStatsSink sink;
+  StatsReporter::Options options;
+  options.interval = std::chrono::milliseconds(10'000);  // never fires
+  options.registry = &registry;
+  StatsReporter reporter(&sink, options);
+  reporter.Start();
+  EXPECT_TRUE(reporter.running());
+  reporter.Stop();
+  EXPECT_FALSE(reporter.running());
+  std::vector<StatsSnapshot> snapshots = sink.snapshots();
+  ASSERT_GE(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots.back().sequence, snapshots.size());
+  EXPECT_NE(snapshots.back().registry_json.find("mira.test.events"),
+            std::string::npos);
+  reporter.Stop();  // idempotent
+}
+
+TEST(StatsReporterTest, CollectorsRefreshGaugesBeforeEachSnapshot) {
+  MetricRegistry registry;
+  CapturingStatsSink sink;
+  StatsReporter::Options options;
+  options.interval = std::chrono::milliseconds(10'000);
+  options.registry = &registry;
+  StatsReporter reporter(&sink, options);
+  int collector_runs = 0;
+  reporter.AddCollector([&registry, &collector_runs] {
+    ++collector_runs;
+    registry.GetGauge("mira.test.pull_gauge").Set(123.0);
+  });
+  reporter.Start();
+  reporter.Stop();
+  EXPECT_GE(collector_runs, 1);
+  std::vector<StatsSnapshot> snapshots = sink.snapshots();
+  ASSERT_GE(snapshots.size(), 1u);
+  EXPECT_NE(snapshots.back().registry_json.find("\"mira.test.pull_gauge\": 123"),
+            std::string::npos);
+  EXPECT_EQ(reporter.snapshots_taken(), snapshots.size());
+}
+
+TEST(StatsReporterTest, PeriodicSnapshotsFire) {
+  MetricRegistry registry;
+  CapturingStatsSink sink;
+  StatsReporter::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  options.registry = &registry;
+  StatsReporter reporter(&sink, options);
+  reporter.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  reporter.Stop();
+  // At 5 ms intervals over 40 ms, several interval snapshots fired before the
+  // final one; exact counts depend on scheduling.
+  EXPECT_GE(sink.snapshots().size(), 2u);
+  double last_uptime = -1.0;
+  for (const StatsSnapshot& snapshot : sink.snapshots()) {
+    EXPECT_GE(snapshot.uptime_ms, last_uptime);
+    last_uptime = snapshot.uptime_ms;
+  }
+}
+
+TEST(StatsReporterTest, FileSinkWritesLatestSnapshot) {
+  MetricRegistry registry;
+  registry.GetCounter("mira.test.file_sink").Add(3);
+  std::string path = ::testing::TempDir() + "/mira_stats_snapshot.json";
+  FileStatsSink sink(path);
+  StatsReporter::Options options;
+  options.interval = std::chrono::milliseconds(10'000);
+  options.registry = &registry;
+  {
+    StatsReporter reporter(&sink, options);
+    reporter.Start();
+  }  // destructor stops + final snapshot
+  EXPECT_TRUE(sink.status().ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("mira.test.file_sink"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // ---------- Tracing ----------
 
 #if MIRA_OBS_ENABLED
@@ -364,6 +754,92 @@ TEST(TraceTest, SamplingOneArmsEveryTrace) {
     QueryTrace trace;
     ScopedTrace collect(&trace);
     EXPECT_TRUE(collect.armed());
+  }
+}
+
+// ---------- Cross-thread propagation through ParallelFor ----------
+
+TEST(TracePropagationTest, ParallelForSplicesWorkerSpansUnderForkSpan) {
+  ThreadPool pool(4);
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    ASSERT_TRUE(collect.armed());
+    TraceSpan fork_span("parallel_section");
+    ParallelFor(&pool, 0, 64, [](size_t i) {
+      TraceSpan span("work_item");
+      span.AddCounter("index", static_cast<int64_t>(i));
+    });
+  }
+  ASSERT_FALSE(trace.empty());
+  EXPECT_STREQ(trace.spans()[0].name, "parallel_section");
+
+  size_t work_items = 0;
+  std::set<int32_t> tids;
+  for (const SpanRecord& span : trace.spans()) {
+    if (std::string_view(span.name) != "work_item") continue;
+    ++work_items;
+    EXPECT_EQ(span.parent, 0) << "worker span must hang off the fork span";
+    EXPECT_EQ(span.depth, 1);
+    EXPECT_GT(span.tid, 0) << "worker spans carry the worker's thread id";
+    tids.insert(span.tid);
+  }
+  EXPECT_EQ(work_items, 64u);
+  EXPECT_GE(tids.size(), 1u);
+  // Every item's counter arrived exactly once.
+  EXPECT_EQ(trace.CounterValue("work_item", "index"), 64 * 63 / 2);
+}
+
+TEST(TracePropagationTest, ParallelForCancellableAlsoPropagates) {
+  ThreadPool pool(2);
+  QueryControl control;  // inactive: no deadline, no cancellation
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan fork_span("cancellable_section");
+    Status status = ParallelForCancellable(&pool, 0, 16, &control, [](size_t) {
+      TraceSpan span("cancellable_item");
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok());
+  }
+  size_t items = 0;
+  for (const SpanRecord& span : trace.spans()) {
+    if (std::string_view(span.name) == "cancellable_item") {
+      ++items;
+      EXPECT_GT(span.tid, 0);
+      EXPECT_EQ(span.parent, 0);
+    }
+  }
+  EXPECT_EQ(items, 16u);
+}
+
+TEST(TracePropagationTest, UntracedParallelForRecordsNothing) {
+  ThreadPool pool(2);
+  QueryTrace trace;
+  ParallelFor(&pool, 0, 8, [](size_t) { TraceSpan span("ghost"); });
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TracePropagationTest, WorkerSpansNestInsideTheForkSpanInterval) {
+  ThreadPool pool(2);
+  QueryTrace trace;
+  {
+    ScopedTrace collect(&trace);
+    TraceSpan fork_span("section");
+    ParallelFor(&pool, 0, 8, [](size_t) {
+      TraceSpan span("timed_item");
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+  }
+  const SpanRecord& section = trace.spans()[0];
+  for (const SpanRecord& span : trace.spans()) {
+    if (std::string_view(span.name) != "timed_item") continue;
+    // Shared clock origin: worker intervals land inside the fork span's
+    // interval (the join point is inside it by construction).
+    EXPECT_GE(span.start_ms, section.start_ms - 1e-6);
+    EXPECT_LE(span.start_ms + span.duration_ms,
+              section.start_ms + section.duration_ms + 1e-6);
   }
 }
 

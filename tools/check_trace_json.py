@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file written by obs::ChromeTraceWriter.
+
+Used by the perf-smoke CI job against TRACE_case_study.json (written by
+bench_case_study) and usable against any exported trace:
+
+    tools/check_trace_json.py TRACE_case_study.json
+
+Checks:
+  * top level is a JSON array (the trace_event "JSON Array Format");
+  * metadata events ("ph": "M") are process_name / thread_name records with
+    pid/tid and an args.name string;
+  * every other event is a complete event ("ph": "X") carrying name, cat,
+    pid, tid, and numeric ts/dur microseconds with dur >= 0;
+  * per (pid, tid) lane, ts is monotonically non-decreasing in file order;
+  * per lane, spans nest: sorted by start, every event either starts after
+    the enclosing interval ends or lies fully inside it (balanced nesting —
+    partial overlap means the writer emitted a malformed tree);
+  * every (pid, tid) an X event references has a thread_name metadata record
+    and every pid a process_name record;
+  * when --expect-worker-spans is passed, at least one X event runs on a
+    worker lane (tid != 0) — i.e. cross-thread trace propagation actually
+    spliced pool-worker spans into the exported query.
+
+Exit: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ERRORS: list[str] = []
+
+X_FIELDS = ("name", "ph", "pid", "tid", "ts", "dur")
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_metadata(i: int, event: dict, named_processes: set,
+                   named_threads: set) -> None:
+    name = event.get("name")
+    if name not in ("process_name", "thread_name"):
+        fail(f"event {i}: metadata event with unexpected name {name!r}")
+        return
+    if not isinstance(event.get("pid"), int):
+        fail(f"event {i}: metadata event without integer pid")
+        return
+    args = event.get("args")
+    if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+        fail(f"event {i}: metadata event without args.name string")
+    if name == "process_name":
+        named_processes.add(event["pid"])
+    else:
+        if not isinstance(event.get("tid"), int):
+            fail(f"event {i}: thread_name event without integer tid")
+            return
+        named_threads.add((event["pid"], event["tid"]))
+
+
+def check_complete_event(i: int, event: dict) -> bool:
+    ok = True
+    for field in X_FIELDS:
+        if field not in event:
+            fail(f"event {i}: X event missing field {field!r}")
+            ok = False
+    if not ok:
+        return False
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"event {i}: X event name must be a non-empty string")
+        ok = False
+    for field in ("pid", "tid"):
+        if not isinstance(event[field], int):
+            fail(f"event {i}: X event {field} must be an integer")
+            ok = False
+    for field in ("ts", "dur"):
+        if not is_number(event[field]):
+            fail(f"event {i}: X event {field} must be a number")
+            ok = False
+    if ok and event["dur"] < 0:
+        fail(f"event {i}: X event has negative dur {event['dur']!r}")
+        ok = False
+    return ok
+
+
+def check_lane(lane: tuple, events: list) -> None:
+    """Per-(pid, tid) checks: monotonic ts and balanced span nesting."""
+    previous_ts = None
+    for i, event in events:
+        if previous_ts is not None and event["ts"] < previous_ts - 1e-9:
+            fail(f"event {i}: ts {event['ts']} goes backwards on lane "
+                 f"pid={lane[0]} tid={lane[1]} (previous {previous_ts})")
+        previous_ts = event["ts"]
+
+    # Balanced nesting: walking spans by (start, -duration), each span must
+    # lie fully inside whatever enclosing span is still open, never straddle
+    # its end. A small epsilon absorbs float rounding in ms -> us conversion.
+    eps = 1e-6
+    ordered = sorted(events, key=lambda e: (e[1]["ts"], -e[1]["dur"]))
+    stack: list = []  # (end, event index)
+    for i, event in ordered:
+        start, end = event["ts"], event["ts"] + event["dur"]
+        while stack and start >= stack[-1][0] - eps:
+            stack.pop()
+        if stack and end > stack[-1][0] + eps:
+            fail(f"event {i}: span [{start}, {end}] straddles the end of "
+                 f"enclosing span (ends {stack[-1][0]}) on lane "
+                 f"pid={lane[0]} tid={lane[1]}")
+        stack.append((end, i))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="Chrome trace JSON file to validate")
+    parser.add_argument("--expect-worker-spans", action="store_true",
+                        help="require at least one X event with tid != 0 "
+                             "(spans propagated from pool workers)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace_json: cannot load {args.path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, list):
+        print("check_trace_json: top level is not a JSON array",
+              file=sys.stderr)
+        return 1
+
+    named_processes: set = set()
+    named_threads: set = set()
+    lanes: dict = {}
+    worker_events = 0
+    x_events = 0
+    for i, event in enumerate(doc):
+        if not isinstance(event, dict):
+            fail(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            check_metadata(i, event, named_processes, named_threads)
+            continue
+        if ph != "X":
+            fail(f"event {i}: unexpected phase {ph!r} (only M/X are emitted)")
+            continue
+        if not check_complete_event(i, event):
+            continue
+        x_events += 1
+        if event["tid"] != 0:
+            worker_events += 1
+        lanes.setdefault((event["pid"], event["tid"]), []).append((i, event))
+
+    for lane, events in lanes.items():
+        check_lane(lane, events)
+        if lane not in named_threads:
+            fail(f"lane pid={lane[0]} tid={lane[1]} has no thread_name "
+                 "metadata event")
+        if lane[0] not in named_processes:
+            fail(f"pid {lane[0]} has no process_name metadata event")
+
+    if args.expect_worker_spans and worker_events == 0:
+        fail("expected at least one worker-thread span (tid != 0), found "
+             "none — cross-thread propagation did not contribute spans")
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_trace_json: {err}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(doc)} events ({x_events} spans, "
+          f"{worker_events} on worker threads, {len(lanes)} lanes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

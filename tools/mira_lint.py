@@ -23,10 +23,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 the dispatched kernels in vecmath/simd.h, so portability and
                 the scalar fallback stay in one place.
   obs-in-kernels no observability in src/vecmath/ (no "obs/..." includes, no
-                TraceSpan/MetricRegistry use): the SIMD kernels are the
-                innermost hot loops, and even a no-op span constructor or a
-                relaxed atomic bump is measurable there. Instrument the
-                callers (index/discovery layers) instead.
+                TraceSpan/MetricRegistry/QueryLog/StatsReporter use): the SIMD
+                kernels are the innermost hot loops, and even a no-op span
+                constructor or a relaxed atomic bump is measurable there.
+                Instrument the callers (index/discovery layers) instead.
   failpoint     MIRA_FAILPOINT macros live only in .cc files outside
                 src/vecmath/ (src/common/failpoint.h, which defines them, is
                 exempt). Headers would leak injection sites into every
@@ -190,7 +190,8 @@ def check_intrinsics(path: Path, lines: list[str]) -> None:
 
 
 OBS_USE_RE = re.compile(
-    r"#\s*include\s*\"obs/|\bTraceSpan\b|\bScopedTrace\b|\bMetricRegistry\b")
+    r"#\s*include\s*\"obs/|\bTraceSpan\b|\bScopedTrace\b|\bMetricRegistry\b"
+    r"|\bQueryLog\b|\bStatsReporter\b")
 
 
 def check_obs_in_kernels(path: Path, lines: list[str]) -> None:
