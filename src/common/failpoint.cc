@@ -2,13 +2,13 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 
 namespace mira::failpoint {
 
@@ -33,9 +33,9 @@ struct SiteState {
 };
 
 struct Table {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteState> sites;
-  bool env_parsed = false;
+  Mutex mu;
+  std::unordered_map<std::string, SiteState> sites MIRA_GUARDED_BY(mu);
+  bool env_parsed MIRA_GUARDED_BY(mu) = false;
 
   Table() {
     for (const char* site : kSites) sites.emplace(site, SiteState{});
@@ -104,7 +104,7 @@ Result<Action> ParseAction(const std::string& text) {
 /// is fine for the intended single-threaded process startup.
 void EnsureEnvParsed(Table& table) {
   {
-    std::lock_guard<std::mutex> lock(table.mu);
+    MutexLock lock(table.mu);
     if (table.env_parsed) return;
     table.env_parsed = true;
   }
@@ -122,7 +122,7 @@ void EnsureEnvParsed(Table& table) {
 Action Consume(const char* site) {
   Table& table = GetTable();
   EnsureEnvParsed(table);
-  std::unique_lock<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   if (it == table.sites.end() || it->second.action.kind == ActionKind::kOff) {
     return Action{};
@@ -170,7 +170,7 @@ Status Configure(const std::string& site, const Action& action) {
         "failpoint: framework compiled out (build with -DMIRA_FAILPOINTS=ON)");
   }
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   if (it == table.sites.end()) {
     return Status::InvalidArgument("failpoint: unknown site '" + site +
@@ -196,14 +196,14 @@ Status ConfigureFromString(const std::string& spec) {
 
 void Clear(const std::string& site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   if (it != table.sites.end()) it->second.action = Action{};
 }
 
 void ClearAll() {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   for (auto& [site, state] : table.sites) {
     state.action = Action{};
     state.hits = 0;
@@ -218,7 +218,7 @@ std::vector<std::string> RegisteredSites() {
 
 uint64_t HitCount(const std::string& site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   return it == table.sites.end() ? 0 : it->second.hits;
 }

@@ -48,17 +48,17 @@ LogSink* SetLogSink(LogSink* sink) {
 }
 
 void CapturingLogSink::Write(LogLevel /*level*/, const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lines_.push_back(line);
 }
 
 std::vector<std::string> CapturingLogSink::lines() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_;
 }
 
 bool CapturingLogSink::Contains(std::string_view needle) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& line : lines_) {
     if (line.find(needle) != std::string::npos) return true;
   }
@@ -66,7 +66,7 @@ bool CapturingLogSink::Contains(std::string_view needle) const {
 }
 
 void CapturingLogSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lines_.clear();
 }
 

@@ -2,11 +2,12 @@
 #define MIRA_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace mira {
 
@@ -51,8 +52,8 @@ class CapturingLogSink : public LogSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ MIRA_GUARDED_BY(mu_);
 };
 
 /// Small sequential id of the calling thread (1 = first thread that logged).

@@ -1,0 +1,247 @@
+#ifndef MIRA_COMMON_SYNC_H_
+#define MIRA_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// MIRA's synchronization layer: Clang thread-safety capability annotations
+// plus the only lock primitives first-party code may use.
+//
+// Every mutex in src/ is a mira::Mutex or mira::SharedMutex, every guarded
+// member carries MIRA_GUARDED_BY, and every helper that assumes a held lock
+// carries MIRA_REQUIRES — so Clang's -Wthread-safety analysis proves the
+// locking protocol at compile time (the MIRA_THREAD_SAFETY CMake gate turns
+// the warnings into errors; the thread-safety CI job runs it on every PR).
+// tools/mira_lint.py bans raw std::mutex/std::lock_guard outside this header
+// and flags Mutex members no annotation references. See the "Thread-safety
+// annotations & lock discipline" section of docs/STATIC_ANALYSIS.md for the
+// full policy, including when MIRA_NO_THREAD_SAFETY_ANALYSIS is acceptable.
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers are
+// zero-cost veneers over the std primitives, so GCC builds are unaffected.
+
+#if defined(__clang__) && !defined(MIRA_NO_THREAD_SAFETY_ATTRIBUTES)
+#define MIRA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MIRA_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define MIRA_CAPABILITY(x) MIRA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MIRA_SCOPED_CAPABILITY MIRA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a member/variable may only be accessed while holding `x`.
+#define MIRA_GUARDED_BY(x) MIRA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is guarded by `x`.
+#define MIRA_PT_GUARDED_BY(x) MIRA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention): this capability must be
+/// acquired before/after the listed ones.
+#define MIRA_ACQUIRED_BEFORE(...) \
+  MIRA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MIRA_ACQUIRED_AFTER(...) \
+  MIRA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The annotated function must be called with the capability held
+/// (exclusively / at least shared). The convention for private helpers is a
+/// `*Locked()` name suffix plus this annotation.
+#define MIRA_REQUIRES(...) \
+  MIRA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MIRA_REQUIRES_SHARED(...) \
+  MIRA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires/releases the capability.
+#define MIRA_ACQUIRE(...) \
+  MIRA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MIRA_ACQUIRE_SHARED(...) \
+  MIRA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define MIRA_RELEASE(...) \
+  MIRA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MIRA_RELEASE_SHARED(...) \
+  MIRA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define MIRA_RELEASE_GENERIC(...) \
+  MIRA_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the given
+/// success value (first argument, e.g. `true`).
+#define MIRA_TRY_ACQUIRE(...) \
+  MIRA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MIRA_TRY_ACQUIRE_SHARED(...) \
+  MIRA_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function must be called with the capability NOT held
+/// (it acquires it itself — prevents self-deadlock).
+#define MIRA_EXCLUDES(...) MIRA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread already holds the capability;
+/// teaches the analysis a fact it cannot derive (e.g. across a callback).
+#define MIRA_ASSERT_CAPABILITY(x) \
+  MIRA_THREAD_ANNOTATION_(assert_capability(x))
+#define MIRA_ASSERT_SHARED_CAPABILITY(x) \
+  MIRA_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define MIRA_RETURN_CAPABILITY(x) MIRA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Policy
+/// (docs/STATIC_ANALYSIS.md): only for documented phase-protocol accessors or
+/// init/teardown code, always with a comment saying why the protocol is safe.
+#define MIRA_NO_THREAD_SAFETY_ANALYSIS \
+  MIRA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mira {
+
+class CondVar;
+
+/// Exclusive mutex (std::mutex with a capability annotation). Prefer the
+/// RAII MutexLock over manual Lock()/Unlock().
+class MIRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MIRA_ACQUIRE() { mu_.lock(); }
+  void Unlock() MIRA_RELEASE() { mu_.unlock(); }
+  bool TryLock() MIRA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex with a capability annotation).
+/// Prefer the RAII ReaderLock/WriterLock over manual calls.
+class MIRA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MIRA_ACQUIRE() { mu_.lock(); }
+  void Unlock() MIRA_RELEASE() { mu_.unlock(); }
+  bool TryLock() MIRA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() MIRA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MIRA_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() MIRA_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard replacement, and
+/// the handle CondVar waits on).
+class MIRA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MIRA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MIRA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex.
+class MIRA_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MIRA_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() MIRA_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class MIRA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MIRA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() MIRA_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to Mutex/MutexLock.
+///
+/// Annotated callers should write explicit wait loops —
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(lock);
+///
+/// — rather than the predicate overload: Clang analyzes a lambda body as a
+/// free function that holds no capabilities, so a predicate reading
+/// MIRA_GUARDED_BY state fails the analysis even though the wait contract
+/// guarantees the lock is held. The predicate overload exists for call sites
+/// with unannotated state (tests, local coordination).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, waits, and reacquires before returning.
+  /// The capability is held on entry and on exit, which is exactly what the
+  /// analysis assumes; the temporary release is invisible to it (and to the
+  /// caller — guarded state may have changed, hence the wait loop).
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds. See the class comment for when the explicit
+  /// loop is required instead.
+  template <typename Predicate>
+  void Wait(MutexLock& lock, Predicate pred) {
+    while (!pred()) Wait(lock);
+  }
+
+  /// Waits until notified or `deadline` passes. Returns true if the deadline
+  /// passed (timeout), false when notified earlier. Spurious wakeups surface
+  /// as a false return — re-check the predicate either way.
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::timeout;
+  }
+
+  /// Waits until notified or `timeout` elapses. Returns true on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               std::chrono::duration<Rep, Period> timeout) {
+    return WaitUntil(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mira
+
+#endif  // MIRA_COMMON_SYNC_H_

@@ -21,28 +21,28 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!tasks_.empty() || in_flight_ != 0) idle_.Wait(lock);
 }
 
 ThreadPool::Stats ThreadPool::GetStats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return Stats{workers_.size(), tasks_.size(), in_flight_};
 }
 
@@ -50,13 +50,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(lock);
+      if (tasks_.empty()) return;  // shutting down with a drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
       // The pop and the in-flight increment happen under one lock so WaitIdle
@@ -65,9 +61,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (tasks_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -88,10 +84,10 @@ struct ParallelForState {
   // caller's QueryTrace at the join (no-op when untraced or MIRA_OBS=OFF).
   obs::CrossThreadTraceCapture trace;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t done_chunks = 0;
-  std::exception_ptr first_error;
+  Mutex mu;
+  CondVar done_cv;
+  size_t done_chunks MIRA_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error MIRA_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -131,13 +127,13 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
             for (size_t i = start; i < stop; ++i) state->body(i);
           } catch (...) {
             state->cancelled.store(true, std::memory_order_release);
-            std::unique_lock<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             if (!state->first_error) state->first_error = std::current_exception();
           }
         }
-        std::unique_lock<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->done_chunks;
-        state->done_cv.notify_all();
+        state->done_cv.NotifyAll();
       });
       ++submitted;
     }
@@ -145,9 +141,8 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     // Submit failed (e.g. allocation). Wait for whatever was queued, then
     // surface the submission failure.
     {
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->done_cv.wait(lock,
-                          [&] { return state->done_chunks == submitted; });
+      MutexLock lock(state->mu);
+      while (state->done_chunks != submitted) state->done_cv.Wait(lock);
     }
     state->trace.MergeIntoParent();
     throw;
@@ -156,14 +151,16 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   // Wait on this call's own completion count, not ThreadPool::WaitIdle():
   // unrelated tasks and concurrent ParallelFor calls must not stall us, and
   // WaitIdle could otherwise block forever on work that never drains.
+  std::exception_ptr first_error;
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+    MutexLock lock(state->mu);
+    while (state->done_chunks != submitted) state->done_cv.Wait(lock);
+    first_error = state->first_error;
   }
   // All chunks are done, so the worker buffers are complete: splice them into
   // the caller's trace (even when rethrowing — a partial trace beats none).
   state->trace.MergeIntoParent();
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 namespace {
@@ -182,16 +179,17 @@ struct CancellableForState {
   // Same cross-thread span plumbing as ParallelForState.
   obs::CrossThreadTraceCapture trace;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t done_chunks = 0;
-  Status first_error;  // OK until the first non-OK invocation.
+  Mutex mu;
+  CondVar done_cv;
+  size_t done_chunks MIRA_GUARDED_BY(mu) = 0;
+  /// OK until the first non-OK invocation.
+  Status first_error MIRA_GUARDED_BY(mu);
 
   // Records the first non-OK status and stops further chunk scheduling.
   // Later errors are discarded ("first non-OK wins" is temporal order).
   void RecordError(Status status) {
     cancelled.store(true, std::memory_order_release);
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (first_error.ok()) first_error = std::move(status);
   }
 };
@@ -253,9 +251,9 @@ Status ParallelForCancellable(ThreadPool* pool, size_t begin, size_t end,
           }
         }
       }
-      std::unique_lock<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       ++state->done_chunks;
-      state->done_cv.notify_all();
+      state->done_cv.NotifyAll();
     });
     ++submitted;
     // Stop scheduling new chunks once an error or the control fired;
@@ -263,12 +261,14 @@ Status ParallelForCancellable(ThreadPool* pool, size_t begin, size_t end,
     if (state->cancelled.load(std::memory_order_acquire)) break;
   }
 
+  Status first_error;
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] { return state->done_chunks == submitted; });
+    MutexLock lock(state->mu);
+    while (state->done_chunks != submitted) state->done_cv.Wait(lock);
+    first_error = state->first_error;
   }
   state->trace.MergeIntoParent();
-  return state->first_error;
+  return first_error;
 }
 
 }  // namespace mira

@@ -1,16 +1,15 @@
 #ifndef MIRA_COMMON_THREADPOOL_H_
 #define MIRA_COMMON_THREADPOOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mira {
 
@@ -59,13 +58,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Joined by the destructor only; written once in the constructor.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+
+  mutable Mutex mutex_;
+  CondVar task_available_;
+  CondVar idle_;
+  std::queue<std::function<void()>> tasks_ MIRA_GUARDED_BY(mutex_);
+  size_t in_flight_ MIRA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ MIRA_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until every

@@ -1,8 +1,8 @@
 #include "discovery/exhaustive_search.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "vecmath/simd.h"
@@ -92,7 +92,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
       cells_scanned = scanned;
     } else if (control.active()) {
       if (pool_ != nullptr && n >= kParallelThreshold) {
-        std::mutex merge_mu;
+        Mutex merge_mu;
         MIRA_RETURN_NOT_OK(ParallelForCancellable(
             pool_.get(), 0, num_blocks, &control, [&](size_t block) {
               obs::TraceSpan span("exs.scan_block");
@@ -101,7 +101,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
                   static_cast<int64_t>(std::min(kBlock, n - block * kBlock)));
               std::vector<double> local(score_sum.size(), 0.0);
               scan_block(local, block);
-              std::lock_guard<std::mutex> lock(merge_mu);
+              MutexLock lock(merge_mu);
               for (size_t rid = 0; rid < local.size(); ++rid) {
                 score_sum[rid] += local[rid];
               }
@@ -114,7 +114,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
         }
       }
     } else if (pool_ != nullptr && n >= kParallelThreshold) {
-      std::mutex merge_mu;
+      Mutex merge_mu;
       ParallelFor(pool_.get(), 0, num_blocks, [&](size_t block) {
         obs::TraceSpan span("exs.scan_block");
         span.AddCounter(
@@ -122,7 +122,7 @@ Result<Ranking> ExhaustiveSearcher::Search(const std::string& query,
             static_cast<int64_t>(std::min(kBlock, n - block * kBlock)));
         std::vector<double> local(score_sum.size(), 0.0);
         scan_block(local, block);
-        std::lock_guard<std::mutex> lock(merge_mu);
+        MutexLock lock(merge_mu);
         for (size_t rid = 0; rid < local.size(); ++rid) {
           score_sum[rid] += local[rid];
         }

@@ -150,13 +150,13 @@ vecmath::Vec SemanticEncoder::ComputeTokenVector(const std::string& token) const
 
 vecmath::Vec SemanticEncoder::EncodeToken(const std::string& token) const {
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = token_cache_.find(token);
     if (it != token_cache_.end()) return it->second;
   }
   vecmath::Vec v = ComputeTokenVector(token);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     token_cache_.emplace(token, v);
   }
   return v;

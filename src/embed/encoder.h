@@ -2,12 +2,12 @@
 #define MIRA_EMBED_ENCODER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "embed/lexicon.h"
 #include "text/tokenizer.h"
 #include "vecmath/vector_ops.h"
@@ -133,8 +133,9 @@ class SemanticEncoder {
   std::shared_ptr<const TokenFrequencies> frequencies_;
   text::Tokenizer tokenizer_;
 
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<std::string, vecmath::Vec> token_cache_;
+  mutable Mutex cache_mutex_;
+  mutable std::unordered_map<std::string, vecmath::Vec> token_cache_
+      MIRA_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace mira::embed

@@ -47,7 +47,7 @@ float HnswIndex::OutputSimilarity(float internal_distance) const {
 }
 
 Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
-  std::lock_guard<std::mutex> lock(add_mu_);
+  MutexLock lock(add_mu_);
   if (built_) return Status::FailedPrecondition("hnsw: index already built");
   if (!vectors_.empty() && vector.size() != vectors_.cols()) {
     return Status::InvalidArgument(
@@ -64,7 +64,7 @@ Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
 }
 
 void HnswIndex::Reserve(size_t expected_rows) {
-  std::lock_guard<std::mutex> lock(add_mu_);
+  MutexLock lock(add_mu_);
   vectors_.Reserve(expected_rows);
   ids_.reserve(expected_rows);
 }
@@ -83,7 +83,7 @@ void HnswIndex::SearchScratch::BeginQuery(size_t num_nodes) {
 }
 
 std::unique_ptr<HnswIndex::SearchScratch> HnswIndex::AcquireScratch() const {
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  MutexLock lock(scratch_mu_);
   if (!scratch_pool_.empty()) {
     std::unique_ptr<SearchScratch> scratch = std::move(scratch_pool_.back());
     scratch_pool_.pop_back();
@@ -93,7 +93,7 @@ std::unique_ptr<HnswIndex::SearchScratch> HnswIndex::AcquireScratch() const {
 }
 
 void HnswIndex::ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const {
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  MutexLock lock(scratch_mu_);
   scratch_pool_.push_back(std::move(scratch));
 }
 

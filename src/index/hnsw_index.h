@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "index/product_quantizer.h"
 #include "index/vector_index.h"
 #include "vecmath/matrix.h"
@@ -166,7 +166,14 @@ class HnswIndex final : public VectorIndex {
   uint64_t rng_state_ = 0;
 
   /// Serializes concurrent Add() calls (vectors_/ids_ appends).
-  std::mutex add_mu_;
+  ///
+  /// The data fields below follow a *phase protocol* rather than a lifetime
+  /// lock (see docs/STATIC_ANALYSIS.md): during the add phase they are
+  /// written only under add_mu_; Build() completes the transition; after
+  /// Build() they are immutable and Search() reads them lock-free. They are
+  /// deliberately not MIRA_GUARDED_BY(add_mu_) — that would force the hot
+  /// read-only Search() path to take a lock it does not need.
+  mutable Mutex add_mu_;
 
   vecmath::Matrix vectors_;
   std::vector<uint64_t> ids_;
@@ -180,8 +187,9 @@ class HnswIndex final : public VectorIndex {
   std::optional<ProductQuantizer> pq_;
   std::vector<uint8_t> codes_;  // size() * code_bytes when quantized
 
-  mutable std::mutex scratch_mu_;
-  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
+  mutable Mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_
+      MIRA_GUARDED_BY(scratch_mu_);
 };
 
 }  // namespace mira::index

@@ -206,7 +206,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MIRA_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto& slot = counters_[name];
@@ -215,7 +215,7 @@ Counter& MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MIRA_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto& slot = gauges_[name];
@@ -224,7 +224,7 @@ Gauge& MetricRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MIRA_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto& slot = histograms_[name];
@@ -233,12 +233,12 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name) {
 }
 
 void MetricRegistry::SetHelp(const std::string& name, std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   help_[name] = std::move(help);
 }
 
 std::string MetricRegistry::ExportText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Help text falls back to the dotted name, which at least tells a scraper
   // which subsystem a sanitized name came from.
   const auto help_for = [this](const std::string& name) {
@@ -285,7 +285,7 @@ std::string MetricRegistry::ExportText() const {
 }
 
 std::string MetricRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -357,7 +357,7 @@ Status MetricRegistry::WriteJsonFile(const std::string& path) const {
 }
 
 void MetricRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mira::obs {
 
@@ -162,11 +162,15 @@ class MetricRegistry {
   void ResetValues();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  mutable Mutex mu_;
+  /// The maps hold stable unique_ptr slots so the references Get*() hands
+  /// out outlive the lock; only the directory structure is guarded.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MIRA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MIRA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MIRA_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ MIRA_GUARDED_BY(mu_);
 };
 
 /// Maps a dotted metric name onto the Prometheus grammar

@@ -92,13 +92,13 @@ bool QueryLog::IsSlow(double duration_ms) const {
 void QueryLog::PromoteSlowTrace(uint64_t id, double duration_ms,
                                 const QueryTrace& trace) {
   std::string json = trace.ToJson();
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(slow_mu_);
   slow_traces_.push_back({id, duration_ms, std::move(json)});
   while (slow_traces_.size() > kMaxSlowTraces) slow_traces_.pop_front();
 }
 
 std::vector<QueryLog::SlowTrace> QueryLog::SlowTraces() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(slow_mu_);
   return {slow_traces_.begin(), slow_traces_.end()};
 }
 
@@ -170,7 +170,7 @@ void QueryLog::Clear() {
   for (size_t s = 0; s < capacity_; ++s) {
     slots_[s].seq.store(0, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(slow_mu_);
   slow_traces_.clear();
 }
 

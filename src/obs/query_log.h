@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/trace.h"
 
 namespace mira::obs {
@@ -135,8 +135,8 @@ class QueryLog {
   std::atomic<uint64_t> dropped_{0};
   std::atomic<double> slow_threshold_ms_{0.0};
 
-  mutable std::mutex slow_mu_;
-  std::deque<SlowTrace> slow_traces_;
+  mutable Mutex slow_mu_;
+  std::deque<SlowTrace> slow_traces_ MIRA_GUARDED_BY(slow_mu_);
 };
 
 }  // namespace mira::obs

@@ -15,22 +15,22 @@ void FileStatsSink::Consume(const StatsSnapshot& snapshot) {
     out.flush();
     if (!out) result = Status::IoError("stats sink: failed writing " + path_);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (status_.ok()) status_ = std::move(result);
 }
 
 Status FileStatsSink::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return status_;
 }
 
 void CapturingStatsSink::Consume(const StatsSnapshot& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshots_.push_back(snapshot);
 }
 
 std::vector<StatsSnapshot> CapturingStatsSink::snapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_;
 }
 
@@ -44,12 +44,12 @@ StatsReporter::StatsReporter(StatsSink* sink, Options options)
 StatsReporter::~StatsReporter() { Stop(); }
 
 void StatsReporter::AddCollector(std::function<void()> collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.push_back(std::move(collector));
 }
 
 void StatsReporter::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   stop_requested_ = false;
   started_ = std::chrono::steady_clock::now();
@@ -59,32 +59,38 @@ void StatsReporter::Start() {
 
 void StatsReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 bool StatsReporter::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
 uint64_t StatsReporter::snapshots_taken() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_;
 }
 
 void StatsReporter::Loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait_for(lock, options_.interval,
-                     [this] { return stop_requested_; });
+      MutexLock lock(mu_);
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.interval;
+      // Explicit wait loop (not the predicate overload) so the analysis sees
+      // stop_requested_ read under mu_; a timeout ends the wait for this
+      // interval, a notification re-checks the stop flag.
+      while (!stop_requested_) {
+        if (wake_.WaitUntil(lock, deadline)) break;
+      }
       if (stop_requested_) break;
     }
     TakeSnapshot();
@@ -99,7 +105,7 @@ void StatsReporter::TakeSnapshot() {
   uint64_t sequence = 0;
   std::chrono::steady_clock::time_point started;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     collectors = collectors_;
     sequence = ++snapshots_;
     started = started_;

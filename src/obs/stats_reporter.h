@@ -2,15 +2,14 @@
 #define MIRA_OBS_STATS_REPORTER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace mira::obs {
@@ -42,8 +41,8 @@ class FileStatsSink : public StatsSink {
 
  private:
   std::string path_;
-  mutable std::mutex mu_;
-  Status status_;
+  mutable Mutex mu_;
+  Status status_ MIRA_GUARDED_BY(mu_);
 };
 
 /// Sink that buffers snapshots in memory, for tests.
@@ -53,8 +52,8 @@ class CapturingStatsSink : public StatsSink {
   std::vector<StatsSnapshot> snapshots() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<StatsSnapshot> snapshots_;
+  mutable Mutex mu_;
+  std::vector<StatsSnapshot> snapshots_ MIRA_GUARDED_BY(mu_);
 };
 
 /// Background thread that snapshots a MetricRegistry to a sink on a fixed
@@ -97,15 +96,16 @@ class StatsReporter {
 
   StatsSink* sink_;
   Options options_;
-  std::vector<std::function<void()>> collectors_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
+  mutable Mutex mu_;
+  CondVar wake_;
+  /// Started under mu_; joined by Stop().
   std::thread thread_;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  uint64_t snapshots_ = 0;
-  std::chrono::steady_clock::time_point started_{};
+  std::vector<std::function<void()>> collectors_ MIRA_GUARDED_BY(mu_);
+  bool stop_requested_ MIRA_GUARDED_BY(mu_) = false;
+  bool running_ MIRA_GUARDED_BY(mu_) = false;
+  uint64_t snapshots_ MIRA_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point started_ MIRA_GUARDED_BY(mu_){};
 };
 
 }  // namespace mira::obs

@@ -1,11 +1,11 @@
 #ifndef MIRA_OBS_TRACE_PROPAGATION_H_
 #define MIRA_OBS_TRACE_PROPAGATION_H_
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "obs/trace.h"
 
 // Cross-thread trace propagation for ParallelFor-style fork/join sections.
@@ -75,7 +75,7 @@ class CrossThreadTraceCapture {
   /// safe to call when untraced or when no worker recorded a span.
   void MergeIntoParent() {
     if (!armed()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Buffer& buffer : buffers_) {
       parent_.trace->AdoptWorkerSpans(parent_.current, buffer.tid,
                                       buffer.trace);
@@ -95,13 +95,13 @@ class CrossThreadTraceCapture {
     // LogThreadId is the same compact per-thread id the log prefix prints,
     // so trace lanes and log lines correlate directly.
     const int32_t tid = LogThreadId();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back({tid, std::move(buffer)});
   }
 
   internal::TraceContext parent_;
-  std::mutex mu_;
-  std::vector<Buffer> buffers_;
+  Mutex mu_;
+  std::vector<Buffer> buffers_ MIRA_GUARDED_BY(mu_);
 };
 
 #else  // !MIRA_OBS_ENABLED

@@ -1,11 +1,10 @@
 #include "vectordb/collection.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 #include "index/flat_index.h"
 #include "obs/trace.h"
 #include "index/hnsw_index.h"
@@ -20,7 +19,7 @@ Collection::Collection(std::string name, CollectionParams params)
 
 Status Collection::Upsert(Point point) {
   MIRA_FAILPOINT("vectordb.upsert");
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': upsert after BuildIndex", name_.c_str()));
@@ -43,7 +42,7 @@ Status Collection::Upsert(Point point) {
 }
 
 void Collection::CreatePayloadIndex(std::string field) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (std::find(indexed_fields_.begin(), indexed_fields_.end(), field) ==
       indexed_fields_.end()) {
     indexed_fields_.push_back(std::move(field));
@@ -60,7 +59,7 @@ std::string Collection::PayloadKeyOf(const PayloadValue& value) const {
 
 Status Collection::BuildIndex() {
   MIRA_FAILPOINT("index.build");
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': BuildIndex called twice", name_.c_str()));
@@ -157,7 +156,7 @@ Result<std::vector<SearchHit>> Collection::Search(
   obs::TraceSpan span("vdb.search");
   span.SetLabel(name_);
   span.AddCounter("k", static_cast<int64_t>(k));
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   if (!built_) {
     return Status::FailedPrecondition(
         StrFormat("collection '%s': BuildIndex not called", name_.c_str()));
@@ -218,7 +217,7 @@ Result<std::vector<SearchHit>> Collection::Search(
 }
 
 Result<const Point*> Collection::Get(uint64_t id) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = id_to_offset_.find(id);
   if (it == id_to_offset_.end()) {
     return Status::NotFound(
@@ -229,7 +228,7 @@ Result<const Point*> Collection::Get(uint64_t id) const {
 }
 
 std::vector<const Point*> Collection::Scroll(const Filter& filter) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<const Point*> out;
   for (const Point& p : points_) {
     if (filter.Matches(p.payload)) out.push_back(&p);
@@ -240,7 +239,7 @@ std::vector<const Point*> Collection::Scroll(const Filter& filter) const {
 }
 
 size_t Collection::IndexMemoryBytes() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return index_ ? index_->MemoryBytes() : 0;
 }
 
@@ -256,7 +255,7 @@ size_t PayloadValueBytes(const PayloadValue& value) {
 }  // namespace
 
 CollectionMemoryStats Collection::MemoryUsage() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   CollectionMemoryStats stats;
   for (const Point& point : points_) {
     stats.points_bytes += sizeof(Point) + point.vector.size() * sizeof(float);

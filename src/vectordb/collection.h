@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "index/product_quantizer.h"
 #include "index/vector_index.h"
 #include "vecmath/distance.h"
@@ -118,17 +118,31 @@ class Collection {
   std::vector<const Point*> Scroll(const Filter& filter = {}) const;
 
   const std::string& name() const { return name_; }
-  const CollectionParams& params() const { return params_; }
+  /// Unsynchronized by contract (params_.dim may still settle during the
+  /// upsert phase); callers read it between phases or under their own
+  /// ordering. See the class comment.
+  const CollectionParams& params() const MIRA_NO_THREAD_SAFETY_ANALYSIS {
+    return params_;
+  }
   size_t size() const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     return points_.size();
   }
   bool built() const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     return built_;
   }
-  const std::vector<Point>& points() const { return points_; }
-  const std::vector<std::string>& indexed_fields() const {
+  /// Unsynchronized by contract (see the class comment): hands out a
+  /// reference without the lock, so the caller must ensure no concurrent
+  /// writer. The escape hatch is deliberate — build pipelines and benches
+  /// iterate points() single-threaded, and copying the corpus per call is
+  /// not an option.
+  const std::vector<Point>& points() const MIRA_NO_THREAD_SAFETY_ANALYSIS {
+    return points_;
+  }
+  /// Unsynchronized by contract, like points().
+  const std::vector<std::string>& indexed_fields() const
+      MIRA_NO_THREAD_SAFETY_ANALYSIS {
     return indexed_fields_;
   }
 
@@ -142,25 +156,25 @@ class Collection {
  private:
   std::string PayloadKeyOf(const PayloadValue& value) const;
   /// Candidate point offsets for a filter via the payload indexes, or nullopt
-  /// when not all fields are indexed.
-  std::optional<std::vector<size_t>> PreFilterCandidates(
-      const Filter& filter) const;
+  /// when not all fields are indexed. Caller holds at least the shared lock.
+  std::optional<std::vector<size_t>> PreFilterCandidates(const Filter& filter)
+      const MIRA_REQUIRES_SHARED(mu_);
 
   /// Guards all mutable state below; see the class comment for the contract.
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
 
-  std::string name_;
-  CollectionParams params_;
-  std::vector<Point> points_;
-  std::unordered_map<uint64_t, size_t> id_to_offset_;
-  std::unique_ptr<index::VectorIndex> index_;
-  bool built_ = false;
+  std::string name_;  ///< Immutable after construction.
+  CollectionParams params_ MIRA_GUARDED_BY(mu_);
+  std::vector<Point> points_ MIRA_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, size_t> id_to_offset_ MIRA_GUARDED_BY(mu_);
+  std::unique_ptr<index::VectorIndex> index_ MIRA_GUARDED_BY(mu_);
+  bool built_ MIRA_GUARDED_BY(mu_) = false;
 
   /// field -> serialized value -> point offsets.
-  std::vector<std::string> indexed_fields_;
+  std::vector<std::string> indexed_fields_ MIRA_GUARDED_BY(mu_);
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<size_t>>>
-      payload_index_;
+      payload_index_ MIRA_GUARDED_BY(mu_);
 };
 
 }  // namespace mira::vectordb
