@@ -9,7 +9,13 @@ namespace mira {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::atomic<LogSink*> g_log_sink{nullptr};
+
+// Guards the sink pointer AND serializes Write() calls through it: once
+// SetLogSink returns, no thread can still be inside the previous sink, so
+// the caller may destroy it immediately. The previous atomic-pointer scheme
+// had a use-after-free window between the load and the Write() call.
+Mutex g_sink_mu;
+LogSink* g_log_sink MIRA_GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -44,7 +50,10 @@ LogLevel GetLogLevel() {
 }
 
 LogSink* SetLogSink(LogSink* sink) {
-  return g_log_sink.exchange(sink, std::memory_order_acq_rel);
+  MutexLock lock(g_sink_mu);
+  LogSink* previous = g_log_sink;
+  g_log_sink = sink;
+  return previous;
 }
 
 void CapturingLogSink::Write(LogLevel /*level*/, const std::string& line) {
@@ -106,9 +115,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     std::string line = stream_.str();
-    LogSink* sink = g_log_sink.load(std::memory_order_acquire);
-    if (sink != nullptr) {
-      sink->Write(level_, line);
+    // Write under the sink lock so a concurrent SetLogSink cannot pull the
+    // sink out from under us mid-call. Sinks therefore must not log from
+    // inside Write() (self-deadlock); see the LogSink contract.
+    MutexLock lock(g_sink_mu);
+    if (g_log_sink != nullptr) {
+      g_log_sink->Write(level_, line);
     } else {
       std::fprintf(stderr, "%s\n", line.c_str());
     }

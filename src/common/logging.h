@@ -28,7 +28,9 @@ LogLevel GetLogLevel();
 
 /// Destination for formatted log lines. The default sink writes to stderr;
 /// tests install a CapturingLogSink to assert on emitted warnings instead of
-/// scraping stderr. Implementations must be safe to call from any thread.
+/// scraping stderr. Write() calls are serialized under the global sink lock,
+/// so implementations never see concurrent calls — but they must not log
+/// (MIRA_LOG_*) from inside Write(), which would self-deadlock.
 class LogSink {
  public:
   virtual ~LogSink() = default;
@@ -37,8 +39,9 @@ class LogSink {
 };
 
 /// Replaces the global sink and returns the previous one (nullptr means the
-/// built-in stderr sink). Callers restore the previous sink when done;
-/// swapping sinks while other threads are logging is the caller's race.
+/// built-in stderr sink). Safe to call while other threads are logging: the
+/// swap and every Write() run under one lock, so once this returns no thread
+/// is still inside the previous sink and the caller may destroy it.
 LogSink* SetLogSink(LogSink* sink);
 
 /// Thread-safe in-memory sink for tests.
