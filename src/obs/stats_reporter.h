@@ -37,7 +37,7 @@ class FileStatsSink : public StatsSink {
   void Consume(const StatsSnapshot& snapshot) override;
   /// Non-OK when any write so far failed (write errors never throw into the
   /// reporter thread).
-  Status status() const;
+  [[nodiscard]] Status status() const;
 
  private:
   std::string path_;
