@@ -58,15 +58,20 @@ void StatsReporter::Start() {
 }
 
 void StatsReporter::Stop() {
+  // Claim the thread under the lock so concurrent Stop() calls cannot both
+  // join it: exactly one caller moves it out (and joins), every other caller
+  // sees running_ == false and returns. Joining happens outside the lock
+  // because the loop thread takes mu_ on its way out.
+  std::thread worker;
   {
     MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
+    running_ = false;
+    worker = std::move(thread_);
   }
   wake_.NotifyAll();
-  thread_.join();
-  MutexLock lock(mu_);
-  running_ = false;
+  worker.join();
 }
 
 bool StatsReporter::running() const {

@@ -99,8 +99,9 @@ class StatsReporter {
 
   mutable Mutex mu_;
   CondVar wake_;
-  /// Started under mu_; joined by Stop().
-  std::thread thread_;
+  /// Started under mu_; Stop() moves it out under mu_ before joining, so
+  /// concurrent Stop() calls cannot both join it.
+  std::thread thread_ MIRA_GUARDED_BY(mu_);
   std::vector<std::function<void()>> collectors_ MIRA_GUARDED_BY(mu_);
   bool stop_requested_ MIRA_GUARDED_BY(mu_) = false;
   bool running_ MIRA_GUARDED_BY(mu_) = false;
