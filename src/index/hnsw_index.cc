@@ -1,6 +1,7 @@
 #include "index/hnsw_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 
@@ -48,7 +49,9 @@ float HnswIndex::OutputSimilarity(float internal_distance) const {
 
 Status HnswIndex::Add(uint64_t id, const vecmath::Vec& vector) {
   MutexLock lock(add_mu_);
-  if (built_) return Status::FailedPrecondition("hnsw: index already built");
+  if (built_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("hnsw: index already built");
+  }
   if (!vectors_.empty() && vector.size() != vectors_.cols()) {
     return Status::InvalidArgument(
         StrFormat("hnsw: dim mismatch (%zu vs %zu)", vector.size(),
@@ -340,7 +343,13 @@ void HnswIndex::InsertNode(uint32_t node, SearchScratch* scratch) {
 }
 
 Status HnswIndex::Build() {
-  if (built_) return Status::FailedPrecondition("hnsw: Build called twice");
+  // Hold add_mu_ for the whole build: a contract-violating concurrent Add()
+  // blocks here and then fails the built_ check instead of appending into a
+  // graph mid-construction.
+  MutexLock lock(add_mu_);
+  if (built_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("hnsw: Build called twice");
+  }
   if (ids_.empty()) return Status::FailedPrecondition("hnsw: no vectors added");
 
   const size_t n = ids_.size();
@@ -371,13 +380,17 @@ Status HnswIndex::Build() {
     }
   }
 
-  built_ = true;
+  // Release store pairs with the acquire load in Search(): observing
+  // built_ == true implies observing the completed graph.
+  built_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Result<std::vector<vecmath::ScoredId>> HnswIndex::Search(
     const vecmath::Vec& query, const SearchParams& params) const {
-  if (!built_) return Status::FailedPrecondition("hnsw: Build() not called");
+  if (!built_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("hnsw: Build() not called");
+  }
   if (query.size() != vectors_.cols()) {
     return Status::InvalidArgument("hnsw: query dim mismatch");
   }
@@ -469,6 +482,9 @@ size_t HnswIndex::Degree(uint32_t node, int level) const {
 }
 
 MemoryStats HnswIndex::MemoryUsage() const {
+  // Stats collectors poll this while Add() may still be appending; the lock
+  // makes the mid-add-phase read race-free. Post-build it is uncontended.
+  MutexLock lock(add_mu_);
   MemoryStats stats;
   stats.vectors_bytes = vectors_.data().size() * sizeof(float);
   stats.ids_bytes = ids_.size() * sizeof(uint64_t);

@@ -1,6 +1,7 @@
 #ifndef MIRA_INDEX_HNSW_INDEX_H_
 #define MIRA_INDEX_HNSW_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -165,7 +166,10 @@ class HnswIndex final : public VectorIndex {
   double level_mult_ = 0.0;
   uint64_t rng_state_ = 0;
 
-  /// Serializes concurrent Add() calls (vectors_/ids_ appends).
+  /// Serializes concurrent Add() calls (vectors_/ids_ appends) and the whole
+  /// of Build(), so a straggler Add() during Build() blocks and then fails
+  /// the built_ precondition instead of racing the phase transition.
+  /// MemoryUsage() also takes it: stats collectors may poll mid-add-phase.
   ///
   /// The data fields below follow a *phase protocol* rather than a lifetime
   /// lock (see docs/STATIC_ANALYSIS.md): during the add phase they are
@@ -173,6 +177,7 @@ class HnswIndex final : public VectorIndex {
   /// Build() they are immutable and Search() reads them lock-free. They are
   /// deliberately not MIRA_GUARDED_BY(add_mu_) — that would force the hot
   /// read-only Search() path to take a lock it does not need.
+  // mira-lint-allow(guarded-member) -- phase protocol, see comment above
   mutable Mutex add_mu_;
 
   vecmath::Matrix vectors_;
@@ -182,7 +187,10 @@ class HnswIndex final : public VectorIndex {
   std::vector<std::vector<std::vector<uint32_t>>> links_;
   uint32_t entry_point_ = 0;
   int max_level_ = -1;
-  bool built_ = false;
+  /// Phase flag. Build() release-stores true after the graph is complete;
+  /// Search() acquire-loads it, so a Search that observes true also observes
+  /// the finished graph even without an external happens-before edge.
+  std::atomic<bool> built_{false};
 
   std::optional<ProductQuantizer> pq_;
   std::vector<uint8_t> codes_;  // size() * code_bytes when quantized
