@@ -1,0 +1,34 @@
+// Negative compile test: reading a MIRA_GUARDED_BY member without holding
+// its mutex must NOT compile under Clang -Werror=thread-safety. Registered
+// WILL_FAIL in tests/CMakeLists.txt (Clang configurations only — GCC has no
+// capability analysis and the annotations expand to nothing). If sync.h's
+// macros ever stop reaching the compiler, this file starts compiling and the
+// suite goes red.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    mira::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int UnguardedRead() {
+    return value_;  // no lock held — must be rejected by -Wthread-safety
+  }
+
+ private:
+  mira::Mutex mu_;
+  int value_ MIRA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.UnguardedRead();
+}

@@ -1,0 +1,36 @@
+// Negative compile test: calling a MIRA_REQUIRES function without holding
+// the capability it names must NOT compile under Clang -Werror=thread-safety.
+// Registered WILL_FAIL in tests/CMakeLists.txt (Clang configurations only).
+// This locks the `*_Locked()` helper convention: a helper annotated with
+// MIRA_REQUIRES can only be reached from inside a MutexLock scope.
+
+#include "common/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void Rebalance() {
+    mira::MutexLock lock(mu_);
+    RebalanceLocked();
+  }
+
+  void RebalanceUnlocked() {
+    RebalanceLocked();  // lock not held — must be rejected by -Wthread-safety
+  }
+
+ private:
+  void RebalanceLocked() MIRA_REQUIRES(mu_) { ++generation_; }
+
+  mira::Mutex mu_;
+  int generation_ MIRA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Rebalance();
+  table.RebalanceUnlocked();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Positive control for the thread-safety negative-compile tests: this file
+// uses the same annotations correctly and MUST compile with the same
+// -Werror=thread-safety flags. It is registered as a normal (non-WILL_FAIL)
+// ctest case so a broken flag set — one that rejects everything, or a macro
+// typo that rejects valid code — cannot masquerade as the negative tests
+// "passing".
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    mira::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Read() {
+    mira::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void WaitNonZero() {
+    mira::MutexLock lock(mu_);
+    while (value_ == 0) changed_.Wait(lock);
+  }
+
+  void Signal() { changed_.NotifyAll(); }
+
+ private:
+  void IncrementLocked() MIRA_REQUIRES(mu_) { ++value_; }
+
+  mira::Mutex mu_;
+  mira::CondVar changed_;
+  int value_ MIRA_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  int Lookup() {
+    mira::ReaderLock lock(mu_);
+    return entries_;
+  }
+
+  void Update() {
+    mira::WriterLock lock(mu_);
+    ++entries_;
+  }
+
+ private:
+  mira::SharedMutex mu_;
+  int entries_ MIRA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.Signal();
+  Registry registry;
+  registry.Update();
+  return counter.Read() + registry.Lookup() - 2;
+}
