@@ -108,6 +108,8 @@ void EnsureEnvParsed(Table& table) {
     if (table.env_parsed) return;
     table.env_parsed = true;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- getenv races only with
+  // setenv/putenv, which this process never calls.
   const char* spec = std::getenv("MIRA_FAILPOINTS");
   if (spec == nullptr || *spec == '\0') return;
   Status st = ConfigureFromString(spec);

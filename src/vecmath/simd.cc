@@ -566,6 +566,8 @@ void SquaredL2Batch(const float* query, const float* rows, size_t num_rows,
 #endif  // MIRA_SIMD_X86 / MIRA_SIMD_NEON
 
 SimdTier ResolveTier() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- getenv races only with
+  // setenv/putenv, which this process never calls.
   const char* force = std::getenv("MIRA_FORCE_SCALAR");
   if (force != nullptr && force[0] == '1') return SimdTier::kScalar;
 #if defined(MIRA_SIMD_X86)
