@@ -32,6 +32,21 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 exempt). Headers would leak injection sites into every
                 includer, and the vecmath kernels are too hot for even a
                 compiled-out macro site (see docs/ROBUSTNESS.md).
+  raw-sync      no raw standard lock primitives (std::mutex, lock_guard,
+                condition_variable, <mutex>/<shared_mutex>/
+                <condition_variable> includes, ...) in src/ outside
+                src/common/sync.h: first-party code locks through the
+                capability-annotated mira::Mutex/SharedMutex/CondVar wrappers
+                so Clang -Wthread-safety sees every acquisition.
+  guarded-member a mira::Mutex/SharedMutex member declared in a src/ header
+                must be referenced by at least one thread-safety annotation
+                (MIRA_GUARDED_BY/MIRA_REQUIRES/MIRA_ACQUIRE/...) in the same
+                file — a mutex that guards nothing the analysis can see is
+                either dead or hiding unannotated shared state.
+
+A finding can be suppressed with a justified marker on the same line or the
+line above: `// mira-lint-allow(rule-name) -- reason`. Bare markers (no rule
+name or no reason) are themselves findings.
 
 Usage: tools/mira_lint.py [paths...]   (defaults to the whole tree)
 Exit:  0 clean, 1 findings, 2 usage/environment error.
@@ -49,7 +64,32 @@ REPO = Path(__file__).resolve().parent.parent
 FINDINGS: list[str] = []
 
 
+ALLOW_RE = re.compile(r"//\s*mira-lint-allow\(([a-z-]+)\)\s*--\s*\S")
+ALLOW_MALFORMED_RE = re.compile(r"//\s*mira-lint-allow\b")
+
+# Populated per file before the checks run: lineno -> set of allowed rules.
+ALLOWED: dict[int, set[str]] = {}
+
+
+def collect_allows(path: Path, lines: list[str]) -> None:
+    """Builds the suppression map; malformed markers are findings."""
+    ALLOWED.clear()
+    for i, raw in enumerate(lines, 1):
+        m = ALLOW_RE.search(raw)
+        if m:
+            # The marker covers its own line and the next (annotation-above
+            # style), like NOLINTNEXTLINE.
+            ALLOWED.setdefault(i, set()).add(m.group(1))
+            ALLOWED.setdefault(i + 1, set()).add(m.group(1))
+        elif ALLOW_MALFORMED_RE.search(raw):
+            report(path, i, "bare-nolint",
+                   "mira-lint-allow must name a rule and a reason: "
+                   "// mira-lint-allow(rule) -- reason")
+
+
 def report(path: Path, lineno: int, rule: str, msg: str) -> None:
+    if rule in ALLOWED.get(lineno, ()):
+        return
     FINDINGS.append(f"{path.as_posix()}:{lineno}: [{rule}] {msg}")
 
 
@@ -227,9 +267,64 @@ def check_failpoint(path: Path, lines: list[str]) -> None:
                    f"({where}; see docs/ROBUSTNESS.md)")
 
 
+RAW_SYNC_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+RAW_SYNC_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|recursive_timed_mutex|shared_timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|shared_lock"
+    r"|scoped_lock)\b")
+
+
+def check_raw_sync(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not rel.startswith("src/"):
+        return
+    if rel == "src/common/sync.h":
+        return  # the wrappers themselves sit on the std primitives
+    for i, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if RAW_SYNC_INCLUDE_RE.search(line) or RAW_SYNC_TYPE_RE.search(line):
+            report(path, i, "raw-sync",
+                   "raw std lock primitives are confined to src/common/sync.h;"
+                   " use mira::Mutex/SharedMutex/CondVar + MutexLock/"
+                   "ReaderLock/WriterLock so -Wthread-safety sees the lock")
+
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:mira::)?(?:Mutex|SharedMutex)\s+(\w+)\s*;")
+
+
+def check_guarded_member(path: Path, lines: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    if not (rel.startswith("src/") and rel.endswith(".h")):
+        return
+    if rel == "src/common/sync.h":
+        return
+    text = "".join(strip_comments_and_strings(ln) for ln in lines)
+    annotation_args = " ".join(
+        re.findall(r"MIRA_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED"
+                   r"|ACQUIRE|ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|EXCLUDES"
+                   r"|ASSERT_CAPABILITY|ASSERT_SHARED_CAPABILITY"
+                   r"|RETURN_CAPABILITY|ACQUIRED_BEFORE|ACQUIRED_AFTER)"
+                   r"\s*\(([^)]*)\)", text))
+    for i, raw in enumerate(lines, 1):
+        m = MUTEX_MEMBER_RE.match(strip_comments_and_strings(raw))
+        if not m:
+            continue
+        name = m.group(1)
+        if not re.search(rf"\b{re.escape(name)}\b", annotation_args):
+            report(path, i, "guarded-member",
+                   f"mutex member '{name}' is never referenced by a "
+                   "thread-safety annotation in this file — annotate the "
+                   "state it guards (MIRA_GUARDED_BY) or the functions that "
+                   "need it (MIRA_REQUIRES), or justify with "
+                   "mira-lint-allow(guarded-member)")
+
+
 CHECKS = [check_endl, check_guard, check_naked_new, check_nodiscard,
           check_bare_nolint, check_intrinsics, check_obs_in_kernels,
-          check_failpoint]
+          check_failpoint, check_raw_sync, check_guarded_member]
 
 
 def main(argv: list[str]) -> int:
@@ -251,6 +346,7 @@ def main(argv: list[str]) -> int:
             print(f"mira_lint: cannot read {path}: {e}", file=sys.stderr)
             return 2
         scanned += 1
+        collect_allows(path, lines)
         for check in CHECKS:
             check(path, lines)
     if FINDINGS:

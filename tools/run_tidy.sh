@@ -37,7 +37,7 @@ build_dir="${1:-}"
 if [[ -n "$build_dir" && "$build_dir" != "--" ]]; then
   shift
 else
-  for cand in build build/release build/asan build/tsan; do
+  for cand in build build/release build/asan build/ubsan build/tsan; do
     if [[ -f "$cand/compile_commands.json" ]]; then
       build_dir="$cand"
       break
