@@ -15,7 +15,7 @@
 // locking protocol at compile time (the MIRA_THREAD_SAFETY CMake gate turns
 // the warnings into errors; the thread-safety CI job runs it on every PR).
 // tools/mira_lint.py bans raw std::mutex/std::lock_guard outside this header
-// and flags Mutex members no annotation references. See the "Thread-safety
+// and flags Mutex members that no annotation references. See the "Thread-safety
 // annotations & lock discipline" section of docs/STATIC_ANALYSIS.md for the
 // full policy, including when MIRA_NO_THREAD_SAFETY_ANALYSIS is acceptable.
 //
