@@ -5,6 +5,8 @@
 //
 // `--quick` shrinks the workload for CI smoke runs (one dim, fewer rows,
 // shorter timing windows); results stay directionally meaningful.
+// `--filter <op>` runs only the measurements with that op name (e.g.
+// `--filter adc4_batch`), so CI gates can target one kernel cheaply.
 
 #include <cmath>
 #include <cstdio>
@@ -94,9 +96,17 @@ void PrintRow(const Measurement& m, std::string_view tier) {
 int main(int argc, char** argv) {
   BenchConfig cfg;
   bool quick = false;
+  std::string filter;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    }
   }
+  const auto should_run = [&filter](std::string_view op) {
+    return filter.empty() || filter == op;
+  };
   if (quick) {
     cfg.dims = {192};
     cfg.batch_rows = {512};
@@ -133,7 +143,7 @@ int main(int argc, char** argv) {
                                   static_cast<double>(dim)));
 
     // --- pairwise dot ---
-    {
+    if (should_run("dot")) {
       Measurement m{"dot", dim, 1, 0, 0,
                     static_cast<double>(2 * dim * sizeof(float)), 0};
       volatile float sink = 0.0f;
@@ -150,7 +160,7 @@ int main(int argc, char** argv) {
     }
 
     // --- pairwise cosine (fused single pass) ---
-    {
+    if (should_run("cosine")) {
       Measurement m{"cosine", dim, 1, 0, 0,
                     static_cast<double>(2 * dim * sizeof(float)), 0};
       volatile float sink = 0.0f;
@@ -170,7 +180,7 @@ int main(int argc, char** argv) {
     }
 
     // --- batched dot scan (the ExS cached / FlatIndex hot loop) ---
-    for (size_t n : cfg.batch_rows) {
+    if (should_run("dot_batch")) for (size_t n : cfg.batch_rows) {
       Measurement m{"dot_batch", dim, n, 0, 0,
                     static_cast<double>(n * dim * sizeof(float)), 0};
       m.scalar_ns = TimeNs(cfg.min_seconds, [&] {
@@ -189,7 +199,7 @@ int main(int argc, char** argv) {
     }
 
     // --- batched squared-L2 scan (k-means / CTS medoid hot loop) ---
-    for (size_t n : cfg.batch_rows) {
+    if (should_run("squared_l2_batch")) for (size_t n : cfg.batch_rows) {
       Measurement m{"squared_l2_batch", dim, n, 0, 0,
                     static_cast<double>(n * dim * sizeof(float)), 0};
       m.scalar_ns = TimeNs(cfg.min_seconds, [&] {
@@ -210,7 +220,7 @@ int main(int argc, char** argv) {
     }
 
     // --- PQ ADC scan: per-code AdcDistance loop vs AdcDistanceBatch ---
-    {
+    if (should_run("adc_batch")) {
       index::PqOptions pq_options;
       pq_options.num_subquantizers = dim % 16 == 0 ? 16 : 8;
       pq_options.train_iterations = 4;
@@ -245,6 +255,41 @@ int main(int argc, char** argv) {
         if (err > m.max_abs_err) m.max_abs_err = err;
       }
       parity_ok = parity_ok && m.max_abs_err <= 1e-4f;
+      PrintRow(m, tier_name);
+      results.push_back(m);
+    }
+
+    // --- 4-bit fast-scan ADC: register-resident quantized LUTs over packed
+    // codes. Integer kernel, so active-vs-scalar parity must be *exact*.
+    // GB/s is over the packed code bytes actually streamed (m/2 per code).
+    if (should_run("adc4_batch")) {
+      const size_t m_sub = dim % 16 == 0 ? 16 : 8;
+      const size_t num_codes = cfg.adc_codes;
+      const size_t num_blocks = (num_codes + 31) / 32;
+      std::vector<uint8_t> lut(m_sub * 16);
+      for (uint8_t& x : lut) x = static_cast<uint8_t>(rng.NextBounded(256));
+      std::vector<uint8_t> packed(num_blocks * m_sub * 16);
+      for (uint8_t& x : packed) x = static_cast<uint8_t>(rng.NextBounded(256));
+      std::vector<uint16_t> out4_scalar(num_blocks * 32, 0);
+      std::vector<uint16_t> out4_active(num_blocks * 32, 0);
+
+      Measurement m{"adc4_batch", dim, num_codes, 0, 0,
+                    static_cast<double>(packed.size()), 0};
+      m.scalar_ns = TimeNs(cfg.min_seconds, [&] {
+        scalar.adc4_batch(lut.data(), packed.data(), num_blocks, m_sub,
+                          out4_scalar.data());
+      });
+      m.active_ns = TimeNs(cfg.min_seconds, [&] {
+        active.adc4_batch(lut.data(), packed.data(), num_blocks, m_sub,
+                          out4_active.data());
+      });
+      for (size_t i = 0; i < out4_scalar.size(); ++i) {
+        const double err =
+            std::fabs(static_cast<double>(out4_active[i]) -
+                      static_cast<double>(out4_scalar[i]));
+        if (err > m.max_abs_err) m.max_abs_err = err;
+      }
+      parity_ok = parity_ok && m.max_abs_err == 0.0;
       PrintRow(m, tier_name);
       results.push_back(m);
     }

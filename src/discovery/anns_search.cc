@@ -38,6 +38,7 @@ Result<std::unique_ptr<AnnsSearcher>> AnnsSearcher::Build(
   params.hnsw_ef_construction = options.hnsw_ef_construction;
   params.hnsw_ef_search = options.ef_search;
   params.pq_subquantizers = options.pq_subquantizers;
+  params.pq_nbits = options.pq_nbits;
   params.seed = options.seed;
 
   MIRA_ASSIGN_OR_RETURN(vectordb::Collection * cells,

@@ -296,6 +296,8 @@ void DiscoveryEngine::PublishResourceMetrics() const {
           .Set(static_cast<double>(stats.index.graph_bytes));
       registry.GetGauge(prefix + ".index_codes_bytes")
           .Set(static_cast<double>(stats.index.codes_bytes));
+      registry.GetGauge(prefix + ".index_codebook_bytes")
+          .Set(static_cast<double>(stats.index.codebook_bytes));
       registry.GetGauge(prefix + ".total_bytes")
           .Set(static_cast<double>(stats.total()));
       total += stats.total();

@@ -374,10 +374,7 @@ Status HnswIndex::Build() {
                           ProductQuantizer::Train(vectors_, *options_.quantization));
     pq_ = std::move(pq);
     codes_.resize(n * pq_->code_bytes());
-    for (size_t i = 0; i < n; ++i) {
-      std::vector<uint8_t> code = pq_->Encode(vectors_.RowVec(i));
-      std::copy(code.begin(), code.end(), codes_.begin() + i * pq_->code_bytes());
-    }
+    pq_->EncodeBatch(vectors_, codes_.data());
   }
 
   // Release store pairs with the acquire load in Search(): observing

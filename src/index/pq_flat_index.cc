@@ -4,8 +4,18 @@
 
 #include "common/string_util.h"
 #include "obs/trace.h"
+#include "vecmath/simd.h"
 
 namespace mira::index {
+
+namespace {
+
+/// Shortlist oversampling for the nbits=4 ADC-only mode (rescore_factor == 0):
+/// the quantized-LUT scan still needs a float-ADC re-rank to absorb LUT
+/// quantization error, so the scan keeps this many times k candidates.
+constexpr size_t kLutRescoreFactor = 4;
+
+}  // namespace
 
 PqFlatIndex::PqFlatIndex(PqFlatOptions options) : options_(options) {}
 
@@ -40,9 +50,14 @@ Status PqFlatIndex::Build() {
   MIRA_ASSIGN_OR_RETURN(auto pq, ProductQuantizer::Train(originals_, options_.pq));
   pq_ = std::move(pq);
   codes_.resize(ids_.size() * pq_->code_bytes());
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    std::vector<uint8_t> code = pq_->Encode(originals_.RowVec(i));
-    std::copy(code.begin(), code.end(), codes_.begin() + i * pq_->code_bytes());
+  pq_->EncodeBatch(originals_, codes_.data());
+  if (pq_->nbits() == 4) {
+    // Fast-scan storage: repack into the blocked two-codes-per-byte layout
+    // and drop the unpacked form — the packed codes are the only copy
+    // (rescoring unpacks nibbles on demand via Packed4Code).
+    Pack4BitCodesBlocked(codes_.data(), ids_.size(),
+                         pq_->num_subquantizers(), &packed_codes_);
+    codes_ = std::vector<uint8_t>();
   }
   if (options_.rescore_factor == 0) {
     // Pure-ADC mode: exact vectors are no longer needed, drop them — this is
@@ -63,6 +78,9 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
                        ? vecmath::Normalized(query)
                        : query;
   std::vector<float> table = pq_->ComputeDistanceTable(q);
+  if (pq_->nbits() == 4) {
+    return SearchFastScan(q, table, params);
+  }
   const size_t bytes = pq_->code_bytes();
   const size_t n = ids_.size();
 
@@ -125,14 +143,93 @@ Result<std::vector<vecmath::ScoredId>> PqFlatIndex::Search(
   return out;
 }
 
+Result<std::vector<vecmath::ScoredId>> PqFlatIndex::SearchFastScan(
+    const vecmath::Vec& q, const std::vector<float>& table,
+    const SearchParams& params) const {
+  const size_t n = ids_.size();
+  const size_t m = pq_->num_subquantizers();
+  ProductQuantizer::QuantizedLut qlut;
+  pq_->QuantizeDistanceTable(table, &qlut);
+
+  // The quantized scan always feeds a rescoring pass (LUT quantization error
+  // makes its ranking a shortlist, not an answer): exact vectors when they
+  // were kept, the float ADC table otherwise.
+  const size_t factor = options_.rescore_factor == 0 ? kLutRescoreFactor
+                                                     : options_.rescore_factor;
+  const size_t shortlist = std::min(n, std::max(params.k, params.k * factor));
+
+  obs::TraceSpan span("pq.adc_scan");
+  span.AddCounter("codes_decoded", static_cast<int64_t>(n));
+  span.AddCounter("rescored", static_cast<int64_t>(shortlist));
+
+  // Blocked quantized-LUT scan: the kernel consumes whole 32-code blocks
+  // (tail padding lanes are simply never read back), chunked so the uint16
+  // buffer stays cache-resident and the budget check keeps the existing
+  // ~16k-codes-between-checks cadence of the 8-bit path.
+  vecmath::TopK adc_top(shortlist);
+  const size_t num_blocks = (n + 31) / 32;
+  constexpr size_t kChunkBlocks = 32;    // 1024 codes per kernel call
+  constexpr size_t kControlStride = 16;  // every 16 chunks = 16k codes
+  std::vector<uint16_t> qdist(kChunkBlocks * 32);
+  size_t chunk_idx = 0;
+  for (size_t block = 0; block < num_blocks;
+       block += kChunkBlocks, ++chunk_idx) {
+    if (params.control != nullptr && chunk_idx % kControlStride == 0) {
+      Status budget = params.control->Check("pq.adc_scan");
+      if (!budget.ok()) return budget;
+    }
+    const size_t blocks_now = std::min(kChunkBlocks, num_blocks - block);
+    vecmath::Adc4Batch(qlut.lut.data(), packed_codes_.data() + block * m * 16,
+                       blocks_now, m, qdist.data());
+    const size_t base = block * 32;
+    const size_t count = std::min(blocks_now * 32, n - base);
+    for (size_t j = 0; j < count; ++j) {
+      const float d = qlut.bias + qlut.scale * static_cast<float>(qdist[j]);
+      adc_top.Push(base + j, -d);
+    }
+  }
+  std::vector<vecmath::ScoredId> shortlist_rows = adc_top.Take();
+
+  auto to_similarity = [this](float sq_l2) {
+    return options_.metric == vecmath::Metric::kCosine ? 1.0f - sq_l2 / 2.0f
+                                                       : -sq_l2;
+  };
+
+  vecmath::TopK exact_top(params.k);
+  if (options_.rescore_factor > 0) {
+    for (const auto& row : shortlist_rows) {
+      float d = vecmath::SquaredL2(q.data(), originals_.Row(row.id), dim_);
+      exact_top.Push(row.id, -d);
+    }
+  } else {
+    // Float-ADC re-rank over on-demand-unpacked codes: exact on the float
+    // table's domain, so only the PQ approximation itself remains.
+    const uint8_t* packed = packed_codes_.data();
+    for (const auto& row : shortlist_rows) {
+      float d = 0.f;
+      for (size_t s = 0; s < m; ++s) {
+        d += table[s * 16 + Packed4Code(packed, m, row.id, s)];
+      }
+      exact_top.Push(row.id, -d);
+    }
+  }
+  std::vector<vecmath::ScoredId> best = exact_top.Take();
+  std::vector<vecmath::ScoredId> out;
+  out.reserve(best.size());
+  for (const auto& row : best) {
+    out.push_back({ids_[row.id], to_similarity(-row.score)});
+  }
+  return out;
+}
+
 MemoryStats PqFlatIndex::MemoryUsage() const {
   MemoryStats stats;
   stats.vectors_bytes = originals_.data().size() * sizeof(float);
   stats.ids_bytes = ids_.size() * sizeof(uint64_t);
-  stats.codes_bytes = codes_.size() +
-                      (pq_ ? pq_->num_subquantizers() * pq_->codebook_size() *
-                                 pq_->sub_dim() * sizeof(float)
-                           : 0);
+  // Payload (grows with n) and model (fixed) reported separately so the
+  // mira.mem.* gauges can tell them apart.
+  stats.codes_bytes = codes_.size() + packed_codes_.size();
+  stats.codebook_bytes = pq_ ? pq_->codebook_bytes() : 0;
   return stats;
 }
 

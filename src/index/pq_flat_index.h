@@ -11,16 +11,25 @@
 
 namespace mira::index {
 
-/// PQ-compressed linear-scan index: every vector is stored only as its m-byte
-/// PQ code; queries scan all codes with ADC lookups, optionally rescoring the
+/// PQ-compressed linear-scan index: every vector is stored only as its PQ
+/// code; queries scan all codes with ADC lookups, optionally rescoring the
 /// best `rescore_factor * k` candidates against the exact vectors. Sits
 /// between FlatIndex (exact, large) and HnswIndex (graph) in the ablation
 /// space; demonstrates PQ's storage reduction in isolation.
+///
+/// With `pq.nbits == 4` the index switches to the fast-scan path: codes are
+/// packed two per byte into the blocked layout of vecmath::Adc4Batch, the
+/// per-query distance table is quantized to uint8 LUTs that live in SIMD
+/// registers, and the scan produces a shortlist that is always rescored —
+/// against the exact vectors when `rescore_factor > 0`, otherwise with the
+/// float ADC table over on-demand-unpacked codes — to absorb the LUT
+/// quantization error.
 struct PqFlatOptions {
   PqOptions pq;
   vecmath::Metric metric = vecmath::Metric::kCosine;
-  /// 0 disables rescoring (pure ADC ranking); otherwise the top
-  /// rescore_factor*k ADC candidates are re-ranked exactly.
+  /// 0 disables exact-vector rescoring (ADC-only ranking, originals are
+  /// dropped after Build); otherwise the top rescore_factor*k ADC candidates
+  /// are re-ranked exactly.
   size_t rescore_factor = 4;
 };
 
@@ -45,12 +54,19 @@ class PqFlatIndex final : public VectorIndex {
   }
 
  private:
+  /// The nbits=4 fast-scan: quantized-LUT blocked scan over packed_codes_,
+  /// then rescoring of the shortlist (exact vectors or float ADC).
+  [[nodiscard]] Result<std::vector<vecmath::ScoredId>> SearchFastScan(
+      const vecmath::Vec& query, const std::vector<float>& table,
+      const SearchParams& params) const;
+
   PqFlatOptions options_;
   size_t dim_ = 0;
   std::vector<uint64_t> ids_;
   vecmath::Matrix originals_;  // kept only when rescoring is enabled
   std::optional<ProductQuantizer> pq_;
-  std::vector<uint8_t> codes_;
+  std::vector<uint8_t> codes_;         // nbits=8: n contiguous m-byte codes
+  std::vector<uint8_t> packed_codes_;  // nbits=4: blocked fast-scan layout
   bool built_ = false;
 };
 

@@ -96,6 +96,7 @@ Status Collection::BuildIndex() {
         size_t m = params_.pq_subquantizers;
         while (m > 1 && params_.dim % m != 0) --m;
         pq.num_subquantizers = m;
+        pq.nbits = params_.pq_nbits;
         opts.quantization = pq;
       }
       index_ = std::make_unique<index::HnswIndex>(opts);

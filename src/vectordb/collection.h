@@ -40,6 +40,9 @@ struct CollectionParams {
   size_t hnsw_ef_search = 64;
   /// PQ subquantizers (kHnswPq only); must divide dim.
   size_t pq_subquantizers = 16;
+  /// PQ code width in bits (kHnswPq only): 8 (256-centroid codebooks) or 4
+  /// (16-centroid fast-scan codebooks, half the code storage).
+  size_t pq_nbits = 8;
   /// IVF cells (kIvf only); 0 = sqrt(n).
   size_t ivf_nlist = 0;
   /// IVF cells probed per query (kIvf only).

@@ -10,7 +10,10 @@ namespace mira::vectordb {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'I', 'R', 'A', 'V', 'D', 'B', '1'};
+// Version 2 added pq_nbits to the per-collection params. Snapshots are
+// ephemeral (not an interchange format), so old versions are rejected
+// rather than migrated.
+constexpr char kMagic[8] = {'M', 'I', 'R', 'A', 'V', 'D', 'B', '2'};
 
 // Little-endian binary primitives. MIRA targets a single host architecture;
 // snapshots are not an interchange format.
@@ -121,6 +124,7 @@ Status VectorDb::SaveSnapshot(const std::string& path) const {
     WriteU64(out, p.hnsw_ef_construction);
     WriteU64(out, p.hnsw_ef_search);
     WriteU64(out, p.pq_subquantizers);
+    WriteU64(out, p.pq_nbits);
     WriteU64(out, p.ivf_nlist);
     WriteU64(out, p.ivf_nprobe);
     WriteU64(out, p.seed);
@@ -167,11 +171,11 @@ Result<VectorDb> VectorDb::LoadSnapshot(const std::string& path) {
     std::string name;
     if (!ReadString(in, &name)) return Status::IoError("truncated snapshot");
     CollectionParams p;
-    uint64_t dim, metric, kind, m, efc, efs, pqm, nlist, nprobe, seed;
+    uint64_t dim, metric, kind, m, efc, efs, pqm, pqb, nlist, nprobe, seed;
     if (!ReadU64(in, &dim) || !ReadU64(in, &metric) || !ReadU64(in, &kind) ||
         !ReadU64(in, &m) || !ReadU64(in, &efc) || !ReadU64(in, &efs) ||
-        !ReadU64(in, &pqm) || !ReadU64(in, &nlist) || !ReadU64(in, &nprobe) ||
-        !ReadU64(in, &seed)) {
+        !ReadU64(in, &pqm) || !ReadU64(in, &pqb) || !ReadU64(in, &nlist) ||
+        !ReadU64(in, &nprobe) || !ReadU64(in, &seed)) {
       return Status::IoError("truncated snapshot");
     }
     p.dim = dim;
@@ -181,6 +185,7 @@ Result<VectorDb> VectorDb::LoadSnapshot(const std::string& path) {
     p.hnsw_ef_construction = efc;
     p.hnsw_ef_search = efs;
     p.pq_subquantizers = pqm;
+    p.pq_nbits = pqb;
     p.ivf_nlist = nlist;
     p.ivf_nprobe = nprobe;
     p.seed = seed;

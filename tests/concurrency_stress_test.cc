@@ -19,6 +19,7 @@
 #include "common/threadpool.h"
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
+#include "index/pq_flat_index.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
@@ -527,6 +528,53 @@ TEST(BatchedScanStressTest, ConcurrentHnswSearchesMatchSerialReference) {
   std::vector<vecmath::Vec> queries;
   Rng qrng(77);
   for (size_t q = 0; q < kQueries; ++q) queries.push_back(RandomVec(&qrng, kDim));
+
+  std::vector<std::vector<vecmath::ScoredId>> reference;
+  reference.reserve(kQueries);
+  for (const auto& q : queries) {
+    reference.push_back(index.Search(q, {10, 0}).MoveValue());
+  }
+
+  ThreadPool pool(kPoolThreads);
+  ParallelFor(&pool, 0, kQueries * 8, [&](size_t task) {
+    const size_t qi = task % kQueries;
+    auto hits = index.Search(queries[qi], {10, 0});
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    ASSERT_EQ(hits->size(), reference[qi].size());
+    for (size_t i = 0; i < hits->size(); ++i) {
+      ASSERT_EQ((*hits)[i].id, reference[qi][i].id) << "query " << qi;
+      ASSERT_EQ((*hits)[i].score, reference[qi][i].score) << "query " << qi;
+    }
+  });
+}
+
+TEST(PqFastScanStressTest, ConcurrentFourBitSearchesMatchSerialReference) {
+  // The 4-bit fast-scan path quantizes a per-query LUT and scans shared
+  // immutable packed codes; concurrent const searches must be race-free and
+  // bit-identical to a single-threaded run (the kernels are integer, so the
+  // scores admit exact comparison).
+  constexpr size_t kDim = 32;
+  constexpr size_t kVectors = 2000;
+  constexpr size_t kQueries = 32;
+
+  index::PqFlatOptions options;
+  options.pq.num_subquantizers = 8;
+  options.pq.nbits = 4;
+  index::PqFlatIndex index(options);
+  index.Reserve(kVectors);
+  {
+    Rng rng(19);
+    for (size_t i = 0; i < kVectors; ++i) {
+      ASSERT_TRUE(index.Add(i, RandomVec(&rng, kDim)).ok());
+    }
+  }
+  ASSERT_TRUE(index.Build().ok());
+
+  std::vector<vecmath::Vec> queries;
+  Rng qrng(1919);
+  for (size_t q = 0; q < kQueries; ++q) {
+    queries.push_back(RandomVec(&qrng, kDim));
+  }
 
   std::vector<std::vector<vecmath::ScoredId>> reference;
   reference.reserve(kQueries);

@@ -258,6 +258,27 @@ TEST(CollectionTest, IvfBackendSearches) {
   EXPECT_EQ(hits[0].id, 42u);
 }
 
+TEST(CollectionTest, HnswPqFourBitBackendSearches) {
+  // pq_nbits plumbs through to the quantizer: 16-centroid codebooks behind
+  // the HNSW ADC traversal, exact rescoring on top.
+  CollectionParams params;
+  params.index_kind = IndexKind::kHnswPq;
+  params.pq_subquantizers = 4;
+  params.pq_nbits = 4;
+  Collection c("cells", params);
+  Rng rng(6);
+  for (uint64_t i = 0; i < 400; ++i) {
+    Vec v(16);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    ASSERT_TRUE(c.Upsert(MakePoint(i, v)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto target = c.Get(11).MoveValue();
+  auto hits = c.Search(target->vector, 5, 64).MoveValue();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 11u);
+}
+
 TEST(CollectionTest, PqSubquantizersAutoAdjustToDim) {
   CollectionParams params;
   params.index_kind = IndexKind::kHnswPq;
@@ -296,6 +317,7 @@ TEST(VectorDbTest, SnapshotRoundTrip) {
     VectorDb db;
     CollectionParams params;
     params.index_kind = IndexKind::kFlat;
+    params.pq_nbits = 4;  // round-trips even when the backend ignores it
     auto* c = db.CreateCollection("cells", params).MoveValue();
     c->CreatePayloadIndex("rel");
     ASSERT_TRUE(c->Upsert(MakePoint(1, {1, 0}, 10, "region")).ok());
@@ -312,6 +334,7 @@ TEST(VectorDbTest, SnapshotRoundTrip) {
   auto* c = db.GetCollection("cells").MoveValue();
   EXPECT_EQ(c->size(), 3u);
   EXPECT_TRUE(c->built());
+  EXPECT_EQ(c->params().pq_nbits, 4u);
   auto p1 = c->Get(1).MoveValue();
   EXPECT_EQ(p1->payload.GetInt("rel"), 10);
   EXPECT_EQ(p1->payload.GetString("attr"), "region");
