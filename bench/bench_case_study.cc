@@ -136,9 +136,44 @@ CaseStudy MakeCaseStudy() {
   return cs;
 }
 
+// Synthetic 16k-cell corpus behind a 4-thread ExS scanner: large enough for
+// the parallel scan path and dominated by vecmath kernel time. Used for the
+// cross-thread trace export below and as the scan-heavy --hold workload
+// (whose /profilez captures should show vecmath frames on top).
+// `engine` must outlive the returned scanner (it borrows the encoder).
+std::unique_ptr<discovery::ExhaustiveSearcher> MakeSyntheticScanner(
+    const discovery::DiscoveryEngine& engine) {
+  auto corpus = std::make_shared<discovery::CorpusEmbeddings>();
+  constexpr size_t kCells = 16384;
+  constexpr size_t kRelations = 64;
+  const size_t dim = engine.encoder().dim();
+  corpus->vectors = vecmath::Matrix(kCells, dim);
+  Rng rng(4242);
+  for (size_t i = 0; i < kCells; ++i) {
+    float* row = corpus->vectors.Row(i);
+    for (size_t j = 0; j < dim; ++j) row[j] = rng.NextFloat() - 0.5f;
+    corpus->refs.push_back(
+        {static_cast<table::RelationId>(i % kRelations), 0, 0});
+  }
+  corpus->num_relations = kRelations;
+  corpus->cells_per_relation.assign(kRelations,
+                                    static_cast<uint32_t>(kCells / kRelations));
+
+  discovery::ExsOptions exs;
+  exs.reuse_corpus_embeddings = true;
+  exs.num_threads = 4;
+  // Non-owning alias: the engine outlives the scanner by contract.
+  std::shared_ptr<const embed::SemanticEncoder> encoder(
+      &engine.encoder(), [](const embed::SemanticEncoder*) {});
+  return std::make_unique<discovery::ExhaustiveSearcher>(nullptr, corpus,
+                                                         encoder, exs);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ServeOptions serve = bench::ParseServeArgs(argc, argv);
+  if (serve.parse_error) return 2;
   CaseStudy cs = MakeCaseStudy();
   discovery::EngineOptions options;
   options.encoder.dim = 256;
@@ -219,35 +254,13 @@ int main() {
     // exercise cross-thread trace propagation end to end (the CI check
     // requires worker-lane spans in the exported file).
     {
-      auto corpus = std::make_shared<discovery::CorpusEmbeddings>();
-      constexpr size_t kCells = 16384;
-      constexpr size_t kRelations = 64;
-      const size_t dim = engine->encoder().dim();
-      corpus->vectors = vecmath::Matrix(kCells, dim);
-      Rng rng(4242);
-      for (size_t i = 0; i < kCells; ++i) {
-        float* row = corpus->vectors.Row(i);
-        for (size_t j = 0; j < dim; ++j) row[j] = rng.NextFloat() - 0.5f;
-        corpus->refs.push_back(
-            {static_cast<table::RelationId>(i % kRelations), 0, 0});
-      }
-      corpus->num_relations = kRelations;
-      corpus->cells_per_relation.assign(
-          kRelations, static_cast<uint32_t>(kCells / kRelations));
-
-      discovery::ExsOptions exs;
-      exs.reuse_corpus_embeddings = true;
-      exs.num_threads = 4;
-      // Non-owning alias: `engine` outlives the scanner by scope.
-      std::shared_ptr<const embed::SemanticEncoder> encoder(
-          &engine->encoder(), [](const embed::SemanticEncoder*) {});
-      discovery::ExhaustiveSearcher scanner(nullptr, corpus, encoder, exs);
+      auto scanner = MakeSyntheticScanner(*engine);
       obs::QueryTrace trace;
       {
         obs::ScopedTrace collect(&trace);
         obs::TraceSpan root("query");
         root.SetLabel("ExS");
-        scanner.Search(query, {}).MoveValue();
+        scanner->Search(query, {}).MoveValue();
       }
       obs::TraceAnnotations annotations;
       annotations.method = "ExS";
@@ -280,5 +293,27 @@ int main() {
       "tables first, while ExS/ANNS are drawn toward broad or wrong-year\n"
       "climate tables (\"general global climate change data or from\n"
       "different years can rank higher\").\n");
+
+  // Live-introspection tail (no-op without --debug-server/--hold): serve the
+  // debugz pages while driving a scan-heavy workload — the synthetic 16k-cell
+  // parallel scan (vecmath-kernel-bound, what /profilez should surface) plus
+  // the three traced engine methods (feeding /querylogz and /tracez).
+  if (serve.server || serve.hold) {
+    auto scanner = MakeSyntheticScanner(*engine);
+    bench::ServeAndHold(serve, engine.get(), [&] {
+      discovery::DiscoveryOptions search;
+      search.top_k = 5;
+      for (auto method :
+           {discovery::Method::kExhaustive, discovery::Method::kAnns,
+            discovery::Method::kCts}) {
+        engine->SearchTraced(method, query, search).MoveValue();
+      }
+      obs::QueryTrace trace;
+      obs::ScopedTrace collect(&trace);
+      obs::TraceSpan root("query");
+      root.SetLabel("ExS-hold");
+      scanner->Search(query, {}).MoveValue();
+    }).Abort("debug server");
+  }
   return 0;
 }

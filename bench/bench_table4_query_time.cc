@@ -4,9 +4,14 @@
 // LD partition.
 
 #include "datagen/workload.h"
+#include "discovery/engine.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const mira::bench::ServeOptions serve =
+      mira::bench::ParseServeArgs(argc, argv);
+  if (serve.parse_error) return 2;
+
   mira::bench::Harness harness;
   harness.PrintQueryTimeTable();
   harness.PrintSpanBreakdown(mira::bench::Partitions().front(),
@@ -16,5 +21,26 @@ int main() {
       .WriteChromeTrace("table4_query_time", mira::bench::Partitions().front(),
                         mira::datagen::QueryClass::kLong)
       .Abort("trace json");
+
+  // Live-introspection tail (no-op without --debug-server/--hold): serve
+  // debugz while replaying the long-query evaluation set against the LD
+  // engine, so every page reflects a corpus-scale workload.
+  if (serve.server || serve.hold) {
+    const mira::bench::Partition& partition = mira::bench::Partitions().front();
+    const mira::discovery::DiscoveryEngine& engine =
+        harness.EngineFor(partition);
+    const auto queries = harness.EvalQueries(mira::datagen::QueryClass::kLong);
+    size_t next = 0;
+    mira::bench::ServeAndHold(serve, &engine, [&] {
+      mira::discovery::DiscoveryOptions search;
+      search.top_k = 10;
+      const auto& query = queries[next++ % queries.size()];
+      for (auto method :
+           {mira::discovery::Method::kExhaustive, mira::discovery::Method::kAnns,
+            mira::discovery::Method::kCts}) {
+        engine.SearchTraced(method, query.text, search).MoveValue();
+      }
+    }).Abort("debug server");
+  }
   return 0;
 }

@@ -1,14 +1,20 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/debug_server.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "vecmath/simd.h"
@@ -522,6 +528,126 @@ void Harness::PrintSpanBreakdown(const Partition& partition,
     }
   }
   std::printf("\n");
+}
+
+const discovery::DiscoveryEngine& Harness::EngineFor(
+    const Partition& partition) {
+  return StackFor(partition)->engine();
+}
+
+namespace {
+
+/// Set by SIGINT/SIGTERM while a --hold loop runs; plain sig_atomic_t is the
+/// whole async-signal-safe contract we need.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void ServeStopHandler(int /*signum*/) { g_serve_stop = 1; }
+
+}  // namespace
+
+ServeOptions ParseServeArgs(int argc, char** argv) {
+  ServeOptions out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--debug-server") {
+      out.server = true;
+    } else if (StartsWith(arg, "--debug-server=")) {
+      const long port = std::atol(arg.c_str() + std::strlen("--debug-server="));
+      if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "%s: port out of range in %s\n", argv[0],
+                     arg.c_str());
+        out.parse_error = true;
+        continue;
+      }
+      out.server = true;
+      out.port = static_cast<uint16_t>(port);
+    } else if (arg == "--hold") {
+      out.hold = true;
+    } else if (StartsWith(arg, "--hold=")) {
+      out.hold = true;
+      out.hold_seconds = std::atof(arg.c_str() + std::strlen("--hold="));
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument %s\n"
+                   "usage: %s [--debug-server[=PORT]] [--hold[=SECONDS]]\n",
+                   argv[0], arg.c_str(), argv[0]);
+      out.parse_error = true;
+    }
+  }
+  return out;
+}
+
+Status ServeAndHold(const ServeOptions& options,
+                    const discovery::DiscoveryEngine* engine,
+                    const std::function<void()>& drive) {
+  if (!options.server && !options.hold) return Status::OK();
+
+  obs::DebugServer server;
+  if (options.server) {
+    obs::DebugServerOptions server_options;
+    server_options.port = options.port;
+    if (engine != nullptr) {
+      server.AddCollector([engine] { engine->PublishResourceMetrics(); });
+    }
+    server.AddStatusSection("SIMD dispatch", [] {
+      return "active tier: " +
+             std::string(vecmath::SimdTierName(vecmath::ActiveSimdTier()));
+    });
+    MIRA_RETURN_NOT_OK(server.Start(server_options));
+    // The scrape harness (tools/check_debugz.py) parses this line for the
+    // resolved port; keep the format stable.
+    std::fprintf(stderr, "[bench] debugz listening on http://127.0.0.1:%u/\n",
+                 static_cast<unsigned>(server.port()));
+  }
+  if (!options.hold) {
+    if (options.server) {
+      std::fprintf(stderr,
+                   "[bench] --debug-server without --hold: the process (and "
+                   "server) exits now\n");
+    }
+    return Status::OK();
+  }
+
+  // Make the hold workload land on every page: promote any traced query a
+  // hair over trivial as a slow trace so /tracez has content to serve.
+  if (obs::kObsEnabled && obs::QueryLog::Global().slow_threshold_ms() <= 0.0) {
+    obs::QueryLog::Global().SetSlowThresholdMs(0.05);
+  }
+
+  g_serve_stop = 0;
+  using SignalHandler = void (*)(int);
+  SignalHandler previous_int = std::signal(SIGINT, &ServeStopHandler);
+  SignalHandler previous_term = std::signal(SIGTERM, &ServeStopHandler);
+  const bool bounded = options.hold_seconds > 0.0;
+  if (bounded) {
+    std::fprintf(stderr, "[bench] holding for %.1fs under query load\n",
+                 options.hold_seconds);
+  } else {
+    std::fprintf(stderr,
+                 "[bench] holding under query load until SIGINT/SIGTERM\n");
+  }
+
+  WallTimer timer;
+  uint64_t iterations = 0;
+  while (g_serve_stop == 0) {
+    if (bounded && timer.ElapsedMillis() >= options.hold_seconds * 1000.0) {
+      break;
+    }
+    if (drive) {
+      drive();
+    } else {
+      // No workload supplied: stay alive (but note /profilez will capture
+      // nothing — ITIMER_PROF needs the process to burn CPU).
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ++iterations;
+  }
+  std::signal(SIGINT, previous_int);
+  std::signal(SIGTERM, previous_term);
+  std::fprintf(stderr,
+               "[bench] hold finished after %llu workload iteration(s)\n",
+               static_cast<unsigned long long>(iterations));
+  return Status::OK();
 }
 
 }  // namespace mira::bench

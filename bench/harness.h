@@ -6,6 +6,7 @@
 // baselines over the LD/MD/SD partitions, runs the 60-query evaluation and
 // prints rows in the layout of the paper's tables.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -128,6 +129,11 @@ class Harness {
   /// note when tracing is compiled out (MIRA_OBS=OFF).
   void PrintSpanBreakdown(const Partition& partition, datagen::QueryClass cls);
 
+  /// The proposed DiscoveryEngine built over `partition` (building the
+  /// partition's method stack on first use). For debugz collectors and the
+  /// --hold query loop; stays valid for the harness's lifetime.
+  const discovery::DiscoveryEngine& EngineFor(const Partition& partition);
+
   const datagen::Workload& workload() const { return workload_; }
   const HarnessConfig& config() const { return config_; }
 
@@ -164,6 +170,43 @@ class Harness {
   std::map<std::string, std::unique_ptr<MethodStack>> stacks_;
   std::vector<RecordedRun> recorded_;
 };
+
+/// Live-introspection flags shared by the bench binaries:
+///
+///   --debug-server[=PORT]  start the embedded debugz HTTP server
+///                          (obs/debug_server.h) on 127.0.0.1; PORT omitted
+///                          or 0 picks an ephemeral port, printed to stderr
+///                          as "[bench] debugz listening on ...".
+///   --hold[=SECONDS]       after the binary's normal output, keep the
+///                          process alive driving a continuous query loop —
+///                          /profilez samples in process CPU time, so an
+///                          idle hold would profile nothing. SECONDS omitted
+///                          = run until SIGINT/SIGTERM.
+///
+/// Binaries taking no other arguments reject anything unrecognized
+/// (parse_error) rather than silently running the default workload.
+struct ServeOptions {
+  bool server = false;
+  uint16_t port = 0;
+  bool hold = false;
+  double hold_seconds = 0.0;  ///< 0 = run until SIGINT/SIGTERM.
+  bool parse_error = false;
+};
+
+/// Parses argv; prints usage to stderr on error (caller exits non-zero).
+ServeOptions ParseServeArgs(int argc, char** argv);
+
+/// The live-introspection tail of a bench run. When `options.server` is set,
+/// starts a DebugServer wired to the process's observability state: a
+/// collector re-publishing `engine`'s resource/pool gauges (when non-null)
+/// and a "SIMD dispatch" /statusz section. When `options.hold` is set, then
+/// drives `drive()` in a loop (recording into QueryLog / promoting slow
+/// traces as usual) until the hold window closes or SIGINT/SIGTERM arrives.
+/// Returns immediately when neither flag is set. Under MIRA_OBS=OFF the
+/// server cannot start; --debug-server reports NotImplemented.
+[[nodiscard]] Status ServeAndHold(const ServeOptions& options,
+                                  const discovery::DiscoveryEngine* engine,
+                                  const std::function<void()>& drive);
 
 }  // namespace mira::bench
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace mira {
 
@@ -91,6 +92,22 @@ double LogUptimeMillis() {
       .count();
 }
 
+std::string WallClockIso8601() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -98,16 +115,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       enabled_(static_cast<int>(level) >=
                g_log_level.load(std::memory_order_relaxed)) {
   if (!enabled_) return;
-  // Prefix: monotonic millis since logging init + small sequential thread id,
-  // so interleaved multi-threaded output stays ordered and attributable.
-  char prefix[96];
+  // Prefix: ISO-8601 UTC wall clock (correlates with external systems and
+  // /metricsz scrapes), monotonic millis since logging init (orders lines
+  // even across wall-clock adjustments), and a small sequential thread id so
+  // interleaved multi-threaded output stays attributable.
+  char prefix[160];
   if (level_ >= LogLevel::kWarning) {
-    std::snprintf(prefix, sizeof(prefix), "[%11.3f t%02d %s %s:%d] ",
-                  LogUptimeMillis(), LogThreadId(), LevelName(level), file,
-                  line);
+    std::snprintf(prefix, sizeof(prefix), "[%s %11.3f t%02d %s %s:%d] ",
+                  WallClockIso8601().c_str(), LogUptimeMillis(), LogThreadId(),
+                  LevelName(level), file, line);
   } else {
-    std::snprintf(prefix, sizeof(prefix), "[%11.3f t%02d %s] ",
-                  LogUptimeMillis(), LogThreadId(), LevelName(level));
+    std::snprintf(prefix, sizeof(prefix), "[%s %11.3f t%02d %s] ",
+                  WallClockIso8601().c_str(), LogUptimeMillis(), LogThreadId(),
+                  LevelName(level));
   }
   stream_ << prefix;
 }

@@ -68,6 +68,12 @@ int LogThreadId();
 /// process). The same clock stamps every log-line prefix.
 double LogUptimeMillis();
 
+/// Current wall-clock time as ISO-8601 UTC with millisecond precision,
+/// e.g. "2026-08-09T01:02:03.456Z". This stamp leads every log-line prefix
+/// (so process logs correlate with external scrapes of /metricsz); exposed
+/// so other surfaces (/statusz, reports) emit the identical format.
+std::string WallClockIso8601();
+
 namespace internal {
 
 /// Stream-style log-line builder; emits on destruction. kFatal aborts.

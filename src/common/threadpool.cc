@@ -43,7 +43,7 @@ void ThreadPool::WaitIdle() {
 
 ThreadPool::Stats ThreadPool::GetStats() const {
   MutexLock lock(mutex_);
-  return Stats{workers_.size(), tasks_.size(), in_flight_};
+  return Stats{workers_.size(), tasks_.size(), in_flight_, completed_};
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,6 +63,7 @@ void ThreadPool::WorkerLoop() {
     {
       MutexLock lock(mutex_);
       --in_flight_;
+      ++completed_;
       if (tasks_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }

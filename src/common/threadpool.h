@@ -2,6 +2,7 @@
 #define MIRA_COMMON_THREADPOOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -49,9 +50,10 @@ class ThreadPool {
   /// (queue depth / utilization — see docs/OBSERVABILITY.md). A consistent
   /// snapshot (taken under the queue lock), already stale on return.
   struct Stats {
-    size_t threads = 0;  ///< Worker count, fixed at construction.
-    size_t queued = 0;   ///< Tasks waiting in the FIFO.
-    size_t running = 0;  ///< Tasks currently executing.
+    size_t threads = 0;      ///< Worker count, fixed at construction.
+    size_t queued = 0;       ///< Tasks waiting in the FIFO.
+    size_t running = 0;      ///< Tasks currently executing.
+    uint64_t completed = 0;  ///< Tasks finished since construction.
   };
   Stats GetStats() const;
 
@@ -66,6 +68,7 @@ class ThreadPool {
   CondVar idle_;
   std::queue<std::function<void()>> tasks_ MIRA_GUARDED_BY(mutex_);
   size_t in_flight_ MIRA_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ MIRA_GUARDED_BY(mutex_) = 0;
   bool shutting_down_ MIRA_GUARDED_BY(mutex_) = false;
 };
 

@@ -1,0 +1,289 @@
+#include "obs/cpu_profiler.h"
+
+#if MIRA_OBS_ENABLED
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sched.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace mira::obs {
+
+namespace {
+
+/// One raw sample as written by the signal handler: frames only, no strings.
+/// Plain (non-atomic) fields are safe because each slot has exactly one
+/// writer (the handler invocation that claimed it via fetch_add) and readers
+/// only run after teardown proves no handler is still in flight.
+struct SampleSlot {
+  static constexpr int kMaxDepth = 64;
+  int depth = 0;
+  uint64_t query_tag = 0;
+  void* frames[kMaxDepth];
+};
+
+/// Everything the SIGPROF handler touches. Allocated and published by
+/// Collect; the handler reaches it through one acquire load of g_state.
+struct ProfilerState {
+  explicit ProfilerState(uint32_t cap) : capacity(cap), slots(cap) {}
+
+  const uint32_t capacity;
+  std::atomic<uint32_t> next_slot{0};
+  std::atomic<uint64_t> dropped{0};
+  std::vector<SampleSlot> slots;
+};
+
+/// nullptr while no profile is running. The handler stays installed only for
+/// the capture window, but the pointer (not the handler) is the on/off
+/// switch, so teardown can stop sampling before uninstalling anything.
+std::atomic<ProfilerState*> g_state{nullptr};
+
+/// Count of SIGPROF handlers currently executing, anywhere in the process.
+/// Teardown clears g_state, then spins until this drops to zero — after
+/// that, no handler can still hold the state pointer and the slots are
+/// plain memory again.
+std::atomic<int> g_in_handler{0};
+
+/// Single-active-profile guard.
+std::atomic<bool> g_profiling{false};
+
+/// Async-signal-safe by construction: one acquire load, one fetch_add, one
+/// backtrace() into preallocated storage, one TLS read. backtrace() is
+/// handler-safe once libgcc is resident — Collect pre-warms it before
+/// arming the timer.
+void SigprofHandler(int /*signum*/) {
+  g_in_handler.fetch_add(1, std::memory_order_acq_rel);
+  ProfilerState* state = g_state.load(std::memory_order_acquire);
+  if (state != nullptr) {
+    const int saved_errno = errno;
+    const uint32_t slot =
+        state->next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot < state->capacity) {
+      SampleSlot& sample = state->slots[slot];
+      sample.depth = backtrace(sample.frames, SampleSlot::kMaxDepth);
+      sample.query_tag = internal::CurrentQueryTag();
+    } else {
+      state->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    errno = saved_errno;
+  }
+  g_in_handler.fetch_sub(1, std::memory_order_release);
+}
+
+/// Frames at the top of every sample that belong to the sampling machinery,
+/// not the workload: the handler itself and the kernel signal trampoline.
+bool IsProfilerFrame(std::string_view name) {
+  return name.find("SigprofHandler") != std::string_view::npos ||
+         name.find("__restore_rt") != std::string_view::npos ||
+         name.find("killpg") != std::string_view::npos;
+}
+
+/// Resolves one return address to a human-readable frame name. Runs off the
+/// hot path (after capture), so dladdr + __cxa_demangle are fine here.
+std::string SymbolizeFrame(void* address) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (dladdr(address, &info) != 0 && info.dli_sname != nullptr) {
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);  // __cxa_demangle hands out malloc'd storage
+      return name;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  // No symbol: fall back to "<object>+0x<offset>" so the frame still groups
+  // stably across samples.
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    const uintptr_t offset =
+        reinterpret_cast<uintptr_t>(address) -
+        reinterpret_cast<uintptr_t>(info.dli_fbase);
+    return StrFormat("%s+0x%zx", base != nullptr ? base + 1 : info.dli_fname,
+                     static_cast<size_t>(offset));
+  }
+  return StrFormat("0x%zx", reinterpret_cast<size_t>(address));
+}
+
+/// Semicolons and newlines are structural in the folded format; scrub them
+/// out of frame names (templated symbols never contain either, but fallback
+/// paths could).
+void SanitizeFrameName(std::string* name) {
+  for (char& c : *name) {
+    if (c == ';' || c == '\n' || c == '\r') c = '_';
+  }
+}
+
+}  // namespace
+
+bool CpuProfileActive() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+Status CollectCpuProfile(const CpuProfileOptions& options, CpuProfile* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("cpu profiler: out must be non-null");
+  }
+  if (options.frequency_hz < 1 || options.frequency_hz > 1000) {
+    return Status::InvalidArgument(
+        "cpu profiler: frequency_hz must be in [1, 1000]");
+  }
+  const double duration =
+      std::clamp(options.duration_seconds, 0.1, 60.0);
+
+  bool expected = false;
+  if (!g_profiling.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return Status::Unavailable("cpu profiler: a profile is already running");
+  }
+  // From here on every exit path must release the guard.
+  struct GuardRelease {
+    ~GuardRelease() { g_profiling.store(false, std::memory_order_release); }
+  } guard_release;
+
+  // Pre-warm backtrace: its first call lazily loads libgcc with a non-
+  // signal-safe dlopen. One throwaway capture here moves that work out of
+  // the handler.
+  {
+    void* warm[4];
+    (void)backtrace(warm, 4);
+  }
+
+  const uint32_t expected_samples = static_cast<uint32_t>(
+      static_cast<double>(options.frequency_hz) * duration);
+  const uint32_t capacity =
+      options.max_samples != 0
+          ? options.max_samples
+          : std::max<uint32_t>(4096, expected_samples * 8);
+  auto state = std::make_unique<ProfilerState>(capacity);
+
+  // Install the handler, then arm the timer, then publish the state. SIGPROF
+  // delivered between the first two steps hits a handler that sees a null
+  // state and does nothing.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &SigprofHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  struct sigaction previous_action;
+  if (sigaction(SIGPROF, &action, &previous_action) != 0) {
+    return Status::Internal("cpu profiler: sigaction(SIGPROF) failed");
+  }
+  g_state.store(state.get(), std::memory_order_release);
+
+  const long interval_usec =
+      std::max<long>(1, 1000000L / options.frequency_hz);
+  struct itimerval timer;
+  timer.it_interval.tv_sec = interval_usec / 1000000L;
+  timer.it_interval.tv_usec = interval_usec % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_state.store(nullptr, std::memory_order_release);
+    sigaction(SIGPROF, &previous_action, nullptr);
+    return Status::Internal("cpu profiler: setitimer(ITIMER_PROF) failed");
+  }
+
+  // The capture window is wall time; ITIMER_PROF itself only ticks while the
+  // process burns CPU, so this thread sleeping costs nothing. nanosleep is
+  // never restarted by SA_RESTART, hence the deadline loop.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration);
+  while (std::chrono::steady_clock::now() < deadline) {
+    struct timespec nap{0, 10 * 1000 * 1000};  // 10 ms
+    nanosleep(&nap, nullptr);
+  }
+
+  // Teardown handshake: disarm the timer, unpublish the state, then wait for
+  // every in-flight handler to drain before touching the slots or restoring
+  // the previous disposition.
+  struct itimerval disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_state.store(nullptr, std::memory_order_release);
+  while (g_in_handler.load(std::memory_order_acquire) != 0) sched_yield();
+  sigaction(SIGPROF, &previous_action, nullptr);
+
+  // Symbolize. Distinct return addresses number in the hundreds even for
+  // tens of thousands of samples, so cache per address.
+  const uint32_t claimed = state->next_slot.load(std::memory_order_relaxed);
+  const uint32_t captured = std::min(claimed, state->capacity);
+  std::unordered_map<void*, std::string> symbol_cache;
+  symbol_cache.reserve(256);
+  const auto frame_name = [&symbol_cache](void* address) -> const std::string& {
+    auto it = symbol_cache.find(address);
+    if (it == symbol_cache.end()) {
+      std::string name = SymbolizeFrame(address);
+      SanitizeFrameName(&name);
+      it = symbol_cache.emplace(address, std::move(name)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded_counts;
+  out->samples_by_query_tag.clear();
+  for (uint32_t s = 0; s < captured; ++s) {
+    const SampleSlot& sample = state->slots[s];
+    // backtrace() records leaf-first and its first frames are the handler
+    // plus the signal trampoline; skip that prefix, then emit root-first.
+    int first_real = 0;
+    while (first_real < sample.depth &&
+           IsProfilerFrame(frame_name(sample.frames[first_real]))) {
+      ++first_real;
+    }
+    if (first_real >= sample.depth) continue;  // nothing but machinery
+    std::string stack;
+    for (int f = sample.depth - 1; f >= first_real; --f) {
+      if (!stack.empty()) stack.push_back(';');
+      stack.append(frame_name(sample.frames[f]));
+    }
+    ++folded_counts[stack];
+    ++out->samples_by_query_tag[sample.query_tag];
+  }
+
+  out->folded.clear();
+  for (const auto& [stack, count] : folded_counts) {
+    out->folded.append(stack);
+    out->folded.append(StrFormat(" %llu\n",
+                                 static_cast<unsigned long long>(count)));
+  }
+  out->samples_captured = captured;
+  out->samples_dropped = state->dropped.load(std::memory_order_relaxed);
+  out->duration_seconds = duration;
+  out->frequency_hz = options.frequency_hz;
+
+  MetricRegistry::Global()
+      .GetCounter("mira.obs.profiles_collected")
+      .Increment();
+  MetricRegistry::Global()
+      .GetCounter("mira.obs.profile_samples")
+      .Add(out->samples_captured);
+  return Status::OK();
+}
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_ENABLED

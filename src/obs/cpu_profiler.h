@@ -1,0 +1,86 @@
+#ifndef MIRA_OBS_CPU_PROFILER_H_
+#define MIRA_OBS_CPU_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"  // for the MIRA_OBS_ENABLED toggle
+
+namespace mira::obs {
+
+/// Knobs for one profiling run. The defaults (99 Hz for ~1 s) are the
+/// classic flamegraph recipe: a prime frequency avoids lockstep with
+/// millisecond-periodic work, and ~100 samples resolve any hot path that is
+/// worth looking at.
+struct CpuProfileOptions {
+  /// SIGPROF delivery rate. ITIMER_PROF ticks in *process CPU time*, so an
+  /// idle process produces no samples — drive load while profiling.
+  int frequency_hz = 99;
+  /// Wall-clock capture window. Clamped to [0.1, 60] by Collect.
+  double duration_seconds = 1.0;
+  /// Ring capacity; samples past this are counted as dropped, not captured.
+  /// 0 means "size for frequency * duration with generous headroom".
+  uint32_t max_samples = 0;
+};
+
+/// Result of one profiling run, fully symbolized (no live pointers).
+struct CpuProfile {
+  /// Collapsed/folded stacks, one line per distinct stack:
+  ///   "root;caller;leaf <count>\n"
+  /// — the exact input format of Brendan Gregg's flamegraph.pl and of
+  /// speedscope's "folded" importer. Lines are sorted by stack string, so
+  /// identical profiles serialize identically.
+  std::string folded;
+  uint64_t samples_captured = 0;
+  /// Samples lost because the ring filled (raise max_samples if non-zero).
+  uint64_t samples_dropped = 0;
+  /// Samples whose interrupted thread had a ScopedTrace armed, keyed by its
+  /// query tag (internal::CurrentQueryTag); samples on untraced threads land
+  /// under tag 0. Lets a profile be sliced per query.
+  std::map<uint64_t, uint64_t> samples_by_query_tag;
+  double duration_seconds = 0.0;
+  int frequency_hz = 0;
+};
+
+#if MIRA_OBS_ENABLED
+
+/// Runs one SIGPROF sampling profile over the whole process and blocks until
+/// the capture window closes, then symbolizes off the hot path and fills
+/// `*out`.
+///
+/// How it works: a process-wide SIGPROF handler captures `backtrace()` frames
+/// plus the interrupted thread's query tag into a pre-allocated lock-free
+/// slot ring (one fetch_add per sample, drop-on-full — the handler never
+/// allocates, locks, or touches errno-visible state). When the window closes
+/// the handler is torn down with an in-handler refcount handshake, and
+/// symbolization (`dladdr` + demangling) runs on the calling thread.
+///
+/// Exactly one profile may be active at a time; a second concurrent call
+/// returns Unavailable without touching the running capture. The calling
+/// thread only sleeps, so the profile measures the workload, not the
+/// profiler. Binaries that want kernel-level symbols resolved must export
+/// their symbols (CMake `ENABLE_EXPORTS`, i.e. `-rdynamic`); unresolvable
+/// frames degrade to "<binary>+0x<offset>" rather than failing.
+[[nodiscard]] Status CollectCpuProfile(const CpuProfileOptions& options,
+                                       CpuProfile* out);
+
+/// True while some thread is inside CollectCpuProfile — the single-active
+/// guard observable, e.g. for /statusz.
+bool CpuProfileActive();
+
+#else  // !MIRA_OBS_ENABLED
+
+[[nodiscard]] inline Status CollectCpuProfile(const CpuProfileOptions& /*options*/,
+                                              CpuProfile* /*out*/) {
+  return Status::NotImplemented("cpu profiler compiled out (MIRA_OBS=OFF)");
+}
+
+inline bool CpuProfileActive() { return false; }
+
+#endif  // MIRA_OBS_ENABLED
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_CPU_PROFILER_H_

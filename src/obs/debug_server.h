@@ -1,0 +1,126 @@
+#ifndef MIRA_OBS_DEBUG_SERVER_H_
+#define MIRA_OBS_DEBUG_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "obs/trace.h"  // for the MIRA_OBS_ENABLED toggle
+
+namespace mira::obs {
+
+struct DebugServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() after Start).
+  uint16_t port = 0;
+  /// Loopback by default: debugz pages expose internals and must not be
+  /// reachable off-host unless a deployment explicitly opts in.
+  std::string bind_address = "127.0.0.1";
+  /// Handler threads. Each thread serves one connection at a time
+  /// (accept -> respond -> close), so this bounds concurrent connections
+  /// with no queueing machinery.
+  int num_threads = 2;
+};
+
+#if MIRA_OBS_ENABLED
+
+/// Dependency-free embedded HTTP/1.1 debug server ("debugz"): plain POSIX
+/// sockets, GET only, one response per connection. Endpoints:
+///
+///   /          index page linking everything below
+///   /healthz   liveness + degradation summary (text)
+///   /statusz   build info, uptime, registered status sections (html)
+///   /metricsz  Prometheus text exposition (MetricRegistry::ExportText)
+///   /varz      metrics as JSON (MetricRegistry::ExportJson)
+///   /querylogz recent QueryLog entries (html table; ?format=jsonl raw)
+///   /tracez    promoted slow-query traces (?id=N&format=chrome downloads
+///              a Chrome-trace JSON document)
+///   /memz      mira.mem.* resource-gauge breakdown (text)
+///   /profilez  on-demand CPU profile, folded stacks (?seconds=N&hz=F)
+///
+/// Everything renders from snapshots the observability layer already
+/// maintains lock-free (metrics atomics, the QueryLog seqlock ring), so
+/// serving a page never takes a lock a query path can block on.
+///
+/// Thread-safety: Start/Stop are for the owning thread (construction /
+/// shutdown); AddCollector/AddStatusSection may race with serving threads
+/// and are guarded. The destructor calls Stop().
+class DebugServer {
+ public:
+  DebugServer() = default;
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Binds, listens, and spawns the handler threads. Fails (without leaking
+  /// a socket) if the port is taken or the server is already running.
+  [[nodiscard]] Status Start(const DebugServerOptions& options);
+
+  /// Unblocks the handler threads (via shutdown(2) on the listening socket)
+  /// and joins them. Idempotent; safe on a never-started server.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved when options.port was 0); 0 if not running.
+  uint16_t port() const { return port_; }
+  /// Total HTTP requests served since Start.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers a refresh hook that runs before /metricsz, /varz, /memz,
+  /// /statusz, or /healthz render — the place to re-publish point-in-time
+  /// gauges (e.g. DiscoveryEngine::PublishResourceMetrics). Hooks must be
+  /// thread-safe: serving threads invoke them concurrently.
+  void AddCollector(std::function<void()> collector);
+
+  /// Adds a named plain-text block to /statusz (SIMD dispatch tier, pool
+  /// load, ...). Keeps the obs layer dependency-free: layers that know about
+  /// vecmath or engines register sections instead of being linked in.
+  void AddStatusSection(std::string title, std::function<std::string()> render);
+
+ private:
+  void ServeLoop();
+
+  int listen_fd_ = -1;  ///< Written by Start before threads spawn.
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::vector<std::thread> threads_;
+
+  mutable Mutex mu_;
+  std::vector<std::function<void()>> collectors_ MIRA_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      sections_ MIRA_GUARDED_BY(mu_);
+};
+
+#else  // !MIRA_OBS_ENABLED
+
+/// MIRA_OBS=OFF stub: same surface, Start reports the feature is compiled
+/// out, every accessor reads as "not running".
+class DebugServer {
+ public:
+  [[nodiscard]] Status Start(const DebugServerOptions& /*options*/) {
+    return Status::NotImplemented("debug server compiled out (MIRA_OBS=OFF)");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  uint16_t port() const { return 0; }
+  uint64_t requests_served() const { return 0; }
+  void AddCollector(std::function<void()> /*collector*/) {}
+  void AddStatusSection(std::string /*title*/,
+                        std::function<std::string()> /*render*/) {}
+};
+
+#endif  // MIRA_OBS_ENABLED
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_DEBUG_SERVER_H_

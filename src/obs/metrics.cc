@@ -284,6 +284,20 @@ std::string MetricRegistry::ExportText() const {
   return out;
 }
 
+std::map<std::string, uint64_t> MetricRegistry::CounterValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricRegistry::GaugeValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
 std::string MetricRegistry::ExportJson() const {
   MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";

@@ -150,6 +150,13 @@ class MetricRegistry {
   /// newlines and backslashes are escaped per the exposition format.
   void SetHelp(const std::string& name, std::string help);
 
+  /// Point-in-time values of every registered counter / gauge, keyed by the
+  /// dotted metric name. For programmatic consumers — the debugz pages
+  /// (/healthz degradation summary, /memz breakdown tables) and tests — that
+  /// want values without parsing an export document.
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
   /// histogram entries carry count/sum/min/max/mean/p50/p90/p99 plus
   /// non-empty [upper_bound, count] bucket pairs. Keys are sorted, so equal

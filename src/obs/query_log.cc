@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/string_util.h"
+#include "obs/trace_export.h"
 
 namespace mira::obs {
 
@@ -91,9 +92,12 @@ bool QueryLog::IsSlow(double duration_ms) const {
 
 void QueryLog::PromoteSlowTrace(uint64_t id, double duration_ms,
                                 const QueryTrace& trace) {
+  // Both renderings happen before taking the lock: promotion is already off
+  // the per-query hot path, but the lock shouldn't serialize string building.
   std::string json = trace.ToJson();
+  std::string chrome = ChromeTraceJson(trace);
   MutexLock lock(slow_mu_);
-  slow_traces_.push_back({id, duration_ms, std::move(json)});
+  slow_traces_.push_back({id, duration_ms, std::move(json), std::move(chrome)});
   while (slow_traces_.size() > kMaxSlowTraces) slow_traces_.pop_front();
 }
 

@@ -97,6 +97,9 @@ class QueryLog {
     uint64_t id = 0;
     double duration_ms = 0.0;
     std::string trace_json;  ///< QueryTrace::ToJson() of the outlier.
+    /// Complete Chrome-trace document (ChromeTraceJson) built once at
+    /// promotion time, so /tracez downloads need no re-rendering.
+    std::string chrome_json;
   };
   std::vector<SlowTrace> SlowTraces() const;
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace mira::obs {
 
@@ -15,11 +16,18 @@ std::atomic<uint32_t> g_sample_every{1};
 
 void SetTraceSampling(uint32_t sample_every) {
   g_sample_every.store(sample_every, std::memory_order_relaxed);
+  // Mirror the knob into the registry so scrapes can tell what fraction of
+  // queries the span detail describes.
+  MetricRegistry::Global()
+      .GetGauge("mira.obs.trace_sample_every")
+      .Set(static_cast<double>(sample_every));
 }
 
 uint32_t GetTraceSampling() {
   return g_sample_every.load(std::memory_order_relaxed);
 }
+
+uint32_t TraceSamplingRate() { return GetTraceSampling(); }
 
 const SpanRecord* QueryTrace::Find(std::string_view name) const {
   for (const SpanRecord& span : spans_) {
@@ -133,13 +141,28 @@ bool SampleThisTrace() {
 
 ScopedTrace::ScopedTrace(QueryTrace* sink) {
   saved_ = internal::g_trace_context;
-  if (sink == nullptr || !SampleThisTrace()) return;
+  saved_tag_ = internal::g_query_tag;
+  if (sink == nullptr) return;
+  if (!SampleThisTrace()) {
+    // The sampler dropped a trace the caller wanted; count it so the knob's
+    // cost is visible (the query itself still runs, only span detail is lost).
+    static Counter& sampled_out =
+        MetricRegistry::Global().GetCounter("mira.obs.traces_sampled_out");
+    sampled_out.Increment();
+    return;
+  }
   sink->Clear();
   internal::g_trace_context = {sink, -1, std::chrono::steady_clock::now()};
+  static std::atomic<uint64_t> next_tag{0};
+  query_tag_ = next_tag.fetch_add(1, std::memory_order_relaxed) + 1;
+  internal::g_query_tag = query_tag_;
   armed_ = true;
 }
 
-ScopedTrace::~ScopedTrace() { internal::g_trace_context = saved_; }
+ScopedTrace::~ScopedTrace() {
+  internal::g_trace_context = saved_;
+  internal::g_query_tag = saved_tag_;
+}
 
 TraceSpan::TraceSpan(const char* name) {
   internal::TraceContext& ctx = internal::g_trace_context;

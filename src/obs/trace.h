@@ -104,8 +104,15 @@ class QueryTrace {
 
 /// Runtime sampling knob for ScopedTrace: collect every Nth installed trace
 /// (1 = every query, the default; 0 = never arm). Applies process-wide.
+/// The knob is itself observable: the current rate is mirrored into the
+/// `mira.obs.trace_sample_every` gauge and every trace the sampler skips
+/// bumps the `mira.obs.traces_sampled_out` counter, so dropped detail shows
+/// up in /metricsz instead of silently vanishing.
 void SetTraceSampling(uint32_t sample_every);
 uint32_t GetTraceSampling();
+/// Canonical getter for the sampling knob (same value as GetTraceSampling):
+/// the every-Nth rate currently armed, 0 when tracing is disarmed.
+uint32_t TraceSamplingRate();
 
 namespace internal {
 
@@ -120,12 +127,22 @@ struct TraceContext {
 #if MIRA_OBS_ENABLED
 inline thread_local TraceContext g_trace_context;
 
+/// Id of the trace currently armed on this thread (assigned when ScopedTrace
+/// arms; its own monotonic 1-based id space, distinct from QueryLog ids),
+/// 0 when no trace is installed. Plain initial-exec TLS on purpose: the
+/// SIGPROF sampling profiler (obs/cpu_profiler.h) reads the interrupted
+/// thread's value from inside its signal handler to tag samples per query,
+/// and a TLS load is the only async-signal-safe read available there.
+inline thread_local uint64_t g_query_tag = 0;
+inline uint64_t CurrentQueryTag() { return g_query_tag; }
+
 /// Reads / overwrites the calling thread's collection state. Only the
 /// cross-thread propagation scope (obs/trace_propagation.h) should touch
 /// these; everything else goes through ScopedTrace / TraceSpan.
 inline TraceContext CaptureContext() { return g_trace_context; }
 inline void InstallContext(const TraceContext& ctx) { g_trace_context = ctx; }
 #else
+inline uint64_t CurrentQueryTag() { return 0; }
 inline TraceContext CaptureContext() { return {}; }
 inline void InstallContext(const TraceContext& /*ctx*/) {}
 #endif
@@ -136,7 +153,9 @@ inline void InstallContext(const TraceContext& /*ctx*/) {}
 
 /// Arms span collection into `sink` for the current thread and scope (subject
 /// to SetTraceSampling). Restores the previous context on destruction, so
-/// traced sections nest safely.
+/// traced sections nest safely. Arming also installs a process-unique query
+/// tag into the thread (internal::CurrentQueryTag) so a concurrently running
+/// CPU profile can attribute its samples to this query.
 class ScopedTrace {
  public:
   explicit ScopedTrace(QueryTrace* sink);
@@ -146,9 +165,13 @@ class ScopedTrace {
   ScopedTrace& operator=(const ScopedTrace&) = delete;
 
   bool armed() const { return armed_; }
+  /// The query tag installed while this trace is armed (0 when not armed).
+  uint64_t query_tag() const { return query_tag_; }
 
  private:
   internal::TraceContext saved_;
+  uint64_t saved_tag_ = 0;
+  uint64_t query_tag_ = 0;
   bool armed_ = false;
 };
 
@@ -182,6 +205,7 @@ class ScopedTrace {
  public:
   explicit ScopedTrace(QueryTrace* /*sink*/) {}
   bool armed() const { return false; }
+  uint64_t query_tag() const { return 0; }
 };
 
 class TraceSpan {

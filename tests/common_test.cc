@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <set>
 #include <thread>
@@ -324,6 +325,17 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   ParallelFor(&pool, 5, 5, [](size_t) { FAIL() << "must not run"; });
 }
 
+TEST(ThreadPoolTest, StatsCountCompletedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.GetStats().completed, 0u);
+  for (int i = 0; i < 25; ++i) pool.Submit([] {});
+  pool.WaitIdle();
+  ThreadPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.completed, 25u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
 TEST(ThreadPoolTest, DestructionDrainsQueue) {
   std::atomic<int> counter{0};
   {
@@ -395,6 +407,33 @@ TEST_F(LoggingTest, ThreadIdsAreSmallAndStable) {
   EXPECT_EQ(id1, id2);
   EXPECT_GE(id1, 1);
   std::thread([&] { EXPECT_NE(LogThreadId(), id1); }).join();
+}
+
+TEST_F(LoggingTest, WallClockIso8601Shape) {
+  const std::string stamp = WallClockIso8601();
+  // "2026-08-09T01:02:03.456Z" — fixed width, fixed separators.
+  ASSERT_EQ(stamp.size(), 24u) << stamp;
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp.back(), 'Z');
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(isdigit(stamp[i])) << stamp;
+}
+
+TEST_F(LoggingTest, PrefixLeadsWithWallClockTimestamp) {
+  MIRA_LOG_WARNING() << "stamped";
+  ASSERT_EQ(sink_.lines().size(), 1u);
+  const std::string line = sink_.lines().front();
+  // "[<iso8601> <uptime> t<NN> WARN ...] stamped"
+  ASSERT_GE(line.size(), 26u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_EQ(line[25], ' ');
 }
 
 TEST_F(LoggingTest, UptimeIsMonotonic) {

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the embedded debugz server against a live bench binary.
+
+Used by the perf-smoke CI job:
+
+    tools/check_debugz.py ./build/release/bench/bench_case_study
+
+Starts the binary with `--debug-server --hold` (the hold loop drives queries
+so /profilez has CPU time to sample), parses the
+"[bench] debugz listening on http://127.0.0.1:PORT/" stderr line, then:
+
+  * scrapes every endpoint (/, /healthz, /statusz, /metricsz, /varz,
+    /querylogz, /tracez, /memz) and requires HTTP 200 with a non-empty body;
+  * validates /varz as JSON with counters/gauges/histograms sections;
+  * validates /querylogz?format=jsonl as one JSON object per line carrying
+    the query-log fields (id, method, duration_ms, ...);
+  * requires /healthz to lead with "ok";
+  * captures a 1-second /profilez profile and checks the folded-stack shape
+    ("frame[;frame...] <count>" lines) — and, since the hold loop burns its
+    CPU in vector kernels, that some stack mentions vecmath;
+  * confirms malformed /profilez parameters get HTTP 400;
+
+then terminates the binary (SIGINT, the hold loop's documented stop signal)
+and requires a clean exit.
+
+Exit: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ERRORS: list[str] = []
+
+LISTEN_RE = re.compile(
+    r"\[bench\] debugz listening on http://127\.0\.0\.1:(\d+)/")
+
+ENDPOINTS = ("/", "/healthz", "/statusz", "/metricsz", "/varz", "/querylogz",
+             "/tracez", "/memz")
+
+QUERYLOG_FIELDS = ("id", "method", "duration_ms")
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def fetch(port: int, path: str, timeout: float = 30.0) -> tuple[int, bytes]:
+    """Returns (status_code, body); HTTP error statuses are returned, not
+    raised (0 means the connection itself failed)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read()
+    except (urllib.error.URLError, OSError) as e:
+        fail(f"GET {path}: connection failed: {e}")
+        return 0, b""
+
+
+def wait_for_port(proc: subprocess.Popen, deadline_s: float = 300.0) -> int:
+    """Reads the binary's stderr until the listening line appears. The serve
+    tail comes after the binary's normal workload, which for the table benches
+    is minutes of evaluation — hence the generous deadline."""
+    start = time.monotonic()
+    assert proc.stderr is not None
+    while time.monotonic() - start < deadline_s:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+            continue
+        match = LISTEN_RE.search(line)
+        if match:
+            return int(match.group(1))
+    return 0
+
+
+def check_varz(body: bytes) -> None:
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"/varz: not valid JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        fail("/varz: top level is not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"/varz: missing or non-object section {section!r}")
+    if not doc.get("counters"):
+        fail("/varz: no counters registered after a full bench run")
+
+
+def check_querylog_jsonl(body: bytes) -> None:
+    lines = [line for line in body.decode("utf-8").splitlines() if line]
+    if not lines:
+        fail("/querylogz?format=jsonl: empty export after a full bench run")
+        return
+    for i, line in enumerate(lines):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"/querylogz jsonl line {i}: not valid JSON: {e}")
+            return
+        if not isinstance(entry, dict):
+            fail(f"/querylogz jsonl line {i}: not an object")
+            return
+        for field in QUERYLOG_FIELDS:
+            if field not in entry:
+                fail(f"/querylogz jsonl line {i}: missing field {field!r}")
+                return
+    print(f"ok: /querylogz jsonl carries {len(lines)} entries")
+
+
+FOLDED_LINE_RE = re.compile(r"^[^ ](?:.*[^ ])? \d+$")
+
+
+def check_profile(body: bytes) -> None:
+    text = body.decode("utf-8", errors="replace")
+    lines = [line for line in text.splitlines() if line]
+    if not lines:
+        fail("/profilez: empty folded output (hold loop not burning CPU?)")
+        return
+    for line in lines:
+        if not FOLDED_LINE_RE.match(line):
+            fail(f"/profilez: malformed folded line {line[:120]!r}")
+            return
+    if not any("vecmath" in line for line in lines):
+        fail("/profilez: no vecmath frames in any stack — symbolization or "
+             "-rdynamic (ENABLE_EXPORTS) regressed")
+    print(f"ok: /profilez captured {len(lines)} distinct stacks")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary",
+                        help="bench binary supporting --debug-server/--hold")
+    parser.add_argument("--profile-seconds", type=float, default=1.0,
+                        help="length of the /profilez capture (default 1)")
+    args = parser.parse_args(argv)
+
+    try:
+        proc = subprocess.Popen(
+            [args.binary, "--debug-server", "--hold"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    except OSError as e:
+        print(f"check_debugz: cannot start {args.binary}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        port = wait_for_port(proc)
+        if port == 0:
+            print("check_debugz: no listening line on stderr "
+                  "(binary exited or --debug-server unsupported)",
+                  file=sys.stderr)
+            return 2
+
+        for path in ENDPOINTS:
+            status, body = fetch(port, path)
+            if status != 200:
+                fail(f"GET {path}: HTTP {status}")
+            elif not body:
+                fail(f"GET {path}: empty body")
+
+        status, body = fetch(port, "/healthz")
+        if status == 200 and not body.startswith(b"ok"):
+            fail(f"/healthz does not lead with 'ok': {body[:80]!r}")
+
+        status, body = fetch(port, "/varz")
+        if status == 200:
+            check_varz(body)
+
+        status, body = fetch(port, "/querylogz?format=jsonl")
+        if status != 200:
+            fail(f"/querylogz?format=jsonl: HTTP {status}")
+        else:
+            check_querylog_jsonl(body)
+
+        status, body = fetch(port, "/profilez?seconds=bogus")
+        if status != 400:
+            fail(f"/profilez?seconds=bogus: expected HTTP 400, got {status}")
+
+        seconds = args.profile_seconds
+        status, body = fetch(port, f"/profilez?seconds={seconds}",
+                             timeout=seconds + 30.0)
+        if status != 200:
+            fail(f"/profilez?seconds={seconds}: HTTP {status}")
+        else:
+            check_profile(body)
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("binary ignored SIGINT (hold loop did not stop)")
+        if proc.stderr is not None:
+            proc.stderr.close()
+
+    if proc.returncode not in (0, None):
+        fail(f"binary exited with {proc.returncode} after SIGINT")
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_debugz: {err}", file=sys.stderr)
+        return 1
+    print(f"ok: all {len(ENDPOINTS)} endpoints + profilez on port {port}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,6 +27,12 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 kernels are the innermost hot loops, and even a no-op span
                 constructor or a relaxed atomic bump is measurable there.
                 Instrument the callers (index/discovery layers) instead.
+                One layer further out, the control-plane obs headers
+                (obs/debug_server.h, obs/cpu_profiler.h) are additionally
+                banned from the index hot paths (src/index/, src/vectordb/):
+                search code publishes metrics/spans, it never hosts the
+                debugz server or the profiler — those are wired at the
+                binary level (bench/harness.cc).
   failpoint     MIRA_FAILPOINT macros live only in .cc files outside
                 src/vecmath/ (src/common/failpoint.h, which defines them, is
                 exempt). Headers would leak injection sites into every
@@ -230,19 +236,37 @@ def check_intrinsics(path: Path, lines: list[str]) -> None:
 
 
 OBS_USE_RE = re.compile(
-    r"#\s*include\s*\"obs/|\bTraceSpan\b|\bScopedTrace\b|\bMetricRegistry\b"
+    r"\bTraceSpan\b|\bScopedTrace\b|\bMetricRegistry\b"
     r"|\bQueryLog\b|\bStatsReporter\b")
+# Include directives keep their quoted path (strip_comments_and_strings blanks
+# string literals, which would hide them); only trailing comments are dropped.
+OBS_INCLUDE_RE = re.compile(r"#\s*include\s*\"obs/")
+OBS_CONTROL_PLANE_INCLUDE_RE = re.compile(
+    r"#\s*include\s*\"obs/(?:debug_server|cpu_profiler)\.h\"")
+# The index hot paths: allowed to publish metrics/spans, but never to pull in
+# the control-plane surfaces (the debugz server, the SIGPROF profiler).
+HOT_PATH_PREFIXES = ("src/index/", "src/vectordb/")
 
 
 def check_obs_in_kernels(path: Path, lines: list[str]) -> None:
     rel = path.relative_to(REPO).as_posix()
-    if not rel.startswith("src/vecmath/"):
+    in_kernels = rel.startswith("src/vecmath/")
+    in_hot_path = rel.startswith(HOT_PATH_PREFIXES)
+    if not in_kernels and not in_hot_path:
         return
     for i, raw in enumerate(lines, 1):
-        if OBS_USE_RE.search(strip_comments_and_strings(raw)):
+        no_comment = re.sub(r"//.*$", "", raw)
+        if in_kernels and (OBS_USE_RE.search(strip_comments_and_strings(raw))
+                           or OBS_INCLUDE_RE.search(no_comment)):
             report(path, i, "obs-in-kernels",
                    "no spans/metrics inside src/vecmath/ — instrument the "
                    "calling layer (see docs/OBSERVABILITY.md)")
+        elif OBS_CONTROL_PLANE_INCLUDE_RE.search(no_comment):
+            report(path, i, "obs-in-kernels",
+                   "obs/debug_server.h and obs/cpu_profiler.h are "
+                   "control-plane surfaces; index hot paths must not include "
+                   "them — wire the server at the binary level "
+                   "(bench/harness.cc)")
 
 
 FAILPOINT_USE_RE = re.compile(r"\bMIRA_FAILPOINT(_PARTIAL)?\b")
