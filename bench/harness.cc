@@ -580,6 +580,13 @@ ServeOptions ParseServeArgs(int argc, char** argv) {
 Status ServeAndHold(const ServeOptions& options,
                     const discovery::DiscoveryEngine* engine,
                     const std::function<void()>& drive) {
+  return ServeAndHold(options, engine, drive, nullptr);
+}
+
+Status ServeAndHold(const ServeOptions& options,
+                    const discovery::DiscoveryEngine* engine,
+                    const std::function<void()>& drive,
+                    const std::function<void(obs::DebugServer&)>& configure) {
   if (!options.server && !options.hold) return Status::OK();
 
   obs::DebugServer server;
@@ -593,6 +600,7 @@ Status ServeAndHold(const ServeOptions& options,
       return "active tier: " +
              std::string(vecmath::SimdTierName(vecmath::ActiveSimdTier()));
     });
+    if (configure) configure(server);
     MIRA_RETURN_NOT_OK(server.Start(server_options));
     // The scrape harness (tools/check_debugz.py) parses this line for the
     // resolved port; keep the format stable.

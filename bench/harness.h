@@ -23,6 +23,7 @@
 #include "datagen/workload.h"
 #include "discovery/engine.h"
 #include "ir/metrics.h"
+#include "obs/debug_server.h"
 
 namespace mira::bench {
 
@@ -207,6 +208,15 @@ ServeOptions ParseServeArgs(int argc, char** argv);
 [[nodiscard]] Status ServeAndHold(const ServeOptions& options,
                                   const discovery::DiscoveryEngine* engine,
                                   const std::function<void()>& drive);
+
+/// Variant with a configure hook, invoked with the DebugServer after the
+/// standard wiring but before Start(): binaries that own extra debugz state
+/// register their pages here (e.g. bench_service_load registers the
+/// DiscoveryService's /servicez). Ignored when the server is not requested.
+[[nodiscard]] Status ServeAndHold(
+    const ServeOptions& options, const discovery::DiscoveryEngine* engine,
+    const std::function<void()>& drive,
+    const std::function<void(obs::DebugServer&)>& configure);
 
 }  // namespace mira::bench
 

@@ -25,6 +25,12 @@ constexpr const char* kSites[] = {
     "corpus.save",          // CorpusEmbeddings::Save entry
     "corpus.save.partial",  // CorpusEmbeddings::Save payload write cutoff
     "corpus.load",          // CorpusEmbeddings::Load entry
+    "service.admit",        // DiscoveryService admission decision (forced
+                            // shed: the injected error becomes the rejection
+                            // status)
+    "service.dispatch",     // DiscoveryService worker dequeue->run (error
+                            // fails the request; delay stalls workers to
+                            // build deterministic queue pressure)
 };
 
 struct SiteState {
@@ -60,6 +66,7 @@ Result<StatusCode> ParseCode(const std::string& token) {
   if (token == "dataloss") return StatusCode::kDataLoss;
   if (token == "cancelled") return StatusCode::kCancelled;
   if (token == "deadline") return StatusCode::kDeadlineExceeded;
+  if (token == "resource_exhausted") return StatusCode::kResourceExhausted;
   return Status::InvalidArgument("failpoint: unknown error code '" + token +
                                  "'");
 }

@@ -11,7 +11,8 @@ namespace mira {
 RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {}
 
 bool RetryPolicy::IsTransient(const Status& status) {
-  return status.IsIoError() || status.IsUnavailable();
+  return status.IsIoError() || status.IsUnavailable() ||
+         status.IsResourceExhausted();
 }
 
 bool RetryPolicy::KeepTrying(int attempts_made,
@@ -21,17 +22,27 @@ bool RetryPolicy::KeepTrying(int attempts_made,
   return true;
 }
 
-void RetryPolicy::Backoff(int attempts_made) const {
+double RetryPolicy::BackoffMsForAttempt(int attempts_made) const {
   double backoff = options_.initial_backoff_ms;
   for (int i = 1; i < attempts_made; ++i) {
     backoff *= options_.backoff_multiplier;
   }
   backoff = std::min(backoff, options_.max_backoff_ms);
-  // Jitter stream forked per retry index so concurrent Run() calls stay
-  // independent without shared mutable state.
-  Rng rng(SplitMix64(options_.seed + static_cast<uint64_t>(attempts_made)));
-  double jitter = 1.0 + options_.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
-  double sleep_ms = std::max(0.0, backoff * jitter);
+  double draw;
+  if (options_.jitter_source) {
+    draw = options_.jitter_source(attempts_made);
+  } else {
+    // Jitter stream forked per retry index so concurrent Run() calls stay
+    // independent without shared mutable state.
+    Rng rng(SplitMix64(options_.seed + static_cast<uint64_t>(attempts_made)));
+    draw = rng.NextDouble();
+  }
+  double jitter = 1.0 + options_.jitter_fraction * (2.0 * draw - 1.0);
+  return std::max(0.0, backoff * jitter);
+}
+
+void RetryPolicy::Backoff(int attempts_made) const {
+  double sleep_ms = BackoffMsForAttempt(attempts_made);
   if (sleep_ms > 0.0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(sleep_ms));

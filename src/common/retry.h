@@ -25,10 +25,16 @@ struct RetryOptions {
   double jitter_fraction = 0.25;
   /// Seed of the jitter stream (reproducible tests).
   uint64_t seed = 0x5EEDBACCULL;
+  /// Injectable jitter seam for deterministic tests: given the 1-based retry
+  /// index, returns a uniform draw in [0, 1) that replaces the internal RNG
+  /// (0.5 means "no jitter"; 0.0 / 1.0 pin the bounds). Null uses the
+  /// seeded common/rng stream.
+  std::function<double(int attempts_made)> jitter_source;
 };
 
 /// Wraps an operation in a retry loop: transient failures (kIoError,
-/// kUnavailable by default) are retried with exponential backoff + jitter;
+/// kUnavailable, kResourceExhausted by default) are retried with exponential
+/// backoff + jitter;
 /// anything else — success, or a non-retryable error such as kDataLoss —
 /// returns immediately. A QueryControl can bound the whole loop: once the
 /// deadline expires or the token fires, the last transient error is
@@ -40,8 +46,16 @@ class RetryPolicy {
  public:
   explicit RetryPolicy(RetryOptions options = {});
 
-  /// Default transience test: kIoError or kUnavailable.
+  /// Default transience test: kIoError, kUnavailable, or kResourceExhausted
+  /// (admission rejections carry their own retry-after hint; see
+  /// src/service/admission.h).
   static bool IsTransient(const Status& status);
+
+  /// The jittered backoff (in ms, without sleeping) that Run would apply
+  /// after the given 1-based attempt count. Deterministic for a fixed seed
+  /// (or jitter_source); admission control uses it to derive retry-after
+  /// hints.
+  [[nodiscard]] double BackoffMsForAttempt(int attempts_made) const;
 
   /// Runs `op` until it succeeds, fails non-transiently, or attempts/budget
   /// run out. Returns the last status.

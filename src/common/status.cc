@@ -40,6 +40,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -98,6 +100,9 @@ Status Status::Unavailable(std::string msg) {
 }
 Status Status::DataLoss(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 const std::string& Status::message() const {

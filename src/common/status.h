@@ -33,6 +33,10 @@ enum class StatusCode : int {
   /// Persisted bytes are corrupt or truncated (checksum mismatch, short
   /// read). Retrying will not help; the artifact must be rebuilt.
   kDataLoss = 12,
+  /// A capacity limit was hit (per-tenant quota empty, admission queue
+  /// full). Transient: safe to retry with backoff, honoring any suggested
+  /// retry-after the rejecting layer attaches — see src/service/admission.h.
+  kResourceExhausted = 13,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -73,6 +77,7 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg);
   static Status Unavailable(std::string msg);
   static Status DataLoss(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -95,6 +100,9 @@ class [[nodiscard]] Status {
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -162,11 +162,11 @@ void WriteResponse(int fd, const Response& response) {
 // seqlock snapshots, lock-scoped copies) — never a lock shared with a query
 // hot path.
 
-Response RenderIndex() {
+Response RenderIndex(
+    const std::vector<std::pair<std::string, std::string>>& extra_pages) {
   Response r;
   r.content_type = "text/html; charset=utf-8";
-  r.body = HtmlPage(
-      "mira debugz",
+  std::string list =
       "<ul>"
       "<li><a href=\"/healthz\">/healthz</a> — liveness + degradation</li>"
       "<li><a href=\"/statusz\">/statusz</a> — build, uptime, status "
@@ -178,8 +178,14 @@ Response RenderIndex() {
       "<li><a href=\"/tracez\">/tracez</a> — promoted slow traces</li>"
       "<li><a href=\"/memz\">/memz</a> — memory breakdown</li>"
       "<li><a href=\"/profilez?seconds=1\">/profilez?seconds=1</a> — CPU "
-      "profile (folded stacks)</li>"
-      "</ul>");
+      "profile (folded stacks)</li>";
+  for (const auto& [path, description] : extra_pages) {
+    list.append(StrFormat("<li><a href=\"%s\">%s</a> — %s</li>",
+                          HtmlEscape(path).c_str(), HtmlEscape(path).c_str(),
+                          HtmlEscape(description).c_str()));
+  }
+  list.append("</ul>");
+  r.body = HtmlPage("mira debugz", list);
   return r;
 }
 
@@ -200,7 +206,10 @@ Response RenderHealthz() {
         name.find("partial") != std::string::npos ||
         name.find("cancelled") != std::string::npos ||
         name.find("deadline") != std::string::npos ||
-        name.find("sampled_out") != std::string::npos;
+        name.find("sampled_out") != std::string::npos ||
+        name.find("shed") != std::string::npos ||
+        name.find("evicted") != std::string::npos ||
+        name.find("rejected") != std::string::npos;
     if (!degradation_signal) continue;
     any = true;
     body.append(StrFormat("  %s: %llu\n", name.c_str(),
@@ -297,6 +306,9 @@ Response RenderQuerylogz(const Request& request) {
     if (e.degraded) flags.append("degraded ");
     if (e.partial) flags.append("partial ");
     if (e.traced) flags.append("traced ");
+    if (e.shed) flags.append("shed ");
+    if (e.evicted) flags.append("evicted ");
+    if (e.preemptive) flags.append("preemptive ");
     std::string spans;
     for (const QueryLogTopSpan& span : e.top_spans) {
       if (span.name == nullptr) continue;
@@ -509,6 +521,20 @@ void DebugServer::AddStatusSection(std::string title,
   sections_.emplace_back(std::move(title), std::move(render));
 }
 
+void DebugServer::AddPage(std::string path, std::string description,
+                          std::function<std::string()> render) {
+  MutexLock lock(mu_);
+  for (Page& page : pages_) {
+    if (page.path == path) {
+      page.description = std::move(description);
+      page.render = std::move(render);
+      return;
+    }
+  }
+  pages_.push_back(
+      Page{std::move(path), std::move(description), std::move(render)});
+}
+
 void DebugServer::ServeLoop() {
   while (running_.load(std::memory_order_acquire)) {
     const int client = accept(listen_fd_, nullptr, nullptr);
@@ -557,7 +583,14 @@ void DebugServer::ServeLoop() {
       }
 
       if (request.path == "/" || request.path == "/index.html") {
-        response = RenderIndex();
+        std::vector<std::pair<std::string, std::string>> extra_pages;
+        {
+          MutexLock lock(mu_);
+          for (const Page& page : pages_) {
+            extra_pages.emplace_back(page.path, page.description);
+          }
+        }
+        response = RenderIndex(extra_pages);
       } else if (request.path == "/healthz") {
         response = RenderHealthz();
       } else if (request.path == "/statusz") {
@@ -581,7 +614,23 @@ void DebugServer::ServeLoop() {
       } else if (request.path == "/profilez") {
         response = RenderProfilez(request);
       } else {
-        response = RenderNotFound(request.path);
+        // Registered extra pages (AddPage) before 404. Copy the renderer out
+        // so rendering never holds mu_.
+        std::function<std::string()> page_render;
+        {
+          MutexLock lock(mu_);
+          for (const Page& page : pages_) {
+            if (page.path == request.path) {
+              page_render = page.render;
+              break;
+            }
+          }
+        }
+        if (page_render) {
+          response.body = page_render();
+        } else {
+          response = RenderNotFound(request.path);
+        }
       }
     }
     WriteResponse(client, response);

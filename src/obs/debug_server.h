@@ -86,6 +86,14 @@ class DebugServer {
   /// vecmath or engines register sections instead of being linked in.
   void AddStatusSection(std::string title, std::function<std::string()> render);
 
+  /// Registers a whole extra plain-text page (e.g. the service layer's
+  /// /servicez). `path` must start with '/'; the page is listed on the index
+  /// and wins over the 404 handler. Renderers must be thread-safe: serving
+  /// threads invoke them concurrently. Re-registering a path replaces the
+  /// renderer.
+  void AddPage(std::string path, std::string description,
+               std::function<std::string()> render);
+
  private:
   void ServeLoop();
 
@@ -99,6 +107,12 @@ class DebugServer {
   std::vector<std::function<void()>> collectors_ MIRA_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::function<std::string()>>>
       sections_ MIRA_GUARDED_BY(mu_);
+  struct Page {
+    std::string path;
+    std::string description;
+    std::function<std::string()> render;
+  };
+  std::vector<Page> pages_ MIRA_GUARDED_BY(mu_);
 };
 
 #else  // !MIRA_OBS_ENABLED
@@ -117,6 +131,8 @@ class DebugServer {
   void AddCollector(std::function<void()> /*collector*/) {}
   void AddStatusSection(std::string /*title*/,
                         std::function<std::string()> /*render*/) {}
+  void AddPage(std::string /*path*/, std::string /*description*/,
+               std::function<std::string()> /*render*/) {}
 };
 
 #endif  // MIRA_OBS_ENABLED

@@ -136,11 +136,14 @@ std::string QueryLog::ExportJsonLines() const {
     out.append(StrFormat(
         "{\"id\": %llu, \"method\": \"%s\", \"ok\": %s, \"k\": %u, "
         "\"results\": %u, \"duration_ms\": %.4f, \"degraded\": %s, "
-        "\"partial\": %s, \"traced\": %s",
+        "\"partial\": %s, \"traced\": %s, \"shed\": %s, \"evicted\": %s, "
+        "\"preemptive\": %s",
         static_cast<unsigned long long>(entry.id), entry.method,
         entry.ok ? "true" : "false", entry.k, entry.result_count,
         entry.duration_ms, entry.degraded ? "true" : "false",
-        entry.partial ? "true" : "false", entry.traced ? "true" : "false"));
+        entry.partial ? "true" : "false", entry.traced ? "true" : "false",
+        entry.shed ? "true" : "false", entry.evicted ? "true" : "false",
+        entry.preemptive ? "true" : "false"));
     if (entry.budget_consumed >= 0) {
       out.append(StrFormat(", \"budget_consumed\": %.4f",
                            entry.budget_consumed));

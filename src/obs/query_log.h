@@ -38,6 +38,14 @@ struct QueryLogEntry {
   bool degraded = false;
   bool partial = false;
   bool traced = false;  ///< A full span tree was collected for this query.
+  /// Service-layer outcome flags (see src/service/discovery_service.h):
+  /// `shed` — rejected at admission (quota or queue-full), never ran;
+  /// `evicted` — deadline expired (or cancelled) while queued, never ran;
+  /// `preemptive` — ran, but under a tightened budget imposed by queue
+  /// pressure (degraded-before-deadline).
+  bool shed = false;
+  bool evicted = false;
+  bool preemptive = false;
   /// Fraction of the deadline budget spent when the query finished
   /// (1 - Deadline::FractionRemaining()); negative when no deadline was set.
   double budget_consumed = -1.0;

@@ -126,6 +126,26 @@ TEST_F(DebugServerTest, UnknownPathIs404) {
   EXPECT_EQ(HttpGet(server_.port(), "/nope").status, 404);
 }
 
+TEST_F(DebugServerTest, AddPageRegistersServesAndLists) {
+  server_.AddPage("/servicez", "service queue and shed counters", [] {
+    return std::string("service\n  queue_depth: 0 / 64\n");
+  });
+  HttpResponse page = HttpGet(server_.port(), "/servicez");
+  ASSERT_EQ(page.status, 200);
+  EXPECT_NE(page.body.find("queue_depth"), std::string::npos);
+  // The index lists the registered page alongside the built-ins.
+  HttpResponse index = HttpGet(server_.port(), "/");
+  ASSERT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("servicez"), std::string::npos);
+  EXPECT_NE(index.body.find("shed counters"), std::string::npos);
+  // Re-registering the same path replaces the renderer in place.
+  server_.AddPage("/servicez", "replacement",
+                  [] { return std::string("replaced body"); });
+  HttpResponse replaced = HttpGet(server_.port(), "/servicez");
+  ASSERT_EQ(replaced.status, 200);
+  EXPECT_NE(replaced.body.find("replaced body"), std::string::npos);
+}
+
 TEST_F(DebugServerTest, VarzServesRegisteredMetricsAsJson) {
   MetricRegistry::Global().GetCounter("mira.test.debugz_varz_probe").Add(7);
   HttpResponse response = HttpGet(server_.port(), "/varz");

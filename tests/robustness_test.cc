@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +31,7 @@
 #include "discovery/engine.h"
 #include "discovery/exhaustive_search.h"
 #include "discovery/types.h"
+#include "service/discovery_service.h"
 #include "vectordb/collection.h"
 
 namespace mira::discovery {
@@ -432,6 +434,69 @@ TEST(RetryPolicyTest, ExpiredControlStopsRetrying) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RetryPolicyTest, JitterSeamPinsBackoffBounds) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 100.0;
+  options.jitter_fraction = 0.25;
+  // Draw 0.0 pins the low bound, 1.0 the high bound, 0.5 disables jitter.
+  options.jitter_source = [](int) { return 0.0; };
+  EXPECT_DOUBLE_EQ(RetryPolicy(options).BackoffMsForAttempt(1), 10.0 * 0.75);
+  EXPECT_DOUBLE_EQ(RetryPolicy(options).BackoffMsForAttempt(2), 20.0 * 0.75);
+  options.jitter_source = [](int) { return 1.0; };
+  EXPECT_DOUBLE_EQ(RetryPolicy(options).BackoffMsForAttempt(1), 10.0 * 1.25);
+  // Attempt 5 would be 160 ms unclamped; the ceiling applies before jitter.
+  EXPECT_DOUBLE_EQ(RetryPolicy(options).BackoffMsForAttempt(5), 100.0 * 1.25);
+  options.jitter_source = [](int) { return 0.5; };
+  EXPECT_DOUBLE_EQ(RetryPolicy(options).BackoffMsForAttempt(3), 40.0);
+}
+
+TEST(RetryPolicyTest, SeededJitterIsDeterministicAndBounded) {
+  RetryOptions options;
+  options.initial_backoff_ms = 8.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 50.0;
+  options.jitter_fraction = 0.25;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const double backoff = a.BackoffMsForAttempt(attempt);
+    // Same seed, same attempt -> identical value (the stream is forked per
+    // retry index, not shared mutable state).
+    EXPECT_DOUBLE_EQ(backoff, b.BackoffMsForAttempt(attempt)) << attempt;
+    double base = options.initial_backoff_ms;
+    for (int i = 1; i < attempt; ++i) base *= options.backoff_multiplier;
+    base = std::min(base, options.max_backoff_ms);
+    EXPECT_GE(backoff, base * (1.0 - options.jitter_fraction)) << attempt;
+    EXPECT_LE(backoff, base * (1.0 + options.jitter_fraction)) << attempt;
+  }
+  options.seed ^= 0xABCDEF;
+  RetryPolicy reseeded(options);
+  bool any_different = false;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    any_different |= reseeded.BackoffMsForAttempt(attempt) !=
+                     a.BackoffMsForAttempt(attempt);
+  }
+  EXPECT_TRUE(any_different) << "reseeding did not move the jitter stream";
+}
+
+TEST(RetryPolicyTest, JitterSourceReceivesRetryIndices) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ms = 0.01;
+  options.max_backoff_ms = 0.01;
+  std::vector<int> seen;
+  options.jitter_source = [&seen](int attempt) {
+    seen.push_back(attempt);
+    return 0.5;
+  };
+  RetryPolicy policy(options);
+  Status status = policy.Run([] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
 // ---------- Corpus persistence: checksums, truncation, atomicity ----------
 
 class CorpusIntegrityTest : public ::testing::Test {
@@ -559,9 +624,11 @@ TEST_F(CorpusIntegrityTest, PartialWriteNeverClobbersTheTarget) {
 
 TEST(FailpointFrameworkTest, RegistryIsStatic) {
   std::vector<std::string> sites = failpoint::RegisteredSites();
-  ASSERT_EQ(sites.size(), 7u);
+  ASSERT_EQ(sites.size(), 9u);
   EXPECT_EQ(sites[0], "embed.encode");
   EXPECT_EQ(sites[4], "corpus.save");
+  EXPECT_EQ(sites[7], "service.admit");
+  EXPECT_EQ(sites[8], "service.dispatch");
 }
 
 TEST(FailpointFrameworkTest, ConfigureReflectsBuildMode) {
@@ -684,6 +751,23 @@ Status DriveSite(const std::string& site, const CovidFixture& fx,
   if (site == "corpus.load") {
     return CorpusEmbeddings::Load(good_path).status();
   }
+  if (site == "service.admit" || site == "service.dispatch") {
+    // A minimal service over a trivial runner: admit-site errors surface as
+    // the rejection status, dispatch-site errors fail the dispatched
+    // request — either way the injected code reaches the caller.
+    service::ServiceOptions options;
+    options.worker_threads = 1;
+    options.record_query_log = false;
+    service::DiscoveryService svc(
+        [](const service::ServiceRequest&) -> Result<Ranking> {
+          return Ranking{};
+        },
+        options);
+    MIRA_RETURN_NOT_OK(svc.Start());
+    service::ServiceResponse response = svc.Search(service::ServiceRequest{});
+    svc.Stop();
+    return response.status;
+  }
   return Status::NotImplemented("no failpoint driver for site: " + site);
 }
 
@@ -747,6 +831,188 @@ TEST(FailpointMatrixTest, InjectedCodesRoundTripThroughTheStack) {
     Status status = CorpusEmbeddings::Load("/nonexistent").status();
     EXPECT_TRUE((status.*test_case.predicate)()) << status.ToString();
   }
+}
+
+// ---------- Service overload matrix: reject vs evict vs degrade ----------
+
+// A service over a synthetic runner whose work is a plain sleep, so each
+// overload outcome is forced deterministically via the service.* failpoints.
+struct ProbeService {
+  explicit ProbeService(service::ServiceOptions options,
+                        double runner_sleep_ms = 0.0) {
+    options.record_query_log = false;
+    svc = std::make_unique<service::DiscoveryService>(
+        [this, runner_sleep_ms](const service::ServiceRequest&)
+            -> Result<Ranking> {
+          runner_calls.fetch_add(1, std::memory_order_relaxed);
+          if (runner_sleep_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(runner_sleep_ms));
+          }
+          return Ranking{{DiscoveryHit{1, 1.0f}}};
+        },
+        options);
+  }
+  std::unique_ptr<service::DiscoveryService> svc;
+  std::atomic<int> runner_calls{0};
+};
+
+TEST(ServiceFailpointTest, ForcedShedRejectsWithInjectedCode) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "built with MIRA_FAILPOINTS=OFF";
+  }
+  FailpointGuard guard;
+  // Spec-grammar path on purpose: exercises the new resource_exhausted token.
+  ASSERT_TRUE(failpoint::ConfigureFromString(
+                  "service.admit=error(resource_exhausted)")
+                  .ok());
+  ProbeService probe(service::ServiceOptions{});
+  ASSERT_TRUE(probe.svc->Start().ok());
+  service::ServiceResponse response =
+      probe.svc->Search(service::ServiceRequest{});
+  EXPECT_EQ(response.outcome, service::RequestOutcome::kRejected);
+  EXPECT_TRUE(response.status.IsResourceExhausted())
+      << response.status.ToString();
+  EXPECT_GT(response.retry_after_ms, 0.0);
+  EXPECT_EQ(probe.runner_calls.load(), 0) << "shed request must never run";
+  EXPECT_GE(failpoint::HitCount("service.admit"), 1u);
+}
+
+TEST(ServiceFailpointTest, DispatchStallEvictsExpiredQueuedRequests) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "built with MIRA_FAILPOINTS=OFF";
+  }
+  FailpointGuard guard;
+  service::ServiceOptions options;
+  options.worker_threads = 1;
+  // Keep pressure-degradation out of this test's way.
+  options.pressure_degrade_fraction = 1.0;
+  ProbeService probe(options);
+  ASSERT_TRUE(probe.svc->Start().ok());
+
+  // Stall the single worker 60 ms on the first dispatch; the follower's
+  // 5 ms deadline dies in the queue behind it.
+  ASSERT_TRUE(failpoint::Configure("service.dispatch",
+                                   failpoint::Action::Delay(60.0, 1))
+                  .ok());
+  struct Waiter {
+    Mutex mu;
+    CondVar cv;
+    int pending MIRA_GUARDED_BY(mu) = 0;
+    std::vector<service::ServiceResponse> responses MIRA_GUARDED_BY(mu);
+  };
+  Waiter waiter;
+  auto submit = [&](double deadline_ms) {
+    service::ServiceRequest request;
+    if (deadline_ms > 0.0) {
+      request.options.control.deadline = Deadline::After(deadline_ms);
+    }
+    {
+      MutexLock lock(waiter.mu);
+      ++waiter.pending;
+    }
+    probe.svc->Submit(std::move(request),
+                      [&waiter](service::ServiceResponse response) {
+                        MutexLock lock(waiter.mu);
+                        waiter.responses.push_back(std::move(response));
+                        --waiter.pending;
+                        waiter.cv.NotifyAll();
+                      });
+  };
+  submit(0.0);  // unbounded; eats the 60 ms stall
+  submit(5.0);  // expires while queued -> evicted
+  {
+    MutexLock lock(waiter.mu);
+    while (waiter.pending > 0) waiter.cv.Wait(lock);
+  }
+  probe.svc->Stop();
+
+  int evicted = 0;
+  for (const service::ServiceResponse& response : [&] {
+         MutexLock lock(waiter.mu);
+         return waiter.responses;
+       }()) {
+    if (response.outcome == service::RequestOutcome::kEvicted) {
+      ++evicted;
+      EXPECT_TRUE(response.status.IsDeadlineExceeded())
+          << response.status.ToString();
+    }
+  }
+  EXPECT_EQ(evicted, 1);
+  // Only the unbounded request reached the runner.
+  EXPECT_EQ(probe.runner_calls.load(), 1);
+}
+
+TEST(ServiceFailpointTest, QueuePressureDegradesPreemptively) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "built with MIRA_FAILPOINTS=OFF";
+  }
+  FailpointGuard guard;
+  service::ServiceOptions options;
+  options.worker_threads = 1;
+  options.admission.max_queue_depth = 8;
+  options.admission.default_quota.refill_qps = 10000.0;
+  options.admission.default_quota.burst = 100.0;
+  options.pressure_degrade_fraction = 0.25;  // depth >= 2 triggers
+  options.pressure_budget_ms = 15.0;
+  options.record_query_log = false;
+
+  // The runner records the budget each dispatched request arrives with: the
+  // pressure ladder must impose a finite deadline on unbounded requests.
+  std::atomic<int> finite_budgets{0};
+  service::DiscoveryService svc(
+      [&finite_budgets](const service::ServiceRequest& request)
+          -> Result<Ranking> {
+        if (!request.options.control.deadline.infinite()) {
+          finite_budgets.fetch_add(1, std::memory_order_relaxed);
+        }
+        return Ranking{};
+      },
+      options);
+  ASSERT_TRUE(svc.Start().ok());
+  // Stall every dispatch 10 ms so the queue stays deep while draining.
+  ASSERT_TRUE(
+      failpoint::Configure("service.dispatch", failpoint::Action::Delay(10.0))
+          .ok());
+
+  struct Waiter {
+    Mutex mu;
+    CondVar cv;
+    int pending MIRA_GUARDED_BY(mu) = 0;
+    int preemptive MIRA_GUARDED_BY(mu) = 0;
+  };
+  Waiter waiter;
+  constexpr int kRequests = 6;
+  {
+    MutexLock lock(waiter.mu);
+    waiter.pending = kRequests;
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    svc.Submit(service::ServiceRequest{},  // no deadline of their own
+               [&waiter](service::ServiceResponse response) {
+                 MutexLock lock(waiter.mu);
+                 if (response.preemptively_degraded) ++waiter.preemptive;
+                 --waiter.pending;
+                 waiter.cv.NotifyAll();
+               });
+  }
+  {
+    MutexLock lock(waiter.mu);
+    while (waiter.pending > 0) waiter.cv.Wait(lock);
+  }
+  svc.Stop();
+
+  int preemptive;
+  {
+    MutexLock lock(waiter.mu);
+    preemptive = waiter.preemptive;
+  }
+  EXPECT_GT(preemptive, 0)
+      << "sustained queue depth never tripped the pressure ladder";
+  EXPECT_EQ(finite_budgets.load(), preemptive)
+      << "every preemptively degraded request must run on a finite budget";
+  EXPECT_EQ(svc.GetStats().preemptively_degraded,
+            static_cast<uint64_t>(preemptive));
 }
 
 // ---------- LoadWithRetry + failpoints ----------

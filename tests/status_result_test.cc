@@ -13,10 +13,44 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace mira {
 namespace {
+
+// ---------- kResourceExhausted (service-layer admission rejections) ----------
+
+TEST(ResourceExhaustedTest, FactoryPredicateAndName) {
+  Status st = Status::ResourceExhausted("tenant over quota");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "tenant over quota");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(st.ToString(), "ResourceExhausted: tenant over quota");
+}
+
+TEST(ResourceExhaustedTest, IsTransientForRetryPolicy) {
+  // Admission rejections carry a retry-after hint; the default retry policy
+  // must treat them as retryable, like kIoError/kUnavailable and unlike
+  // kDataLoss.
+  EXPECT_TRUE(
+      RetryPolicy::IsTransient(Status::ResourceExhausted("queue full")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::IoError("io")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::Unavailable("flap")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::DataLoss("corrupt")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::OK()));
+}
+
+TEST(ResourceExhaustedTest, DistinctFromOtherTransientCodes) {
+  Status st = Status::ResourceExhausted("shed");
+  EXPECT_FALSE(st.IsUnavailable());
+  EXPECT_FALSE(st.IsIoError());
+  EXPECT_FALSE(st.IsDeadlineExceeded());
+}
 
 // ---------- Status propagation ----------
 

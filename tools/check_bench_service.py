@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validates BENCH_service_load.json from bench/bench_service_load.cc.
+
+Used by the perf-smoke CI job after a `bench_service_load --quick` run:
+
+    tools/check_bench_service.py --expect-shedding BENCH_service_load.json
+
+Always checked:
+  * the document has the BenchJsonWriter layout (bench/meta/rows);
+  * meta carries the unloaded baseline (unloaded_p50_ms/unloaded_p99_ms) and
+    the saturation estimate (saturation_qps), all positive;
+  * every row has mode ("closed"/"open"), offered_qps, completed_qps,
+    rejected/evicted/failed counts, shed_fraction and p50_ms/p99_ms, with
+    sane ranges (fractions in [0,1], percentiles ordered, rates >= 0);
+  * request conservation per row: completed + rejected + evicted + failed
+    equals offered_qps * window within rounding.
+
+With --expect-shedding (the overload acceptance gate):
+  * at least one row is measured past saturation
+    (offered_qps >= 1.5 * saturation_qps);
+  * every such row sheds (rejected > 0) rather than queueing unboundedly;
+  * on those rows the p99 of *accepted* requests stays within
+    --p99-multiple (default 3) times the unloaded p99, plus --slack-ms
+    (default 25) of absolute scheduler-noise allowance.
+
+Exit: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ERRORS: list[str] = []
+
+ROW_FIELDS = ("mode", "offered_qps", "completed_qps", "completed", "rejected",
+              "evicted", "failed", "shed_fraction", "p50_ms", "p99_ms")
+
+META_FIELDS = ("unloaded_p50_ms", "unloaded_p99_ms", "saturation_qps",
+               "window_seconds", "worker_threads", "max_queue_depth")
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def check_row(i: int, row: dict, window_s: float) -> None:
+    for field in ROW_FIELDS:
+        if field not in row:
+            fail(f"row {i}: missing field {field!r}")
+            return
+    if row["mode"] not in ("closed", "open"):
+        fail(f"row {i}: unknown mode {row['mode']!r}")
+    for field in ("offered_qps", "completed_qps", "completed", "rejected",
+                  "evicted", "failed", "p50_ms", "p99_ms"):
+        value = row[field]
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"row {i}: {field} = {value!r} is not a non-negative number")
+            return
+    if not 0.0 <= row["shed_fraction"] <= 1.0:
+        fail(f"row {i}: shed_fraction {row['shed_fraction']} outside [0, 1]")
+    if row["completed"] > 0 and row["p99_ms"] < row["p50_ms"]:
+        fail(f"row {i}: p99 {row['p99_ms']} below p50 {row['p50_ms']}")
+    total = (row["completed"] + row["rejected"] + row["evicted"] +
+             row["failed"])
+    offered = row["offered_qps"] * window_s
+    if total > 0 and abs(total - offered) > max(2.0, 0.02 * total):
+        fail(f"row {i}: conservation broken — counts sum to {total} but "
+             f"offered_qps*window = {offered:.1f}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_file", help="path to BENCH_service_load.json")
+    parser.add_argument("--expect-shedding", action="store_true",
+                        help="require overload rows to shed and bound their "
+                             "accepted-request p99 against the unloaded p99")
+    parser.add_argument("--p99-multiple", type=float, default=3.0,
+                        help="allowed accepted-p99 multiple of the unloaded "
+                             "p99 on overload rows (default 3)")
+    parser.add_argument("--slack-ms", type=float, default=25.0,
+                        help="absolute p99 allowance on top of the multiple, "
+                             "for CI scheduler noise (default 25)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.json_file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_service: cannot read {args.json_file}: {e}",
+              file=sys.stderr)
+        return 2
+
+    meta = doc.get("meta")
+    rows = doc.get("rows")
+    if doc.get("bench") != "service_load":
+        fail(f"bench name is {doc.get('bench')!r}, expected 'service_load'")
+    if not isinstance(meta, dict):
+        fail("missing or non-object 'meta'")
+        meta = {}
+    if not isinstance(rows, list) or not rows:
+        fail("missing or empty 'rows'")
+        rows = []
+
+    for field in META_FIELDS:
+        value = meta.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"meta.{field} = {value!r} is not a positive number")
+
+    window_s = meta.get("window_seconds") or 1.0
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"row {i}: not an object")
+            continue
+        check_row(i, row, window_s)
+
+    if args.expect_shedding and not ERRORS:
+        unloaded_p99 = meta["unloaded_p99_ms"]
+        saturation = meta["saturation_qps"]
+        bound = args.p99_multiple * unloaded_p99 + args.slack_ms
+        overload = [r for r in rows
+                    if r["offered_qps"] >= 1.5 * saturation]
+        if not overload:
+            fail(f"no row offered >= 1.5x saturation "
+                 f"({saturation:.1f} qps) — overload never measured")
+        for row in overload:
+            label = f"{row['mode']} @ {row['offered_qps']:.0f} qps"
+            if row["rejected"] <= 0:
+                fail(f"{label}: overload row never shed "
+                     f"(rejected = {row['rejected']}) — the queue absorbed "
+                     f"~{row['offered_qps'] / saturation:.1f}x saturation")
+            if row["completed"] > 0 and row["p99_ms"] > bound:
+                fail(f"{label}: accepted p99 {row['p99_ms']:.2f} ms exceeds "
+                     f"{args.p99_multiple}x unloaded p99 "
+                     f"({unloaded_p99:.2f} ms) + {args.slack_ms} ms slack")
+        if not ERRORS:
+            worst = max(r["p99_ms"] for r in overload)
+            print(f"ok: {len(overload)} overload row(s) shed with accepted "
+                  f"p99 <= {worst:.2f} ms (bound {bound:.2f} ms)")
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_bench_service: {err}", file=sys.stderr)
+        return 1
+    print(f"ok: BENCH_service_load.json carries {len(rows)} valid rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

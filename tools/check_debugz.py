@@ -23,6 +23,11 @@ so /profilez has CPU time to sample), parses the
 then terminates the binary (SIGINT, the hold loop's documented stop signal)
 and requires a clean exit.
 
+`--expect-page /servicez` (repeatable) additionally requires a binary-
+registered page to serve HTTP 200 with content and be linked from the index;
+`--arg --quick` (repeatable) forwards extra arguments to the binary ahead of
+--debug-server/--hold.
+
 Exit: 0 ok, 1 validation failure, 2 usage/IO error.
 """
 
@@ -148,11 +153,21 @@ def main(argv: list[str]) -> int:
                         help="bench binary supporting --debug-server/--hold")
     parser.add_argument("--profile-seconds", type=float, default=1.0,
                         help="length of the /profilez capture (default 1)")
+    parser.add_argument("--expect-page", action="append", default=[],
+                        metavar="PATH",
+                        help="extra registered page (e.g. /servicez) that "
+                             "must serve HTTP 200 with a non-empty body and "
+                             "be linked from the index; repeatable")
+    parser.add_argument("--arg", action="append", default=[], dest="extra_args",
+                        metavar="ARG",
+                        help="extra argument passed to the binary before "
+                             "--debug-server/--hold (e.g. --quick); "
+                             "repeatable")
     args = parser.parse_args(argv)
 
     try:
         proc = subprocess.Popen(
-            [args.binary, "--debug-server", "--hold"],
+            [args.binary, *args.extra_args, "--debug-server", "--hold"],
             stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
     except OSError as e:
         print(f"check_debugz: cannot start {args.binary}: {e}",
@@ -167,12 +182,19 @@ def main(argv: list[str]) -> int:
                   file=sys.stderr)
             return 2
 
-        for path in ENDPOINTS:
+        for path in ENDPOINTS + tuple(args.expect_page):
             status, body = fetch(port, path)
             if status != 200:
                 fail(f"GET {path}: HTTP {status}")
             elif not body:
                 fail(f"GET {path}: empty body")
+
+        if args.expect_page:
+            status, body = fetch(port, "/")
+            index = body.decode("utf-8", errors="replace")
+            for page in args.expect_page:
+                if status == 200 and page.lstrip("/") not in index:
+                    fail(f"index does not link registered page {page}")
 
         status, body = fetch(port, "/healthz")
         if status == 200 and not body.startswith(b"ok"):
