@@ -32,7 +32,9 @@
 #include "datagen/workload.h"
 #include "discovery/engine.h"
 #include "harness.h"
+#include "obs/query_log.h"
 #include "service/discovery_service.h"
+#include "service/monitor.h"
 #include "vecmath/simd.h"
 
 namespace {
@@ -97,10 +99,15 @@ double Percentile(std::vector<double> values, double q) {
   return values[index];
 }
 
+/// Tenants the clients rotate through (round-robin), so the per-tenant
+/// metric slices and /tenantz have several distinct rows whose counts must
+/// sum to the service totals.
+constexpr const char* kTenants[] = {"alpha", "beta", "gamma"};
+
 service::ServiceRequest MakeRequest(const datagen::Workload& workload,
                                     size_t i) {
   service::ServiceRequest request;
-  request.tenant = "bench";
+  request.tenant = kTenants[i % std::size(kTenants)];
   request.method = discovery::Method::kAnns;
   request.query = workload.queries[i % workload.queries.size()].text;
   request.options.top_k = 10;
@@ -256,10 +263,17 @@ int main(int argc, char** argv) {
   service::ServiceOptions service_options;
   service_options.worker_threads = cfg.worker_threads;
   service_options.admission.max_queue_depth = cfg.max_queue_depth;
-  // The bench tenant is never quota-limited: shedding here must come from
-  // the queue bound, i.e. from actual service saturation.
+  // Bench tenants are never quota-limited: shedding here must come from the
+  // queue bound, i.e. from actual service saturation. Distinct priorities so
+  // the priority queues (and the per-tenant priority gauges) are exercised.
   service_options.admission.default_quota.refill_qps = 1e9;
   service_options.admission.default_quota.burst = 1e9;
+  int priority = 0;
+  for (const char* tenant : kTenants) {
+    service::TenantQuota quota = service_options.admission.default_quota;
+    quota.priority = priority++;
+    service_options.admission.tenant_quotas[tenant] = quota;
+  }
   service::DiscoveryService svc(engine.get(), service_options);
   if (Status started = svc.Start(); !started.ok()) {
     std::fprintf(stderr, "service start failed: %s\n",
@@ -291,6 +305,29 @@ int main(int argc, char** argv) {
   std::printf("unloaded: p50 %.2f ms  p99 %.2f ms  mean %.2f ms  "
               "(est. saturation %.1f qps)\n\n",
               unloaded_p50, unloaded_p99, mean_ms, saturation_qps);
+
+  // Slow-query promotion threshold anchored at the unloaded median: under
+  // overload most runs cross it, so /tracez fills with the promoted traces
+  // the latency-histogram exemplars point at.
+  obs::QueryLog::Global().SetSlowThresholdMs(std::max(0.05, unloaded_p50));
+
+  // Self-monitoring with bench-scale windows: sub-second buckets and a
+  // seconds-long fast window, so the shed-fraction SLO visibly burns and
+  // breaches *within* the overload points and recovers during --hold
+  // (tools/check_slo.py gates exactly that).
+  service::ServiceMonitor::Options monitor_options;
+  monitor_options.bucket_seconds = 0.25;
+  monitor_options.eval_interval_s = 0.1;
+  monitor_options.fast_window_s = 1.5;
+  monitor_options.slow_window_s = 4.0;
+  monitor_options.latency_threshold_ms = std::max(1.0, unloaded_p99 * 4.0);
+  // Tight budget (2% shed) so the saturated load points burn > breach_burn
+  // (a 40%+ shed fraction burns 20x) and the breach is unambiguous.
+  monitor_options.shed_target_fraction = 0.02;
+  monitor_options.tenants.assign(std::begin(kTenants), std::end(kTenants));
+  monitor_options.watchdog.interval_s = 0.25;
+  service::ServiceMonitor monitor(&svc, monitor_options);
+  monitor.Start();
 
   bench::BenchJsonWriter json("service_load");
   json.SetMeta("tables", static_cast<double>(cfg.tables));
@@ -324,6 +361,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s\n", svc.RenderServicez().c_str());
+  std::printf("%s\n", monitor.RenderSlozz().c_str());
 
   size_t drive_i = 0;
   Status serve_status = bench::ServeAndHold(
@@ -331,13 +369,18 @@ int main(int argc, char** argv) {
       [&svc, &workload, &drive_i] {
         (void)svc.Search(MakeRequest(workload, drive_i++));
       },
-      [&svc](obs::DebugServer& server) { svc.RegisterDebugPages(&server); });
+      [&svc, &monitor](obs::DebugServer& server) {
+        svc.RegisterDebugPages(&server);
+        monitor.RegisterDebugPages(&server);
+      });
   if (!serve_status.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",
                  serve_status.ToString().c_str());
+    monitor.Stop();
     svc.Stop();
     return 1;
   }
+  monitor.Stop();
   svc.Stop();
   return 0;
 }

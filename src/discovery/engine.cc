@@ -205,19 +205,20 @@ const Searcher* DiscoveryEngine::searcher(Method method) const {
   return nullptr;
 }
 
-void DiscoveryEngine::RecordQueryMetrics(Method method, double millis,
-                                         bool ok) const {
+void DiscoveryEngine::RecordQueryMetrics(Method method, double millis, bool ok,
+                                         uint64_t query_log_id) const {
   if constexpr (obs::kObsEnabled) {
     const MethodMetrics& metrics =
         method_metrics_[static_cast<size_t>(method)];
     if (metrics.queries == nullptr) return;
     metrics.queries->Increment();
     if (!ok) metrics.errors->Increment();
-    metrics.latency_ms->Record(millis);
+    metrics.latency_ms->RecordWithExemplar(millis, query_log_id);
   } else {
     (void)method;
     (void)millis;
     (void)ok;
+    (void)query_log_id;
   }
 }
 
@@ -234,10 +235,10 @@ void DiscoveryEngine::RecordDegradation(const Ranking& ranking,
   }
 }
 
-void DiscoveryEngine::RecordQueryLog(Method method,
-                                     const DiscoveryOptions& options,
-                                     double millis, const Ranking* ranking,
-                                     const obs::QueryTrace* trace) const {
+uint64_t DiscoveryEngine::RecordQueryLog(Method method,
+                                         const DiscoveryOptions& options,
+                                         double millis, const Ranking* ranking,
+                                         const obs::QueryTrace* trace) const {
   if constexpr (obs::kObsEnabled) {
     obs::QueryLogEntry entry;
     entry.SetMethod(MethodToString(method));
@@ -263,12 +264,14 @@ void DiscoveryEngine::RecordQueryLog(Method method,
     if (traced && log.IsSlow(millis)) {
       log.PromoteSlowTrace(id, millis, *trace);
     }
+    return id;
   } else {
     (void)method;
     (void)options;
     (void)millis;
     (void)ranking;
     (void)trace;
+    return 0;
   }
 }
 
@@ -377,9 +380,12 @@ Result<Ranking> DiscoveryEngine::Search(Method method, const std::string& query,
   WallTimer timer;
   Result<Ranking> result = SearchWithFallback(method, query, options);
   const double millis = timer.ElapsedMillis();
-  RecordQueryMetrics(method, millis, result.ok());
-  RecordQueryLog(method, options, millis, result.ok() ? &*result : nullptr,
-                 /*trace=*/nullptr);
+  // Log first: the entry id becomes the latency exemplar, so /metricsz tail
+  // buckets point back at the query that filled them.
+  const uint64_t id = RecordQueryLog(method, options, millis,
+                                     result.ok() ? &*result : nullptr,
+                                     /*trace=*/nullptr);
+  RecordQueryMetrics(method, millis, result.ok(), id);
   return result;
 }
 
@@ -395,8 +401,9 @@ Result<TracedRanking> DiscoveryEngine::SearchTraced(
     Result<Ranking> result = SearchWithFallback(method, query, options);
     if (!result.ok()) {
       const double millis = timer.ElapsedMillis();
-      RecordQueryMetrics(method, millis, false);
-      RecordQueryLog(method, options, millis, nullptr, /*trace=*/nullptr);
+      const uint64_t id =
+          RecordQueryLog(method, options, millis, nullptr, /*trace=*/nullptr);
+      RecordQueryMetrics(method, millis, false, id);
       return result.status();
     }
     out.ranking = result.MoveValue();
@@ -406,8 +413,9 @@ Result<TracedRanking> DiscoveryEngine::SearchTraced(
   // The ScopedTrace is closed: the trace is complete (including any worker
   // spans merged at ParallelFor joins), so the log entry can summarize it.
   const double millis = timer.ElapsedMillis();
-  RecordQueryMetrics(method, millis, true);
-  RecordQueryLog(method, options, millis, &out.ranking, &out.trace);
+  const uint64_t id =
+      RecordQueryLog(method, options, millis, &out.ranking, &out.trace);
+  RecordQueryMetrics(method, millis, true, id);
   return out;
 }
 

@@ -144,17 +144,21 @@ class DiscoveryEngine {
       const DiscoveryOptions& options) const;
 
   /// Bumps the per-method query counters / latency histograms.
-  void RecordQueryMetrics(Method method, double millis, bool ok) const;
+  /// `query_log_id` (when non-zero) is pinned to the latency histogram as an
+  /// exemplar, so a tail quantile on /metricsz links to the query behind it.
+  void RecordQueryMetrics(Method method, double millis, bool ok,
+                          uint64_t query_log_id) const;
 
   /// Bumps the mira.query.degraded.* counters for a returned ranking.
   void RecordDegradation(const Ranking& ranking, bool fell_back) const;
 
   /// Appends one entry to obs::QueryLog::Global() (and promotes the full
   /// trace when the query crossed the slow threshold). `ranking` is null for
-  /// failed queries, `trace` for untraced ones.
-  void RecordQueryLog(Method method, const DiscoveryOptions& options,
-                      double millis, const Ranking* ranking,
-                      const obs::QueryTrace* trace) const;
+  /// failed queries, `trace` for untraced ones. Returns the log entry's id
+  /// (0 when the log is disabled at compile time).
+  uint64_t RecordQueryLog(Method method, const DiscoveryOptions& options,
+                          double millis, const Ranking* ranking,
+                          const obs::QueryTrace* trace) const;
 
   /// Registry metrics cached once per engine so the per-query fast path is
   /// pure atomics. Indexed by Method's enumerator order.

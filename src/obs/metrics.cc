@@ -139,6 +139,34 @@ void Histogram::Record(double value) noexcept {
   AtomicMax(&shard.max, value);
 }
 
+void Histogram::RecordWithExemplar(double value, uint64_t id) noexcept {
+  Record(value);
+  if (id == 0) return;
+  // Best-effort: a writer that loses the TryLock race drops the exemplar,
+  // never the observation. The critical section is a handful of compares.
+  if (!exemplar_mu_.TryLock()) return;
+  size_t min_slot = 0;
+  for (size_t slot = 0; slot < kNumExemplars; ++slot) {
+    if (exemplars_[slot].id == 0) {
+      min_slot = slot;
+      break;
+    }
+    if (exemplars_[slot].value < exemplars_[min_slot].value) min_slot = slot;
+  }
+  // >= so an equal-valued newer observation wins: its log entry is the one
+  // still likely to be resident in the ring.
+  if (exemplars_[min_slot].id == 0 || value >= exemplars_[min_slot].value) {
+    exemplars_[min_slot] = Exemplar{value, id};
+  }
+  exemplar_mu_.Unlock();
+}
+
+std::array<Histogram::Exemplar, Histogram::kNumExemplars>
+Histogram::Exemplars() const {
+  MutexLock lock(exemplar_mu_);
+  return exemplars_;
+}
+
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot snap;
   snap.min = std::numeric_limits<double>::infinity();
@@ -171,6 +199,8 @@ void Histogram::Reset() noexcept {
     shard.min.store(0.0, std::memory_order_relaxed);
     shard.max.store(0.0, std::memory_order_relaxed);
   }
+  MutexLock lock(exemplar_mu_);
+  exemplars_ = {};
 }
 
 double Histogram::Snapshot::Percentile(double q) const {
@@ -350,11 +380,33 @@ std::string MetricRegistry::ExportJson() const {
       if (!first_bucket) out.append(", ");
       first_bucket = false;
       out.push_back('[');
+      AppendJsonNumber(&out, Histogram::BucketLowerBound(b));
+      out.append(", ");
       AppendJsonNumber(&out, Histogram::BucketUpperBound(b));
       out.append(StrFormat(", %llu]",
                            static_cast<unsigned long long>(snap.buckets[b])));
     }
-    out.append("]}");
+    out.append("]");
+    const auto exemplars = histogram->Exemplars();
+    bool any_exemplar = false;
+    for (const Histogram::Exemplar& exemplar : exemplars) {
+      if (exemplar.id != 0) any_exemplar = true;
+    }
+    if (any_exemplar) {
+      out.append(", \"exemplars\": [");
+      bool first_exemplar = true;
+      for (const Histogram::Exemplar& exemplar : exemplars) {
+        if (exemplar.id == 0) continue;
+        if (!first_exemplar) out.append(", ");
+        first_exemplar = false;
+        out.push_back('[');
+        AppendJsonNumber(&out, exemplar.value);
+        out.append(StrFormat(", %llu]",
+                             static_cast<unsigned long long>(exemplar.id)));
+      }
+      out.append("]");
+    }
+    out.append("}");
   }
   out.append(first ? "}\n" : "\n  }\n");
   out.append("}\n");

@@ -87,11 +87,29 @@ class Histogram {
     double p99() const { return Percentile(0.99); }
   };
 
+  /// Exemplar: one concrete observation pinned to the histogram so a tail
+  /// quantile on an export links back to the query that produced it. `id` is
+  /// a QueryLog entry id (resolvable via /querylogz, and — when the query was
+  /// slow enough to be promoted — /tracez); 0 means the slot is unused.
+  struct Exemplar {
+    double value = 0.0;
+    uint64_t id = 0;
+  };
+  /// Kept exemplars: the kNumExemplars largest observations seen since the
+  /// last Reset (replace-min; ties prefer the newer observation).
+  static constexpr size_t kNumExemplars = 4;
+
   Histogram() = default;
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
   void Record(double value) noexcept;
+  /// Record() plus best-effort exemplar capture. The exemplar slots sit
+  /// behind a TryLock so a contended writer skips the capture rather than
+  /// waiting — the observation itself is never lost. id 0 records plainly.
+  void RecordWithExemplar(double value, uint64_t id) noexcept;
+  /// Current exemplar slots (unused slots have id 0), unordered.
+  std::array<Exemplar, kNumExemplars> Exemplars() const;
   Snapshot TakeSnapshot() const;
   void Reset() noexcept;
 
@@ -113,6 +131,9 @@ class Histogram {
   };
 
   std::array<Shard, kShards> shards_;
+
+  mutable Mutex exemplar_mu_;
+  std::array<Exemplar, kNumExemplars> exemplars_ MIRA_GUARDED_BY(exemplar_mu_);
 };
 
 /// Process-wide directory of named metrics. Get*() registers on first use and
@@ -158,9 +179,11 @@ class MetricRegistry {
   std::map<std::string, double> GaugeValues() const;
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
-  /// histogram entries carry count/sum/min/max/mean/p50/p90/p99 plus
-  /// non-empty [upper_bound, count] bucket pairs. Keys are sorted, so equal
-  /// registry states export byte-identical documents.
+  /// histogram entries carry count/sum/min/max/mean/p50/p90/p99, non-empty
+  /// [lower_bound, upper_bound, count] bucket triples (so external scrapers
+  /// can re-aggregate without knowing the bucket layout), and any exemplars
+  /// as [value, query_log_id] pairs. Keys are sorted, so equal registry
+  /// states export byte-identical documents.
   std::string ExportJson() const;
   [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
 

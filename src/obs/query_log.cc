@@ -15,6 +15,12 @@ void QueryLogEntry::SetMethod(std::string_view name) {
   method[n] = '\0';
 }
 
+void QueryLogEntry::SetTenant(std::string_view name) {
+  const size_t n = std::min(name.size(), sizeof(tenant) - 1);
+  std::memcpy(tenant, name.data(), n);
+  tenant[n] = '\0';
+}
+
 void QueryLogEntry::SetTopSpans(const QueryTrace& trace) {
   top_spans = {};
   const std::vector<SpanRecord>& spans = trace.spans();
@@ -98,7 +104,16 @@ void QueryLog::PromoteSlowTrace(uint64_t id, double duration_ms,
   std::string chrome = ChromeTraceJson(trace);
   MutexLock lock(slow_mu_);
   slow_traces_.push_back({id, duration_ms, std::move(json), std::move(chrome)});
-  while (slow_traces_.size() > kMaxSlowTraces) slow_traces_.pop_front();
+  // Keep the slowest kMaxSlowTraces: evicting the *fastest* resident outlier
+  // (ties: the older one) means the worst queries survive any later flood of
+  // merely-threshold-slow promotions.
+  while (slow_traces_.size() > kMaxSlowTraces) {
+    auto fastest = slow_traces_.begin();
+    for (auto it = slow_traces_.begin(); it != slow_traces_.end(); ++it) {
+      if (it->duration_ms < fastest->duration_ms) fastest = it;
+    }
+    slow_traces_.erase(fastest);
+  }
 }
 
 std::vector<QueryLog::SlowTrace> QueryLog::SlowTraces() const {
@@ -134,12 +149,14 @@ std::string QueryLog::ExportJsonLines() const {
   std::string out;
   for (const QueryLogEntry& entry : Snapshot()) {
     out.append(StrFormat(
-        "{\"id\": %llu, \"method\": \"%s\", \"ok\": %s, \"k\": %u, "
+        "{\"id\": %llu, \"method\": \"%s\", \"tenant\": \"%s\", "
+        "\"priority\": %d, \"ok\": %s, \"k\": %u, "
         "\"results\": %u, \"duration_ms\": %.4f, \"degraded\": %s, "
         "\"partial\": %s, \"traced\": %s, \"shed\": %s, \"evicted\": %s, "
         "\"preemptive\": %s",
-        static_cast<unsigned long long>(entry.id), entry.method,
-        entry.ok ? "true" : "false", entry.k, entry.result_count,
+        static_cast<unsigned long long>(entry.id), entry.method, entry.tenant,
+        static_cast<int>(entry.priority), entry.ok ? "true" : "false",
+        entry.k, entry.result_count,
         entry.duration_ms, entry.degraded ? "true" : "false",
         entry.partial ? "true" : "false", entry.traced ? "true" : "false",
         entry.shed ? "true" : "false", entry.evicted ? "true" : "false",

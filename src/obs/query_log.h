@@ -46,6 +46,12 @@ struct QueryLogEntry {
   bool shed = false;
   bool evicted = false;
   bool preemptive = false;
+  /// Tenant the request was attributed to at admission (service-layer
+  /// entries; engine-level entries leave it empty). NUL-terminated,
+  /// truncated to fit — matches the bounded tenant metric slicing.
+  char tenant[15] = {};
+  /// Dispatch priority of the admitting tenant (service-layer entries).
+  int8_t priority = 0;
   /// Fraction of the deadline budget spent when the query finished
   /// (1 - Deadline::FractionRemaining()); negative when no deadline was set.
   double budget_consumed = -1.0;
@@ -54,6 +60,7 @@ struct QueryLogEntry {
   std::array<QueryLogTopSpan, 3> top_spans{};
 
   void SetMethod(std::string_view name);
+  void SetTenant(std::string_view name);
   /// Fills top_spans from the trace (largest non-root spans first).
   void SetTopSpans(const QueryTrace& trace);
 };
@@ -73,7 +80,8 @@ static_assert(std::is_trivially_copyable_v<QueryLogEntry>,
 ///
 /// Slow-query promotion: when `slow_threshold_ms` is set (> 0), callers that
 /// ran a traced query check `IsSlow(duration)` and hand the full trace to
-/// `PromoteSlowTrace`, which keeps the last kMaxSlowTraces outliers as JSON.
+/// `PromoteSlowTrace`, which keeps the kMaxSlowTraces *slowest* outliers as
+/// JSON.
 class QueryLog {
  public:
   static constexpr size_t kDefaultCapacity = 1024;
@@ -96,8 +104,11 @@ class QueryLog {
   double slow_threshold_ms() const;
   bool IsSlow(double duration_ms) const;
 
-  /// Keeps the full trace of a slow query (bounded: the oldest of more than
-  /// kMaxSlowTraces promotions is evicted).
+  /// Keeps the full trace of a slow query (bounded: beyond kMaxSlowTraces
+  /// promotions, the *fastest* resident outlier is evicted, so the store
+  /// converges on the worst offenders — and a histogram exemplar pinning the
+  /// max-latency query keeps resolving here no matter how many later slow
+  /// queries flood in).
   void PromoteSlowTrace(uint64_t id, double duration_ms,
                         const QueryTrace& trace);
 

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <utility>
 
+#include "common/string_util.h"
+
 namespace mira::obs {
 
 void FileStatsSink::Consume(const StatsSnapshot& snapshot) {
@@ -125,6 +127,24 @@ void StatsReporter::TakeSnapshot() {
                            std::chrono::steady_clock::now() - started)
                            .count();
   snapshot.registry_json = options_.registry->ExportJson();
+  if (options_.windows != nullptr) {
+    for (const std::string& name : options_.windows->TrackedCounters()) {
+      const WindowedMetrics::WindowRate rate =
+          options_.windows->CounterRate(name, options_.summary_window_s);
+      if (!rate.ok) continue;
+      snapshot.windowed_summary.append(
+          StrFormat("rate %s %.2f/s over %.1fs\n", name.c_str(),
+                    rate.rate_per_s, rate.covered_s));
+    }
+  }
+  if (options_.slo != nullptr) {
+    for (const SloStatus& status : options_.slo->Statuses()) {
+      snapshot.windowed_summary.append(StrFormat(
+          "slo %s %s burn_fast %.2f burn_slow %.2f\n", status.name.c_str(),
+          std::string(SloStateToString(status.state)).c_str(),
+          status.burn_fast, status.burn_slow));
+    }
+  }
   sink_->Consume(snapshot);
 }
 

@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/windowed.h"
 
 namespace mira::obs {
 
@@ -19,6 +21,11 @@ struct StatsSnapshot {
   uint64_t sequence = 0;    ///< 1-based snapshot counter.
   double uptime_ms = 0.0;   ///< Since the reporter started.
   std::string registry_json;  ///< MetricRegistry::ExportJson() document.
+  /// Windowed view (only when Options wired a WindowedMetrics / SloEngine):
+  /// per-tracked-counter rates over the summary window and the current SLO
+  /// states — the numbers that actually change tick to tick, instead of the
+  /// cumulative-since-start gauges re-reported above. Empty otherwise.
+  std::string windowed_summary;
 };
 
 /// Destination for periodic snapshots. Consume() runs on the reporter's
@@ -71,6 +78,15 @@ class StatsReporter {
     std::chrono::milliseconds interval{1000};
     /// The registry to snapshot (defaults to the process-global one).
     MetricRegistry* registry = nullptr;
+    /// Optional windowed view: when set, every snapshot carries rates of the
+    /// tracked counters over `summary_window_s` in `windowed_summary` (not
+    /// owned; must outlive the reporter).
+    const WindowedMetrics* windows = nullptr;
+    /// Optional SLO view: current objective states join the summary, and the
+    /// engine (not the reporter) logs state *transitions* — steady state is
+    /// never re-logged (not owned; must outlive the reporter).
+    const SloEngine* slo = nullptr;
+    double summary_window_s = 60.0;
   };
 
   explicit StatsReporter(StatsSink* sink) : StatsReporter(sink, Options{}) {}

@@ -1,0 +1,203 @@
+#ifndef MIRA_OBS_WINDOWED_H_
+#define MIRA_OBS_WINDOWED_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace mira::obs {
+
+namespace internal {
+
+/// Fixed-capacity ring of trivially copyable samples stored as relaxed
+/// atomic words under per-slot seqlocks — the QueryLog storage protocol,
+/// generalized. One writer publishes tick t into slot t & mask; readers copy
+/// the words and validate the generation, discarding torn or recycled slots
+/// instead of blocking. TSan-clean by construction: every byte moves through
+/// an atomic.
+template <typename T>
+class SeqRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "samples are serialized into the ring word-by-word");
+
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SeqRing(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    capacity_ = rounded;
+    mask_ = rounded - 1;
+    slots_ = std::make_unique<Slot[]>(rounded);
+  }
+
+  /// Single-writer publish of tick `tick`. Generations run 2*tick+1 while
+  /// storing, 2*tick+2 once complete.
+  void Publish(uint64_t tick, const T& value) {
+    Slot& slot = slots_[tick & mask_];
+    slot.seq.store(2 * tick + 1, std::memory_order_release);
+    uint64_t words[Slot::kWords] = {};
+    std::memcpy(words, &value, sizeof(value));
+    for (size_t w = 0; w < Slot::kWords; ++w) {
+      slot.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    slot.seq.store(2 * tick + 2, std::memory_order_release);
+  }
+
+  /// Copies the sample published for `tick` into *out. False when the slot
+  /// is mid-write or was recycled by a newer lap.
+  bool Read(uint64_t tick, T* out) const {
+    const Slot& slot = slots_[tick & mask_];
+    const uint64_t want = 2 * tick + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) return false;
+    uint64_t words[Slot::kWords];
+    for (size_t w = 0; w < Slot::kWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) return false;
+    std::memcpy(out, words, sizeof(*out));
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    static constexpr size_t kWords = (sizeof(T) + 7) / 8;
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kWords> words{};
+  };
+
+  size_t capacity_ = 0;  ///< Power of two.
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace internal
+
+/// Time-windowed aggregation over the cumulative Counter/Histogram
+/// primitives: a background ticker captures point-in-time snapshots of each
+/// tracked metric into a lock-free ring of time buckets, and readers compute
+/// "rate over the last 60 s" or "p99 over the last 5 m" by subtracting two
+/// cumulative samples — the hot-path write side (Counter::Add,
+/// Histogram::Record) is never touched, and readers never block a writer.
+///
+/// Windows are anchored at the *newest tick*, not the caller's clock: a
+/// window query subtracts the youngest sample that is at least `window_s`
+/// older than the newest one (or the oldest still resident, reporting the
+/// actually covered span). With an injected clock this makes every
+/// computation deterministic, which is what the SLO burn-rate tests lean on.
+///
+/// Thread-safety: Track* and Tick are for one coordinating thread (the
+/// SloEngine's, or a test's); the window readers are safe from any thread
+/// concurrently with Tick and with the underlying metric writers.
+class WindowedMetrics {
+ public:
+  struct Options {
+    /// Nominal spacing between ticks — the time-bucket width. The engine
+    /// does not schedule ticks itself; whoever calls Tick owns the cadence
+    /// (SloEngine uses its evaluation interval).
+    double bucket_seconds = 5.0;
+    /// Ring length per tracked series; with the default bucket width, 64
+    /// buckets retain > 5 minutes of history. Rounded up to a power of two.
+    size_t ring_buckets = 64;
+    /// Registry the tracked names resolve in (default: the process-global).
+    MetricRegistry* registry = nullptr;
+  };
+
+  WindowedMetrics() : WindowedMetrics(Options()) {}
+  explicit WindowedMetrics(Options options);
+
+  WindowedMetrics(const WindowedMetrics&) = delete;
+  WindowedMetrics& operator=(const WindowedMetrics&) = delete;
+
+  /// Registers `name` (resolving it in the registry, creating it if absent)
+  /// so Tick starts sampling it. Idempotent.
+  void TrackCounter(const std::string& name);
+  void TrackHistogram(const std::string& name);
+
+  /// Captures one cumulative sample of every tracked series, stamped
+  /// `now_s` (monotonic seconds). Single ticker at a time.
+  void Tick(double now_s);
+
+  /// Ticks published so far.
+  uint64_t ticks() const { return ticks_.load(std::memory_order_acquire); }
+
+  /// Counter delta/rate over (up to) the trailing `window_s` seconds.
+  struct WindowRate {
+    bool ok = false;       ///< Two distinct samples were available.
+    double covered_s = 0;  ///< Actual span between the samples used.
+    uint64_t delta = 0;
+    double rate_per_s = 0.0;
+  };
+  WindowRate CounterRate(const std::string& name, double window_s) const;
+
+  /// Windowed histogram view: the bucketwise difference between the newest
+  /// cumulative snapshot and the window baseline. min/max are bucket-bound
+  /// approximations (exact extremes are not recoverable from deltas), so
+  /// quantiles stay clamped to observed buckets.
+  struct WindowHistogram {
+    bool ok = false;
+    double covered_s = 0.0;
+    Histogram::Snapshot delta;
+  };
+  WindowHistogram HistogramWindow(const std::string& name,
+                                  double window_s) const;
+
+  /// Names currently tracked (for debugz rendering).
+  std::vector<std::string> TrackedCounters() const;
+  std::vector<std::string> TrackedHistograms() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CounterSample {
+    double time_s = 0.0;
+    uint64_t value = 0;
+  };
+  struct HistogramSample {
+    double time_s = 0.0;
+    Histogram::Snapshot snap;
+  };
+
+  struct CounterSeries {
+    const Counter* source = nullptr;
+    internal::SeqRing<CounterSample> ring;
+  };
+  struct HistogramSeries {
+    const Histogram* source = nullptr;
+    internal::SeqRing<HistogramSample> ring;
+  };
+
+  /// Walks the ring back from the newest tick to the youngest sample at
+  /// least `window_s` older than it. Returns false if fewer than two
+  /// samples are readable.
+  template <typename Sample>
+  bool FindWindow(const internal::SeqRing<Sample>& ring, double window_s,
+                  Sample* newest, Sample* baseline) const;
+
+  Options options_;
+
+  mutable Mutex mu_;
+  /// unique_ptr slots so readers can hold a series pointer after dropping
+  /// the directory lock; the rings themselves are lock-free.
+  std::map<std::string, std::unique_ptr<CounterSeries>> counters_
+      MIRA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramSeries>> histograms_
+      MIRA_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> ticks_{0};
+};
+
+}  // namespace mira::obs
+
+#endif  // MIRA_OBS_WINDOWED_H_

@@ -48,9 +48,15 @@ std::string_view RequestOutcomeToString(RequestOutcome outcome) {
 DiscoveryService::DiscoveryService(const discovery::DiscoveryEngine* engine,
                                    ServiceOptions options)
     : DiscoveryService(
-          [engine](const ServiceRequest& request) {
-            return engine->Search(request.method, request.query,
-                                  request.options);
+          // SearchTraced (not Search) so sampled slow queries get their span
+          // tree promoted into /tracez — the exemplar on the latency
+          // histogram then resolves to an inspectable trace.
+          [engine](const ServiceRequest& request) -> Result<discovery::Ranking> {
+            Result<discovery::TracedRanking> traced = engine->SearchTraced(
+                request.method, request.query, request.options);
+            if (!traced.ok()) return traced.status();
+            discovery::TracedRanking out = traced.MoveValue();
+            return std::move(out.ranking);
           },
           std::move(options)) {}
 
@@ -75,6 +81,14 @@ DiscoveryService::DiscoveryService(QueryRunner runner, ServiceOptions options)
   metrics_.mode_fanout = &registry.GetGauge("mira.service.mode.fanout");
   metrics_.queue_ms = &registry.GetHistogram("mira.service.queue_ms");
   metrics_.latency_ms = &registry.GetHistogram("mira.service.latency_ms");
+  for (discovery::Method method :
+       {discovery::Method::kExhaustive, discovery::Method::kAnns,
+        discovery::Method::kCts}) {
+    metrics_.method_dispatched[static_cast<size_t>(method)] =
+        &registry.GetCounter(
+            "mira.service.method." +
+            ToLower(discovery::MethodToString(method)) + ".dispatched");
+  }
 }
 
 DiscoveryService::~DiscoveryService() { Stop(); }
@@ -83,6 +97,52 @@ size_t DiscoveryService::QueueDepthLocked() const {
   size_t depth = 0;
   for (const auto& [priority, fifo] : queues_) depth += fifo.size();
   return depth;
+}
+
+int DiscoveryService::TenantPriority(const std::string& tenant) const {
+  const auto it = options_.admission.tenant_quotas.find(tenant);
+  return it != options_.admission.tenant_quotas.end()
+             ? it->second.priority
+             : options_.admission.default_quota.priority;
+}
+
+DiscoveryService::TenantMetrics* DiscoveryService::TenantSlice(
+    const std::string& tenant) {
+  MutexLock lock(tenant_mu_);
+  auto it = tenant_metrics_.find(tenant);
+  if (it == tenant_metrics_.end()) {
+    // Bounded label dimension: past the cap every new tenant shares one
+    // overflow slice, so an id flood cannot grow the registry unboundedly.
+    std::string name = tenant;
+    if (tenant_metrics_.size() >= options_.max_tenant_slices) {
+      name = "_other";
+      it = tenant_metrics_.find(name);
+      if (it != tenant_metrics_.end()) return it->second.get();
+    }
+    auto slice = std::make_unique<TenantMetrics>();
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    const std::string prefix = "mira.tenant." + name + ".";
+    slice->admitted = &registry.GetCounter(prefix + "admitted");
+    slice->completed = &registry.GetCounter(prefix + "completed");
+    slice->rejected = &registry.GetCounter(prefix + "rejected");
+    slice->evicted = &registry.GetCounter(prefix + "evicted");
+    slice->failed = &registry.GetCounter(prefix + "failed");
+    slice->preemptive = &registry.GetCounter(prefix + "preemptive");
+    slice->priority = &registry.GetGauge(prefix + "priority");
+    slice->latency_ms = &registry.GetHistogram(prefix + "latency_ms");
+    slice->priority->Set(static_cast<double>(TenantPriority(name)));
+    it = tenant_metrics_.emplace(std::move(name), std::move(slice)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<DiscoveryService::InflightInfo> DiscoveryService::InflightSnapshot()
+    const {
+  std::vector<InflightInfo> snapshot;
+  MutexLock lock(mu_);
+  snapshot.reserve(inflight_requests_.size());
+  for (const auto& [id, info] : inflight_requests_) snapshot.push_back(info);
+  return snapshot;
 }
 
 Status DiscoveryService::Start() {
@@ -137,6 +197,7 @@ void DiscoveryService::Stop() {
 
 void DiscoveryService::Submit(ServiceRequest request, Callback done) {
   AdmissionDecision decision;
+  const std::string tenant_for_metrics = request.tenant;
   {
     MutexLock lock(mu_);
     ++submitted_;
@@ -164,6 +225,9 @@ void DiscoveryService::Submit(ServiceRequest request, Callback done) {
 
   if (decision.outcome == AdmitOutcome::kAdmit && decision.status.ok()) {
     metrics_.admitted->Increment();
+    // Slice resolution stays outside mu_ (it may take the registry lock);
+    // `request` was moved into the queue, hence the saved tenant copy.
+    TenantSlice(tenant_for_metrics)->admitted->Increment();
     work_cv_.NotifyAll();
     return;
   }
@@ -178,10 +242,13 @@ void DiscoveryService::Submit(ServiceRequest request, Callback done) {
   response.retry_after_ms = decision.retry_after_ms;
   if (decision.outcome == AdmitOutcome::kRejectQuota) {
     metrics_.rejected_quota->Increment();
+    TenantSlice(tenant_for_metrics)->rejected->Increment();
   } else if (decision.outcome == AdmitOutcome::kRejectQueueFull) {
     metrics_.rejected_queue_full->Increment();
+    TenantSlice(tenant_for_metrics)->rejected->Increment();
   } else {
     metrics_.errors->Increment();
+    TenantSlice(tenant_for_metrics)->failed->Increment();
   }
   Complete(request, std::move(response), done);
 }
@@ -277,6 +344,7 @@ void DiscoveryService::Dispatch(Queued item, size_t depth_at_dispatch,
       ++evicted_;
     }
     metrics_.evicted_deadline->Increment();
+    TenantSlice(request.tenant)->evicted->Increment();
     Complete(request, std::move(response), item.done);
     return;
   }
@@ -293,6 +361,7 @@ void DiscoveryService::Dispatch(Queued item, size_t depth_at_dispatch,
       ++failed_;
     }
     metrics_.errors->Increment();
+    TenantSlice(request.tenant)->failed->Increment();
     Complete(request, std::move(response), item.done);
     return;
   }
@@ -319,12 +388,35 @@ void DiscoveryService::Dispatch(Queued item, size_t depth_at_dispatch,
       ++preemptive_;
     }
     metrics_.degraded_preemptive->Increment();
+    TenantSlice(request.tenant)->preemptive->Increment();
   }
 
+  TenantMetrics* tenant = TenantSlice(request.tenant);
+  metrics_.method_dispatched[static_cast<size_t>(request.method)]->Increment();
+
+  // Register in the inflight table so the stuck-query watchdog can see this
+  // request (and its budget) while the engine runs it.
   const double run_start_s = MonotonicSeconds();
+  uint64_t dispatch_id = 0;
+  {
+    MutexLock lock(mu_);
+    dispatch_id = ++next_dispatch_id_;
+    InflightInfo info;
+    info.id = dispatch_id;
+    info.tenant = request.tenant;
+    info.method = request.method;
+    info.start_s = run_start_s;
+    const Deadline& deadline = request.options.control.deadline;
+    info.budget_ms = deadline.infinite() ? 0.0 : deadline.remaining_ms();
+    info.preemptively_degraded = response.preemptively_degraded;
+    inflight_requests_.emplace(dispatch_id, std::move(info));
+  }
   Result<discovery::Ranking> result = runner_(request);
   response.run_ms = (MonotonicSeconds() - run_start_s) * 1000.0;
-  metrics_.latency_ms->Record(response.queue_ms + response.run_ms);
+  {
+    MutexLock lock(mu_);
+    inflight_requests_.erase(dispatch_id);
+  }
 
   if (result.ok()) {
     response.ranking = std::move(result).ValueOrDie();
@@ -334,6 +426,7 @@ void DiscoveryService::Dispatch(Queued item, size_t depth_at_dispatch,
       ++completed_;
     }
     metrics_.completed->Increment();
+    tenant->completed->Increment();
   } else {
     response.status = result.status();
     response.outcome = RequestOutcome::kFailed;
@@ -342,16 +435,25 @@ void DiscoveryService::Dispatch(Queued item, size_t depth_at_dispatch,
       ++failed_;
     }
     metrics_.errors->Increment();
+    tenant->failed->Increment();
   }
-  Complete(request, std::move(response), item.done);
+  const double total_ms = response.queue_ms + response.run_ms;
+  // Complete() records the query log first so its entry id can ride along as
+  // the latency exemplar — /metricsz tail buckets then name the request.
+  const uint64_t log_id = Complete(request, std::move(response), item.done);
+  metrics_.latency_ms->RecordWithExemplar(total_ms, log_id);
+  tenant->latency_ms->RecordWithExemplar(total_ms, log_id);
 }
 
-void DiscoveryService::Complete(const ServiceRequest& request,
-                                ServiceResponse response,
-                                const Callback& done) {
+uint64_t DiscoveryService::Complete(const ServiceRequest& request,
+                                    ServiceResponse response,
+                                    const Callback& done) {
+  uint64_t log_id = 0;
   if (options_.record_query_log) {
     obs::QueryLogEntry entry;
     entry.SetMethod(discovery::MethodToString(request.method));
+    entry.SetTenant(request.tenant);
+    entry.priority = static_cast<int8_t>(TenantPriority(request.tenant));
     entry.ok = response.status.ok();
     entry.k = static_cast<uint32_t>(request.options.top_k);
     entry.result_count = static_cast<uint32_t>(response.ranking.size());
@@ -365,9 +467,10 @@ void DiscoveryService::Complete(const ServiceRequest& request,
     if (!deadline.infinite()) {
       entry.budget_consumed = 1.0 - deadline.FractionRemaining();
     }
-    obs::QueryLog::Global().Record(entry);
+    log_id = obs::QueryLog::Global().Record(entry);
   }
   if (done) done(std::move(response));
+  return log_id;
 }
 
 DiscoveryService::Stats DiscoveryService::GetStats() const {

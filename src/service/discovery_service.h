@@ -1,9 +1,11 @@
 #ifndef MIRA_SERVICE_DISCOVERY_SERVICE_H_
 #define MIRA_SERVICE_DISCOVERY_SERVICE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <functional>
 #include <map>
 #include <string>
@@ -91,6 +93,10 @@ struct ServiceOptions {
   /// Record every request (including sheds/evictions) in the global
   /// obs::QueryLog.
   bool record_query_log = true;
+  /// Distinct tenants that get their own mira.tenant.<name>.* metric slice.
+  /// Everyone past the cap shares the "_other" slice, so a tenant-id flood
+  /// cannot grow the registry without bound.
+  size_t max_tenant_slices = 16;
 };
 
 /// Admission-controlled concurrent front-end over DiscoveryEngine.
@@ -156,6 +162,18 @@ class DiscoveryService {
   /// Per-tenant quota view (for /servicez and tests).
   std::vector<AdmissionController::TenantState> TenantStates() const;
 
+  /// One request currently running in a worker (admitted, dispatched, not
+  /// yet completed). The stuck-query watchdog polls this.
+  struct InflightInfo {
+    uint64_t id = 0;  ///< Monotonic dispatch sequence number.
+    std::string tenant;
+    discovery::Method method = discovery::Method::kAnns;
+    double start_s = 0.0;    ///< MonotonicSeconds() at dispatch.
+    double budget_ms = 0.0;  ///< Deadline budget at dispatch; 0 = none.
+    bool preemptively_degraded = false;
+  };
+  std::vector<InflightInfo> InflightSnapshot() const;
+
   /// The /servicez page body (plain text).
   std::string RenderServicez() const;
 
@@ -171,12 +189,35 @@ class DiscoveryService {
     double enqueue_s = 0.0;
   };
 
+  /// Per-tenant metric slice (mira.tenant.<name>.*) — a bounded label
+  /// dimension over the service counters. Handles are resolved once per
+  /// tenant and cached; the increments themselves are lock-free.
+  struct TenantMetrics {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* preemptive = nullptr;
+    obs::Gauge* priority = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
+
   void WorkerLoop();
   /// Runs one dequeued request end to end and invokes its callback.
   void Dispatch(Queued item, size_t depth_at_dispatch, DispatchMode mode);
-  void Complete(const ServiceRequest& request, ServiceResponse response,
-                const Callback& done);
+  /// Logs the finished request (query log gets tenant + priority) and fires
+  /// the callback. Returns the query-log entry id (0 when logging is off) so
+  /// the caller can pin it to a latency histogram as an exemplar.
+  uint64_t Complete(const ServiceRequest& request, ServiceResponse response,
+                    const Callback& done);
   size_t QueueDepthLocked() const MIRA_REQUIRES(mu_);
+  /// The cached slice for `tenant`, creating it on first sight (the slice
+  /// directory is capped at options_.max_tenant_slices; overflow tenants
+  /// share "_other").
+  TenantMetrics* TenantSlice(const std::string& tenant);
+  /// Configured quota priority for `tenant` (default quota's otherwise).
+  int TenantPriority(const std::string& tenant) const;
 
   ServiceOptions options_;
   QueryRunner runner_;
@@ -196,6 +237,16 @@ class DiscoveryService {
   uint64_t evicted_ MIRA_GUARDED_BY(mu_) = 0;
   uint64_t failed_ MIRA_GUARDED_BY(mu_) = 0;
   uint64_t preemptive_ MIRA_GUARDED_BY(mu_) = 0;
+  /// Requests currently running in workers, keyed by dispatch sequence.
+  uint64_t next_dispatch_id_ MIRA_GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, InflightInfo> inflight_requests_ MIRA_GUARDED_BY(mu_);
+
+  /// Separate lock for the tenant-slice directory: slices are resolved from
+  /// outside mu_ (resolution touches the registry lock), so watchers of mu_
+  /// never wait on registry I/O.
+  mutable Mutex tenant_mu_;
+  std::map<std::string, std::unique_ptr<TenantMetrics>> tenant_metrics_
+      MIRA_GUARDED_BY(tenant_mu_);
 
   std::vector<std::thread> workers_;
 
@@ -213,6 +264,8 @@ class DiscoveryService {
     obs::Gauge* mode_fanout;
     obs::Histogram* queue_ms;
     obs::Histogram* latency_ms;
+    /// mira.service.method.<m>.dispatched, indexed by Method enumerator.
+    std::array<obs::Counter*, 3> method_dispatched;
   };
   ServiceMetrics metrics_;
 };

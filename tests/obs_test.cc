@@ -463,13 +463,45 @@ TEST(QueryLogTest, SlowThresholdPromotesTraces) {
   EXPECT_DOUBLE_EQ(slow[0].duration_ms, 9.0);
   EXPECT_NE(slow[0].trace_json.find("query"), std::string::npos);
 
-  // Bounded: only the most recent kMaxSlowTraces survive.
+  // Bounded at kMaxSlowTraces by evicting the *fastest* resident (ties:
+  // the older one). Here every promotion ties at 10.0 ms, so the original
+  // 9.0 ms trace goes first and then the oldest tie each time — the newest
+  // kMaxSlowTraces survive.
   for (uint64_t i = 0; i < QueryLog::kMaxSlowTraces + 4; ++i) {
     log.PromoteSlowTrace(100 + i, 10.0, trace);
   }
   slow = log.SlowTraces();
   ASSERT_EQ(slow.size(), QueryLog::kMaxSlowTraces);
   EXPECT_EQ(slow.front().id, 104u);
+}
+
+TEST(QueryLogTest, PromotionRetainsSlowestNotNewest) {
+  QueryLog log(8);
+  QueryTrace trace;
+  int32_t root = trace.StartSpan("query", -1, 0.0);
+  trace.FinishSpan(root, 9.0);
+
+  // One monster outlier, then a flood of merely-threshold-slow promotions.
+  // Recency-based retention would wash the outlier out; slowest-based
+  // retention keeps it resident for /tracez.
+  log.PromoteSlowTrace(/*id=*/1, /*duration_ms=*/5000.0, trace);
+  for (uint64_t i = 0; i < QueryLog::kMaxSlowTraces + 8; ++i) {
+    log.PromoteSlowTrace(100 + i, 10.0 + static_cast<double>(i), trace);
+  }
+  std::vector<QueryLog::SlowTrace> slow = log.SlowTraces();
+  ASSERT_EQ(slow.size(), QueryLog::kMaxSlowTraces);
+  bool outlier_survives = false;
+  double min_duration = 1e300;
+  for (const QueryLog::SlowTrace& resident : slow) {
+    if (resident.id == 1) outlier_survives = true;
+    min_duration = std::min(min_duration, resident.duration_ms);
+  }
+  EXPECT_TRUE(outlier_survives);
+  // The residents are exactly the slowest promotions seen: the monster plus
+  // the top kMaxSlowTraces-1 of the ramp.
+  EXPECT_DOUBLE_EQ(min_duration,
+                   10.0 + static_cast<double>(QueryLog::kMaxSlowTraces + 8 -
+                                              (QueryLog::kMaxSlowTraces - 1)));
 }
 
 TEST(QueryLogTest, ExportJsonLinesShape) {

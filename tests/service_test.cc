@@ -23,9 +23,12 @@
 #include "datagen/workload.h"
 #include "discovery/engine.h"
 #include "discovery/types.h"
+#include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "service/admission.h"
 #include "service/discovery_service.h"
+#include "service/monitor.h"
+#include "service/watchdog.h"
 
 namespace mira::service {
 namespace {
@@ -622,6 +625,287 @@ TEST(DiscoveryServiceTest, ServicezRendersCountersAndTenants) {
   EXPECT_NE(page.find("rejected (shed): 1"), std::string::npos) << page;
   EXPECT_NE(page.find("render-probe"), std::string::npos) << page;
   EXPECT_NE(page.find("completed: 1"), std::string::npos) << page;
+}
+
+// ---------- Per-tenant metric slices ----------
+
+uint64_t TenantCounter(const std::string& tenant, const std::string& field) {
+  return obs::MetricRegistry::Global()
+      .GetCounter("mira.tenant." + tenant + "." + field)
+      .value();
+}
+
+TEST(DiscoveryServiceTest, TenantSlicesSumToServiceTotals) {
+  // The global registry accumulates across tests, so diff against a baseline
+  // even though these tenant names are unique to this test.
+  const std::vector<std::string> tenants = {"slice-a", "slice-b", "slice-c"};
+  std::map<std::string, uint64_t> admitted_before;
+  std::map<std::string, uint64_t> completed_before;
+  for (const std::string& tenant : tenants) {
+    admitted_before[tenant] = TenantCounter(tenant, "admitted");
+    completed_before[tenant] = TenantCounter(tenant, "completed");
+  }
+
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       SyntheticOptions());
+  ASSERT_TRUE(svc.Start().ok());
+  constexpr int kPerTenant = 4;
+  for (int i = 0; i < kPerTenant; ++i) {
+    for (const std::string& tenant : tenants) {
+      ServiceRequest request;
+      request.tenant = tenant;
+      ServiceResponse response = svc.Search(std::move(request));
+      EXPECT_EQ(response.outcome, RequestOutcome::kCompleted);
+    }
+  }
+  svc.Stop();
+
+  // Each slice saw exactly its own requests; the slices sum to the service
+  // totals (no request double-counted or dropped from the label dimension).
+  uint64_t slice_admitted = 0;
+  uint64_t slice_completed = 0;
+  for (const std::string& tenant : tenants) {
+    const uint64_t admitted =
+        TenantCounter(tenant, "admitted") - admitted_before[tenant];
+    const uint64_t completed =
+        TenantCounter(tenant, "completed") - completed_before[tenant];
+    EXPECT_EQ(admitted, static_cast<uint64_t>(kPerTenant)) << tenant;
+    EXPECT_EQ(completed, static_cast<uint64_t>(kPerTenant)) << tenant;
+    slice_admitted += admitted;
+    slice_completed += completed;
+  }
+  DiscoveryService::Stats stats = svc.GetStats();
+  EXPECT_EQ(slice_admitted, stats.admitted);
+  EXPECT_EQ(slice_completed, stats.completed);
+}
+
+TEST(DiscoveryServiceTest, TenantSliceDirectoryIsBoundedByOther) {
+  const uint64_t other_before = TenantCounter("_other", "admitted");
+  ServiceOptions options = SyntheticOptions();
+  options.max_tenant_slices = 2;
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       options);
+  ASSERT_TRUE(svc.Start().ok());
+  for (const char* tenant : {"bound-a", "bound-b", "bound-c", "bound-d"}) {
+    ServiceRequest request;
+    request.tenant = tenant;
+    (void)svc.Search(std::move(request));
+  }
+  svc.Stop();
+  // Slices beyond the cap share the "_other" bucket instead of growing the
+  // registry without bound.
+  EXPECT_GE(TenantCounter("_other", "admitted") - other_before, 2u);
+}
+
+// ---------- Inflight snapshot + stuck-query watchdog ----------
+
+/// Runner that parks until released, so a request stays inflight while the
+/// test inspects InflightSnapshot / drives the watchdog.
+struct GatedRunner {
+  std::atomic<bool> release{false};
+  std::atomic<int> entered{0};
+
+  DiscoveryService::QueryRunner Runner() {
+    return [this](const ServiceRequest&) {
+      entered.fetch_add(1, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return OneHit();
+    };
+  }
+  void AwaitEntered() {
+    while (entered.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST(DiscoveryServiceTest, InflightSnapshotShowsRunningRequests) {
+  GatedRunner gate;
+  ServiceOptions options = SyntheticOptions();
+  options.worker_threads = 1;
+  DiscoveryService svc(gate.Runner(), options);
+  ASSERT_TRUE(svc.Start().ok());
+  EXPECT_TRUE(svc.InflightSnapshot().empty());
+
+  Collector collector;
+  collector.Expect(1);
+  ServiceRequest request;
+  request.tenant = "inflight-probe";
+  request.method = discovery::Method::kCts;
+  request.options.control.deadline = Deadline::After(30.0);
+  svc.Submit(std::move(request), collector.Callback());
+  gate.AwaitEntered();
+
+  std::vector<DiscoveryService::InflightInfo> inflight =
+      svc.InflightSnapshot();
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_GT(inflight[0].id, 0u);
+  EXPECT_EQ(inflight[0].tenant, "inflight-probe");
+  EXPECT_EQ(inflight[0].method, discovery::Method::kCts);
+  EXPECT_GT(inflight[0].budget_ms, 0.0);   // carried a deadline
+  EXPECT_GT(inflight[0].start_s, 0.0);
+
+  gate.release.store(true, std::memory_order_release);
+  (void)collector.Await();
+  svc.Stop();
+  EXPECT_TRUE(svc.InflightSnapshot().empty());
+}
+
+TEST(StuckQueryWatchdogTest, FlagsOverdueRequestExactlyOnce) {
+  GatedRunner gate;
+  ServiceOptions options = SyntheticOptions();
+  options.worker_threads = 1;
+  DiscoveryService svc(gate.Runner(), options);
+  ASSERT_TRUE(svc.Start().ok());
+
+  StuckQueryWatchdog::Options watchdog_options;
+  watchdog_options.min_overdue_ms = 1.0;
+  watchdog_options.no_deadline_budget_ms = 1.0;
+  StuckQueryWatchdog watchdog([&svc] { return svc.InflightSnapshot(); },
+                              watchdog_options);
+
+  Collector collector;
+  collector.Expect(1);
+  ServiceRequest request;
+  request.tenant = "wedged";
+  svc.Submit(std::move(request), collector.Callback());  // no deadline
+  gate.AwaitEntered();
+  std::vector<DiscoveryService::InflightInfo> inflight =
+      svc.InflightSnapshot();
+  ASSERT_EQ(inflight.size(), 1u);
+
+  // Scan "from the future": the request is far past 3x its (grace) budget.
+  const double later_s = inflight[0].start_s + 10.0;
+  EXPECT_EQ(watchdog.ScanOnce(later_s), 1u);
+  // Still wedged on the next scan, but already reported — not re-flagged.
+  EXPECT_EQ(watchdog.ScanOnce(later_s + 1.0), 0u);
+  EXPECT_EQ(watchdog.total_stuck(), 1u);
+  EXPECT_EQ(watchdog.scans(), 2u);
+
+  std::vector<StuckReport> reports = watchdog.RecentReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].request_id, inflight[0].id);
+  EXPECT_EQ(reports[0].tenant, "wedged");
+  EXPECT_GT(reports[0].running_ms, 1000.0);
+
+  gate.release.store(true, std::memory_order_release);
+  (void)collector.Await();
+  svc.Stop();
+  // Nothing inflight: a scan finds no offenders and prunes the reported set.
+  EXPECT_EQ(watchdog.ScanOnce(later_s + 2.0), 0u);
+}
+
+TEST(StuckQueryWatchdogTest, FastRequestsAreNeverFlagged) {
+  ServiceOptions options = SyntheticOptions();
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       options);
+  ASSERT_TRUE(svc.Start().ok());
+  StuckQueryWatchdog watchdog([&svc] { return svc.InflightSnapshot(); },
+                              StuckQueryWatchdog::Options{});
+  watchdog.Start();
+  EXPECT_TRUE(watchdog.running());
+  for (int i = 0; i < 20; ++i) {
+    (void)svc.Search(ServiceRequest{});
+  }
+  watchdog.Stop();
+  EXPECT_FALSE(watchdog.running());
+  svc.Stop();
+  EXPECT_EQ(watchdog.total_stuck(), 0u);
+  EXPECT_TRUE(watchdog.RecentReports().empty());
+}
+
+TEST(DiscoveryServiceTest, QueryLogCarriesTenantAndPriority) {
+  ServiceOptions options = SyntheticOptions();
+  options.record_query_log = true;
+  TenantQuota quota;
+  quota.refill_qps = 1e6;
+  quota.burst = 1e6;
+  quota.priority = 2;
+  options.admission.tenant_quotas["logged-tenant"] = quota;
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       options);
+  ASSERT_TRUE(svc.Start().ok());
+  ServiceRequest request;
+  request.tenant = "logged-tenant";
+  ServiceResponse response = svc.Search(std::move(request));
+  EXPECT_EQ(response.outcome, RequestOutcome::kCompleted);
+  svc.Stop();
+
+  const std::string log = obs::QueryLog::Global().ExportJsonLines();
+  EXPECT_NE(log.find("\"tenant\": \"logged-tenant\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"priority\": 2"), std::string::npos) << log;
+}
+
+// ---------- ServiceMonitor (the /slozz + /tenantz bundle) ----------
+
+TEST(ServiceMonitorTest, RendersObjectivesTenantsAndWatchdog) {
+  ServiceOptions options = SyntheticOptions();
+  TenantQuota quota;
+  quota.refill_qps = 1e6;
+  quota.burst = 1e6;
+  options.admission.tenant_quotas["mon-a"] = quota;
+  options.admission.tenant_quotas["mon-b"] = quota;
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       options);
+  ASSERT_TRUE(svc.Start().ok());
+
+  ServiceMonitor::Options monitor_options;
+  monitor_options.bucket_seconds = 0.5;
+  monitor_options.fast_window_s = 2.0;
+  monitor_options.slow_window_s = 8.0;
+  monitor_options.tenants = {"mon-a", "mon-b"};
+  ServiceMonitor monitor(&svc, monitor_options);
+
+  for (const char* tenant : {"mon-a", "mon-b"}) {
+    for (int i = 0; i < 3; ++i) {
+      ServiceRequest request;
+      request.tenant = tenant;
+      (void)svc.Search(std::move(request));
+    }
+  }
+  // Deterministic evaluation: tick windows + step the SLO engine directly
+  // rather than starting the background thread.
+  monitor.windows().Tick(100.0);
+  monitor.slo().Step(100.5);
+  svc.Stop();
+
+  const std::string slozz = monitor.RenderSlozz();
+  EXPECT_NE(slozz.find("latency_p99"), std::string::npos) << slozz;
+  EXPECT_NE(slozz.find("shed_fraction"), std::string::npos) << slozz;
+  EXPECT_NE(slozz.find("shed_fraction_mon-a"), std::string::npos) << slozz;
+  EXPECT_NE(slozz.find("watchdog"), std::string::npos) << slozz;
+
+  const std::string json = monitor.SlozzJson();
+  EXPECT_NE(json.find("\"statuses\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"transitions\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"shed_fraction\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"watchdog\""), std::string::npos) << json;
+
+  const std::string tenantz = monitor.RenderTenantz();
+  EXPECT_NE(tenantz.find("mon-a"), std::string::npos) << tenantz;
+  EXPECT_NE(tenantz.find("mon-b"), std::string::npos) << tenantz;
+  EXPECT_NE(tenantz.find("admitted 3"), std::string::npos) << tenantz;
+}
+
+TEST(ServiceMonitorTest, StartStopIsCleanAndIdempotent) {
+  DiscoveryService svc([](const ServiceRequest&) { return OneHit(); },
+                       SyntheticOptions());
+  ASSERT_TRUE(svc.Start().ok());
+  ServiceMonitor::Options monitor_options;
+  monitor_options.eval_interval_s = 0.01;
+  monitor_options.watchdog.interval_s = 0.01;
+  ServiceMonitor monitor(&svc, monitor_options);
+  monitor.Start();
+  for (int i = 0; i < 10; ++i) (void)svc.Search(ServiceRequest{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  monitor.Stop();
+  monitor.Stop();  // idempotent
+  svc.Stop();
+  EXPECT_GT(monitor.slo().evaluations(), 0u);
 }
 
 // ---------- Latency-under-load acceptance ----------

@@ -10,9 +10,12 @@ Checks:
   * top level is an object with "counters" / "gauges" / "histograms" dicts;
   * counters are non-negative integers, gauges are finite numbers;
   * every histogram carries count/sum/min/max/mean/p50/p90/p99/buckets;
-  * bucket entries are [upper_bound, count] pairs with ascending bounds
-    whose counts sum to the histogram's count;
+  * bucket entries are [lower_bound, upper_bound, count] triples with
+    lower < upper, non-overlapping ascending ranges, and counts that sum
+    to the histogram's count;
   * quantiles are ordered (min <= p50 <= p90 <= p99 <= max) when count > 0;
+  * "exemplars", when present, is a list of [value, id] pairs with finite
+    values and positive integer query-log ids;
   * when --expect-queries is passed, the per-method query metrics the engine
     publishes (mira.query.count.* / mira.query.latency_ms.*) are present and
     populated.
@@ -74,22 +77,28 @@ def check_histogram(name: str, hist: object) -> None:
         fail(f"histogram {name!r}: 'buckets' is not a list")
         return
     bucket_total = 0
-    previous_bound = -math.inf
+    previous_upper = -math.inf
     for entry in buckets:
-        if (not isinstance(entry, list) or len(entry) != 2
+        if (not isinstance(entry, list) or len(entry) != 3
                 or not isinstance(entry[0], (int, float))
-                or not isinstance(entry[1], int) or entry[1] <= 0):
+                or not isinstance(entry[1], (int, float))
+                or not isinstance(entry[2], int) or entry[2] <= 0):
             fail(f"histogram {name!r}: bucket entry {entry!r} is not "
-                 "[upper_bound, positive_count]")
+                 "[lower_bound, upper_bound, positive_count]")
             return
-        if entry[0] <= previous_bound:
-            fail(f"histogram {name!r}: bucket bounds not ascending at "
-                 f"{entry[0]!r}")
-        previous_bound = entry[0]
-        bucket_total += entry[1]
+        lower, upper, bucket_count = entry
+        if lower >= upper:
+            fail(f"histogram {name!r}: bucket [{lower}, {upper}) is empty "
+                 "or inverted")
+        if lower < previous_upper:
+            fail(f"histogram {name!r}: bucket [{lower}, {upper}) overlaps "
+                 "or reorders the previous bucket")
+        previous_upper = upper
+        bucket_total += bucket_count
     if bucket_total != count:
         fail(f"histogram {name!r}: bucket counts sum to {bucket_total}, "
              f"count says {count}")
+    check_exemplars(name, hist)
     if count > 0:
         ordered = (hist["min"], hist["p50"], hist["p90"], hist["p99"],
                    hist["max"])
@@ -101,6 +110,31 @@ def check_histogram(name: str, hist: object) -> None:
                      f"({what}: {lo} > {hi})")
         if hist["sum"] < 0 and hist["min"] >= 0:
             fail(f"histogram {name!r}: negative sum with non-negative min")
+
+
+def check_exemplars(name: str, hist: dict) -> None:
+    if "exemplars" not in hist:
+        return  # optional: only emitted once a tail observation was captured
+    exemplars = hist["exemplars"]
+    if not isinstance(exemplars, list) or not exemplars:
+        fail(f"histogram {name!r}: 'exemplars' present but not a non-empty "
+             "list")
+        return
+    for entry in exemplars:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], (int, float))
+                or not math.isfinite(entry[0])
+                or not isinstance(entry[1], int) or entry[1] <= 0):
+            fail(f"histogram {name!r}: exemplar {entry!r} is not "
+                 "[finite_value, positive_id]")
+            return
+        minimum = hist.get("min")
+        maximum = hist.get("max")
+        if (isinstance(minimum, (int, float)) and isinstance(
+                maximum, (int, float)) and hist.get("count", 0) > 0
+                and not minimum <= entry[0] <= maximum):
+            fail(f"histogram {name!r}: exemplar value {entry[0]} outside "
+                 f"[min={minimum}, max={maximum}]")
 
 
 def check_query_metrics(doc: dict) -> None:

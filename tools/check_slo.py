@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""End-to-end gate for the service SLO / tenant-slice / exemplar plumbing.
+
+Used by the perf-smoke CI job:
+
+    tools/check_slo.py ./build/release/bench/bench_service_load
+
+Starts the binary with `--quick --debug-server --hold`. The bench runs its
+closed- and open-loop load points *before* the serve tail, so by the time the
+"[bench] debugz listening on ..." line appears the overload phase already
+happened and the SLO transition history is populated. Then:
+
+  * /slozz.json must record a shed_fraction transition into "breach" with a
+    nonzero fast burn rate (the open-loop overload points shed 40%+ against
+    a 2% objective — the multi-window burn detector has to fire);
+  * polls /slozz.json until a transition *out of* breach appears: the hold
+    loop's gentle serial drive drains the windows, so the objective must
+    recover instead of latching (bounded wait, then failure);
+  * /varz per-tenant slice counters (mira.tenant.<t>.admitted) must sum to
+    the service-level admitted counter, modulo a small skew tolerance for
+    requests admitted mid-scrape;
+  * at least one latency exemplar captured by the engine histograms
+    (mira.query.latency_ms.*) must resolve to a trace id promoted on
+    /tracez — the exemplar -> query log -> promoted trace chain is intact;
+  * /querylogz?format=jsonl entries must carry "tenant" and "priority".
+
+Exit: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ERRORS: list[str] = []
+
+LISTEN_RE = re.compile(
+    r"\[bench\] debugz listening on http://127\.0\.0\.1:(\d+)/")
+TRACE_ID_RE = re.compile(r"tracez\?id=(\d+)")
+
+# The bench's synthetic tenants plus the bounded-slice overflow bucket.
+TENANTS = ("alpha", "beta", "gamma", "_other")
+
+
+def fail(msg: str) -> None:
+    ERRORS.append(msg)
+
+
+def fetch(port: int, path: str, timeout: float = 30.0) -> tuple[int, bytes]:
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read()
+    except (urllib.error.URLError, OSError) as e:
+        fail(f"GET {path}: connection failed: {e}")
+        return 0, b""
+
+
+def wait_for_port(proc: subprocess.Popen, deadline_s: float = 300.0) -> int:
+    start = time.monotonic()
+    assert proc.stderr is not None
+    while time.monotonic() - start < deadline_s:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+            continue
+        match = LISTEN_RE.search(line)
+        if match:
+            return int(match.group(1))
+    return 0
+
+
+def load_slozz(port: int) -> dict | None:
+    status, body = fetch(port, "/slozz.json")
+    if status != 200:
+        fail(f"/slozz.json: HTTP {status}")
+        return None
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"/slozz.json: not valid JSON: {e}")
+        return None
+    if not isinstance(doc, dict):
+        fail("/slozz.json: top level is not an object")
+        return None
+    return doc
+
+
+def shed_transitions(doc: dict) -> list[dict]:
+    transitions = doc.get("transitions")
+    if not isinstance(transitions, list):
+        fail("/slozz.json: 'transitions' is not a list")
+        return []
+    return [t for t in transitions
+            if isinstance(t, dict) and t.get("objective") == "shed_fraction"]
+
+
+def check_breach(doc: dict) -> None:
+    breaches = [t for t in shed_transitions(doc) if t.get("to") == "breach"]
+    if not breaches:
+        fail("no shed_fraction transition into 'breach' — the overload "
+             "points shed 40%+ against a 2% objective, the burn detector "
+             "had to fire")
+        return
+    if not any(t.get("burn_fast", 0) > 0 for t in breaches):
+        fail("shed_fraction breach recorded with zero fast burn rate")
+        return
+    worst = max(t.get("burn_fast", 0) for t in breaches)
+    print(f"ok: shed_fraction breached (peak fast burn {worst:.1f}x)")
+
+
+def await_recovery(port: int, deadline_s: float) -> None:
+    """The hold loop drives gentle serial load, so the shed windows drain
+    and the objective must leave breach within the deadline."""
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        doc = load_slozz(port)
+        if doc is None:
+            return
+        recoveries = [t for t in shed_transitions(doc)
+                      if t.get("from") == "breach" and t.get("to") != "breach"]
+        if recoveries:
+            print(f"ok: shed_fraction recovered "
+                  f"(breach -> {recoveries[-1].get('to')})")
+            return
+        time.sleep(0.5)
+    fail(f"shed_fraction never left 'breach' within {deadline_s:.0f}s of "
+         "gentle hold-loop load — burn windows are not draining")
+
+
+def check_tenant_slices(port: int, tolerance: int) -> None:
+    status, body = fetch(port, "/varz")
+    if status != 200:
+        fail(f"/varz: HTTP {status}")
+        return
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"/varz: not valid JSON: {e}")
+        return
+    counters = doc.get("counters", {})
+    if not isinstance(counters, dict):
+        fail("/varz: 'counters' is not an object")
+        return
+    service_admitted = counters.get("mira.service.admitted", 0)
+    slice_admitted = sum(
+        counters.get(f"mira.tenant.{tenant}.admitted", 0)
+        for tenant in TENANTS)
+    if service_admitted <= 0:
+        fail("/varz: mira.service.admitted is zero after a full bench run")
+        return
+    for tenant in ("alpha", "beta", "gamma"):
+        if counters.get(f"mira.tenant.{tenant}.admitted", 0) <= 0:
+            fail(f"/varz: tenant slice {tenant!r} admitted nothing — the "
+                 "bench spreads requests over all three tenants")
+    # The hold loop admits requests between the two counter reads, so allow
+    # a small skew; a label-dimension bug would be off by thousands.
+    if abs(slice_admitted - service_admitted) > tolerance:
+        fail(f"tenant slices sum to {slice_admitted} admitted, service "
+             f"total says {service_admitted} (tolerance {tolerance})")
+        return
+    print(f"ok: tenant slices sum to service totals "
+          f"({slice_admitted} vs {service_admitted})")
+
+
+def engine_exemplar_ids(counters_doc: dict) -> set[int]:
+    ids: set[int] = set()
+    histograms = counters_doc.get("histograms", {})
+    if not isinstance(histograms, dict):
+        return ids
+    for name, hist in histograms.items():
+        if not name.startswith("mira.query.latency_ms."):
+            continue
+        if not isinstance(hist, dict):
+            continue
+        for entry in hist.get("exemplars", []):
+            if (isinstance(entry, list) and len(entry) == 2
+                    and isinstance(entry[1], int)):
+                ids.add(entry[1])
+    return ids
+
+
+def check_exemplar_trace_link(port: int, deadline_s: float) -> None:
+    """At least one engine-histogram exemplar id must appear among the
+    promoted /tracez ids. Exemplar capture is best-effort (TryLock) and the
+    hold loop keeps promoting, so poll briefly rather than single-shot."""
+    start = time.monotonic()
+    last_exemplars: set[int] = set()
+    last_promoted: set[int] = set()
+    while time.monotonic() - start < deadline_s:
+        status, body = fetch(port, "/varz")
+        if status != 200:
+            fail(f"/varz: HTTP {status}")
+            return
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as e:
+            fail(f"/varz: not valid JSON: {e}")
+            return
+        last_exemplars = engine_exemplar_ids(doc)
+        status, body = fetch(port, "/tracez")
+        if status != 200:
+            fail(f"/tracez: HTTP {status}")
+            return
+        last_promoted = {
+            int(m) for m in TRACE_ID_RE.findall(
+                body.decode("utf-8", errors="replace"))}
+        linked = last_exemplars & last_promoted
+        if linked:
+            print(f"ok: {len(linked)} exemplar id(s) resolve to promoted "
+                  f"traces (e.g. id {min(linked)})")
+            return
+        time.sleep(0.5)
+    fail(f"no engine latency exemplar resolves to a promoted trace id "
+         f"(exemplars: {sorted(last_exemplars)}, promoted: "
+         f"{sorted(last_promoted)})")
+
+
+def check_querylog_tenancy(port: int) -> None:
+    status, body = fetch(port, "/querylogz?format=jsonl")
+    if status != 200:
+        fail(f"/querylogz?format=jsonl: HTTP {status}")
+        return
+    lines = [line for line in body.decode("utf-8").splitlines() if line]
+    if not lines:
+        fail("/querylogz?format=jsonl: empty export")
+        return
+    tenants_seen = set()
+    for i, line in enumerate(lines):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"/querylogz jsonl line {i}: not valid JSON: {e}")
+            return
+        for field in ("tenant", "priority"):
+            if field not in entry:
+                fail(f"/querylogz jsonl line {i}: missing field {field!r}")
+                return
+        tenants_seen.add(entry["tenant"])
+    if not tenants_seen & {"alpha", "beta", "gamma"}:
+        fail(f"/querylogz jsonl: no bench tenant in export "
+             f"(saw {sorted(tenants_seen)})")
+        return
+    print(f"ok: query log carries tenant + priority "
+          f"({len(lines)} entries, tenants {sorted(tenants_seen)})")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary",
+                        help="bench_service_load binary (supports --quick "
+                             "--debug-server --hold)")
+    parser.add_argument("--recovery-seconds", type=float, default=60.0,
+                        help="max wait for the breached objective to recover "
+                             "under hold-loop load (default 60)")
+    parser.add_argument("--slice-tolerance", type=int, default=32,
+                        help="allowed skew between the tenant-slice sum and "
+                             "the service admitted counter (default 32)")
+    args = parser.parse_args(argv)
+
+    try:
+        proc = subprocess.Popen(
+            [args.binary, "--quick", "--debug-server", "--hold"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    except OSError as e:
+        print(f"check_slo: cannot start {args.binary}: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        port = wait_for_port(proc)
+        if port == 0:
+            print("check_slo: no listening line on stderr "
+                  "(binary exited or --debug-server unsupported)",
+                  file=sys.stderr)
+            return 2
+
+        doc = load_slozz(port)
+        if doc is not None:
+            check_breach(doc)
+            if doc.get("watchdog") is None:
+                fail("/slozz.json: watchdog section missing (bench enables "
+                     "the stuck-query watchdog)")
+            elif doc["watchdog"].get("scans", 0) <= 0:
+                fail("/slozz.json: watchdog never scanned")
+        check_tenant_slices(port, args.slice_tolerance)
+        check_exemplar_trace_link(port, deadline_s=30.0)
+        check_querylog_tenancy(port)
+        await_recovery(port, args.recovery_seconds)
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("binary ignored SIGINT (hold loop did not stop)")
+        if proc.stderr is not None:
+            proc.stderr.close()
+
+    if proc.returncode not in (0, None):
+        fail(f"binary exited with {proc.returncode} after SIGINT")
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_slo: {err}", file=sys.stderr)
+        return 1
+    print(f"ok: SLO breach + recovery, tenant slices, exemplar->trace link "
+          f"on port {port}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

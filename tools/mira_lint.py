@@ -28,11 +28,12 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and triage policy):
                 constructor or a relaxed atomic bump is measurable there.
                 Instrument the callers (index/discovery layers) instead.
                 One layer further out, the control-plane obs headers
-                (obs/debug_server.h, obs/cpu_profiler.h) are additionally
-                banned from the index hot paths (src/index/, src/vectordb/):
-                search code publishes metrics/spans, it never hosts the
-                debugz server or the profiler — those are wired at the
-                binary level (bench/harness.cc).
+                (obs/debug_server.h, obs/cpu_profiler.h, obs/slo.h) are
+                additionally banned from the index hot paths (src/index/,
+                src/vectordb/): search code publishes metrics/spans, it
+                never hosts the debugz server, the profiler, or the SLO
+                evaluator — those are wired at the binary level
+                (bench/harness.cc, src/service/monitor.cc).
   failpoint     MIRA_FAILPOINT macros live only in .cc files outside
                 src/vecmath/ (src/common/failpoint.h, which defines them, is
                 exempt). Headers would leak injection sites into every
@@ -242,7 +243,7 @@ OBS_USE_RE = re.compile(
 # string literals, which would hide them); only trailing comments are dropped.
 OBS_INCLUDE_RE = re.compile(r"#\s*include\s*\"obs/")
 OBS_CONTROL_PLANE_INCLUDE_RE = re.compile(
-    r"#\s*include\s*\"obs/(?:debug_server|cpu_profiler)\.h\"")
+    r"#\s*include\s*\"obs/(?:debug_server|cpu_profiler|slo)\.h\"")
 # The index hot paths: allowed to publish metrics/spans, but never to pull in
 # the control-plane surfaces (the debugz server, the SIGPROF profiler).
 HOT_PATH_PREFIXES = ("src/index/", "src/vectordb/")
@@ -263,10 +264,10 @@ def check_obs_in_kernels(path: Path, lines: list[str]) -> None:
                    "calling layer (see docs/OBSERVABILITY.md)")
         elif OBS_CONTROL_PLANE_INCLUDE_RE.search(no_comment):
             report(path, i, "obs-in-kernels",
-                   "obs/debug_server.h and obs/cpu_profiler.h are "
-                   "control-plane surfaces; index hot paths must not include "
-                   "them — wire the server at the binary level "
-                   "(bench/harness.cc)")
+                   "obs/debug_server.h, obs/cpu_profiler.h, and obs/slo.h "
+                   "are control-plane surfaces; index hot paths must not "
+                   "include them — wire them at the binary level "
+                   "(bench/harness.cc, src/service/monitor.cc)")
 
 
 FAILPOINT_USE_RE = re.compile(r"\bMIRA_FAILPOINT(_PARTIAL)?\b")
